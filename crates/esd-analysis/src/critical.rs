@@ -1,0 +1,435 @@
+//! Critical edges, intermediate goals and goal-relevance pruning
+//! (the output of the paper's static phase, §3.2).
+//!
+//! * A **critical edge** is a CFG edge that *must* be followed on any path to
+//!   the goal: at a conditional branch from which only one successor can
+//!   still reach the goal block, that successor's edge is critical. During
+//!   the dynamic phase, states that take the other edge are abandoned.
+//! * An **intermediate goal** is a basic block that must execute for a
+//!   critical edge to be traversable: a definition of one of the variables in
+//!   the branch condition that (alone or in combination with definitions of
+//!   the other variables) gives the condition its required value.
+//! * The **relevance map** marks blocks of the goal's function from which the
+//!   goal is no longer reachable; the search deprioritizes or abandons states
+//!   stuck in irrelevant blocks.
+
+use crate::callgraph::CallGraph;
+use crate::cfg::Cfg;
+use crate::reachdef::{eval_tri, global_stores, trace_operand, GlobalStore};
+use esd_ir::{BlockId, FuncId, GlobalId, Loc, Operand, Program, Terminator};
+use std::collections::{HashMap, HashSet};
+
+/// A branch edge that every path to the goal must take.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CriticalEdge {
+    /// Function containing the branch.
+    pub func: FuncId,
+    /// Block whose terminator is the conditional branch.
+    pub branch_block: BlockId,
+    /// The successor that must be taken.
+    pub required_succ: BlockId,
+    /// The branch condition operand.
+    pub cond: Operand,
+    /// The value the condition must evaluate to (`true` = then-edge).
+    pub required_value: bool,
+}
+
+/// A "must execute" block set: any one of the alternatives satisfies this
+/// intermediate goal (alternatives are disjunctive; distinct
+/// `IntermediateGoal`s are conjunctive).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IntermediateGoal {
+    /// Candidate locations (each the location of a defining store).
+    pub alternatives: Vec<Loc>,
+    /// The global word whose definition this goal tracks.
+    pub variable: (GlobalId, i64),
+}
+
+/// The result of the static phase for one goal.
+#[derive(Debug, Clone)]
+pub struct StaticGoalInfo {
+    /// The goal the info was computed for.
+    pub goal: Loc,
+    /// Critical edges on the way to the goal (within the goal's function).
+    pub critical_edges: Vec<CriticalEdge>,
+    /// Intermediate goals derived from the critical edges' conditions.
+    pub intermediate_goals: Vec<IntermediateGoal>,
+    /// `relevant[f][b]` — false when a state whose innermost frame sits in
+    /// block `b` of function `f` can no longer reach the goal without first
+    /// returning to a caller.
+    pub relevant: Vec<Vec<bool>>,
+    /// Functions from which the goal's function is reachable through calls.
+    pub goal_reaching_funcs: HashSet<FuncId>,
+}
+
+impl StaticGoalInfo {
+    /// Runs the static phase for `goal`.
+    pub fn compute(program: &Program, cfgs: &[Cfg], callgraph: &CallGraph, goal: Loc) -> Self {
+        let goal_cfg = &cfgs[goal.func.0 as usize];
+        let can_reach_goal = goal_cfg.can_reach(goal.block);
+        let critical_edges = find_critical_edges(program, goal_cfg, goal, &can_reach_goal);
+        let stores = global_stores(program);
+        let intermediate_goals =
+            derive_intermediate_goals(program, &critical_edges, &stores);
+        let goal_reaching_funcs = callgraph.functions_reaching(goal.func);
+        let relevant =
+            compute_relevance(program, cfgs, callgraph, goal, &can_reach_goal, &goal_reaching_funcs);
+        StaticGoalInfo {
+            goal,
+            critical_edges,
+            intermediate_goals,
+            relevant,
+            goal_reaching_funcs,
+        }
+    }
+
+    /// True if a state whose innermost frame is at `loc` should be abandoned
+    /// because the goal is unreachable from there (unless it can return to a
+    /// caller that can still reach the goal — the caller decides that).
+    pub fn is_irrelevant_block(&self, loc: Loc) -> bool {
+        !self.relevant[loc.func.0 as usize][loc.block.0 as usize]
+    }
+
+    /// Returns the critical edge at `branch_block` of the goal function, if
+    /// one was identified.
+    pub fn critical_edge_at(&self, func: FuncId, block: BlockId) -> Option<&CriticalEdge> {
+        self.critical_edges.iter().find(|e| e.func == func && e.branch_block == block)
+    }
+
+    /// All intermediate-goal locations, flattened (used to set up the virtual
+    /// priority queues of the dynamic phase).
+    pub fn intermediate_goal_locs(&self) -> Vec<Vec<Loc>> {
+        self.intermediate_goals.iter().map(|g| g.alternatives.clone()).collect()
+    }
+}
+
+/// Walks backward from the goal block marking critical edges, in the style of
+/// the paper: follow single-predecessor chains; at each predecessor whose
+/// conditional branch has exactly one goal-reaching successor, mark that
+/// edge.
+fn find_critical_edges(
+    program: &Program,
+    cfg: &Cfg,
+    goal: Loc,
+    can_reach_goal: &[bool],
+) -> Vec<CriticalEdge> {
+    let function = program.func(goal.func);
+    let mut edges = Vec::new();
+    let mut visited = HashSet::new();
+    let mut cur = goal.block;
+    visited.insert(cur);
+    loop {
+        let preds = cfg.preds(cur);
+        if preds.len() != 1 {
+            break;
+        }
+        let p = preds[0];
+        if !visited.insert(p) {
+            break;
+        }
+        if let Terminator::CondBr { cond, then_bb, else_bb } = &function.block(p).term {
+            let then_ok = can_reach_goal[then_bb.0 as usize];
+            let else_ok = can_reach_goal[else_bb.0 as usize];
+            if then_ok != else_ok {
+                let required_succ = if then_ok { *then_bb } else { *else_bb };
+                edges.push(CriticalEdge {
+                    func: goal.func,
+                    branch_block: p,
+                    required_succ,
+                    cond: *cond,
+                    required_value: then_ok,
+                });
+            }
+        }
+        cur = p;
+    }
+    edges
+}
+
+const MAX_DEFS_PER_VAR: usize = 32;
+
+/// Derives intermediate goals from critical-edge conditions: definitions of
+/// the condition's global variables that give (or at least permit) the
+/// condition its required value.
+///
+/// For each variable `v` in the condition of a critical edge:
+///
+/// * a constant definition `v = k` is **viable** if, with `v = k` and all
+///   other variables unknown, the condition still *can* evaluate to the
+///   required value (three-valued evaluation);
+/// * if the variable's initial value is already viable, no intermediate goal
+///   is emitted for it (executing a definition is not required);
+/// * otherwise the viable definitions become the goal's (disjunctive)
+///   alternatives; if there are none, every definition of the variable —
+///   constant or not — is kept as a weak alternative. A wrong intermediate
+///   goal only slows the search down, it never makes it unsound.
+fn derive_intermediate_goals(
+    program: &Program,
+    critical_edges: &[CriticalEdge],
+    stores: &[GlobalStore],
+) -> Vec<IntermediateGoal> {
+    let mut goals = Vec::new();
+    for edge in critical_edges {
+        let function = program.func(edge.func);
+        let expr = trace_operand(function, edge.cond);
+        let vars = expr.globals();
+        if vars.is_empty() {
+            continue;
+        }
+
+        // Viability of value `k` for variable `var`: with var = k and every
+        // other variable unknown, can the condition still take the required
+        // value?
+        let viable = |var: (GlobalId, i64), value: i64| -> bool {
+            let mut asg = HashMap::new();
+            asg.insert(var, value);
+            let t = eval_tri(&expr, &asg);
+            if edge.required_value {
+                !t.is_false()
+            } else {
+                !t.is_true()
+            }
+        };
+
+        for var in &vars {
+            let init = program
+                .global(var.0)
+                .init
+                .get(var.1 as usize)
+                .copied()
+                .unwrap_or(0);
+            let var_stores: Vec<&GlobalStore> =
+                stores.iter().filter(|s| s.target == *var).take(MAX_DEFS_PER_VAR).collect();
+
+            if viable(*var, init) && var_stores.iter().all(|s| s.value.is_none()) {
+                // The initial value already permits the condition and there is
+                // no constant definition to prefer: no goal needed.
+                continue;
+            }
+            let mut alternatives: Vec<Loc> = var_stores
+                .iter()
+                .filter(|s| match s.value {
+                    Some(v) => viable(*var, v),
+                    None => false,
+                })
+                .map(|s| s.loc)
+                .collect();
+            if alternatives.is_empty() {
+                if viable(*var, init) {
+                    // Initial value works; constant stores exist but none are
+                    // required.
+                    continue;
+                }
+                // Weak fallback: one of the variable's definitions (constant
+                // or not) must execute for the condition to change.
+                alternatives = var_stores.iter().map(|s| s.loc).collect();
+            }
+            alternatives.sort();
+            alternatives.dedup();
+            if !alternatives.is_empty() {
+                goals.push(IntermediateGoal { alternatives, variable: *var });
+            }
+        }
+    }
+    // Deduplicate goals tracking the same variable with the same set.
+    goals.sort_by_key(|g| (g.variable, g.alternatives.len()));
+    goals.dedup();
+    goals
+}
+
+/// Computes the per-function block relevance map.
+fn compute_relevance(
+    program: &Program,
+    cfgs: &[Cfg],
+    callgraph: &CallGraph,
+    goal: Loc,
+    can_reach_goal: &[bool],
+    goal_reaching_funcs: &HashSet<FuncId>,
+) -> Vec<Vec<bool>> {
+    let mut relevant: Vec<Vec<bool>> =
+        program.functions.iter().map(|f| vec![true; f.blocks.len()]).collect();
+    // Only the goal's own function gets precise pruning: a block is relevant
+    // if it can reach the goal block, or if it can reach a call into a
+    // function from which the goal's function is reachable (a re-entrant
+    // path), otherwise a state sitting there can only reach the goal by
+    // returning first — which the proximity walk accounts for, so the block
+    // itself is marked irrelevant.
+    let f = goal.func;
+    let cfg = &cfgs[f.0 as usize];
+    let mut call_blocks: HashSet<BlockId> = HashSet::new();
+    for site in callgraph.sites_of(f) {
+        if site.targets.iter().any(|t| goal_reaching_funcs.contains(t)) {
+            call_blocks.insert(site.loc.block);
+        }
+    }
+    let mut reach_call = vec![false; cfg.num_blocks()];
+    for cb in &call_blocks {
+        for (bi, ok) in cfg.can_reach(*cb).iter().enumerate() {
+            if *ok {
+                reach_call[bi] = true;
+            }
+        }
+    }
+    for b in 0..cfg.num_blocks() {
+        relevant[f.0 as usize][b] = can_reach_goal[b] || reach_call[b];
+    }
+    relevant
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esd_ir::{BinOp, CmpOp, ProgramBuilder};
+
+    /// A program shaped like the paper's Listing 1 `main`/`CriticalSection`
+    /// condition: the goal sits behind `mode == 1 && idx == 1`.
+    fn listing1_like() -> esd_ir::Program {
+        let mut pb = ProgramBuilder::new("p");
+        let mode = pb.global("mode", 1);
+        let idx = pb.global("idx", 1);
+        pb.function("main", 0, |f| {
+            let modep = f.addr_global(mode);
+            let idxp = f.addr_global(idx);
+            // if (getchar() == 'm') idx++
+            let c = f.getchar();
+            let is_m = f.cmp(CmpOp::Eq, c, 'm' as i64);
+            let inc = f.new_block("inc");
+            let after = f.new_block("after");
+            f.cond_br(is_m, inc, after);
+            f.switch_to(inc);
+            let v = f.load(idxp);
+            let v1 = f.add(v, 1);
+            f.store(idxp, v1);
+            f.br(after);
+            f.switch_to(after);
+            // if (getenv == 'Y') mode = 1 else mode = 2
+            let e = f.getenv("mode");
+            let is_y = f.cmp(CmpOp::Eq, e, 'Y' as i64);
+            let yes = f.new_block("yes");
+            let no = f.new_block("no");
+            let check = f.new_block("check");
+            f.cond_br(is_y, yes, no);
+            f.switch_to(yes);
+            f.store(modep, 1);
+            f.br(check);
+            f.switch_to(no);
+            f.store(modep, 2);
+            f.br(check);
+            f.switch_to(check);
+            // if (mode == 1 && idx == 1) goal else other
+            let mv = f.load(modep);
+            let iv = f.load(idxp);
+            let c1 = f.cmp(CmpOp::Eq, mv, 1);
+            let c2 = f.cmp(CmpOp::Eq, iv, 1);
+            let both = f.bin(BinOp::And, c1, c2);
+            let goal_bb = f.new_block("goal");
+            let other = f.new_block("other");
+            f.cond_br(both, goal_bb, other);
+            f.switch_to(goal_bb);
+            f.output(1);
+            f.ret_void();
+            f.switch_to(other);
+            f.ret_void();
+        });
+        pb.finish("main")
+    }
+
+    fn compute(p: &esd_ir::Program, goal: Loc) -> StaticGoalInfo {
+        let cfgs: Vec<Cfg> = p.func_ids().map(|f| Cfg::build(p.func(f), f)).collect();
+        let cg = CallGraph::build(p);
+        StaticGoalInfo::compute(p, &cfgs, &cg, goal)
+    }
+
+    #[test]
+    fn critical_edge_found_for_goal_behind_condition() {
+        let p = listing1_like();
+        let main = p.entry;
+        let goal_bb = BlockId(6); // "goal"
+        let info = compute(&p, Loc::new(main, goal_bb, 0));
+        assert_eq!(info.critical_edges.len(), 1);
+        let e = &info.critical_edges[0];
+        assert_eq!(e.branch_block, BlockId(5)); // "check"
+        assert_eq!(e.required_succ, goal_bb);
+        assert!(e.required_value);
+        assert!(info.critical_edge_at(main, BlockId(5)).is_some());
+        assert!(info.critical_edge_at(main, BlockId(0)).is_none());
+    }
+
+    #[test]
+    fn intermediate_goals_cover_mode_and_idx_definitions() {
+        let p = listing1_like();
+        let main = p.entry;
+        let info = compute(&p, Loc::new(main, BlockId(6), 0));
+        let mode = p.global_by_name("mode").unwrap();
+        let idx = p.global_by_name("idx").unwrap();
+        let mode_goal = info.intermediate_goals.iter().find(|g| g.variable.0 == mode);
+        let idx_goal = info.intermediate_goals.iter().find(|g| g.variable.0 == idx);
+        let mode_goal = mode_goal.expect("mode must have an intermediate goal");
+        let idx_goal = idx_goal.expect("idx must have an intermediate goal");
+        // mode's satisfying definition is the constant store `mode = 1` in
+        // block "yes" (block 3); the store of 2 must not be an alternative.
+        assert_eq!(mode_goal.alternatives.len(), 1);
+        assert_eq!(mode_goal.alternatives[0].block, BlockId(3));
+        // idx has only the non-constant `idx++` definition in block "inc".
+        assert!(idx_goal.alternatives.iter().any(|l| l.block == BlockId(1)));
+    }
+
+    #[test]
+    fn relevance_prunes_blocks_past_the_goal() {
+        let p = listing1_like();
+        let main = p.entry;
+        let info = compute(&p, Loc::new(main, BlockId(6), 0));
+        // The "other" block (7) cannot reach the goal.
+        assert!(info.is_irrelevant_block(Loc::new(main, BlockId(7), 0)));
+        // The entry and the goal itself are relevant.
+        assert!(!info.is_irrelevant_block(Loc::new(main, BlockId(0), 0)));
+        assert!(!info.is_irrelevant_block(Loc::new(main, BlockId(6), 0)));
+    }
+
+    #[test]
+    fn no_critical_edges_when_goal_reachable_from_both_sides() {
+        let mut pb = ProgramBuilder::new("p");
+        pb.function("main", 0, |f| {
+            let x = f.getchar();
+            let a = f.new_block("a");
+            let b = f.new_block("b");
+            let join = f.new_block("join");
+            f.cond_br(x, a, b);
+            f.switch_to(a);
+            f.br(join);
+            f.switch_to(b);
+            f.br(join);
+            f.switch_to(join);
+            f.ret_void();
+        });
+        let p = pb.finish("main");
+        let info = compute(&p, Loc::new(p.entry, BlockId(3), 0));
+        // The join block has two predecessors, so the backward walk stops
+        // immediately and no critical edges are reported.
+        assert!(info.critical_edges.is_empty());
+        assert!(info.intermediate_goals.is_empty());
+    }
+
+    #[test]
+    fn goal_reaching_funcs_include_transitive_callers() {
+        let mut pb = ProgramBuilder::new("p");
+        let inner = pb.function("inner", 0, |f| {
+            f.output(1);
+            f.ret_void();
+        });
+        let outer = pb.function("outer", 0, |f| {
+            f.call_void(inner, vec![]);
+            f.ret_void();
+        });
+        pb.function("main", 0, |f| {
+            f.call_void(outer, vec![]);
+            f.ret_void();
+        });
+        let p = pb.finish("main");
+        let inner_id = p.func_by_name("inner").unwrap();
+        let info = compute(&p, Loc::new(inner_id, BlockId(0), 0));
+        assert!(info.goal_reaching_funcs.contains(&p.func_by_name("main").unwrap()));
+        assert!(info.goal_reaching_funcs.contains(&p.func_by_name("outer").unwrap()));
+        assert_eq!(info.goal_reaching_funcs.len(), 3);
+    }
+}

@@ -1,0 +1,112 @@
+//! Static analysis for execution synthesis.
+//!
+//! This crate implements the static phase of ESD's sequential path synthesis
+//! (§3.2 of the paper) and the proximity heuristic used by the dynamic phase
+//! (§3.4, Algorithm 1):
+//!
+//! * per-function control-flow graphs and reachability ([`cfg`]),
+//! * the interprocedural call graph with best-effort function-pointer
+//!   resolution ([`callgraph`]),
+//! * instruction/block/function cost models and distance-to-return
+//!   ([`costs`]),
+//! * per-goal interprocedural distance maps and the proximity heuristic
+//!   ([`goaldist`]),
+//! * register use-def chains and reaching definitions of memory variables
+//!   ([`reachdef`]),
+//! * critical edges and intermediate goals ([`critical`]).
+//!
+//! [`StaticAnalysis`] bundles everything the dynamic phase needs for one
+//! goal.
+
+pub mod callgraph;
+pub mod cfg;
+pub mod costs;
+pub mod critical;
+pub mod goaldist;
+pub mod reachdef;
+
+pub use callgraph::CallGraph;
+pub use cfg::Cfg;
+pub use costs::{CostModel, INF, RECURSION_COST};
+pub use critical::{CriticalEdge, IntermediateGoal, StaticGoalInfo};
+pub use goaldist::DistanceOracle;
+
+use esd_ir::{Loc, Program};
+
+/// The complete static-analysis bundle for one synthesis goal.
+///
+/// Construction performs the paper's static phase: CFG construction, call
+/// graph and function-pointer resolution, dead-block identification, critical
+/// edge marking and intermediate goal derivation, plus the cost model backing
+/// the proximity heuristic.
+pub struct StaticAnalysis {
+    /// One CFG per function.
+    pub cfgs: Vec<Cfg>,
+    /// The interprocedural call graph.
+    pub callgraph: CallGraph,
+    /// Cost model / distance-to-return oracle.
+    pub costs: CostModel,
+    /// Per-goal critical edges and intermediate goals.
+    pub goal_info: StaticGoalInfo,
+    /// The goal this analysis was computed for.
+    pub goal: Loc,
+}
+
+impl StaticAnalysis {
+    /// Runs the full static phase of path synthesis for `goal`.
+    pub fn compute(program: &Program, goal: Loc) -> Self {
+        let cfgs: Vec<Cfg> = program
+            .func_ids()
+            .map(|f| Cfg::build(program.func(f), f))
+            .collect();
+        let callgraph = CallGraph::build(program);
+        let costs = CostModel::new(program, &cfgs, &callgraph);
+        let goal_info = StaticGoalInfo::compute(program, &cfgs, &callgraph, goal);
+        StaticAnalysis { cfgs, callgraph, costs, goal_info, goal }
+    }
+
+    /// Creates the distance oracle (Algorithm 1) for this program. The oracle
+    /// can answer proximity queries for the main goal as well as for any
+    /// intermediate goal.
+    pub fn distance_oracle<'p>(&'p self, program: &'p Program) -> DistanceOracle<'p> {
+        DistanceOracle::new(program, &self.cfgs, &self.callgraph, &self.costs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esd_ir::CmpOp;
+    use esd_ir::ProgramBuilder;
+
+    #[test]
+    fn static_analysis_bundles_all_parts() {
+        let mut pb = ProgramBuilder::new("p");
+        let helper = pb.function("helper", 1, |f| {
+            let doubled = f.mul(f.param(0), 2);
+            f.ret(doubled);
+        });
+        pb.function("main", 0, |f| {
+            let x = f.getchar();
+            let c = f.cmp(CmpOp::Eq, x, 5);
+            let yes = f.new_block("yes");
+            let no = f.new_block("no");
+            f.cond_br(c, yes, no);
+            f.switch_to(yes);
+            let v = f.call(helper, vec![x.into()]);
+            f.output(v);
+            f.ret_void();
+            f.switch_to(no);
+            f.ret_void();
+        });
+        let p = pb.finish("main");
+        let goal = Loc::new(p.entry, esd_ir::BlockId(1), 0);
+        let sa = StaticAnalysis::compute(&p, goal);
+        assert_eq!(sa.cfgs.len(), 2);
+        assert_eq!(sa.goal, goal);
+        let oracle = sa.distance_oracle(&p);
+        let entry = Loc::new(p.entry, esd_ir::BlockId(0), 0);
+        let d = oracle.proximity(&[entry], goal);
+        assert!(d < costs::INF);
+    }
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figure 2 (ESD vs KC-DFS vs KC-RandPath path-synthesis time).
+fn main() {
+    let rows = esd_bench::fig2(esd_bench::ESD_BUDGET, esd_bench::KC_CAP);
+    esd_bench::print_fig2(&rows);
+}

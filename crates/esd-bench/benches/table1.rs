@@ -1,0 +1,5 @@
+//! Regenerates Table 1 of the paper (ESD synthesis time per real bug).
+fn main() {
+    let rows = esd_bench::table1(esd_bench::ESD_BUDGET);
+    esd_bench::print_table1(&rows);
+}

@@ -1,0 +1,5 @@
+//! Ablation of ESD's search heuristics (DESIGN.md design choices).
+fn main() {
+    let rows = esd_bench::ablation(esd_bench::ESD_BUDGET);
+    esd_bench::print_ablation(&rows);
+}

@@ -1,0 +1,7 @@
+//! §7.1 playback check: every synthesized execution replays deterministically.
+fn main() {
+    println!("{:<20} {:>24}", "workload", "replays deterministically");
+    for (name, ok) in esd_bench::playback_check(esd_bench::ESD_BUDGET, 3) {
+        println!("{:<20} {:>24}", name, if ok { "yes" } else { "NO" });
+    }
+}

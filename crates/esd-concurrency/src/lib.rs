@@ -1,0 +1,21 @@
+//! Concurrency analyses and schedule representations for execution synthesis.
+//!
+//! * [`rag`] — mutex deadlock detection over a resource-allocation graph
+//!   (§4.1: "ESD automatically detects mutex deadlocks by using a deadlock
+//!   detector based on a resource allocation graph").
+//! * [`lockset`] — an Eraser-style lockset data-race detector (§4.2: "ESD
+//!   uses a dynamic data race detection algorithm similar to Eraser").
+//! * [`vclock`] — vector clocks / happens-before ordering, used for the
+//!   happens-before form of the synthesized schedule (§5.1).
+//! * [`schedule`] — the serialized thread schedule stored in the synthesized
+//!   execution file and enforced during playback.
+
+pub mod lockset;
+pub mod rag;
+pub mod schedule;
+pub mod vclock;
+
+pub use lockset::{LocksetDetector, RaceReport};
+pub use rag::{find_mutex_deadlock, WaitGraph};
+pub use schedule::{Schedule, ScheduleSegment, SegmentStop};
+pub use vclock::VectorClock;

@@ -1,0 +1,216 @@
+//! Eraser-style lockset data-race detection.
+//!
+//! Each shared memory word carries a *candidate lockset*: the set of locks
+//! that has protected every access to it so far. On each access the candidate
+//! set is intersected with the locks held by the accessing thread; when the
+//! set becomes empty and the word has been written by more than one thread
+//! (or written by one and read by another), the accesses are flagged as a
+//! potential data race. ESD inserts schedule preemption points before flagged
+//! accesses (§4.2).
+
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+use std::hash::Hash;
+
+/// The classic Eraser state machine for one memory word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+enum WordState {
+    /// Only ever touched by one thread.
+    Exclusive,
+    /// Read by several threads, never written after becoming shared.
+    SharedRead,
+    /// Read and written by several threads — lockset violations are races.
+    SharedWrite,
+}
+
+#[derive(Debug, Clone)]
+struct WordInfo<T, L, A> {
+    state: WordState,
+    first_thread: T,
+    lockset: Option<HashSet<L>>,
+    last_write: Option<(T, A)>,
+    accesses: Vec<(T, A, bool)>,
+}
+
+/// A potential (harmful) data race between two accesses.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RaceReport<T, A> {
+    /// The earlier access (thread, location, is_write).
+    pub first: (T, A, bool),
+    /// The later access that completed the race.
+    pub second: (T, A, bool),
+}
+
+/// A lockset-based race detector, generic over thread ids `T`, lock ids `L`
+/// and access locations `A`.
+#[derive(Debug, Clone, Default)]
+pub struct LocksetDetector<V, T, L, A> {
+    words: HashMap<V, WordInfo<T, L, A>>,
+    /// Locations already reported, to avoid duplicate reports.
+    reported: HashSet<(A, A)>,
+}
+
+impl<V, T, L, A> LocksetDetector<V, T, L, A>
+where
+    V: Eq + Hash + Copy,
+    T: Eq + Copy,
+    L: Eq + Hash + Copy,
+    A: Eq + Hash + Copy,
+{
+    /// Creates an empty detector.
+    pub fn new() -> Self {
+        LocksetDetector { words: HashMap::new(), reported: HashSet::new() }
+    }
+
+    /// Records an access and returns a race report if this access races with
+    /// a previous one.
+    pub fn access(
+        &mut self,
+        word: V,
+        thread: T,
+        at: A,
+        is_write: bool,
+        held: &[L],
+    ) -> Option<RaceReport<T, A>> {
+        let held_set: HashSet<L> = held.iter().copied().collect();
+        let info = self.words.entry(word).or_insert_with(|| WordInfo {
+            state: WordState::Exclusive,
+            first_thread: thread,
+            lockset: None,
+            last_write: None,
+            accesses: Vec::new(),
+        });
+
+        // State transitions.
+        if thread != info.first_thread {
+            info.state = match (info.state, is_write) {
+                (WordState::Exclusive, false) => WordState::SharedRead,
+                (WordState::Exclusive, true) => WordState::SharedWrite,
+                (WordState::SharedRead, true) => WordState::SharedWrite,
+                (s, _) => s,
+            };
+        }
+
+        // Lockset refinement starts once the word is shared.
+        let mut race = None;
+        if info.state != WordState::Exclusive {
+            let lockset = match &mut info.lockset {
+                Some(ls) => {
+                    ls.retain(|l| held_set.contains(l));
+                    ls.clone()
+                }
+                None => {
+                    info.lockset = Some(held_set.clone());
+                    held_set.clone()
+                }
+            };
+            if lockset.is_empty() && info.state == WordState::SharedWrite {
+                // Find a conflicting prior access from a different thread,
+                // at least one of the pair being a write.
+                if let Some(prev) = info
+                    .accesses
+                    .iter()
+                    .rev()
+                    .find(|(t, _, w)| *t != thread && (*w || is_write))
+                {
+                    let key = (prev.1, at);
+                    if !self.reported.contains(&key) {
+                        self.reported.insert(key);
+                        race = Some(RaceReport { first: *prev, second: (thread, at, is_write) });
+                    }
+                }
+            }
+        }
+
+        if is_write {
+            info.last_write = Some((thread, at));
+        }
+        info.accesses.push((thread, at, is_write));
+        if info.accesses.len() > 64 {
+            info.accesses.remove(0);
+        }
+        race
+    }
+
+    /// Number of distinct words the detector has seen.
+    pub fn tracked_words(&self) -> usize {
+        self.words.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type Det = LocksetDetector<u64, u32, u64, u32>;
+
+    #[test]
+    fn properly_locked_accesses_do_not_race() {
+        let mut d = Det::new();
+        assert!(d.access(100, 1, 10, true, &[7]).is_none());
+        assert!(d.access(100, 2, 20, true, &[7]).is_none());
+        assert!(d.access(100, 1, 30, false, &[7]).is_none());
+        assert_eq!(d.tracked_words(), 1);
+    }
+
+    #[test]
+    fn unlocked_concurrent_writes_race() {
+        let mut d = Det::new();
+        assert!(d.access(100, 1, 10, true, &[]).is_none());
+        let race = d.access(100, 2, 20, true, &[]).expect("race");
+        assert_eq!(race.first.0, 1);
+        assert_eq!(race.second.0, 2);
+        assert!(race.first.2 || race.second.2);
+    }
+
+    #[test]
+    fn read_only_sharing_is_not_a_race() {
+        let mut d = Det::new();
+        assert!(d.access(100, 1, 10, false, &[]).is_none());
+        assert!(d.access(100, 2, 20, false, &[]).is_none());
+        assert!(d.access(100, 3, 30, false, &[]).is_none());
+    }
+
+    #[test]
+    fn disjoint_locksets_eventually_race() {
+        let mut d = Det::new();
+        assert!(d.access(100, 1, 10, true, &[7]).is_none());
+        // Second thread holds a different lock: the candidate set becomes
+        // {8} when the word turns shared-written (no report yet, exactly as
+        // in Eraser)…
+        assert!(d.access(100, 2, 20, true, &[8]).is_none());
+        // …and the next access under the original lock empties it: race.
+        let race = d.access(100, 1, 30, true, &[7]);
+        assert!(race.is_some());
+    }
+
+    #[test]
+    fn exclusive_phase_does_not_refine_lockset() {
+        let mut d = Det::new();
+        // Initialization by one thread without locks is fine (Eraser's
+        // exclusive state), and the race only appears once another thread
+        // writes.
+        assert!(d.access(100, 1, 1, true, &[]).is_none());
+        assert!(d.access(100, 1, 2, true, &[]).is_none());
+        assert!(d.access(100, 1, 3, false, &[]).is_none());
+        assert!(d.access(100, 2, 4, true, &[]).is_some());
+    }
+
+    #[test]
+    fn duplicate_races_are_reported_once() {
+        let mut d = Det::new();
+        d.access(100, 1, 10, true, &[]);
+        assert!(d.access(100, 2, 20, true, &[]).is_some());
+        assert!(d.access(100, 2, 20, true, &[]).is_none(), "same pair not re-reported");
+    }
+
+    #[test]
+    fn races_on_different_words_are_independent() {
+        let mut d = Det::new();
+        d.access(1, 1, 10, true, &[]);
+        d.access(2, 1, 11, true, &[]);
+        assert!(d.access(1, 2, 20, true, &[]).is_some());
+        assert!(d.access(2, 2, 21, true, &[]).is_some());
+        assert_eq!(d.tracked_words(), 2);
+    }
+}

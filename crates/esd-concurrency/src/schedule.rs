@@ -1,0 +1,134 @@
+//! Serialized thread schedules.
+//!
+//! A synthesized execution is a single-processor, serialized interleaving of
+//! the threads' paths (§4). The schedule stored in the execution file is a
+//! sequence of *segments*: "run thread T until ⟨stop condition⟩, then switch
+//! to the next segment". Stop conditions are robust to small differences
+//! between the synthesis engine and the playback interpreter: a segment can
+//! end after an exact number of instructions, or when the thread blocks, or
+//! when it finishes.
+
+use serde::{Deserialize, Serialize};
+
+/// Why a schedule segment ends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SegmentStop {
+    /// The thread executes exactly this many instructions, then is preempted.
+    Steps(u64),
+    /// The thread runs until it blocks (on a mutex, condition variable or
+    /// join). The blocking attempt itself is the last step of the segment.
+    Blocked,
+    /// The thread runs until its start routine returns.
+    Finished,
+}
+
+/// One segment of a serialized schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScheduleSegment {
+    /// The thread to run (its creation index: 0 = main, 1 = first spawned…).
+    pub thread: u32,
+    /// When to stop running it.
+    pub stop: SegmentStop,
+}
+
+/// A whole serialized schedule.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schedule {
+    /// The segments, in execution order.
+    pub segments: Vec<ScheduleSegment>,
+}
+
+impl Schedule {
+    /// Creates an empty schedule.
+    pub fn new() -> Self {
+        Schedule { segments: Vec::new() }
+    }
+
+    /// Appends a segment, merging consecutive `Steps` segments of the same
+    /// thread.
+    pub fn push(&mut self, thread: u32, stop: SegmentStop) {
+        if let (Some(last), SegmentStop::Steps(n)) = (self.segments.last_mut(), stop) {
+            if last.thread == thread {
+                if let SegmentStop::Steps(m) = last.stop {
+                    last.stop = SegmentStop::Steps(m + n);
+                    return;
+                }
+            }
+        }
+        self.segments.push(ScheduleSegment { thread, stop });
+    }
+
+    /// Number of context switches the schedule encodes (segment boundaries
+    /// between different threads).
+    pub fn context_switches(&self) -> usize {
+        self.segments
+            .windows(2)
+            .filter(|w| w[0].thread != w[1].thread)
+            .count()
+    }
+
+    /// Total number of instructions accounted for by `Steps` segments.
+    pub fn counted_steps(&self) -> u64 {
+        self.segments
+            .iter()
+            .map(|s| match s.stop {
+                SegmentStop::Steps(n) => n,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// The set of threads that appear in the schedule.
+    pub fn threads(&self) -> Vec<u32> {
+        let mut t: Vec<u32> = self.segments.iter().map(|s| s.thread).collect();
+        t.sort_unstable();
+        t.dedup();
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_merges_consecutive_step_segments() {
+        let mut s = Schedule::new();
+        s.push(0, SegmentStop::Steps(3));
+        s.push(0, SegmentStop::Steps(2));
+        s.push(1, SegmentStop::Steps(4));
+        s.push(0, SegmentStop::Blocked);
+        assert_eq!(s.segments.len(), 3);
+        assert_eq!(s.segments[0].stop, SegmentStop::Steps(5));
+        assert_eq!(s.counted_steps(), 9);
+    }
+
+    #[test]
+    fn context_switches_count_thread_changes() {
+        let mut s = Schedule::new();
+        s.push(0, SegmentStop::Steps(1));
+        s.push(1, SegmentStop::Steps(1));
+        s.push(1, SegmentStop::Blocked);
+        s.push(2, SegmentStop::Finished);
+        assert_eq!(s.context_switches(), 2);
+        assert_eq!(s.threads(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn blocked_segments_do_not_merge() {
+        let mut s = Schedule::new();
+        s.push(0, SegmentStop::Blocked);
+        s.push(0, SegmentStop::Blocked);
+        assert_eq!(s.segments.len(), 2);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let mut s = Schedule::new();
+        s.push(0, SegmentStop::Steps(7));
+        s.push(1, SegmentStop::Blocked);
+        let json = serde_json::to_string(&s).unwrap();
+        let back: Schedule = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+}

@@ -1,0 +1,145 @@
+//! Vector clocks for happens-before ordering.
+//!
+//! The synthesized execution file can describe the schedule either strictly
+//! (exact context-switch points) or as happens-before relations between
+//! synchronization operations (§5.1); vector clocks provide the partial order
+//! for the latter form and are also used in tests to validate that strict
+//! playback respects the synthesized ordering.
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+
+/// A vector clock over thread indices.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VectorClock {
+    counts: Vec<u64>,
+}
+
+impl VectorClock {
+    /// Creates an all-zero clock.
+    pub fn new() -> Self {
+        VectorClock { counts: Vec::new() }
+    }
+
+    fn ensure(&mut self, tid: usize) {
+        if self.counts.len() <= tid {
+            self.counts.resize(tid + 1, 0);
+        }
+    }
+
+    /// The component for `tid`.
+    pub fn get(&self, tid: usize) -> u64 {
+        self.counts.get(tid).copied().unwrap_or(0)
+    }
+
+    /// Increments the component for `tid` (a local step of that thread).
+    pub fn tick(&mut self, tid: usize) {
+        self.ensure(tid);
+        self.counts[tid] += 1;
+    }
+
+    /// Joins another clock into this one (message receive / lock acquire).
+    pub fn join(&mut self, other: &VectorClock) {
+        self.ensure(other.counts.len().saturating_sub(1));
+        for (i, v) in other.counts.iter().enumerate() {
+            if self.counts[i] < *v {
+                self.counts[i] = *v;
+            }
+        }
+    }
+
+    /// Returns `Some(Ordering::Less)` if `self` happens-before `other`,
+    /// `Some(Ordering::Greater)` for the converse, `Some(Ordering::Equal)` if
+    /// identical, and `None` if the clocks are concurrent.
+    pub fn partial_cmp_hb(&self, other: &VectorClock) -> Option<Ordering> {
+        let n = self.counts.len().max(other.counts.len());
+        let mut le = true;
+        let mut ge = true;
+        for i in 0..n {
+            let a = self.get(i);
+            let b = other.get(i);
+            if a > b {
+                le = false;
+            }
+            if a < b {
+                ge = false;
+            }
+        }
+        match (le, ge) {
+            (true, true) => Some(Ordering::Equal),
+            (true, false) => Some(Ordering::Less),
+            (false, true) => Some(Ordering::Greater),
+            (false, false) => None,
+        }
+    }
+
+    /// True if `self` happens strictly before `other`.
+    pub fn happens_before(&self, other: &VectorClock) -> bool {
+        self.partial_cmp_hb(other) == Some(Ordering::Less)
+    }
+
+    /// True if neither clock happens before the other.
+    pub fn concurrent_with(&self, other: &VectorClock) -> bool {
+        self.partial_cmp_hb(other).is_none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ticks_establish_per_thread_order() {
+        let mut a = VectorClock::new();
+        a.tick(0);
+        let mut b = a.clone();
+        b.tick(0);
+        assert!(a.happens_before(&b));
+        assert!(!b.happens_before(&a));
+    }
+
+    #[test]
+    fn independent_ticks_are_concurrent() {
+        let mut a = VectorClock::new();
+        let mut b = VectorClock::new();
+        a.tick(0);
+        b.tick(1);
+        assert!(a.concurrent_with(&b));
+        assert!(b.concurrent_with(&a));
+    }
+
+    #[test]
+    fn join_orders_the_receiver_after_the_sender() {
+        let mut sender = VectorClock::new();
+        sender.tick(0);
+        let mut receiver = VectorClock::new();
+        receiver.tick(1);
+        let snapshot = sender.clone();
+        receiver.join(&sender);
+        receiver.tick(1);
+        assert!(snapshot.happens_before(&receiver));
+    }
+
+    #[test]
+    fn equal_clocks_compare_equal() {
+        let mut a = VectorClock::new();
+        a.tick(2);
+        let b = a.clone();
+        assert_eq!(a.partial_cmp_hb(&b), Some(Ordering::Equal));
+    }
+
+    #[test]
+    fn transitivity_via_lock_handoff() {
+        // t0 writes then releases (clock L takes t0's time); t1 acquires
+        // (joins L) then reads: the write happens-before the read.
+        let mut t0 = VectorClock::new();
+        t0.tick(0);
+        let write_clock = t0.clone();
+        let lock_clock = t0.clone(); // release
+        let mut t1 = VectorClock::new();
+        t1.tick(1);
+        t1.join(&lock_clock); // acquire
+        t1.tick(1);
+        assert!(write_clock.happens_before(&t1));
+    }
+}

@@ -1,0 +1,147 @@
+//! The synthesized execution file (§5.1).
+//!
+//! "The synthesized execution file contains concrete values for all input
+//! parameters, all interactions with the external environment, and the
+//! complete thread schedule." It is a JSON artifact that `esdsynth` produces
+//! and `esdplay` consumes, and it can be attached to bug reports for triage.
+
+use esd_concurrency::Schedule;
+use esd_ir::{InputSource, Loc, ThreadId};
+use esd_symex::Synthesized;
+use serde::{Deserialize, Serialize};
+
+/// One concrete environment input word.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InputEntry {
+    /// The thread that reads this word.
+    pub thread: u32,
+    /// The per-thread sequence number of the read.
+    pub seq: u32,
+    /// Where the word comes from (stdin, an environment variable, …).
+    pub source: InputSource,
+    /// The concrete value the playback environment must serve.
+    pub value: i64,
+}
+
+/// A complete synthesized execution.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SynthesizedExecution {
+    /// Name of the program this execution belongs to.
+    pub program: String,
+    /// Short tag of the failure the execution reproduces
+    /// (e.g. `"deadlock"`, `"segfault"`).
+    pub fault_tag: String,
+    /// Location of the failure, when applicable.
+    pub fault_loc: Option<Loc>,
+    /// Concrete inputs.
+    pub inputs: Vec<InputEntry>,
+    /// The serialized (strict) thread schedule.
+    pub schedule: Schedule,
+}
+
+impl SynthesizedExecution {
+    /// Builds the execution file from a synthesis result.
+    pub fn from_synthesized(program: &str, synth: &Synthesized) -> Self {
+        SynthesizedExecution {
+            program: program.to_string(),
+            fault_tag: synth.fault.tag().to_string(),
+            fault_loc: synth.fault_loc,
+            inputs: synth
+                .inputs
+                .iter()
+                .map(|(info, value)| InputEntry {
+                    thread: info.thread.0,
+                    seq: info.seq,
+                    source: info.source.clone(),
+                    value: *value,
+                })
+                .collect(),
+            schedule: synth.schedule.clone(),
+        }
+    }
+
+    /// The inputs as `((thread, seq), value)` pairs, the form the playback
+    /// input provider consumes.
+    pub fn input_map(&self) -> Vec<((ThreadId, u32), i64)> {
+        self.inputs.iter().map(|e| ((ThreadId(e.thread), e.seq), e.value)).collect()
+    }
+
+    /// Serializes to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("execution file serializes")
+    }
+
+    /// Parses from JSON.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+
+    /// Writes the execution file to disk.
+    pub fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+
+    /// Loads an execution file from disk.
+    pub fn load(path: &std::path::Path) -> std::io::Result<Self> {
+        let text = std::fs::read_to_string(path)?;
+        Self::from_json(&text).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esd_concurrency::SegmentStop;
+    use esd_ir::FaultKind;
+    use esd_symex::{SearchStats, SymVarInfo};
+
+    fn sample() -> SynthesizedExecution {
+        let mut schedule = Schedule::new();
+        schedule.push(0, SegmentStop::Steps(10));
+        schedule.push(1, SegmentStop::Blocked);
+        let synth = Synthesized {
+            inputs: vec![
+                (SymVarInfo { thread: ThreadId(0), seq: 0, source: InputSource::Stdin }, 'm' as i64),
+                (
+                    SymVarInfo { thread: ThreadId(0), seq: 1, source: InputSource::Env("mode".into()) },
+                    'Y' as i64,
+                ),
+            ],
+            schedule,
+            fault: FaultKind::Deadlock,
+            fault_loc: None,
+            stats: SearchStats::default(),
+        };
+        SynthesizedExecution::from_synthesized("listing1", &synth)
+    }
+
+    #[test]
+    fn conversion_preserves_inputs_and_schedule() {
+        let e = sample();
+        assert_eq!(e.program, "listing1");
+        assert_eq!(e.fault_tag, "deadlock");
+        assert_eq!(e.inputs.len(), 2);
+        assert_eq!(e.input_map()[0], ((ThreadId(0), 0), 'm' as i64));
+        assert_eq!(e.schedule.segments.len(), 2);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let e = sample();
+        let json = e.to_json();
+        assert!(json.contains("deadlock"));
+        let back = SynthesizedExecution::from_json(&json).unwrap();
+        assert_eq!(e, back);
+    }
+
+    #[test]
+    fn save_and_load() {
+        let e = sample();
+        let dir = std::env::temp_dir();
+        let path = dir.join("esd_execfile_test.json");
+        e.save(&path).unwrap();
+        let back = SynthesizedExecution::load(&path).unwrap();
+        assert_eq!(e, back);
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,32 @@
+//! Execution synthesis (ESD) — the top-level crate.
+//!
+//! This crate ties the pieces together the way the paper's tool does:
+//!
+//! * [`report`] — the bug report: a coredump plus a bug-kind hint, and the
+//!   goal-extraction step (§3.1) that turns it into a search goal `<B, C>`.
+//! * [`execfile`] — the synthesized execution file (§5.1): concrete values
+//!   for every program input plus the serialized thread schedule, stored as
+//!   JSON so it can be attached to a bug report and handed to the playback
+//!   environment (`esd-playback`).
+//! * [`synth`] — the `esdsynth` equivalent: static phase, proximity-guided
+//!   dynamic phase, constraint solving, execution-file emission.
+//! * [`kc`] — the KC baseline (Klee searchers + Chess preemption bounding).
+//! * [`stress`] — the brute-force stress/random-testing baseline (§7.2),
+//!   which doubles as the way workload failures "happen in production" and
+//!   produce coredumps.
+//! * [`triage`] — automated bug triage / deduplication via synthesized
+//!   executions (§8, usage models).
+
+pub mod execfile;
+pub mod kc;
+pub mod report;
+pub mod stress;
+pub mod synth;
+pub mod triage;
+
+pub use execfile::{InputEntry, SynthesizedExecution};
+pub use kc::{kc_synthesize, KcStrategy};
+pub use report::{extract_goal, BugKind, BugReport};
+pub use stress::{stress_test, StressConfig, StressOutcome};
+pub use synth::{Esd, EsdOptions, SynthesisError, SynthesisReport};
+pub use triage::{same_bug, TriageResult};

@@ -1,0 +1,189 @@
+//! Bug reports and goal extraction (§3.1).
+//!
+//! The input to ESD is "the coredump associated with a bug report and the
+//! program the developer is trying to debug". Goal extraction turns the
+//! coredump into the search goal: the faulting instruction for crashes, or
+//! the set of blocked-lock locations for deadlocks.
+
+use esd_ir::{CoreDump, FaultKind, Loc, Program};
+use esd_symex::GoalSpec;
+use serde::{Deserialize, Serialize};
+
+/// The bug-kind hint the developer passes on the `esdsynth` command line
+/// (`--crash | --deadlock | --race`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BugKind {
+    /// A crash (segfault, invalid free, overflow, failed assertion, …).
+    Crash,
+    /// A hang caused by a deadlock.
+    Deadlock,
+    /// A failure caused by a data race (goal is where the inconsistency was
+    /// detected, e.g. a failed assertion; race-directed preemptions are
+    /// enabled during synthesis).
+    Race,
+}
+
+impl BugKind {
+    /// Infers the bug kind from the coredump's fault, when no hint is given.
+    pub fn infer(dump: &CoreDump) -> BugKind {
+        match dump.fault {
+            FaultKind::Deadlock => BugKind::Deadlock,
+            _ => BugKind::Crash,
+        }
+    }
+}
+
+/// A bug report: everything ESD gets from the field.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BugReport {
+    /// The coredump captured when the failure occurred.
+    pub coredump: CoreDump,
+    /// The developer's bug-kind hint (optional; inferred from the coredump
+    /// when absent).
+    pub kind: Option<BugKind>,
+}
+
+impl BugReport {
+    /// Wraps a coredump with an explicit kind hint.
+    pub fn new(coredump: CoreDump, kind: BugKind) -> Self {
+        BugReport { coredump, kind: Some(kind) }
+    }
+
+    /// Wraps a coredump, inferring the kind.
+    pub fn from_coredump(coredump: CoreDump) -> Self {
+        BugReport { coredump, kind: None }
+    }
+
+    /// The effective bug kind.
+    pub fn kind(&self) -> BugKind {
+        self.kind.unwrap_or_else(|| BugKind::infer(&self.coredump))
+    }
+}
+
+/// Errors during goal extraction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GoalExtractionError {
+    /// The coredump has no faulting location (e.g. a corrupted stack, like
+    /// the ghttpd coredump in the paper, which had to be repaired by hand).
+    MissingFaultLocation,
+    /// A deadlock report without any thread blocked on a mutex.
+    NoBlockedThreads,
+}
+
+/// Extracts the search goal `<B, C>` from a bug report (§3.1).
+///
+/// * For crashes, `B` is the faulting instruction (the condition `C` — the
+///   offending value — is carried by the fault kind itself and checked when
+///   the synthesized state faults in the same way).
+/// * For deadlocks, the goal is the set of locations at which the reported
+///   threads were blocked acquiring their "inner" locks.
+pub fn extract_goal(
+    _program: &Program,
+    report: &BugReport,
+) -> Result<GoalSpec, GoalExtractionError> {
+    match report.kind() {
+        BugKind::Crash | BugKind::Race => {
+            let loc = report
+                .coredump
+                .faulting_loc
+                .or_else(|| {
+                    report
+                        .coredump
+                        .faulting_thread
+                        .and_then(|t| report.coredump.thread(t))
+                        .and_then(|t| t.innermost_loc())
+                })
+                .ok_or(GoalExtractionError::MissingFaultLocation)?;
+            Ok(GoalSpec::Crash { loc })
+        }
+        BugKind::Deadlock => {
+            let locs: Vec<Loc> = report
+                .coredump
+                .mutex_blocked_threads()
+                .iter()
+                .filter_map(|t| t.innermost_loc())
+                .collect();
+            if locs.is_empty() {
+                return Err(GoalExtractionError::NoBlockedThreads);
+            }
+            Ok(GoalSpec::Deadlock { thread_locs: locs })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esd_ir::{
+        interp::{InterpreterConfig, SchedulerKind, ZeroInputs},
+        Interpreter, ProgramBuilder,
+    };
+
+    fn crash_dump() -> (Program, CoreDump) {
+        let mut pb = ProgramBuilder::new("crash");
+        pb.function("main", 0, |f| {
+            let z = f.konst(0);
+            let v = f.load(z);
+            f.output(v);
+            f.ret_void();
+        });
+        let p = pb.finish("main");
+        let mut i = Interpreter::new(&p, Box::new(ZeroInputs));
+        let r = i.run(&InterpreterConfig::default());
+        let dump = r.outcome.coredump().unwrap().clone();
+        (p, dump)
+    }
+
+    #[test]
+    fn crash_goal_is_the_faulting_instruction() {
+        let (p, dump) = crash_dump();
+        let report = BugReport::from_coredump(dump.clone());
+        assert_eq!(report.kind(), BugKind::Crash);
+        let goal = extract_goal(&p, &report).unwrap();
+        assert_eq!(goal, GoalSpec::Crash { loc: dump.faulting_loc.unwrap() });
+    }
+
+    #[test]
+    fn deadlock_goal_lists_blocked_lock_locations() {
+        let mut pb = ProgramBuilder::new("selflock");
+        let m = pb.global("m", 1);
+        pb.function("main", 0, |f| {
+            let mp = f.addr_global(m);
+            f.lock(mp);
+            f.lock(mp);
+            f.unlock(mp);
+            f.unlock(mp);
+            f.ret_void();
+        });
+        let p = pb.finish("main");
+        let mut i = Interpreter::new(&p, Box::new(ZeroInputs));
+        let r = i.run(&InterpreterConfig {
+            scheduler: SchedulerKind::RoundRobin { quantum: 8 },
+            ..Default::default()
+        });
+        let dump = r.outcome.coredump().unwrap().clone();
+        let report = BugReport::from_coredump(dump);
+        assert_eq!(report.kind(), BugKind::Deadlock);
+        match extract_goal(&p, &report).unwrap() {
+            GoalSpec::Deadlock { thread_locs } => assert_eq!(thread_locs.len(), 1),
+            other => panic!("expected deadlock goal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn explicit_hint_overrides_inference() {
+        let (p, dump) = crash_dump();
+        let report = BugReport::new(dump, BugKind::Race);
+        assert_eq!(report.kind(), BugKind::Race);
+        assert!(matches!(extract_goal(&p, &report).unwrap(), GoalSpec::Crash { .. }));
+    }
+
+    #[test]
+    fn missing_fault_location_is_an_error() {
+        let (p, mut dump) = crash_dump();
+        dump.faulting_loc = None;
+        dump.faulting_thread = None;
+        let report = BugReport::new(dump, BugKind::Crash);
+        assert_eq!(extract_goal(&p, &report), Err(GoalExtractionError::MissingFaultLocation));
+    }
+}

@@ -1,0 +1,180 @@
+//! Brute-force stress / random-input testing (§7.2), and the "failure in
+//! production" generator.
+//!
+//! The paper's first baseline is running the program many times with random
+//! inputs under an uncontrolled scheduler and hoping the bug manifests. The
+//! same machinery is what *produces* coredumps for the workload suite: a
+//! failing run at the (simulated) end-user site.
+
+use esd_ir::{
+    interp::{InterpreterConfig, MapInputs, RandomInputs, SchedulerKind},
+    CoreDump, ExecOutcome, Interpreter, Program, ThreadId,
+};
+
+/// Configuration for a stress-testing campaign.
+#[derive(Debug, Clone)]
+pub struct StressConfig {
+    /// Number of runs (each with a fresh scheduler seed and fresh random
+    /// inputs).
+    pub runs: u32,
+    /// Instruction budget per run.
+    pub max_steps_per_run: u64,
+    /// Base PRNG seed.
+    pub seed: u64,
+    /// Fixed inputs to use instead of random ones (e.g. a known failing
+    /// input vector, to stress only the schedule dimension).
+    pub fixed_inputs: Option<Vec<((ThreadId, u32), i64)>>,
+    /// Range of random input values (inclusive).
+    pub input_range: (i64, i64),
+}
+
+impl Default for StressConfig {
+    fn default() -> Self {
+        StressConfig {
+            runs: 200,
+            max_steps_per_run: 200_000,
+            seed: 42,
+            fixed_inputs: None,
+            input_range: (0, 127),
+        }
+    }
+}
+
+/// The outcome of a stress campaign.
+#[derive(Debug, Clone)]
+pub struct StressOutcome {
+    /// The first failure observed, if any.
+    pub failure: Option<CoreDump>,
+    /// Number of runs executed.
+    pub runs: u32,
+    /// Index of the failing run (if any).
+    pub failing_run: Option<u32>,
+    /// Total instructions executed across all runs.
+    pub total_steps: u64,
+}
+
+impl StressOutcome {
+    /// True if some run failed.
+    pub fn failed(&self) -> bool {
+        self.failure.is_some()
+    }
+}
+
+/// Runs the stress-testing baseline on `program`.
+pub fn stress_test(program: &Program, config: &StressConfig) -> StressOutcome {
+    let mut total_steps = 0u64;
+    for run in 0..config.runs {
+        let seed = config.seed.wrapping_add(run as u64).wrapping_mul(0x9e37_79b9);
+        let inputs: Box<dyn esd_ir::interp::InputProvider> = match &config.fixed_inputs {
+            Some(fixed) => Box::new(MapInputs::from_entries(fixed.iter().copied())),
+            None => Box::new(RandomInputs::new(seed, config.input_range.0, config.input_range.1)),
+        };
+        let mut interp = Interpreter::new(program, inputs);
+        let result = interp.run(&InterpreterConfig {
+            max_steps: config.max_steps_per_run,
+            scheduler: SchedulerKind::Random { seed },
+            record_trace: false,
+        });
+        total_steps += result.steps;
+        if let ExecOutcome::Fault(dump) = result.outcome {
+            return StressOutcome {
+                failure: Some(*dump),
+                runs: run + 1,
+                failing_run: Some(run),
+                total_steps,
+            };
+        }
+    }
+    StressOutcome { failure: None, runs: config.runs, failing_run: None, total_steps }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esd_ir::{CmpOp, ProgramBuilder};
+
+    #[test]
+    fn stress_finds_an_easy_crash() {
+        // Crashes whenever the first input byte is < 64: random testing finds
+        // this almost immediately.
+        let mut pb = ProgramBuilder::new("easy");
+        pb.function("main", 0, |f| {
+            let x = f.getchar();
+            let c = f.cmp(CmpOp::Lt, x, 64);
+            let bug = f.new_block("bug");
+            let ok = f.new_block("ok");
+            f.cond_br(c, bug, ok);
+            f.switch_to(bug);
+            let z = f.konst(0);
+            let v = f.load(z);
+            f.output(v);
+            f.ret_void();
+            f.switch_to(ok);
+            f.ret_void();
+        });
+        let p = pb.finish("main");
+        let out = stress_test(&p, &StressConfig { runs: 50, ..Default::default() });
+        assert!(out.failed());
+        assert!(out.failing_run.is_some());
+    }
+
+    #[test]
+    fn stress_misses_a_needle_in_a_haystack() {
+        // Crashes only for one specific input value out of 2^63: random
+        // testing with a bounded budget does not reproduce it (the §7.2
+        // observation that motivates execution synthesis).
+        let mut pb = ProgramBuilder::new("needle");
+        pb.function("main", 0, |f| {
+            let x = f.getchar();
+            let y = f.input(esd_ir::InputSource::Net);
+            let sum = f.add(x, y);
+            let c = f.cmp(CmpOp::Eq, sum, 123_456_789);
+            let bug = f.new_block("bug");
+            let ok = f.new_block("ok");
+            f.cond_br(c, bug, ok);
+            f.switch_to(bug);
+            let z = f.konst(0);
+            let v = f.load(z);
+            f.output(v);
+            f.ret_void();
+            f.switch_to(ok);
+            f.ret_void();
+        });
+        let p = pb.finish("main");
+        let out = stress_test(&p, &StressConfig { runs: 100, ..Default::default() });
+        assert!(!out.failed());
+        assert_eq!(out.runs, 100);
+        assert!(out.total_steps > 0);
+    }
+
+    #[test]
+    fn fixed_inputs_are_honored() {
+        let mut pb = ProgramBuilder::new("fixed");
+        pb.function("main", 0, |f| {
+            let x = f.getchar();
+            f.output(x);
+            let z = f.cmp(CmpOp::Eq, x, 7);
+            f.assert(z, "x must be 7");
+            f.ret_void();
+        });
+        let p = pb.finish("main");
+        let ok = stress_test(
+            &p,
+            &StressConfig {
+                runs: 3,
+                fixed_inputs: Some(vec![((ThreadId(0), 0), 7)]),
+                ..Default::default()
+            },
+        );
+        assert!(!ok.failed());
+        let bad = stress_test(
+            &p,
+            &StressConfig {
+                runs: 3,
+                fixed_inputs: Some(vec![((ThreadId(0), 0), 8)]),
+                ..Default::default()
+            },
+        );
+        assert!(bad.failed());
+    }
+}

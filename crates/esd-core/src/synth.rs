@@ -1,0 +1,211 @@
+//! The `esdsynth` facade: from a bug report to a synthesized execution file.
+
+use crate::execfile::SynthesizedExecution;
+use crate::report::{extract_goal, BugKind, BugReport};
+use esd_analysis::StaticAnalysis;
+use esd_ir::Program;
+use esd_symex::{Engine, EngineConfig, GoalSpec, SearchOutcome, SearchStats, Strategy};
+use std::time::{Duration, Instant};
+
+/// Knobs for a synthesis run (sensible defaults reproduce the paper's ESD
+/// configuration; the ablation benches flip individual heuristics off).
+#[derive(Debug, Clone)]
+pub struct EsdOptions {
+    /// Total instruction budget for the dynamic phase.
+    pub max_steps: u64,
+    /// Maximum number of live execution states.
+    pub max_states: usize,
+    /// Random seed for the uniform queue choice.
+    pub seed: u64,
+    /// Use intermediate goals from the static phase.
+    pub use_intermediate_goals: bool,
+    /// Abandon paths that violate critical edges.
+    pub use_critical_edges: bool,
+    /// Use the deadlock schedule-distance bias.
+    pub schedule_bias: bool,
+    /// Enable lockset-race-directed preemptions (`--with-race-det`).
+    pub with_race_detection: bool,
+}
+
+impl Default for EsdOptions {
+    fn default() -> Self {
+        EsdOptions {
+            max_steps: 5_000_000,
+            max_states: 50_000,
+            seed: 1,
+            use_intermediate_goals: true,
+            use_critical_edges: true,
+            schedule_bias: true,
+            with_race_detection: false,
+        }
+    }
+}
+
+/// Why a synthesis attempt failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SynthesisError {
+    /// The coredump could not be turned into a goal.
+    GoalExtraction(String),
+    /// The search space was exhausted without reaching the goal.
+    Exhausted,
+    /// The step budget was exceeded before reaching the goal.
+    BudgetExceeded,
+}
+
+/// The result of a successful synthesis run.
+#[derive(Debug, Clone)]
+pub struct SynthesisReport {
+    /// The synthesized execution (inputs + schedule), ready for playback.
+    pub execution: SynthesizedExecution,
+    /// The goal that was pursued.
+    pub goal: GoalSpec,
+    /// Search statistics.
+    pub stats: SearchStats,
+    /// Wall-clock time of the whole synthesis (static + dynamic phase).
+    pub elapsed: Duration,
+    /// Other (unreported) bugs stumbled upon during the search.
+    pub other_bugs: Vec<(esd_ir::FaultKind, Option<esd_ir::Loc>)>,
+}
+
+/// The ESD synthesizer.
+pub struct Esd {
+    options: EsdOptions,
+}
+
+impl Esd {
+    /// Creates a synthesizer with the given options.
+    pub fn new(options: EsdOptions) -> Self {
+        Esd { options }
+    }
+
+    /// Creates a synthesizer with default options.
+    pub fn with_defaults() -> Self {
+        Esd::new(EsdOptions::default())
+    }
+
+    /// Synthesizes an execution reproducing the failure in `report`
+    /// (the `esdsynth <coredump> <program>` entry point).
+    pub fn synthesize(
+        &self,
+        program: &Program,
+        report: &BugReport,
+    ) -> Result<SynthesisReport, SynthesisError> {
+        let goal = extract_goal(program, report)
+            .map_err(|e| SynthesisError::GoalExtraction(format!("{e:?}")))?;
+        let race = report.kind() == BugKind::Race || self.options.with_race_detection;
+        self.synthesize_goal(program, goal, race)
+    }
+
+    /// Synthesizes an execution for an explicit goal (used by the workload
+    /// harness, and by the "validate a static-analysis report" usage model
+    /// where there is no coredump yet).
+    pub fn synthesize_goal(
+        &self,
+        program: &Program,
+        goal: GoalSpec,
+        race_preemptions: bool,
+    ) -> Result<SynthesisReport, SynthesisError> {
+        let start = Instant::now();
+        let primary = goal.primary_locs()[0];
+        let analysis = StaticAnalysis::compute(program, primary);
+        let config = EngineConfig {
+            strategy: Strategy::Proximity { seed: self.options.seed },
+            preemption_bound: None,
+            max_steps: self.options.max_steps,
+            max_states: self.options.max_states,
+            use_intermediate_goals: self.options.use_intermediate_goals,
+            use_critical_edges: self.options.use_critical_edges,
+            schedule_bias: self.options.schedule_bias,
+            race_preemptions,
+            ..EngineConfig::default()
+        };
+        let mut engine = Engine::new(program, &analysis, goal.clone(), config);
+        let outcome = engine.run();
+        let other_bugs = engine.other_bugs.clone();
+        match outcome {
+            SearchOutcome::Found(synth) => Ok(SynthesisReport {
+                execution: SynthesizedExecution::from_synthesized(&program.name, &synth),
+                goal,
+                stats: synth.stats.clone(),
+                elapsed: start.elapsed(),
+                other_bugs,
+            }),
+            SearchOutcome::Exhausted(_) => Err(SynthesisError::Exhausted),
+            SearchOutcome::BudgetExceeded(_) => Err(SynthesisError::BudgetExceeded),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esd_ir::{
+        interp::{InterpreterConfig, MapInputs, ZeroInputs},
+        CmpOp, Interpreter, ProgramBuilder, ThreadId,
+    };
+
+    /// A crash that needs a specific input: reproduce it concretely to get a
+    /// coredump, then synthesize from the coredump alone and check the
+    /// synthesized inputs re-trigger it.
+    #[test]
+    fn end_to_end_crash_synthesis_from_coredump() {
+        let mut pb = ProgramBuilder::new("e2e");
+        pb.function("main", 0, |f| {
+            let x = f.getchar();
+            let is_q = f.cmp(CmpOp::Eq, x, 'q' as i64);
+            let bug = f.new_block("bug");
+            let ok = f.new_block("ok");
+            f.cond_br(is_q, bug, ok);
+            f.switch_to(bug);
+            let null = f.konst(0);
+            let v = f.load(null);
+            f.output(v);
+            f.ret_void();
+            f.switch_to(ok);
+            f.output(0);
+            f.ret_void();
+        });
+        let p = pb.finish("main");
+
+        // The failure "happens in production" with input 'q'.
+        let mut interp = Interpreter::new(
+            &p,
+            Box::new(MapInputs::from_entries([((ThreadId(0), 0), 'q' as i64)])),
+        );
+        let run = interp.run(&InterpreterConfig::default());
+        let dump = run.outcome.coredump().expect("production failure").clone();
+
+        // ESD starts from the coredump only.
+        let esd = Esd::with_defaults();
+        let report = BugReport::from_coredump(dump);
+        let result = esd.synthesize(&p, &report).expect("synthesis succeeds");
+        let stdin = result.execution.inputs.iter().find(|i| i.seq == 0).unwrap().value;
+        assert_eq!(stdin, 'q' as i64, "the synthesized input must re-trigger the crash");
+        assert_eq!(result.execution.fault_tag, "segfault");
+        assert!(result.stats.steps > 0);
+    }
+
+    #[test]
+    fn synthesis_reports_exhaustion_for_bug_free_programs() {
+        let mut pb = ProgramBuilder::new("clean");
+        pb.function("main", 0, |f| {
+            let dead = f.new_block("dead");
+            f.ret_void();
+            f.switch_to(dead);
+            let z = f.konst(0);
+            let v = f.load(z);
+            f.output(v);
+            f.ret_void();
+        });
+        let p = pb.finish("main");
+        // Fabricate a report pointing at the unreachable block.
+        let mut interp = Interpreter::new(&p, Box::new(ZeroInputs));
+        let _ = interp.run(&InterpreterConfig::default());
+        let goal = esd_symex::GoalSpec::Crash {
+            loc: esd_ir::Loc::new(p.entry, esd_ir::BlockId(1), 1),
+        };
+        let esd = Esd::with_defaults();
+        let err = esd.synthesize_goal(&p, goal, false).unwrap_err();
+        assert_eq!(err, SynthesisError::Exhausted);
+    }
+}

@@ -1,0 +1,70 @@
+//! Automated bug triage and deduplication (§8, usage models).
+//!
+//! "ESD can be used to automatically identify reports of the same bug: if two
+//! synthesized executions are identical, then they correspond to the same
+//! bug." In practice byte-identical executions are too strict a criterion
+//! (two reports of the same bug may differ in irrelevant input words), so the
+//! comparison here is staged: identical executions, then same failure at the
+//! same location, then different bugs.
+
+use crate::execfile::SynthesizedExecution;
+use serde::{Deserialize, Serialize};
+
+/// The verdict of comparing two synthesized executions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TriageResult {
+    /// The synthesized executions are identical — certainly the same bug.
+    IdenticalExecution,
+    /// The executions differ but fail the same way at the same location —
+    /// treated as duplicates by the triage system.
+    SameFailure,
+    /// Different bugs.
+    Different,
+}
+
+/// Compares two synthesized executions for triage purposes.
+pub fn same_bug(a: &SynthesizedExecution, b: &SynthesizedExecution) -> TriageResult {
+    if a == b {
+        return TriageResult::IdenticalExecution;
+    }
+    if a.program == b.program && a.fault_tag == b.fault_tag && a.fault_loc == b.fault_loc {
+        return TriageResult::SameFailure;
+    }
+    TriageResult::Different
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::execfile::InputEntry;
+    use esd_concurrency::{Schedule, SegmentStop};
+    use esd_ir::{BlockId, FuncId, InputSource, Loc};
+
+    fn exec(fault: &str, loc_idx: u32, input: i64) -> SynthesizedExecution {
+        let mut schedule = Schedule::new();
+        schedule.push(0, SegmentStop::Steps(5));
+        SynthesizedExecution {
+            program: "p".into(),
+            fault_tag: fault.into(),
+            fault_loc: Some(Loc::new(FuncId(0), BlockId(1), loc_idx)),
+            inputs: vec![InputEntry { thread: 0, seq: 0, source: InputSource::Stdin, value: input }],
+            schedule,
+        }
+    }
+
+    #[test]
+    fn identical_executions_are_the_same_bug() {
+        assert_eq!(same_bug(&exec("segfault", 1, 7), &exec("segfault", 1, 7)), TriageResult::IdenticalExecution);
+    }
+
+    #[test]
+    fn same_fault_same_location_is_a_duplicate() {
+        assert_eq!(same_bug(&exec("segfault", 1, 7), &exec("segfault", 1, 9)), TriageResult::SameFailure);
+    }
+
+    #[test]
+    fn different_location_or_fault_is_a_different_bug() {
+        assert_eq!(same_bug(&exec("segfault", 1, 7), &exec("segfault", 2, 7)), TriageResult::Different);
+        assert_eq!(same_bug(&exec("segfault", 1, 7), &exec("invalid-free", 1, 7)), TriageResult::Different);
+    }
+}

@@ -1,0 +1,577 @@
+//! A fluent builder for constructing IR programs in Rust code.
+//!
+//! The workload suite (the real-bug analogs and the BPF generator) builds all
+//! of its programs through this API, and so do most tests. The builder
+//! allocates registers, locals and blocks, keeps track of the block currently
+//! being filled, and panics on structurally invalid usage (appending to a
+//! sealed block, finishing an unterminated function) so that mistakes are
+//! caught at construction time rather than during synthesis.
+
+use crate::inst::{BinOp, Callee, CmpOp, InputSource, Inst, Operand, Terminator};
+use crate::program::{BasicBlock, Function, Global, Program};
+use crate::types::{BlockId, FuncId, GlobalId, LocalId, Reg};
+
+/// Builds a whole [`Program`].
+pub struct ProgramBuilder {
+    name: String,
+    functions: Vec<Option<Function>>,
+    func_names: Vec<String>,
+    func_params: Vec<u32>,
+    globals: Vec<Global>,
+}
+
+impl ProgramBuilder {
+    /// Creates a builder for a program with the given name.
+    pub fn new(name: &str) -> Self {
+        ProgramBuilder {
+            name: name.to_string(),
+            functions: Vec::new(),
+            func_names: Vec::new(),
+            func_params: Vec::new(),
+            globals: Vec::new(),
+        }
+    }
+
+    /// Declares a function signature without a body, returning its id. Use
+    /// this for mutual recursion or to obtain an id before defining the body
+    /// with [`ProgramBuilder::define`].
+    pub fn declare(&mut self, name: &str, num_params: u32) -> FuncId {
+        assert!(
+            !self.func_names.iter().any(|n| n == name),
+            "duplicate function name {name:?}"
+        );
+        let id = FuncId(self.functions.len() as u32);
+        self.functions.push(None);
+        self.func_names.push(name.to_string());
+        self.func_params.push(num_params);
+        id
+    }
+
+    /// Defines the body of a previously declared function.
+    pub fn define<F: FnOnce(&mut FunctionBuilder)>(&mut self, id: FuncId, build: F) {
+        assert!(
+            self.functions[id.0 as usize].is_none(),
+            "function {:?} defined twice",
+            self.func_names[id.0 as usize]
+        );
+        let mut fb = FunctionBuilder::new(
+            self.func_names[id.0 as usize].clone(),
+            self.func_params[id.0 as usize],
+        );
+        build(&mut fb);
+        self.functions[id.0 as usize] = Some(fb.finish());
+    }
+
+    /// Declares and immediately defines a function.
+    pub fn function<F: FnOnce(&mut FunctionBuilder)>(
+        &mut self,
+        name: &str,
+        num_params: u32,
+        build: F,
+    ) -> FuncId {
+        let id = self.declare(name, num_params);
+        self.define(id, build);
+        id
+    }
+
+    /// Adds a zero-initialized global of `size` words, returning its id.
+    pub fn global(&mut self, name: &str, size: u32) -> GlobalId {
+        self.global_init(name, size, vec![])
+    }
+
+    /// Adds a global of `size` words whose first `init.len()` words carry the
+    /// given initial values.
+    pub fn global_init(&mut self, name: &str, size: u32, init: Vec<i64>) -> GlobalId {
+        assert!(
+            !self.globals.iter().any(|g| g.name == name),
+            "duplicate global name {name:?}"
+        );
+        assert!(init.len() <= size as usize, "initializer longer than global {name:?}");
+        let id = GlobalId(self.globals.len() as u32);
+        self.globals.push(Global { name: name.to_string(), size, init });
+        id
+    }
+
+    /// Finalizes the program with the function named `entry` as entry point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any declared function lacks a body or the entry function
+    /// does not exist.
+    pub fn finish(self, entry: &str) -> Program {
+        let functions: Vec<Function> = self
+            .functions
+            .into_iter()
+            .enumerate()
+            .map(|(i, f)| f.unwrap_or_else(|| panic!("function {:?} declared but never defined", self.func_names[i])))
+            .collect();
+        let entry_id = functions
+            .iter()
+            .position(|f| f.name == entry)
+            .unwrap_or_else(|| panic!("entry function {entry:?} not found"));
+        Program {
+            name: self.name,
+            functions,
+            globals: self.globals,
+            entry: FuncId(entry_id as u32),
+        }
+    }
+}
+
+/// Builds a single [`Function`], block by block.
+pub struct FunctionBuilder {
+    name: String,
+    num_params: u32,
+    next_reg: u32,
+    local_sizes: Vec<u32>,
+    blocks: Vec<BasicBlock>,
+    sealed: Vec<bool>,
+    current: BlockId,
+}
+
+impl FunctionBuilder {
+    fn new(name: String, num_params: u32) -> Self {
+        let entry = BasicBlock::new(Some("entry".to_string()));
+        FunctionBuilder {
+            name,
+            num_params,
+            next_reg: num_params,
+            local_sizes: Vec::new(),
+            blocks: vec![entry],
+            sealed: vec![false],
+            current: BlockId(0),
+        }
+    }
+
+    /// Returns the register holding the `i`-th parameter.
+    pub fn param(&self, i: u32) -> Reg {
+        assert!(i < self.num_params, "parameter index {i} out of range");
+        Reg(i)
+    }
+
+    /// Allocates a fresh virtual register.
+    pub fn fresh_reg(&mut self) -> Reg {
+        let r = Reg(self.next_reg);
+        self.next_reg += 1;
+        r
+    }
+
+    /// Allocates an addressable local slot of `size` words.
+    pub fn local(&mut self, size: u32) -> LocalId {
+        let id = LocalId(self.local_sizes.len() as u32);
+        self.local_sizes.push(size);
+        id
+    }
+
+    /// Creates a new (empty, unterminated) block and returns its id. The
+    /// current block is unchanged.
+    pub fn new_block(&mut self, label: &str) -> BlockId {
+        let id = BlockId(self.blocks.len() as u32);
+        self.blocks.push(BasicBlock::new(Some(label.to_string())));
+        self.sealed.push(false);
+        id
+    }
+
+    /// Makes `block` the target of subsequent instruction emissions.
+    pub fn switch_to(&mut self, block: BlockId) {
+        assert!(
+            !self.sealed[block.0 as usize],
+            "cannot switch to sealed block {:?}",
+            block
+        );
+        self.current = block;
+    }
+
+    /// Returns the block currently being filled.
+    pub fn current_block(&self) -> BlockId {
+        self.current
+    }
+
+    /// Returns the index the next emitted instruction will occupy in the
+    /// current block (useful to compute a [`crate::Loc`] while building).
+    pub fn next_inst_idx(&self) -> u32 {
+        self.blocks[self.current.0 as usize].insts.len() as u32
+    }
+
+    fn emit(&mut self, inst: Inst) {
+        let cur = self.current.0 as usize;
+        assert!(!self.sealed[cur], "emitting into sealed block {:?}", self.current);
+        self.blocks[cur].insts.push(inst);
+    }
+
+    fn seal(&mut self, term: Terminator) {
+        let cur = self.current.0 as usize;
+        assert!(!self.sealed[cur], "block {:?} already terminated", self.current);
+        self.blocks[cur].term = term;
+        self.sealed[cur] = true;
+    }
+
+    // ---- value-producing instructions -------------------------------------
+
+    /// Emits `dst = value` and returns `dst`.
+    pub fn konst(&mut self, value: i64) -> Reg {
+        let dst = self.fresh_reg();
+        self.emit(Inst::Const { dst, value });
+        dst
+    }
+
+    /// Emits a binary operation.
+    pub fn bin(&mut self, op: BinOp, a: impl Into<Operand>, b: impl Into<Operand>) -> Reg {
+        let dst = self.fresh_reg();
+        self.emit(Inst::Bin { dst, op, a: a.into(), b: b.into() });
+        dst
+    }
+
+    /// Emits an addition.
+    pub fn add(&mut self, a: impl Into<Operand>, b: impl Into<Operand>) -> Reg {
+        self.bin(BinOp::Add, a, b)
+    }
+
+    /// Emits a subtraction.
+    pub fn sub(&mut self, a: impl Into<Operand>, b: impl Into<Operand>) -> Reg {
+        self.bin(BinOp::Sub, a, b)
+    }
+
+    /// Emits a multiplication.
+    pub fn mul(&mut self, a: impl Into<Operand>, b: impl Into<Operand>) -> Reg {
+        self.bin(BinOp::Mul, a, b)
+    }
+
+    /// Emits a comparison producing 0 or 1.
+    pub fn cmp(&mut self, op: CmpOp, a: impl Into<Operand>, b: impl Into<Operand>) -> Reg {
+        let dst = self.fresh_reg();
+        self.emit(Inst::Cmp { dst, op, a: a.into(), b: b.into() });
+        dst
+    }
+
+    /// Emits an equality comparison.
+    pub fn eq(&mut self, a: impl Into<Operand>, b: impl Into<Operand>) -> Reg {
+        self.cmp(CmpOp::Eq, a, b)
+    }
+
+    /// Emits `dst = &local`.
+    pub fn addr_local(&mut self, local: LocalId) -> Reg {
+        let dst = self.fresh_reg();
+        self.emit(Inst::AddrLocal { dst, local });
+        dst
+    }
+
+    /// Emits `dst = &global`.
+    pub fn addr_global(&mut self, global: GlobalId) -> Reg {
+        let dst = self.fresh_reg();
+        self.emit(Inst::AddrGlobal { dst, global });
+        dst
+    }
+
+    /// Emits `dst = <address-of-function>` for indirect calls.
+    pub fn func_addr(&mut self, func: FuncId) -> Reg {
+        let dst = self.fresh_reg();
+        self.emit(Inst::FuncAddr { dst, func });
+        dst
+    }
+
+    /// Emits a heap allocation of `size` words.
+    pub fn alloc(&mut self, size: impl Into<Operand>) -> Reg {
+        let dst = self.fresh_reg();
+        self.emit(Inst::Alloc { dst, size: size.into() });
+        dst
+    }
+
+    /// Emits `free(ptr)`.
+    pub fn free(&mut self, ptr: impl Into<Operand>) {
+        self.emit(Inst::Free { ptr: ptr.into() });
+    }
+
+    /// Emits a word load.
+    pub fn load(&mut self, addr: impl Into<Operand>) -> Reg {
+        let dst = self.fresh_reg();
+        self.emit(Inst::Load { dst, addr: addr.into() });
+        dst
+    }
+
+    /// Emits a word store.
+    pub fn store(&mut self, addr: impl Into<Operand>, value: impl Into<Operand>) {
+        self.emit(Inst::Store { addr: addr.into(), value: value.into() });
+    }
+
+    /// Emits pointer arithmetic `dst = base + offset` (offset in words).
+    pub fn gep(&mut self, base: impl Into<Operand>, offset: impl Into<Operand>) -> Reg {
+        let dst = self.fresh_reg();
+        self.emit(Inst::Gep { dst, base: base.into(), offset: offset.into() });
+        dst
+    }
+
+    /// Emits a direct call whose result is used.
+    pub fn call(&mut self, func: FuncId, args: Vec<Operand>) -> Reg {
+        let dst = self.fresh_reg();
+        self.emit(Inst::Call { dst: Some(dst), callee: Callee::Direct(func), args });
+        dst
+    }
+
+    /// Emits a direct call whose result is discarded.
+    pub fn call_void(&mut self, func: FuncId, args: Vec<Operand>) {
+        self.emit(Inst::Call { dst: None, callee: Callee::Direct(func), args });
+    }
+
+    /// Emits an indirect call through a function-pointer operand.
+    pub fn call_indirect(&mut self, target: impl Into<Operand>, args: Vec<Operand>) -> Reg {
+        let dst = self.fresh_reg();
+        self.emit(Inst::Call { dst: Some(dst), callee: Callee::Indirect(target.into()), args });
+        dst
+    }
+
+    /// Emits an environment input read.
+    pub fn input(&mut self, source: InputSource) -> Reg {
+        let dst = self.fresh_reg();
+        self.emit(Inst::Input { dst, source });
+        dst
+    }
+
+    /// Emits a `getchar()`-style read from standard input.
+    pub fn getchar(&mut self) -> Reg {
+        self.input(InputSource::Stdin)
+    }
+
+    /// Emits a read of one character of the named environment variable.
+    pub fn getenv(&mut self, name: &str) -> Reg {
+        self.input(InputSource::Env(name.to_string()))
+    }
+
+    /// Emits a read of the `i`-th command-line argument word.
+    pub fn arg(&mut self, i: u32) -> Reg {
+        self.input(InputSource::Arg(i))
+    }
+
+    // ---- effect-only instructions ------------------------------------------
+
+    /// Emits an output of one word.
+    pub fn output(&mut self, value: impl Into<Operand>) {
+        self.emit(Inst::Output { value: value.into() });
+    }
+
+    /// Emits an assertion.
+    pub fn assert(&mut self, cond: impl Into<Operand>, msg: &str) {
+        self.emit(Inst::Assert { cond: cond.into(), msg: msg.to_string() });
+    }
+
+    /// Emits `mutex_lock(mutex)`.
+    pub fn lock(&mut self, mutex: impl Into<Operand>) {
+        self.emit(Inst::MutexLock { mutex: mutex.into() });
+    }
+
+    /// Emits `mutex_unlock(mutex)`.
+    pub fn unlock(&mut self, mutex: impl Into<Operand>) {
+        self.emit(Inst::MutexUnlock { mutex: mutex.into() });
+    }
+
+    /// Emits `cond_wait(cond, mutex)`.
+    pub fn cond_wait(&mut self, cond: impl Into<Operand>, mutex: impl Into<Operand>) {
+        self.emit(Inst::CondWait { cond: cond.into(), mutex: mutex.into() });
+    }
+
+    /// Emits `cond_signal(cond)`.
+    pub fn cond_signal(&mut self, cond: impl Into<Operand>) {
+        self.emit(Inst::CondSignal { cond: cond.into() });
+    }
+
+    /// Emits `cond_broadcast(cond)`.
+    pub fn cond_broadcast(&mut self, cond: impl Into<Operand>) {
+        self.emit(Inst::CondBroadcast { cond: cond.into() });
+    }
+
+    /// Emits a thread spawn of `func(arg)` and returns the register holding
+    /// the new thread id.
+    pub fn spawn(&mut self, func: FuncId, arg: impl Into<Operand>) -> Reg {
+        let dst = self.fresh_reg();
+        self.emit(Inst::ThreadSpawn { dst, func: Callee::Direct(func), arg: arg.into() });
+        dst
+    }
+
+    /// Emits a join on a thread id.
+    pub fn join(&mut self, thread: impl Into<Operand>) {
+        self.emit(Inst::ThreadJoin { thread: thread.into() });
+    }
+
+    /// Emits a voluntary yield.
+    pub fn yield_now(&mut self) {
+        self.emit(Inst::Yield);
+    }
+
+    /// Emits a no-op.
+    pub fn nop(&mut self) {
+        self.emit(Inst::Nop);
+    }
+
+    // ---- terminators --------------------------------------------------------
+
+    /// Seals the current block with an unconditional branch.
+    pub fn br(&mut self, target: BlockId) {
+        self.seal(Terminator::Br { target });
+    }
+
+    /// Seals the current block with a conditional branch.
+    pub fn cond_br(&mut self, cond: impl Into<Operand>, then_bb: BlockId, else_bb: BlockId) {
+        self.seal(Terminator::CondBr { cond: cond.into(), then_bb, else_bb });
+    }
+
+    /// Seals the current block with a void return.
+    pub fn ret_void(&mut self) {
+        self.seal(Terminator::Ret { value: None });
+    }
+
+    /// Seals the current block with a value return.
+    pub fn ret(&mut self, value: impl Into<Operand>) {
+        self.seal(Terminator::Ret { value: Some(value.into()) });
+    }
+
+    /// Seals the current block as unreachable.
+    pub fn unreachable(&mut self) {
+        self.seal(Terminator::Unreachable);
+    }
+
+    fn finish(self) -> Function {
+        for (i, sealed) in self.sealed.iter().enumerate() {
+            assert!(
+                *sealed,
+                "block bb{} of function {:?} has no terminator",
+                i, self.name
+            );
+        }
+        Function {
+            name: self.name,
+            num_params: self.num_params,
+            num_regs: self.next_reg,
+            local_sizes: self.local_sizes,
+            blocks: self.blocks,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::validate;
+
+    #[test]
+    fn builds_a_straight_line_function() {
+        let mut pb = ProgramBuilder::new("p");
+        pb.function("main", 0, |f| {
+            let a = f.konst(2);
+            let b = f.konst(3);
+            let c = f.add(a, b);
+            f.output(c);
+            f.ret(c);
+        });
+        let p = pb.finish("main");
+        assert_eq!(p.functions.len(), 1);
+        assert_eq!(p.func(p.entry).blocks.len(), 1);
+        assert!(validate(&p).is_ok());
+    }
+
+    #[test]
+    fn builds_branches_and_multiple_blocks() {
+        let mut pb = ProgramBuilder::new("p");
+        pb.function("main", 0, |f| {
+            let x = f.getchar();
+            let is_m = f.cmp(CmpOp::Eq, x, 'm' as i64);
+            let then_bb = f.new_block("then");
+            let else_bb = f.new_block("else");
+            let done = f.new_block("done");
+            f.cond_br(is_m, then_bb, else_bb);
+            f.switch_to(then_bb);
+            f.output(1);
+            f.br(done);
+            f.switch_to(else_bb);
+            f.output(0);
+            f.br(done);
+            f.switch_to(done);
+            f.ret_void();
+        });
+        let p = pb.finish("main");
+        assert_eq!(p.func(p.entry).blocks.len(), 4);
+        assert!(validate(&p).is_ok());
+    }
+
+    #[test]
+    fn declare_then_define_supports_mutual_recursion() {
+        let mut pb = ProgramBuilder::new("p");
+        let even = pb.declare("even", 1);
+        let odd = pb.declare("odd", 1);
+        pb.define(even, |f| {
+            let n = f.param(0);
+            let is_zero = f.cmp(CmpOp::Eq, n, 0);
+            let base = f.new_block("base");
+            let rec = f.new_block("rec");
+            f.cond_br(is_zero, base, rec);
+            f.switch_to(base);
+            f.ret(1);
+            f.switch_to(rec);
+            let n1 = f.sub(n, 1);
+            let r = f.call(odd, vec![n1.into()]);
+            f.ret(r);
+        });
+        pb.define(odd, |f| {
+            let n = f.param(0);
+            let is_zero = f.cmp(CmpOp::Eq, n, 0);
+            let base = f.new_block("base");
+            let rec = f.new_block("rec");
+            f.cond_br(is_zero, base, rec);
+            f.switch_to(base);
+            f.ret(0);
+            f.switch_to(rec);
+            let n1 = f.sub(n, 1);
+            let r = f.call(even, vec![n1.into()]);
+            f.ret(r);
+        });
+        pb.function("main", 0, |f| {
+            let r = f.call(even, vec![Operand::Const(4)]);
+            f.assert(r, "4 must be even");
+            f.ret_void();
+        });
+        let p = pb.finish("main");
+        assert!(validate(&p).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "no terminator")]
+    fn unterminated_block_panics() {
+        let mut pb = ProgramBuilder::new("p");
+        pb.function("main", 0, |f| {
+            f.konst(1);
+            // missing terminator
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate function name")]
+    fn duplicate_function_name_panics() {
+        let mut pb = ProgramBuilder::new("p");
+        pb.function("main", 0, |f| f.ret_void());
+        pb.declare("main", 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "already terminated")]
+    fn double_terminator_panics() {
+        let mut pb = ProgramBuilder::new("p");
+        pb.function("main", 0, |f| {
+            f.ret_void();
+            f.ret_void();
+        });
+    }
+
+    #[test]
+    fn params_occupy_low_registers() {
+        let mut pb = ProgramBuilder::new("p");
+        pb.function("f", 2, |f| {
+            assert_eq!(f.param(0), Reg(0));
+            assert_eq!(f.param(1), Reg(1));
+            let s = f.add(f.param(0), f.param(1));
+            assert!(s.0 >= 2);
+            f.ret(s);
+        });
+        pb.function("main", 0, |f| f.ret_void());
+        let p = pb.finish("main");
+        assert!(validate(&p).is_ok());
+    }
+}

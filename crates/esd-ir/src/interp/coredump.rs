@@ -1,0 +1,269 @@
+//! Coredump capture: the failure artifact that a bug report carries and that
+//! ESD's goal extraction (§3.1) consumes.
+//!
+//! The original system parses an ELF core file with gdb; this reproduction
+//! captures the same *information content* directly from the interpreter at
+//! the moment a failure is detected: the fault kind, the faulting
+//! instruction, the offending value (e.g. the null pointer), and the final
+//! call stack and lock-wait state of every thread.
+
+use crate::types::{BlockId, FuncId, Loc, ThreadId};
+use crate::value::{Ptr, Value};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// What kind of failure terminated the execution.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// Dereference of a non-pointer value (null or garbage integer).
+    SegFault {
+        /// The value that was dereferenced.
+        addr: Value,
+    },
+    /// Access past the bounds of an object (buffer overflow / underflow).
+    OutOfBounds {
+        /// Offset that was accessed.
+        off: i64,
+        /// Size of the accessed object in words.
+        size: usize,
+    },
+    /// Access to a freed object.
+    UseAfterFree,
+    /// `free` of something that is not a live heap allocation base pointer.
+    InvalidFree,
+    /// Second `free` of the same heap object.
+    DoubleFree,
+    /// Integer division or remainder by zero.
+    DivByZero,
+    /// A failed `assert`.
+    AssertFailure {
+        /// The assertion message.
+        msg: String,
+    },
+    /// An `unreachable` terminator was executed.
+    UnreachableExecuted,
+    /// An indirect call or spawn through an invalid function address.
+    BadIndirectCall {
+        /// The value used as a function address.
+        target: Value,
+    },
+    /// A synchronization misuse (e.g. unlocking a mutex not held).
+    SyncMisuse {
+        /// Human-readable description.
+        what: String,
+    },
+    /// No thread can make progress: every live thread is blocked on a mutex,
+    /// a condition variable, or a join (the paper's hang/deadlock class).
+    Deadlock,
+}
+
+impl FaultKind {
+    /// Returns true for hang-type failures (deadlocks) as opposed to crashes.
+    pub fn is_hang(&self) -> bool {
+        matches!(self, FaultKind::Deadlock)
+    }
+
+    /// A short, stable tag for reports and file names.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            FaultKind::SegFault { .. } => "segfault",
+            FaultKind::OutOfBounds { .. } => "out-of-bounds",
+            FaultKind::UseAfterFree => "use-after-free",
+            FaultKind::InvalidFree => "invalid-free",
+            FaultKind::DoubleFree => "double-free",
+            FaultKind::DivByZero => "div-by-zero",
+            FaultKind::AssertFailure { .. } => "assert-failure",
+            FaultKind::UnreachableExecuted => "unreachable",
+            FaultKind::BadIndirectCall { .. } => "bad-indirect-call",
+            FaultKind::SyncMisuse { .. } => "sync-misuse",
+            FaultKind::Deadlock => "deadlock",
+        }
+    }
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultKind::SegFault { addr } => write!(f, "segmentation fault (address {:?})", addr),
+            FaultKind::OutOfBounds { off, size } => {
+                write!(f, "out-of-bounds access (offset {} of {}-word object)", off, size)
+            }
+            FaultKind::AssertFailure { msg } => write!(f, "assertion failure: {}", msg),
+            FaultKind::SyncMisuse { what } => write!(f, "synchronization misuse: {}", what),
+            FaultKind::BadIndirectCall { target } => {
+                write!(f, "indirect call through invalid target {:?}", target)
+            }
+            other => write!(f, "{}", other.tag()),
+        }
+    }
+}
+
+/// One frame of a thread's final call stack.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StackFrameInfo {
+    /// The function.
+    pub func: FuncId,
+    /// The function's name (for human consumption; ids remain authoritative).
+    pub func_name: String,
+    /// Block of the frame's current instruction.
+    pub block: BlockId,
+    /// Instruction index of the frame's current instruction.
+    pub idx: u32,
+}
+
+impl StackFrameInfo {
+    /// The program location of this frame's current instruction.
+    pub fn loc(&self) -> Loc {
+        Loc { func: self.func, block: self.block, idx: self.idx }
+    }
+}
+
+/// The final state of one thread as recorded in the coredump.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ThreadDumpInfo {
+    /// The thread.
+    pub thread: ThreadId,
+    /// Its call stack, outermost frame first (so the blocked/faulting frame
+    /// is last, as in a gdb backtrace read bottom-up).
+    pub stack: Vec<StackFrameInfo>,
+    /// Mutex addresses the thread held at the time of the dump.
+    pub held_locks: Vec<Ptr>,
+    /// The mutex the thread was blocked acquiring, if any (the thread's
+    /// "inner lock" in the paper's terminology).
+    pub waiting_mutex: Option<Ptr>,
+    /// The condition variable the thread was blocked on, if any.
+    pub waiting_cond: Option<Ptr>,
+    /// The thread the thread was blocked joining, if any.
+    pub waiting_join: Option<ThreadId>,
+    /// True if the thread had already terminated.
+    pub finished: bool,
+}
+
+impl ThreadDumpInfo {
+    /// Location of the innermost (blocked or faulting) frame, if any.
+    pub fn innermost_loc(&self) -> Option<Loc> {
+        self.stack.last().map(|f| f.loc())
+    }
+}
+
+/// A coredump: everything a bug report carries about a failure.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CoreDump {
+    /// Name of the failed program.
+    pub program_name: String,
+    /// The failure.
+    pub fault: FaultKind,
+    /// Thread in which the failure was detected (none for deadlocks, where
+    /// every listed blocked thread participates).
+    pub faulting_thread: Option<ThreadId>,
+    /// Location of the faulting instruction, when applicable.
+    pub faulting_loc: Option<Loc>,
+    /// The offending value (e.g. the dereferenced null pointer, or the freed
+    /// pointer), when applicable — the paper's condition "C" raw material.
+    pub fault_value: Option<Value>,
+    /// Final state of every thread.
+    pub threads: Vec<ThreadDumpInfo>,
+    /// Number of instructions executed before the failure (diagnostic only).
+    pub steps: u64,
+}
+
+impl CoreDump {
+    /// Returns the dump entry for `thread`, if present.
+    pub fn thread(&self, thread: ThreadId) -> Option<&ThreadDumpInfo> {
+        self.threads.iter().find(|t| t.thread == thread)
+    }
+
+    /// Threads that were blocked on a mutex at dump time (the candidate
+    /// participants of a deadlock).
+    pub fn mutex_blocked_threads(&self) -> Vec<&ThreadDumpInfo> {
+        self.threads.iter().filter(|t| t.waiting_mutex.is_some()).collect()
+    }
+
+    /// A compact single-line summary for logs.
+    pub fn summary(&self) -> String {
+        format!(
+            "{}: {} ({} threads, {} blocked on mutexes)",
+            self.program_name,
+            self.fault,
+            self.threads.len(),
+            self.mutex_blocked_threads().len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::ObjId;
+
+    fn sample_dump() -> CoreDump {
+        CoreDump {
+            program_name: "prog".into(),
+            fault: FaultKind::Deadlock,
+            faulting_thread: None,
+            faulting_loc: None,
+            fault_value: None,
+            threads: vec![
+                ThreadDumpInfo {
+                    thread: ThreadId(0),
+                    stack: vec![StackFrameInfo {
+                        func: FuncId(0),
+                        func_name: "main".into(),
+                        block: BlockId(1),
+                        idx: 2,
+                    }],
+                    held_locks: vec![Ptr { obj: ObjId(1), off: 0 }],
+                    waiting_mutex: Some(Ptr { obj: ObjId(2), off: 0 }),
+                    waiting_cond: None,
+                    waiting_join: None,
+                    finished: false,
+                },
+                ThreadDumpInfo {
+                    thread: ThreadId(1),
+                    stack: vec![],
+                    held_locks: vec![],
+                    waiting_mutex: None,
+                    waiting_cond: None,
+                    waiting_join: None,
+                    finished: true,
+                },
+            ],
+            steps: 100,
+        }
+    }
+
+    #[test]
+    fn fault_kind_classification() {
+        assert!(FaultKind::Deadlock.is_hang());
+        assert!(!FaultKind::SegFault { addr: Value::Int(0) }.is_hang());
+        assert_eq!(FaultKind::InvalidFree.tag(), "invalid-free");
+    }
+
+    #[test]
+    fn fault_display_mentions_details() {
+        let s = format!("{}", FaultKind::SegFault { addr: Value::Int(0) });
+        assert!(s.contains("segmentation fault"));
+        let s = format!("{}", FaultKind::AssertFailure { msg: "boom".into() });
+        assert!(s.contains("boom"));
+    }
+
+    #[test]
+    fn dump_queries() {
+        let d = sample_dump();
+        assert!(d.thread(ThreadId(0)).is_some());
+        assert!(d.thread(ThreadId(7)).is_none());
+        assert_eq!(d.mutex_blocked_threads().len(), 1);
+        assert_eq!(
+            d.thread(ThreadId(0)).unwrap().innermost_loc(),
+            Some(Loc::new(FuncId(0), BlockId(1), 2))
+        );
+        assert!(d.summary().contains("deadlock"));
+    }
+
+    #[test]
+    fn coredump_clone_and_equality() {
+        let d = sample_dump();
+        let e = d.clone();
+        assert_eq!(d, e);
+    }
+}

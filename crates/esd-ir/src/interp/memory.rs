@@ -1,0 +1,222 @@
+//! Object-granularity memory for the concrete interpreter.
+//!
+//! Memory is a collection of objects (globals, stack locals, heap blocks),
+//! each a vector of word-sized [`Value`]s. Pointers name an object and a word
+//! offset. Every load/store is bounds- and liveness-checked, which is how the
+//! interpreter detects the memory-safety bug classes evaluated in the paper
+//! (segmentation faults, buffer overflows, invalid/double frees).
+
+use crate::types::{GlobalId, ThreadId};
+use crate::value::{ObjId, Ptr, Value};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// What kind of storage an object is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ObjKind {
+    /// A global variable.
+    Global(GlobalId),
+    /// A stack local belonging to a frame of the given thread.
+    Local(ThreadId),
+    /// A heap block created by `alloc`.
+    Heap,
+}
+
+/// A memory object.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Object {
+    /// The object's words.
+    pub data: Vec<Value>,
+    /// Storage class.
+    pub kind: ObjKind,
+    /// True once the object has been freed (heap) or its frame popped
+    /// (locals); accesses to freed objects fault.
+    pub freed: bool,
+}
+
+/// Memory access errors, mapped to fault kinds by the interpreter.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MemError {
+    /// Dereferenced a plain integer (including null).
+    NotAPointer(Value),
+    /// Pointer to an object that never existed (corrupted pointer).
+    DanglingObject(ObjId),
+    /// Access to an object that has been freed.
+    UseAfterFree(ObjId),
+    /// Offset outside the object bounds.
+    OutOfBounds { obj: ObjId, off: i64, size: usize },
+    /// `free` on something that is not a heap pointer to offset 0.
+    InvalidFree(Value),
+    /// `free` on an already-freed heap object.
+    DoubleFree(ObjId),
+}
+
+/// The interpreter's memory.
+#[derive(Debug, Clone, Default)]
+pub struct Memory {
+    objects: HashMap<ObjId, Object>,
+    next_id: u64,
+}
+
+impl Memory {
+    /// Creates an empty memory.
+    pub fn new() -> Self {
+        Memory { objects: HashMap::new(), next_id: 1 }
+    }
+
+    /// Allocates a fresh object of `size` zero-initialized words.
+    pub fn alloc(&mut self, kind: ObjKind, size: usize) -> ObjId {
+        let id = ObjId(self.next_id);
+        self.next_id += 1;
+        self.objects.insert(id, Object { data: vec![Value::Int(0); size], kind, freed: false });
+        id
+    }
+
+    /// Allocates an object with the given initial contents.
+    pub fn alloc_init(&mut self, kind: ObjKind, data: Vec<Value>) -> ObjId {
+        let id = ObjId(self.next_id);
+        self.next_id += 1;
+        self.objects.insert(id, Object { data, kind, freed: false });
+        id
+    }
+
+    /// Returns the object behind `id`, if it exists (freed or not).
+    pub fn object(&self, id: ObjId) -> Option<&Object> {
+        self.objects.get(&id)
+    }
+
+    /// Number of live (non-freed) objects.
+    pub fn live_objects(&self) -> usize {
+        self.objects.values().filter(|o| !o.freed).count()
+    }
+
+    fn check(&self, ptr: Ptr) -> Result<(), MemError> {
+        let obj = self.objects.get(&ptr.obj).ok_or(MemError::DanglingObject(ptr.obj))?;
+        if obj.freed {
+            return Err(MemError::UseAfterFree(ptr.obj));
+        }
+        if ptr.off < 0 || ptr.off as usize >= obj.data.len() {
+            return Err(MemError::OutOfBounds { obj: ptr.obj, off: ptr.off, size: obj.data.len() });
+        }
+        Ok(())
+    }
+
+    /// Resolves a value used as an address into a pointer, rejecting plain
+    /// integers (this is where null dereferences are caught).
+    pub fn as_address(value: Value) -> Result<Ptr, MemError> {
+        match value {
+            Value::Ptr(p) => Ok(p),
+            v => Err(MemError::NotAPointer(v)),
+        }
+    }
+
+    /// Loads the word at `ptr`.
+    pub fn load(&self, ptr: Ptr) -> Result<Value, MemError> {
+        self.check(ptr)?;
+        Ok(self.objects[&ptr.obj].data[ptr.off as usize])
+    }
+
+    /// Stores `value` at `ptr`.
+    pub fn store(&mut self, ptr: Ptr, value: Value) -> Result<(), MemError> {
+        self.check(ptr)?;
+        self.objects.get_mut(&ptr.obj).unwrap().data[ptr.off as usize] = value;
+        Ok(())
+    }
+
+    /// Frees a heap object. Freeing a non-heap object, an interior pointer,
+    /// or an already-freed object is an error (the `paste` invalid-free bug
+    /// class).
+    pub fn free(&mut self, value: Value) -> Result<(), MemError> {
+        let ptr = match value {
+            Value::Ptr(p) => p,
+            v => return Err(MemError::InvalidFree(v)),
+        };
+        let obj = self.objects.get_mut(&ptr.obj).ok_or(MemError::DanglingObject(ptr.obj))?;
+        if ptr.off != 0 || obj.kind != ObjKind::Heap {
+            return Err(MemError::InvalidFree(value));
+        }
+        if obj.freed {
+            return Err(MemError::DoubleFree(ptr.obj));
+        }
+        obj.freed = true;
+        Ok(())
+    }
+
+    /// Marks a stack-local object as dead when its frame is popped.
+    pub fn kill_local(&mut self, id: ObjId) {
+        if let Some(obj) = self.objects.get_mut(&id) {
+            obj.freed = true;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_store_roundtrip() {
+        let mut m = Memory::new();
+        let o = m.alloc(ObjKind::Heap, 4);
+        let p = Ptr { obj: o, off: 2 };
+        m.store(p, Value::Int(7)).unwrap();
+        assert_eq!(m.load(p).unwrap(), Value::Int(7));
+        assert_eq!(m.load(Ptr { obj: o, off: 0 }).unwrap(), Value::Int(0));
+    }
+
+    #[test]
+    fn out_of_bounds_is_detected() {
+        let mut m = Memory::new();
+        let o = m.alloc(ObjKind::Heap, 2);
+        let err = m.load(Ptr { obj: o, off: 2 }).unwrap_err();
+        assert!(matches!(err, MemError::OutOfBounds { .. }));
+        let err = m.store(Ptr { obj: o, off: -1 }, Value::Int(1)).unwrap_err();
+        assert!(matches!(err, MemError::OutOfBounds { .. }));
+    }
+
+    #[test]
+    fn null_and_integer_dereference_rejected() {
+        assert!(matches!(Memory::as_address(Value::Int(0)), Err(MemError::NotAPointer(_))));
+        assert!(matches!(Memory::as_address(Value::Int(1234)), Err(MemError::NotAPointer(_))));
+        let p = Ptr { obj: ObjId(1), off: 0 };
+        assert_eq!(Memory::as_address(Value::Ptr(p)).unwrap(), p);
+    }
+
+    #[test]
+    fn use_after_free_is_detected() {
+        let mut m = Memory::new();
+        let o = m.alloc(ObjKind::Heap, 1);
+        m.free(Value::Ptr(Ptr::to(o))).unwrap();
+        assert!(matches!(m.load(Ptr::to(o)), Err(MemError::UseAfterFree(_))));
+    }
+
+    #[test]
+    fn invalid_and_double_free_detected() {
+        let mut m = Memory::new();
+        let g = m.alloc(ObjKind::Global(GlobalId(0)), 1);
+        assert!(matches!(m.free(Value::Ptr(Ptr::to(g))), Err(MemError::InvalidFree(_))));
+        assert!(matches!(m.free(Value::Int(5)), Err(MemError::InvalidFree(_))));
+        let h = m.alloc(ObjKind::Heap, 1);
+        assert!(matches!(m.free(Value::Ptr(Ptr { obj: h, off: 1 })), Err(MemError::InvalidFree(_))));
+        m.free(Value::Ptr(Ptr::to(h))).unwrap();
+        assert!(matches!(m.free(Value::Ptr(Ptr::to(h))), Err(MemError::DoubleFree(_))));
+    }
+
+    #[test]
+    fn live_object_count_tracks_frees() {
+        let mut m = Memory::new();
+        let a = m.alloc(ObjKind::Heap, 1);
+        let _b = m.alloc(ObjKind::Heap, 1);
+        assert_eq!(m.live_objects(), 2);
+        m.free(Value::Ptr(Ptr::to(a))).unwrap();
+        assert_eq!(m.live_objects(), 1);
+    }
+
+    #[test]
+    fn kill_local_makes_pointers_dangle() {
+        let mut m = Memory::new();
+        let l = m.alloc(ObjKind::Local(ThreadId(0)), 1);
+        m.kill_local(l);
+        assert!(matches!(m.load(Ptr::to(l)), Err(MemError::UseAfterFree(_))));
+    }
+}

@@ -1,0 +1,599 @@
+//! Interpreter tests: sequential semantics, memory safety detection,
+//! threading, synchronization and deadlock detection.
+
+use super::*;
+use crate::builder::ProgramBuilder;
+use crate::inst::{CmpOp, InputSource, Operand};
+use crate::program::Program;
+
+fn run_program(p: &Program) -> RunResult {
+    let mut interp = Interpreter::new(p, Box::new(ZeroInputs));
+    interp.run(&InterpreterConfig::default())
+}
+
+fn run_with_inputs(p: &Program, inputs: Box<dyn InputProvider>) -> RunResult {
+    let mut interp = Interpreter::new(p, inputs);
+    interp.run(&InterpreterConfig::default())
+}
+
+#[test]
+fn arithmetic_and_output() {
+    let mut pb = ProgramBuilder::new("arith");
+    pb.function("main", 0, |f| {
+        let a = f.konst(6);
+        let b = f.konst(7);
+        let c = f.mul(a, b);
+        f.output(c);
+        let d = f.sub(c, 2);
+        f.output(d);
+        f.ret(d);
+    });
+    let p = pb.finish("main");
+    let r = run_program(&p);
+    assert_eq!(r.outcome, ExecOutcome::Exit { code: 40 });
+    assert_eq!(r.output, vec![42, 40]);
+}
+
+#[test]
+fn conditional_branching_follows_input() {
+    let mut pb = ProgramBuilder::new("branch");
+    pb.function("main", 0, |f| {
+        let x = f.getchar();
+        let c = f.cmp(CmpOp::Eq, x, 'm' as i64);
+        let yes = f.new_block("yes");
+        let no = f.new_block("no");
+        f.cond_br(c, yes, no);
+        f.switch_to(yes);
+        f.output(1);
+        f.ret_void();
+        f.switch_to(no);
+        f.output(0);
+        f.ret_void();
+    });
+    let p = pb.finish("main");
+
+    let r = run_with_inputs(&p, Box::new(MapInputs::from_entries([((ThreadId(0), 0), 'm' as i64)])));
+    assert_eq!(r.output, vec![1]);
+    let r = run_with_inputs(&p, Box::new(MapInputs::from_entries([((ThreadId(0), 0), 'x' as i64)])));
+    assert_eq!(r.output, vec![0]);
+}
+
+#[test]
+fn function_calls_and_recursion() {
+    let mut pb = ProgramBuilder::new("fact");
+    let fact = pb.declare("fact", 1);
+    pb.define(fact, |f| {
+        let n = f.param(0);
+        let is_small = f.cmp(CmpOp::Le, n, 1);
+        let base = f.new_block("base");
+        let rec = f.new_block("rec");
+        f.cond_br(is_small, base, rec);
+        f.switch_to(base);
+        f.ret(1);
+        f.switch_to(rec);
+        let n1 = f.sub(n, 1);
+        let sub = f.call(fact, vec![n1.into()]);
+        let r = f.mul(n, sub);
+        f.ret(r);
+    });
+    pb.function("main", 0, |f| {
+        let r = f.call(fact, vec![Operand::Const(5)]);
+        f.output(r);
+        f.ret(r);
+    });
+    let p = pb.finish("main");
+    let r = run_program(&p);
+    assert_eq!(r.output, vec![120]);
+    assert_eq!(r.outcome, ExecOutcome::Exit { code: 120 });
+}
+
+#[test]
+fn locals_and_globals_load_store() {
+    let mut pb = ProgramBuilder::new("mem");
+    let g = pb.global_init("counter", 1, vec![10]);
+    pb.function("main", 0, |f| {
+        let l = f.local(2);
+        let lp = f.addr_local(l);
+        f.store(lp, 5);
+        let gp = f.addr_global(g);
+        let gv = f.load(gp);
+        let lv = f.load(lp);
+        let sum = f.add(gv, lv);
+        f.store(gp, sum);
+        let out = f.load(gp);
+        f.output(out);
+        f.ret_void();
+    });
+    let p = pb.finish("main");
+    let r = run_program(&p);
+    assert_eq!(r.output, vec![15]);
+}
+
+#[test]
+fn null_dereference_produces_segfault_coredump() {
+    let mut pb = ProgramBuilder::new("nullderef");
+    pb.function("main", 0, |f| {
+        let zero = f.konst(0);
+        let v = f.load(zero);
+        f.output(v);
+        f.ret_void();
+    });
+    let p = pb.finish("main");
+    let r = run_program(&p);
+    let dump = r.outcome.coredump().expect("must fault");
+    assert!(matches!(dump.fault, FaultKind::SegFault { .. }));
+    assert_eq!(dump.faulting_thread, Some(ThreadId(0)));
+    assert!(dump.faulting_loc.is_some());
+    assert_eq!(dump.threads.len(), 1);
+    assert_eq!(dump.threads[0].stack.last().unwrap().func_name, "main");
+}
+
+#[test]
+fn buffer_overflow_is_out_of_bounds() {
+    let mut pb = ProgramBuilder::new("overflow");
+    pb.function("main", 0, |f| {
+        let buf = f.alloc(4);
+        let p = f.gep(buf, 4); // one past the end
+        f.store(p, 1);
+        f.ret_void();
+    });
+    let p = pb.finish("main");
+    let r = run_program(&p);
+    let dump = r.outcome.coredump().expect("must fault");
+    assert!(matches!(dump.fault, FaultKind::OutOfBounds { off: 4, size: 4 }));
+}
+
+#[test]
+fn invalid_free_and_double_free_detected() {
+    let mut pb = ProgramBuilder::new("invalidfree");
+    pb.function("main", 0, |f| {
+        let l = f.local(1);
+        let lp = f.addr_local(l);
+        f.free(lp); // freeing a stack local is invalid
+        f.ret_void();
+    });
+    let p = pb.finish("main");
+    let r = run_program(&p);
+    assert!(matches!(r.outcome.coredump().unwrap().fault, FaultKind::InvalidFree));
+
+    let mut pb = ProgramBuilder::new("doublefree");
+    pb.function("main", 0, |f| {
+        let h = f.alloc(1);
+        f.free(h);
+        f.free(h);
+        f.ret_void();
+    });
+    let p = pb.finish("main");
+    let r = run_program(&p);
+    assert!(matches!(r.outcome.coredump().unwrap().fault, FaultKind::DoubleFree));
+}
+
+#[test]
+fn use_after_free_detected() {
+    let mut pb = ProgramBuilder::new("uaf");
+    pb.function("main", 0, |f| {
+        let h = f.alloc(2);
+        f.free(h);
+        let v = f.load(h);
+        f.output(v);
+        f.ret_void();
+    });
+    let p = pb.finish("main");
+    let r = run_program(&p);
+    assert!(matches!(r.outcome.coredump().unwrap().fault, FaultKind::UseAfterFree));
+}
+
+#[test]
+fn assert_failure_and_div_by_zero() {
+    let mut pb = ProgramBuilder::new("assertfail");
+    pb.function("main", 0, |f| {
+        let zero = f.konst(0);
+        f.assert(zero, "must not be zero");
+        f.ret_void();
+    });
+    let p = pb.finish("main");
+    let r = run_program(&p);
+    match &r.outcome.coredump().unwrap().fault {
+        FaultKind::AssertFailure { msg } => assert_eq!(msg, "must not be zero"),
+        other => panic!("unexpected fault {other:?}"),
+    }
+
+    let mut pb = ProgramBuilder::new("divzero");
+    pb.function("main", 0, |f| {
+        let a = f.konst(7);
+        let b = f.konst(0);
+        let q = f.bin(crate::inst::BinOp::Div, a, b);
+        f.output(q);
+        f.ret_void();
+    });
+    let p = pb.finish("main");
+    let r = run_program(&p);
+    assert!(matches!(r.outcome.coredump().unwrap().fault, FaultKind::DivByZero));
+}
+
+#[test]
+fn spawn_join_and_shared_counter() {
+    let mut pb = ProgramBuilder::new("threads");
+    let g = pb.global("counter", 1);
+    let m = pb.global("lock", 1);
+    let worker = pb.declare("worker", 1);
+    pb.define(worker, |f| {
+        let gp = f.addr_global(g);
+        let mp = f.addr_global(m);
+        f.lock(mp);
+        let v = f.load(gp);
+        let v1 = f.add(v, 1);
+        f.store(gp, v1);
+        f.unlock(mp);
+        f.ret_void();
+    });
+    pb.function("main", 0, |f| {
+        let t1 = f.spawn(worker, 0);
+        let t2 = f.spawn(worker, 0);
+        f.join(t1);
+        f.join(t2);
+        let gp = f.addr_global(g);
+        let v = f.load(gp);
+        f.output(v);
+        f.ret_void();
+    });
+    let p = pb.finish("main");
+    for seed in 0..5 {
+        let mut interp = Interpreter::new(&p, Box::new(ZeroInputs));
+        let r = interp.run(&InterpreterConfig {
+            scheduler: SchedulerKind::Random { seed },
+            ..Default::default()
+        });
+        assert_eq!(r.output, vec![2], "seed {seed}");
+        assert_eq!(r.outcome, ExecOutcome::Exit { code: 0 });
+    }
+}
+
+#[test]
+fn classic_ab_ba_deadlock_is_detected() {
+    // Thread 1: lock A; lock B. Thread 2: lock B; lock A. Under an adverse
+    // schedule this deadlocks; the interpreter must detect the global stall
+    // and produce a deadlock coredump listing both threads' waits.
+    let mut pb = ProgramBuilder::new("abba");
+    let a = pb.global("A", 1);
+    let b = pb.global("B", 1);
+    let t1 = pb.declare("locker_ab", 1);
+    pb.define(t1, |f| {
+        let ap = f.addr_global(a);
+        let bp = f.addr_global(b);
+        f.lock(ap);
+        f.yield_now();
+        f.lock(bp);
+        f.unlock(bp);
+        f.unlock(ap);
+        f.ret_void();
+    });
+    let t2 = pb.declare("locker_ba", 1);
+    pb.define(t2, |f| {
+        let ap = f.addr_global(a);
+        let bp = f.addr_global(b);
+        f.lock(bp);
+        f.yield_now();
+        f.lock(ap);
+        f.unlock(ap);
+        f.unlock(bp);
+        f.ret_void();
+    });
+    pb.function("main", 0, |f| {
+        let h1 = f.spawn(t1, 0);
+        let h2 = f.spawn(t2, 0);
+        f.join(h1);
+        f.join(h2);
+        f.ret_void();
+    });
+    let p = pb.finish("main");
+
+    // Drive the interleaving by hand: t1 acquires A, t2 acquires B, then
+    // both block on the other lock and main blocks on join.
+    let mut interp = Interpreter::new(&p, Box::new(ZeroInputs));
+    // main: spawn, spawn (each one instruction).
+    assert_eq!(interp.step_thread(ThreadId(0)), StepResult::Continue);
+    assert_eq!(interp.step_thread(ThreadId(0)), StepResult::Continue);
+    // t1: addr, addr, lock A, yield.
+    for _ in 0..4 {
+        assert_eq!(interp.step_thread(ThreadId(1)), StepResult::Continue);
+    }
+    // t2: addr, addr, lock B, yield.
+    for _ in 0..4 {
+        assert_eq!(interp.step_thread(ThreadId(2)), StepResult::Continue);
+    }
+    // t1 tries lock B -> blocked; t2 tries lock A -> blocked; main joins -> blocked.
+    assert_eq!(interp.step_thread(ThreadId(1)), StepResult::Blocked);
+    assert_eq!(interp.step_thread(ThreadId(2)), StepResult::Blocked);
+    assert_eq!(interp.step_thread(ThreadId(0)), StepResult::Blocked);
+
+    let dump = interp.detect_deadlock().expect("deadlock must be detected");
+    assert!(matches!(dump.fault, FaultKind::Deadlock));
+    let blocked = dump.mutex_blocked_threads();
+    assert_eq!(blocked.len(), 2);
+    for t in blocked {
+        assert_eq!(t.held_locks.len(), 1);
+        assert!(t.waiting_mutex.is_some());
+    }
+}
+
+#[test]
+fn condvar_producer_consumer() {
+    let mut pb = ProgramBuilder::new("condvar");
+    let flag = pb.global("flag", 1);
+    let m = pb.global("m", 1);
+    let cv = pb.global("cv", 1);
+    let consumer = pb.declare("consumer", 1);
+    pb.define(consumer, |f| {
+        let fp = f.addr_global(flag);
+        let mp = f.addr_global(m);
+        let cp = f.addr_global(cv);
+        f.lock(mp);
+        let check = f.new_block("check");
+        let wait_bb = f.new_block("wait");
+        let done = f.new_block("done");
+        f.br(check);
+        f.switch_to(check);
+        let v = f.load(fp);
+        f.cond_br(v, done, wait_bb);
+        f.switch_to(wait_bb);
+        f.cond_wait(cp, mp);
+        f.br(check);
+        f.switch_to(done);
+        f.output(99);
+        f.unlock(mp);
+        f.ret_void();
+    });
+    pb.function("main", 0, |f| {
+        let t = f.spawn(consumer, 0);
+        let fp = f.addr_global(flag);
+        let mp = f.addr_global(m);
+        let cp = f.addr_global(cv);
+        f.lock(mp);
+        f.store(fp, 1);
+        f.cond_signal(cp);
+        f.unlock(mp);
+        f.join(t);
+        f.ret_void();
+    });
+    let p = pb.finish("main");
+    for seed in 0..8 {
+        let mut interp = Interpreter::new(&p, Box::new(ZeroInputs));
+        let r = interp.run(&InterpreterConfig {
+            scheduler: SchedulerKind::Random { seed },
+            max_steps: 100_000,
+            ..Default::default()
+        });
+        assert_eq!(r.output, vec![99], "seed {seed}: outcome {:?}", r.outcome);
+        assert_eq!(r.outcome, ExecOutcome::Exit { code: 0 });
+    }
+}
+
+#[test]
+fn unlock_without_holding_is_sync_misuse() {
+    let mut pb = ProgramBuilder::new("badunlock");
+    let m = pb.global("m", 1);
+    pb.function("main", 0, |f| {
+        let mp = f.addr_global(m);
+        f.unlock(mp);
+        f.ret_void();
+    });
+    let p = pb.finish("main");
+    let r = run_program(&p);
+    assert!(matches!(r.outcome.coredump().unwrap().fault, FaultKind::SyncMisuse { .. }));
+}
+
+#[test]
+fn indirect_calls_resolve_and_bad_targets_fault() {
+    let mut pb = ProgramBuilder::new("indirect");
+    let double = pb.function("double", 1, |f| {
+        let r = f.mul(f.param(0), 2);
+        f.ret(r);
+    });
+    pb.function("main", 0, |f| {
+        let fp = f.func_addr(double);
+        let r = f.call_indirect(fp, vec![Operand::Const(21)]);
+        f.output(r);
+        let bad = f.konst(7);
+        f.call_indirect(bad, vec![Operand::Const(0)]);
+        f.ret_void();
+    });
+    let p = pb.finish("main");
+    let r = run_program(&p);
+    assert_eq!(r.output, vec![42]);
+    assert!(matches!(r.outcome.coredump().unwrap().fault, FaultKind::BadIndirectCall { .. }));
+}
+
+#[test]
+fn self_lock_without_recursion_deadlocks() {
+    let mut pb = ProgramBuilder::new("selflock");
+    let m = pb.global("m", 1);
+    pb.function("main", 0, |f| {
+        let mp = f.addr_global(m);
+        f.lock(mp);
+        f.lock(mp);
+        f.unlock(mp);
+        f.unlock(mp);
+        f.ret_void();
+    });
+    let p = pb.finish("main");
+    let r = run_program(&p);
+    let dump = r.outcome.coredump().expect("self deadlock");
+    assert!(matches!(dump.fault, FaultKind::Deadlock));
+}
+
+#[test]
+fn step_limit_is_respected() {
+    let mut pb = ProgramBuilder::new("loopy");
+    pb.function("main", 0, |f| {
+        let body = f.new_block("body");
+        f.br(body);
+        f.switch_to(body);
+        f.nop();
+        f.br(body);
+    });
+    let p = pb.finish("main");
+    let mut interp = Interpreter::new(&p, Box::new(ZeroInputs));
+    let r = interp.run(&InterpreterConfig { max_steps: 500, ..Default::default() });
+    assert_eq!(r.outcome, ExecOutcome::StepLimit);
+    assert!(r.steps >= 500);
+}
+
+#[test]
+fn input_log_records_reads_in_order() {
+    let mut pb = ProgramBuilder::new("inputs");
+    pb.function("main", 0, |f| {
+        let a = f.getchar();
+        let b = f.input(InputSource::Env("MODE".into()));
+        let s = f.add(a, b);
+        f.output(s);
+        f.ret_void();
+    });
+    let p = pb.finish("main");
+    let mut interp = Interpreter::new(
+        &p,
+        Box::new(MapInputs::from_entries([
+            ((ThreadId(0), 0), 10),
+            ((ThreadId(0), 1), 32),
+        ])),
+    );
+    let r = interp.run(&InterpreterConfig::default());
+    assert_eq!(r.output, vec![42]);
+    assert_eq!(interp.input_log, vec![(ThreadId(0), 0, 10), (ThreadId(0), 1, 32)]);
+}
+
+#[test]
+fn random_scheduler_is_reproducible_per_seed() {
+    let mut pb = ProgramBuilder::new("sched");
+    let worker = pb.declare("w", 1);
+    pb.define(worker, |f| {
+        f.output(f.param(0));
+        f.ret_void();
+    });
+    pb.function("main", 0, |f| {
+        let a = f.spawn(worker, 1);
+        let b = f.spawn(worker, 2);
+        f.join(a);
+        f.join(b);
+        f.ret_void();
+    });
+    let p = pb.finish("main");
+    let run = |seed| {
+        let mut interp = Interpreter::new(&p, Box::new(ZeroInputs));
+        interp.run(&InterpreterConfig {
+            scheduler: SchedulerKind::Random { seed },
+            record_trace: true,
+            ..Default::default()
+        })
+    };
+    let a1 = run(7);
+    let a2 = run(7);
+    assert_eq!(a1.output, a2.output);
+    assert_eq!(a1.trace, a2.trace);
+}
+
+#[test]
+fn paper_listing1_deadlock_program() {
+    // The example from Listing 1 of the paper: two threads run
+    // CriticalSection(); with mode==MOD_Y && idx==1 the first thread unlocks
+    // M1 and re-locks it, creating a window for the classic deadlock.
+    let p = listing1_program();
+    // Inputs: getchar()='m', getenv("mode")[0]='Y' — the bug-enabling inputs.
+    let inputs = MapInputs::from_entries([
+        ((ThreadId(0), 0), 'm' as i64),
+        ((ThreadId(0), 1), 'Y' as i64),
+    ]);
+    // Search over seeds for a schedule that deadlocks (stress testing); many
+    // seeds will complete fine, which is exactly why the paper needs ESD.
+    let mut deadlocked = false;
+    for seed in 0..400 {
+        let mut interp = Interpreter::new(&p, Box::new(inputs.clone()));
+        let r = interp.run(&InterpreterConfig {
+            scheduler: SchedulerKind::Random { seed },
+            max_steps: 50_000,
+            ..Default::default()
+        });
+        if let ExecOutcome::Fault(d) = &r.outcome {
+            if matches!(d.fault, FaultKind::Deadlock) {
+                deadlocked = true;
+                assert!(d.mutex_blocked_threads().len() >= 2);
+                break;
+            }
+        }
+    }
+    assert!(deadlocked, "some random schedule must expose the Listing-1 deadlock");
+}
+
+/// Builds the program of Listing 1 from the paper (also used by other
+/// crates' tests through `esd-workloads`, which has its own richer copy).
+fn listing1_program() -> Program {
+    let mut pb = ProgramBuilder::new("listing1");
+    let m1 = pb.global("M1", 1);
+    let m2 = pb.global("M2", 1);
+    let idx = pb.global("idx", 1);
+    let mode = pb.global("mode", 1);
+
+    let critical = pb.declare("critical_section", 1);
+    pb.define(critical, |f| {
+        let m1p = f.addr_global(m1);
+        let m2p = f.addr_global(m2);
+        f.lock(m1p);
+        f.lock(m2p);
+        let modep = f.addr_global(mode);
+        let idxp = f.addr_global(idx);
+        let mv = f.load(modep);
+        let iv = f.load(idxp);
+        let mode_y = f.cmp(CmpOp::Eq, mv, 1);
+        let idx_1 = f.cmp(CmpOp::Eq, iv, 1);
+        let both = f.bin(crate::inst::BinOp::And, mode_y, idx_1);
+        let relock = f.new_block("relock");
+        let rest = f.new_block("rest");
+        f.cond_br(both, relock, rest);
+        f.switch_to(relock);
+        f.unlock(m1p);
+        f.yield_now();
+        f.lock(m1p);
+        f.br(rest);
+        f.switch_to(rest);
+        f.unlock(m2p);
+        f.unlock(m1p);
+        f.ret_void();
+    });
+
+    pb.function("main", 0, |f| {
+        let idxp = f.addr_global(idx);
+        let modep = f.addr_global(mode);
+        // if (getchar() == 'm') idx++;
+        let c = f.getchar();
+        let is_m = f.cmp(CmpOp::Eq, c, 'm' as i64);
+        let inc = f.new_block("inc");
+        let after_inc = f.new_block("after_inc");
+        f.cond_br(is_m, inc, after_inc);
+        f.switch_to(inc);
+        let v = f.load(idxp);
+        let v1 = f.add(v, 1);
+        f.store(idxp, v1);
+        f.br(after_inc);
+        f.switch_to(after_inc);
+        // if (getenv("mode")[0] == 'Y') mode = MOD_Y (1) else mode = MOD_Z (2)
+        let e = f.getenv("mode");
+        let is_y = f.cmp(CmpOp::Eq, e, 'Y' as i64);
+        let yes = f.new_block("mode_y");
+        let no = f.new_block("mode_z");
+        let cont = f.new_block("cont");
+        f.cond_br(is_y, yes, no);
+        f.switch_to(yes);
+        f.store(modep, 1);
+        f.br(cont);
+        f.switch_to(no);
+        f.store(modep, 2);
+        f.br(cont);
+        f.switch_to(cont);
+        let t1 = f.spawn(critical, 0);
+        let t2 = f.spawn(critical, 0);
+        f.join(t1);
+        f.join(t2);
+        f.ret_void();
+    });
+    pb.finish("main")
+}

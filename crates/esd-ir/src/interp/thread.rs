@@ -1,0 +1,189 @@
+//! Threads, frames and synchronization-object state for the interpreter.
+
+use crate::types::{BlockId, FuncId, Reg, ThreadId};
+use crate::value::{ObjId, Ptr, Value};
+use std::collections::HashMap;
+
+/// One activation record.
+#[derive(Debug, Clone)]
+pub struct Frame {
+    /// The function this frame executes.
+    pub func: FuncId,
+    /// Current basic block.
+    pub block: BlockId,
+    /// Index of the next instruction to execute within the block
+    /// (`insts.len()` means the terminator).
+    pub idx: u32,
+    /// Virtual register file (uninitialized registers are `None`).
+    pub regs: Vec<Option<Value>>,
+    /// Objects backing the function's addressable locals.
+    pub locals: Vec<ObjId>,
+    /// Register of the caller that receives this frame's return value.
+    pub ret_dst: Option<Reg>,
+}
+
+impl Frame {
+    /// Creates a frame for `func` with `num_regs` registers, placing `args`
+    /// in the low registers.
+    pub fn new(func: FuncId, num_regs: u32, args: &[Value], locals: Vec<ObjId>, ret_dst: Option<Reg>) -> Self {
+        let mut regs = vec![None; num_regs as usize];
+        for (i, a) in args.iter().enumerate() {
+            regs[i] = Some(*a);
+        }
+        Frame { func, block: BlockId(0), idx: 0, regs, locals, ret_dst }
+    }
+}
+
+/// Why a thread is not currently runnable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ThreadStatus {
+    /// Ready to execute.
+    Runnable,
+    /// Blocked acquiring the mutex at this address.
+    BlockedOnMutex(Ptr),
+    /// Blocked waiting on the condition variable at this address (the mutex
+    /// to re-acquire is carried in `cond_resume`).
+    BlockedOnCond(Ptr),
+    /// Blocked joining the given thread.
+    BlockedOnJoin(ThreadId),
+    /// The thread has returned from its start routine.
+    Finished,
+}
+
+/// A single thread of the interpreted program.
+#[derive(Debug, Clone)]
+pub struct Thread {
+    /// Thread identifier (0 = main).
+    pub id: ThreadId,
+    /// Call stack, innermost frame last.
+    pub frames: Vec<Frame>,
+    /// Scheduling status.
+    pub status: ThreadStatus,
+    /// Number of input words this thread has read so far.
+    pub input_seq: u32,
+    /// Mutexes currently held by this thread, in acquisition order.
+    pub held_locks: Vec<Ptr>,
+    /// Set when the thread was signaled while waiting on a condition
+    /// variable and must re-acquire this mutex before continuing.
+    pub cond_resume: Option<Ptr>,
+    /// Value returned by the thread's start routine (available after
+    /// `Finished`).
+    pub return_value: Option<Value>,
+}
+
+impl Thread {
+    /// Creates a runnable thread with a single initial frame.
+    pub fn new(id: ThreadId, frame: Frame) -> Self {
+        Thread {
+            id,
+            frames: vec![frame],
+            status: ThreadStatus::Runnable,
+            input_seq: 0,
+            held_locks: Vec::new(),
+            cond_resume: None,
+            return_value: None,
+        }
+    }
+
+    /// The innermost frame.
+    pub fn top(&self) -> &Frame {
+        self.frames.last().expect("thread has no frames")
+    }
+
+    /// The innermost frame, mutably.
+    pub fn top_mut(&mut self) -> &mut Frame {
+        self.frames.last_mut().expect("thread has no frames")
+    }
+
+    /// True if the thread can be scheduled.
+    pub fn is_runnable(&self) -> bool {
+        self.status == ThreadStatus::Runnable
+    }
+
+    /// True if the thread has terminated.
+    pub fn is_finished(&self) -> bool {
+        self.status == ThreadStatus::Finished
+    }
+}
+
+/// State of a single mutex word.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MutexState {
+    /// The thread currently holding the mutex, if any.
+    pub holder: Option<ThreadId>,
+    /// Threads blocked waiting to acquire it, in arrival order.
+    pub waiters: Vec<ThreadId>,
+}
+
+/// State of a single condition-variable word.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CondState {
+    /// Threads blocked in `cond_wait`, with the mutex each must re-acquire.
+    pub waiters: Vec<(ThreadId, Ptr)>,
+}
+
+/// All synchronization-object state, keyed by the address of the mutex /
+/// condition-variable word (mirroring pthreads, where the synchronization
+/// object is identified by its address).
+#[derive(Debug, Clone, Default)]
+pub struct SyncState {
+    /// Mutexes that have been touched so far.
+    pub mutexes: HashMap<Ptr, MutexState>,
+    /// Condition variables that have been touched so far.
+    pub conds: HashMap<Ptr, CondState>,
+}
+
+impl SyncState {
+    /// Returns (creating if needed) the mutex at `addr`.
+    pub fn mutex_mut(&mut self, addr: Ptr) -> &mut MutexState {
+        self.mutexes.entry(addr).or_default()
+    }
+
+    /// Returns (creating if needed) the condition variable at `addr`.
+    pub fn cond_mut(&mut self, addr: Ptr) -> &mut CondState {
+        self.conds.entry(addr).or_default()
+    }
+
+    /// Returns the holder of the mutex at `addr`, if it is held.
+    pub fn holder_of(&self, addr: Ptr) -> Option<ThreadId> {
+        self.mutexes.get(&addr).and_then(|m| m.holder)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_places_args_in_low_registers() {
+        let f = Frame::new(FuncId(0), 4, &[Value::Int(10), Value::Int(20)], vec![], None);
+        assert_eq!(f.regs[0], Some(Value::Int(10)));
+        assert_eq!(f.regs[1], Some(Value::Int(20)));
+        assert_eq!(f.regs[2], None);
+        assert_eq!(f.block, BlockId(0));
+        assert_eq!(f.idx, 0);
+    }
+
+    #[test]
+    fn thread_status_transitions_reflect_runnability() {
+        let frame = Frame::new(FuncId(0), 0, &[], vec![], None);
+        let mut t = Thread::new(ThreadId(1), frame);
+        assert!(t.is_runnable());
+        t.status = ThreadStatus::BlockedOnMutex(Ptr { obj: ObjId(1), off: 0 });
+        assert!(!t.is_runnable());
+        assert!(!t.is_finished());
+        t.status = ThreadStatus::Finished;
+        assert!(t.is_finished());
+    }
+
+    #[test]
+    fn sync_state_creates_entries_on_demand() {
+        let mut s = SyncState::default();
+        let addr = Ptr { obj: ObjId(5), off: 0 };
+        assert_eq!(s.holder_of(addr), None);
+        s.mutex_mut(addr).holder = Some(ThreadId(2));
+        assert_eq!(s.holder_of(addr), Some(ThreadId(2)));
+        s.cond_mut(addr).waiters.push((ThreadId(1), addr));
+        assert_eq!(s.conds[&addr].waiters.len(), 1);
+    }
+}

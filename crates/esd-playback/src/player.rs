@@ -1,0 +1,193 @@
+//! Deterministic replay of a synthesized execution file.
+
+use esd_core::SynthesizedExecution;
+use esd_ir::{
+    interp::{InterpreterConfig, MapInputs, SchedulerKind, StepResult},
+    ExecOutcome, Interpreter, Loc, Program, ThreadId,
+};
+use esd_concurrency::SegmentStop;
+
+/// Cap on the number of attempts to drive one schedule segment (defends
+/// against malformed execution files).
+const SEGMENT_STEP_CAP: u64 = 2_000_000;
+
+/// The outcome of a playback run.
+#[derive(Debug, Clone)]
+pub struct PlaybackResult {
+    /// How the replayed execution ended.
+    pub outcome: ExecOutcome,
+    /// True if the replay ended in the same kind of failure the execution
+    /// file promises.
+    pub reproduced: bool,
+    /// Instructions executed during playback.
+    pub steps: u64,
+}
+
+/// Replays `exec` against `program`, invoking `observer` before every
+/// instruction with the interpreter state, the scheduled thread and the
+/// location about to execute. The observer is what the debugger façade (and
+/// breakpoints) hook into.
+pub fn play_with_observer<F>(
+    program: &Program,
+    exec: &SynthesizedExecution,
+    mut observer: F,
+) -> PlaybackResult
+where
+    F: FnMut(&Interpreter<'_>, ThreadId, Loc),
+{
+    let inputs = MapInputs::from_entries(exec.input_map());
+    let mut interp = Interpreter::new(program, Box::new(inputs));
+    let mut final_outcome: Option<ExecOutcome> = None;
+
+    'schedule: for seg in &exec.schedule.segments {
+        let tid = ThreadId(seg.thread);
+        if tid.0 as usize >= interp.threads().len() {
+            break;
+        }
+        let mut executed = 0u64;
+        let mut attempts = 0u64;
+        loop {
+            attempts += 1;
+            if attempts > SEGMENT_STEP_CAP {
+                break;
+            }
+            match seg.stop {
+                SegmentStop::Steps(n) if executed >= n => break,
+                _ => {}
+            }
+            if let Some(loc) = interp.current_loc(tid) {
+                observer(&interp, tid, loc);
+            }
+            match interp.step_thread(tid) {
+                StepResult::Continue => {
+                    executed += 1;
+                }
+                StepResult::Blocked => {
+                    if matches!(seg.stop, SegmentStop::Blocked) {
+                        break;
+                    }
+                    // A Steps segment that blocks early: move on to the next
+                    // segment (the synthesizer's counting treats the blocking
+                    // attempt as the segment end too).
+                    break;
+                }
+                StepResult::ThreadFinished => {
+                    break;
+                }
+                StepResult::ProgramExit { code } => {
+                    final_outcome = Some(ExecOutcome::Exit { code });
+                    break 'schedule;
+                }
+                StepResult::Fault(dump) => {
+                    final_outcome = Some(ExecOutcome::Fault(dump));
+                    break 'schedule;
+                }
+            }
+        }
+    }
+
+    // The schedule has been consumed (or ended early). For hang bugs the
+    // program is now deadlocked; for crash bugs the fault usually fired
+    // inside the schedule. Otherwise let the program run on freely.
+    let outcome = match final_outcome {
+        Some(o) => o,
+        None => {
+            if let Some(dump) = interp.detect_deadlock() {
+                ExecOutcome::Fault(Box::new(dump))
+            } else {
+                interp
+                    .run(&InterpreterConfig {
+                        max_steps: SEGMENT_STEP_CAP,
+                        scheduler: SchedulerKind::RoundRobin { quantum: 64 },
+                        record_trace: false,
+                    })
+                    .outcome
+            }
+        }
+    };
+
+    let reproduced = match &outcome {
+        ExecOutcome::Fault(dump) => dump.fault.tag() == exec.fault_tag,
+        _ => false,
+    };
+    PlaybackResult { reproduced, steps: interp.steps(), outcome }
+}
+
+/// Replays `exec` against `program` without observing individual steps.
+pub fn play(program: &Program, exec: &SynthesizedExecution) -> PlaybackResult {
+    play_with_observer(program, exec, |_, _, _| {})
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esd_concurrency::Schedule;
+    use esd_core::execfile::InputEntry;
+    use esd_ir::{CmpOp, InputSource, ProgramBuilder};
+
+    /// Hand-written execution file for a tiny crash program: playback must
+    /// follow it and reproduce the fault.
+    #[test]
+    fn handcrafted_execution_file_replays() {
+        let mut pb = ProgramBuilder::new("tiny");
+        pb.function("main", 0, |f| {
+            let x = f.getchar();
+            let c = f.cmp(CmpOp::Eq, x, 9);
+            let bug = f.new_block("bug");
+            let ok = f.new_block("ok");
+            f.cond_br(c, bug, ok);
+            f.switch_to(bug);
+            let z = f.konst(0);
+            let v = f.load(z);
+            f.output(v);
+            f.ret_void();
+            f.switch_to(ok);
+            f.ret_void();
+        });
+        let p = pb.finish("main");
+        let mut schedule = Schedule::new();
+        schedule.push(0, SegmentStop::Steps(16));
+        let exec = SynthesizedExecution {
+            program: "tiny".into(),
+            fault_tag: "segfault".into(),
+            fault_loc: None,
+            inputs: vec![InputEntry { thread: 0, seq: 0, source: InputSource::Stdin, value: 9 }],
+            schedule,
+        };
+        let r = play(&p, &exec);
+        assert!(r.reproduced);
+        assert!(r.outcome.is_fault());
+
+        // With the wrong input the fault is not reproduced.
+        let mut wrong = exec.clone();
+        wrong.inputs[0].value = 3;
+        let r = play(&p, &wrong);
+        assert!(!r.reproduced);
+    }
+
+    #[test]
+    fn observer_sees_every_scheduled_instruction() {
+        let mut pb = ProgramBuilder::new("obs");
+        pb.function("main", 0, |f| {
+            f.nop();
+            f.nop();
+            f.output(1);
+            f.ret_void();
+        });
+        let p = pb.finish("main");
+        let mut schedule = Schedule::new();
+        schedule.push(0, SegmentStop::Steps(4));
+        let exec = SynthesizedExecution {
+            program: "obs".into(),
+            fault_tag: "none".into(),
+            fault_loc: None,
+            inputs: vec![],
+            schedule,
+        };
+        let mut seen = Vec::new();
+        let r = play_with_observer(&p, &exec, |_, tid, loc| seen.push((tid, loc)));
+        assert_eq!(seen.len(), 4);
+        assert!(seen.iter().all(|(tid, _)| *tid == ThreadId(0)));
+        assert!(matches!(r.outcome, ExecOutcome::Exit { .. }));
+    }
+}

@@ -1,0 +1,25 @@
+//! Multi-threaded symbolic execution with goal-directed search — the dynamic
+//! phase of execution synthesis.
+//!
+//! The crate provides:
+//!
+//! * symbolic [`expr`]essions and values,
+//! * a lightweight, sound-but-incomplete constraint [`solver`],
+//! * forked execution [`state`]s with copy-on-write memory and per-state
+//!   thread lists,
+//! * the search [`engine`] with ESD's proximity-guided strategy (plus the
+//!   DFS / RandomPath strategies and Chess-style preemption bounding used by
+//!   the paper's KC baseline), critical-edge path abandonment, intermediate
+//!   goals, and the deadlock / data-race schedule-synthesis heuristics.
+
+pub mod engine;
+#[cfg(test)]
+mod tests;
+pub mod expr;
+pub mod solver;
+pub mod state;
+
+pub use engine::{Engine, EngineConfig, GoalSpec, SearchOutcome, SearchStats, Strategy, Synthesized};
+pub use expr::{SymExpr, SymValue, SymVar, SymVarInfo};
+pub use solver::{Solver, SolverConfig, SolverResult};
+pub use state::{ExecState, SchedDistance, SymMemory, SymThread};

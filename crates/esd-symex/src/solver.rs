@@ -1,0 +1,424 @@
+//! A lightweight constraint solver for path conditions.
+//!
+//! Klee delegates to STP; this reproduction uses a small solver tailored to
+//! the constraints execution synthesis actually produces (equalities and
+//! comparisons between linear combinations of input words and constants):
+//!
+//! 1. constant propagation of `var == const` constraints,
+//! 2. interval narrowing from `var <op> const` constraints,
+//! 3. a candidate assignment from the narrowed intervals and the "interesting
+//!    constants" appearing in the constraints,
+//! 4. verification by concrete evaluation, with bounded randomized repair if
+//!    verification fails.
+//!
+//! The solver is sound but deliberately incomplete: a returned model always
+//! satisfies the constraints (it is re-verified concretely), while a
+//! `Unknown` answer merely means the search must look elsewhere — matching
+//! the paper's discussion of inherently hard constraints (§8).
+
+use crate::expr::{SymExpr, SymVar};
+use esd_ir::CmpOp;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// The outcome of a solver query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SolverResult {
+    /// A satisfying assignment was found.
+    Sat(HashMap<SymVar, i64>),
+    /// The constraints are definitely unsatisfiable.
+    Unsat,
+    /// The solver gave up.
+    Unknown,
+}
+
+impl SolverResult {
+    /// Returns the model if satisfiable.
+    pub fn model(self) -> Option<HashMap<SymVar, i64>> {
+        match self {
+            SolverResult::Sat(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// True if a model was found.
+    pub fn is_sat(&self) -> bool {
+        matches!(self, SolverResult::Sat(_))
+    }
+}
+
+/// Solver configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct SolverConfig {
+    /// Randomized repair iterations before giving up.
+    pub repair_iterations: u32,
+    /// Seed for the randomized repair phase (determinism).
+    pub seed: u64,
+}
+
+impl Default for SolverConfig {
+    fn default() -> Self {
+        SolverConfig { repair_iterations: 4000, seed: 0x5eed }
+    }
+}
+
+/// The constraint solver. Stateless apart from configuration and counters.
+#[derive(Debug, Default)]
+pub struct Solver {
+    config: SolverConfig,
+    /// Number of `solve` calls made (reported in search statistics).
+    pub queries: u64,
+}
+
+impl Solver {
+    /// Creates a solver with the given configuration.
+    pub fn new(config: SolverConfig) -> Self {
+        Solver { config, queries: 0 }
+    }
+
+    /// Checks whether all constraints (interpreted as "must be non-zero") can
+    /// hold simultaneously, returning a model if one is found.
+    pub fn solve(&mut self, constraints: &[Arc<SymExpr>]) -> SolverResult {
+        self.queries += 1;
+        // Fast paths.
+        if constraints.iter().any(|c| c.as_const() == Some(0)) {
+            return SolverResult::Unsat;
+        }
+        let mut vars = Vec::new();
+        for c in constraints {
+            c.vars(&mut vars);
+        }
+        if vars.is_empty() {
+            return SolverResult::Sat(HashMap::new());
+        }
+
+        let mut intervals: HashMap<SymVar, (i64, i64)> =
+            vars.iter().map(|v| (*v, (i64::MIN / 4, i64::MAX / 4))).collect();
+        let mut fixed: HashMap<SymVar, i64> = HashMap::new();
+        let mut interesting: HashMap<SymVar, Vec<i64>> = HashMap::new();
+
+        for c in constraints {
+            harvest(c, true, &mut intervals, &mut fixed, &mut interesting);
+        }
+        // Detect trivially empty intervals.
+        for (v, (lo, hi)) in &intervals {
+            if lo > hi {
+                // Only definitive if the emptiness came from single-variable
+                // constraints; we harvested conservatively, so report Unsat.
+                let _ = v;
+                return SolverResult::Unsat;
+            }
+        }
+
+        // Candidate assignment: fixed values, otherwise an interesting value
+        // inside the interval, otherwise a clamped default.
+        let mut assignment: HashMap<SymVar, i64> = HashMap::new();
+        for v in &vars {
+            let (lo, hi) = intervals[v];
+            let value = if let Some(f) = fixed.get(v) {
+                *f
+            } else if let Some(cands) = interesting.get(v) {
+                cands.iter().copied().find(|c| *c >= lo && *c <= hi).unwrap_or(lo.max(0.min(hi)))
+            } else {
+                0.clamp(lo, hi)
+            };
+            assignment.insert(*v, value);
+        }
+        if verify(constraints, &assignment) {
+            return SolverResult::Sat(assignment);
+        }
+
+        // Randomized repair: flip one variable at a time toward satisfying
+        // more constraints, with targeted moves for arithmetic (in)equalities
+        // (adjust the variable by the constraint's residual).
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let mut best = assignment.clone();
+        let mut best_unsat = count_unsat(constraints, &best);
+        for _ in 0..self.config.repair_iterations {
+            let mut candidate = best.clone();
+            let unsat_constraints: Vec<&Arc<SymExpr>> =
+                constraints.iter().filter(|c| c.eval(&candidate) == 0).collect();
+            if rng.gen_bool(0.5) && !unsat_constraints.is_empty() {
+                // Targeted move on a violated comparison.
+                let c = unsat_constraints[rng.gen_range(0..unsat_constraints.len())];
+                if let SymExpr::Cmp(_, lhs, rhs) = c.as_ref() {
+                    let mut cvars = Vec::new();
+                    c.vars(&mut cvars);
+                    if !cvars.is_empty() {
+                        let v = cvars[rng.gen_range(0..cvars.len())];
+                        let delta = rhs.eval(&candidate) - lhs.eval(&candidate);
+                        let cur = candidate.get(&v).copied().unwrap_or(0);
+                        let (lo, hi) = intervals.get(&v).copied().unwrap_or((i64::MIN / 4, i64::MAX / 4));
+                        let adjust = match rng.gen_range(0..4) {
+                            0 => delta,
+                            1 => -delta,
+                            2 => delta / 2,
+                            _ => delta * 2,
+                        };
+                        candidate.insert(v, cur.wrapping_add(adjust).clamp(lo, hi));
+                    }
+                }
+            } else {
+                let v = vars[rng.gen_range(0..vars.len())];
+                let (lo, hi) = intervals[&v];
+                let choice = match rng.gen_range(0..4) {
+                    0 => interesting
+                        .get(&v)
+                        .and_then(|c| c.get(rng.gen_range(0..c.len().max(1))).copied())
+                        .unwrap_or(0),
+                    1 => lo,
+                    2 => hi.min(lo.saturating_add(256)),
+                    _ => rng.gen_range(lo..=hi.min(lo.saturating_add(1024)).max(lo)),
+                };
+                candidate.insert(v, choice.clamp(lo, hi));
+            }
+            let unsat = count_unsat(constraints, &candidate);
+            if unsat == 0 {
+                return SolverResult::Sat(candidate);
+            }
+            if unsat < best_unsat {
+                best_unsat = unsat;
+                best = candidate;
+            }
+        }
+        SolverResult::Unknown
+    }
+
+    /// Convenience: is the conjunction satisfiable at all?
+    pub fn is_feasible(&mut self, constraints: &[Arc<SymExpr>]) -> bool {
+        !matches!(self.solve(constraints), SolverResult::Unsat)
+    }
+}
+
+fn verify(constraints: &[Arc<SymExpr>], assignment: &HashMap<SymVar, i64>) -> bool {
+    constraints.iter().all(|c| c.eval(assignment) != 0)
+}
+
+fn count_unsat(constraints: &[Arc<SymExpr>], assignment: &HashMap<SymVar, i64>) -> usize {
+    constraints.iter().filter(|c| c.eval(assignment) == 0).count()
+}
+
+/// Harvests interval bounds, fixed values and interesting constants from a
+/// constraint that must evaluate to `required` (true = non-zero).
+fn harvest(
+    expr: &SymExpr,
+    required: bool,
+    intervals: &mut HashMap<SymVar, (i64, i64)>,
+    fixed: &mut HashMap<SymVar, i64>,
+    interesting: &mut HashMap<SymVar, Vec<i64>>,
+) {
+    match expr {
+        SymExpr::Not(inner) => harvest(inner, !required, intervals, fixed, interesting),
+        SymExpr::Cmp(op, a, b) => {
+            let (var, konst, op) = match (a.as_ref(), b.as_ref()) {
+                (SymExpr::Var(v), SymExpr::Const(c)) => (*v, *c, *op),
+                (SymExpr::Const(c), SymExpr::Var(v)) => (*v, *c, op.swap()),
+                _ => {
+                    // Record constants appearing anywhere as interesting for
+                    // all involved variables.
+                    let mut vars = Vec::new();
+                    expr.vars(&mut vars);
+                    let consts = collect_consts(expr);
+                    for v in vars {
+                        let e = interesting.entry(v).or_default();
+                        for c in &consts {
+                            push_interesting(e, *c);
+                        }
+                    }
+                    return;
+                }
+            };
+            let op = if required { op } else { op.negate() };
+            let entry = intervals.entry(var).or_insert((i64::MIN / 4, i64::MAX / 4));
+            match op {
+                CmpOp::Eq => {
+                    fixed.insert(var, konst);
+                    entry.0 = entry.0.max(konst);
+                    entry.1 = entry.1.min(konst);
+                }
+                CmpOp::Ne => {
+                    let e = interesting.entry(var).or_default();
+                    push_interesting(e, konst.wrapping_add(1));
+                    push_interesting(e, konst.wrapping_sub(1));
+                }
+                CmpOp::Lt => entry.1 = entry.1.min(konst - 1),
+                CmpOp::Le => entry.1 = entry.1.min(konst),
+                CmpOp::Gt => entry.0 = entry.0.max(konst + 1),
+                CmpOp::Ge => entry.0 = entry.0.max(konst),
+            }
+            let e = interesting.entry(var).or_default();
+            push_interesting(e, konst);
+            push_interesting(e, konst.wrapping_add(1));
+            push_interesting(e, konst.wrapping_sub(1));
+        }
+        SymExpr::Bin(esd_ir::BinOp::And, a, b) if required => {
+            harvest(a, true, intervals, fixed, interesting);
+            harvest(b, true, intervals, fixed, interesting);
+        }
+        SymExpr::Var(v) => {
+            if required {
+                let e = interesting.entry(*v).or_default();
+                push_interesting(e, 1);
+            } else {
+                fixed.insert(*v, 0);
+            }
+        }
+        _ => {
+            let mut vars = Vec::new();
+            expr.vars(&mut vars);
+            let consts = collect_consts(expr);
+            for v in vars {
+                let e = interesting.entry(v).or_default();
+                for c in &consts {
+                    push_interesting(e, *c);
+                }
+            }
+        }
+    }
+}
+
+fn push_interesting(list: &mut Vec<i64>, v: i64) {
+    if !list.contains(&v) && list.len() < 64 {
+        list.push(v);
+    }
+}
+
+fn collect_consts(expr: &SymExpr) -> Vec<i64> {
+    let mut out = Vec::new();
+    fn rec(e: &SymExpr, out: &mut Vec<i64>) {
+        match e {
+            SymExpr::Const(c) => {
+                if !out.contains(c) {
+                    out.push(*c);
+                    out.push(c.wrapping_add(1));
+                    out.push(c.wrapping_sub(1));
+                }
+            }
+            SymExpr::Var(_) => {}
+            SymExpr::Bin(_, a, b) | SymExpr::Cmp(_, a, b) => {
+                rec(a, out);
+                rec(b, out);
+            }
+            SymExpr::Not(a) => rec(a, out),
+        }
+    }
+    rec(expr, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esd_ir::BinOp;
+
+    fn var(i: u32) -> Arc<SymExpr> {
+        SymExpr::var(SymVar(i))
+    }
+
+    fn c(v: i64) -> Arc<SymExpr> {
+        SymExpr::constant(v)
+    }
+
+    #[test]
+    fn equality_constraints_are_solved_directly() {
+        let mut s = Solver::new(SolverConfig::default());
+        let constraints = vec![SymExpr::cmp(CmpOp::Eq, var(0), c('m' as i64))];
+        let model = s.solve(&constraints).model().unwrap();
+        assert_eq!(model[&SymVar(0)], 'm' as i64);
+    }
+
+    #[test]
+    fn conjunction_over_multiple_variables() {
+        let mut s = Solver::new(SolverConfig::default());
+        let constraints = vec![
+            SymExpr::cmp(CmpOp::Eq, var(0), c('Y' as i64)),
+            SymExpr::cmp(CmpOp::Gt, var(1), c(10)),
+            SymExpr::cmp(CmpOp::Lt, var(1), c(20)),
+            SymExpr::cmp(CmpOp::Ne, var(2), c(0)),
+        ];
+        let model = s.solve(&constraints).model().unwrap();
+        assert_eq!(model[&SymVar(0)], 'Y' as i64);
+        assert!(model[&SymVar(1)] > 10 && model[&SymVar(1)] < 20);
+        assert_ne!(model[&SymVar(2)], 0);
+    }
+
+    #[test]
+    fn contradictory_equalities_are_unsat_or_unknown_but_never_sat() {
+        let mut s = Solver::new(SolverConfig::default());
+        let constraints = vec![
+            SymExpr::cmp(CmpOp::Eq, var(0), c(1)),
+            SymExpr::cmp(CmpOp::Eq, var(0), c(2)),
+        ];
+        let r = s.solve(&constraints);
+        assert!(!r.is_sat());
+    }
+
+    #[test]
+    fn empty_interval_is_unsat() {
+        let mut s = Solver::new(SolverConfig::default());
+        let constraints = vec![
+            SymExpr::cmp(CmpOp::Gt, var(0), c(10)),
+            SymExpr::cmp(CmpOp::Lt, var(0), c(5)),
+        ];
+        assert_eq!(s.solve(&constraints), SolverResult::Unsat);
+        assert!(!s.is_feasible(&constraints));
+    }
+
+    #[test]
+    fn linear_combination_solved_by_repair() {
+        let mut s = Solver::new(SolverConfig::default());
+        // x + y == 100, x == 42 ⇒ y == 58.
+        let sum = SymExpr::bin(BinOp::Add, var(0), var(1));
+        let constraints = vec![
+            SymExpr::cmp(CmpOp::Eq, var(0), c(42)),
+            SymExpr::cmp(CmpOp::Eq, sum, c(100)),
+        ];
+        match s.solve(&constraints) {
+            SolverResult::Sat(m) => {
+                assert_eq!(m[&SymVar(0)], 42);
+                assert_eq!(m[&SymVar(0)] + m[&SymVar(1)], 100);
+            }
+            other => panic!("expected sat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn negated_branch_conditions() {
+        let mut s = Solver::new(SolverConfig::default());
+        let constraints = vec![
+            SymExpr::not(SymExpr::cmp(CmpOp::Eq, var(0), c(7))),
+            SymExpr::cmp(CmpOp::Ge, var(0), c(7)),
+        ];
+        let model = s.solve(&constraints).model().unwrap();
+        assert!(model[&SymVar(0)] > 7);
+    }
+
+    #[test]
+    fn no_constraints_is_trivially_sat() {
+        let mut s = Solver::new(SolverConfig::default());
+        assert!(s.solve(&[]).is_sat());
+        assert_eq!(s.queries, 1);
+    }
+
+    #[test]
+    fn constant_false_constraint_is_unsat() {
+        let mut s = Solver::new(SolverConfig::default());
+        assert_eq!(s.solve(&[c(0)]), SolverResult::Unsat);
+        assert!(s.solve(&[c(1)]).is_sat());
+    }
+
+    #[test]
+    fn boolean_and_of_conditions_is_split() {
+        let mut s = Solver::new(SolverConfig::default());
+        let both = SymExpr::bin(
+            BinOp::And,
+            SymExpr::cmp(CmpOp::Eq, var(0), c(1)),
+            SymExpr::cmp(CmpOp::Eq, var(1), c(1)),
+        );
+        let model = s.solve(&[both]).model().unwrap();
+        assert_eq!(model[&SymVar(0)], 1);
+        assert_eq!(model[&SymVar(1)], 1);
+    }
+}

@@ -1,0 +1,492 @@
+//! Execution states for multi-threaded symbolic execution.
+//!
+//! An execution state is "a program counter, a stack, and an address space"
+//! (§3.3) extended with "a list of the active threads" (§6.1). States fork at
+//! symbolic branches and at scheduling decisions; the address space is shared
+//! copy-on-write at object granularity between forked states (Klee's
+//! mechanism, which the paper calls "key to ESD's scalability").
+
+use crate::expr::{SymExpr, SymValue, SymVar, SymVarInfo};
+use esd_concurrency::Schedule;
+use esd_ir::interp::{ObjKind, SyncState, ThreadStatus};
+use esd_ir::{BlockId, FuncId, Loc, ObjId, Program, Ptr, Reg, ThreadId, Value};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// One activation record of a symbolically executed thread.
+#[derive(Debug, Clone)]
+pub struct SymFrame {
+    /// Function this frame executes.
+    pub func: FuncId,
+    /// Current basic block.
+    pub block: BlockId,
+    /// Index of the next instruction (`insts.len()` = terminator).
+    pub idx: u32,
+    /// Register file.
+    pub regs: Vec<Option<SymValue>>,
+    /// Objects backing this frame's locals.
+    pub locals: Vec<ObjId>,
+    /// Caller register receiving the return value.
+    pub ret_dst: Option<Reg>,
+}
+
+impl SymFrame {
+    /// Creates a frame with arguments placed in the low registers.
+    pub fn new(
+        func: FuncId,
+        num_regs: u32,
+        args: &[SymValue],
+        locals: Vec<ObjId>,
+        ret_dst: Option<Reg>,
+    ) -> Self {
+        let mut regs = vec![None; num_regs as usize];
+        for (i, a) in args.iter().enumerate() {
+            regs[i] = Some(a.clone());
+        }
+        SymFrame { func, block: BlockId(0), idx: 0, regs, locals, ret_dst }
+    }
+
+    /// The location of the next instruction of this frame.
+    pub fn loc(&self) -> Loc {
+        Loc { func: self.func, block: self.block, idx: self.idx }
+    }
+}
+
+/// One thread within an execution state.
+#[derive(Debug, Clone)]
+pub struct SymThread {
+    /// Thread id (0 = main).
+    pub id: ThreadId,
+    /// Call stack, outermost first.
+    pub frames: Vec<SymFrame>,
+    /// Scheduling status.
+    pub status: ThreadStatus,
+    /// Number of input words read so far (the playback key).
+    pub input_seq: u32,
+    /// Mutexes held, in acquisition order.
+    pub held_locks: Vec<Ptr>,
+    /// Mutex to re-acquire after a condition-variable signal.
+    pub cond_resume: Option<Ptr>,
+    /// The mutex this thread acquired at its goal location ("inner lock"),
+    /// used by the deadlock schedule heuristic.
+    pub inner_lock_held: Option<Ptr>,
+}
+
+impl SymThread {
+    /// Creates a runnable thread with one frame.
+    pub fn new(id: ThreadId, frame: SymFrame) -> Self {
+        SymThread {
+            id,
+            frames: vec![frame],
+            status: ThreadStatus::Runnable,
+            input_seq: 0,
+            held_locks: Vec::new(),
+            cond_resume: None,
+            inner_lock_held: None,
+        }
+    }
+
+    /// The innermost frame.
+    pub fn top(&self) -> &SymFrame {
+        self.frames.last().expect("thread has no frames")
+    }
+
+    /// The innermost frame, mutably.
+    pub fn top_mut(&mut self) -> &mut SymFrame {
+        self.frames.last_mut().expect("thread has no frames")
+    }
+
+    /// The call stack as locations, outermost first (the input to the
+    /// proximity heuristic).
+    pub fn stack_locs(&self) -> Vec<Loc> {
+        self.frames.iter().map(|f| f.loc()).collect()
+    }
+
+    /// True if the thread can be scheduled.
+    pub fn is_runnable(&self) -> bool {
+        self.status == ThreadStatus::Runnable
+    }
+
+    /// True if the thread has terminated.
+    pub fn is_finished(&self) -> bool {
+        self.status == ThreadStatus::Finished
+    }
+}
+
+/// A symbolic memory object.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SymObject {
+    /// The object's words.
+    pub data: Vec<SymValue>,
+    /// Storage class.
+    pub kind: ObjKind,
+    /// True once freed / out of scope.
+    pub freed: bool,
+}
+
+/// Memory access errors (mirrors the concrete interpreter's).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SymMemError {
+    /// Dereference of a non-pointer value.
+    NotAPointer(Value),
+    /// Pointer to an unknown object.
+    DanglingObject(ObjId),
+    /// Access to a freed object.
+    UseAfterFree(ObjId),
+    /// Offset outside the object.
+    OutOfBounds {
+        /// Accessed offset.
+        off: i64,
+        /// Object size in words.
+        size: usize,
+    },
+    /// Invalid `free`.
+    InvalidFree(Value),
+    /// Double `free`.
+    DoubleFree(ObjId),
+}
+
+/// Copy-on-write symbolic memory: objects are shared between forked states
+/// through `Arc` and cloned lazily on first write.
+#[derive(Debug, Clone, Default)]
+pub struct SymMemory {
+    objects: HashMap<ObjId, Arc<SymObject>>,
+    next_id: u64,
+}
+
+impl SymMemory {
+    /// Creates an empty memory.
+    pub fn new() -> Self {
+        SymMemory { objects: HashMap::new(), next_id: 1 }
+    }
+
+    /// Allocates a zero-initialized object.
+    pub fn alloc(&mut self, kind: ObjKind, size: usize) -> ObjId {
+        self.alloc_init(kind, vec![SymValue::ZERO; size])
+    }
+
+    /// Allocates an object with the given contents.
+    pub fn alloc_init(&mut self, kind: ObjKind, data: Vec<SymValue>) -> ObjId {
+        let id = ObjId(self.next_id);
+        self.next_id += 1;
+        self.objects.insert(id, Arc::new(SymObject { data, kind, freed: false }));
+        id
+    }
+
+    /// Number of objects (live or freed).
+    pub fn num_objects(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Returns the object behind `id`.
+    pub fn object(&self, id: ObjId) -> Option<&Arc<SymObject>> {
+        self.objects.get(&id)
+    }
+
+    fn check(&self, ptr: Ptr) -> Result<&Arc<SymObject>, SymMemError> {
+        let obj = self.objects.get(&ptr.obj).ok_or(SymMemError::DanglingObject(ptr.obj))?;
+        if obj.freed {
+            return Err(SymMemError::UseAfterFree(ptr.obj));
+        }
+        if ptr.off < 0 || ptr.off as usize >= obj.data.len() {
+            return Err(SymMemError::OutOfBounds { off: ptr.off, size: obj.data.len() });
+        }
+        Ok(obj)
+    }
+
+    /// Loads the word at `ptr`.
+    pub fn load(&self, ptr: Ptr) -> Result<SymValue, SymMemError> {
+        Ok(self.check(ptr)?.data[ptr.off as usize].clone())
+    }
+
+    /// Stores `value` at `ptr` (copy-on-write).
+    pub fn store(&mut self, ptr: Ptr, value: SymValue) -> Result<(), SymMemError> {
+        self.check(ptr)?;
+        let obj = self.objects.get_mut(&ptr.obj).unwrap();
+        Arc::make_mut(obj).data[ptr.off as usize] = value;
+        Ok(())
+    }
+
+    /// Frees a heap object.
+    pub fn free(&mut self, value: Value) -> Result<(), SymMemError> {
+        let ptr = match value {
+            Value::Ptr(p) => p,
+            v => return Err(SymMemError::InvalidFree(v)),
+        };
+        let obj = self.objects.get_mut(&ptr.obj).ok_or(SymMemError::DanglingObject(ptr.obj))?;
+        if ptr.off != 0 || obj.kind != ObjKind::Heap {
+            return Err(SymMemError::InvalidFree(value));
+        }
+        if obj.freed {
+            return Err(SymMemError::DoubleFree(ptr.obj));
+        }
+        Arc::make_mut(obj).freed = true;
+        Ok(())
+    }
+
+    /// Marks a stack-local object dead.
+    pub fn kill_local(&mut self, id: ObjId) {
+        if let Some(obj) = self.objects.get_mut(&id) {
+            Arc::make_mut(obj).freed = true;
+        }
+    }
+
+    /// Number of objects physically shared with `other` (diagnostics for the
+    /// copy-on-write behaviour).
+    pub fn shared_objects_with(&self, other: &SymMemory) -> usize {
+        self.objects
+            .iter()
+            .filter(|(id, obj)| {
+                other.objects.get(id).map(|o| Arc::ptr_eq(o, obj)).unwrap_or(false)
+            })
+            .count()
+    }
+}
+
+/// How promising a state looks for the deadlock schedule heuristic (§4.1):
+/// `Near` states are strongly preferred, `Far` states strongly deprioritized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SchedDistance {
+    /// The state just created conditions believed to be close to the
+    /// reported deadlock.
+    Near,
+    /// No particular indication either way.
+    Neutral,
+    /// The state was explicitly rolled back / deprioritized.
+    Far,
+}
+
+/// A complete execution state.
+#[derive(Debug, Clone)]
+pub struct ExecState {
+    /// Unique state id (stable across the whole search).
+    pub id: u64,
+    /// All threads created so far.
+    pub threads: Vec<SymThread>,
+    /// The address space.
+    pub mem: SymMemory,
+    /// Mutex / condition-variable runtime state.
+    pub sync: SyncState,
+    /// Objects backing the program's globals.
+    pub globals: Vec<ObjId>,
+    /// Path constraints (each must be non-zero).
+    pub constraints: Vec<Arc<SymExpr>>,
+    /// Provenance of each symbolic variable, indexed by `SymVar`.
+    pub var_info: Vec<SymVarInfo>,
+    /// The thread currently scheduled in this state's serialized execution.
+    pub current: ThreadId,
+    /// Instructions executed by `current` since its segment started.
+    pub segment_steps: u64,
+    /// The serialized schedule so far.
+    pub schedule: Schedule,
+    /// Total instructions executed in this state.
+    pub steps: u64,
+    /// Deadlock-heuristic schedule distance.
+    pub sched_distance: SchedDistance,
+    /// The paper's `K_S` map: for each mutex currently held on this path, the
+    /// id of the forked state in which the acquiring thread was preempted
+    /// just before acquiring it.
+    pub lock_snapshots: Vec<(Ptr, u64)>,
+    /// Number of preemptive (non-forced) context switches so far, for
+    /// Chess-style preemption bounding in the KC baseline.
+    pub preemptions: u32,
+    /// True once the state has been abandoned (critical-edge violation,
+    /// unsatisfiable constraints, fault at a non-goal location, …).
+    pub dead: bool,
+}
+
+impl ExecState {
+    /// Creates the initial state of `program`: globals allocated, main thread
+    /// at the entry function.
+    pub fn initial(program: &Program) -> Self {
+        let mut mem = SymMemory::new();
+        let mut globals = Vec::with_capacity(program.globals.len());
+        for (gi, g) in program.globals.iter().enumerate() {
+            let mut data = vec![SymValue::ZERO; g.size as usize];
+            for (i, v) in g.init.iter().enumerate() {
+                data[i] = SymValue::int(*v);
+            }
+            globals.push(mem.alloc_init(ObjKind::Global(esd_ir::GlobalId(gi as u32)), data));
+        }
+        let entry = program.func(program.entry);
+        let mut locals = Vec::new();
+        for size in &entry.local_sizes {
+            locals.push(mem.alloc(ObjKind::Local(ThreadId(0)), *size as usize));
+        }
+        let frame = SymFrame::new(program.entry, entry.num_regs, &[], locals, None);
+        ExecState {
+            id: 0,
+            threads: vec![SymThread::new(ThreadId(0), frame)],
+            mem,
+            sync: SyncState::default(),
+            globals,
+            constraints: Vec::new(),
+            var_info: Vec::new(),
+            current: ThreadId(0),
+            segment_steps: 0,
+            schedule: Schedule::new(),
+            steps: 0,
+            sched_distance: SchedDistance::Neutral,
+            lock_snapshots: Vec::new(),
+            preemptions: 0,
+            dead: false,
+        }
+    }
+
+    /// The thread with the given id.
+    pub fn thread(&self, tid: ThreadId) -> &SymThread {
+        &self.threads[tid.0 as usize]
+    }
+
+    /// The thread with the given id, mutably.
+    pub fn thread_mut(&mut self, tid: ThreadId) -> &mut SymThread {
+        &mut self.threads[tid.0 as usize]
+    }
+
+    /// Ids of all runnable threads.
+    pub fn runnable_threads(&self) -> Vec<ThreadId> {
+        self.threads.iter().filter(|t| t.is_runnable()).map(|t| t.id).collect()
+    }
+
+    /// True if some thread has not finished.
+    pub fn has_unfinished_threads(&self) -> bool {
+        self.threads.iter().any(|t| !t.is_finished())
+    }
+
+    /// True if no thread is runnable but some thread is unfinished.
+    pub fn is_global_stall(&self) -> bool {
+        self.runnable_threads().is_empty() && self.has_unfinished_threads()
+    }
+
+    /// The location the currently scheduled thread will execute next.
+    pub fn current_loc(&self) -> Option<Loc> {
+        let t = self.thread(self.current);
+        if t.is_finished() || t.frames.is_empty() {
+            None
+        } else {
+            Some(t.top().loc())
+        }
+    }
+
+    /// Creates a fresh symbolic variable with the given provenance.
+    pub fn fresh_var(&mut self, info: SymVarInfo) -> SymVar {
+        let v = SymVar(self.var_info.len() as u32);
+        self.var_info.push(info);
+        v
+    }
+
+    /// Adds a path constraint.
+    pub fn add_constraint(&mut self, c: Arc<SymExpr>) {
+        if c.as_const() != Some(1) {
+            self.constraints.push(c);
+        }
+    }
+
+    /// Looks up the snapshot state id associated with `mutex` in `K_S`.
+    pub fn snapshot_for(&self, mutex: Ptr) -> Option<u64> {
+        self.lock_snapshots.iter().find(|(m, _)| *m == mutex).map(|(_, s)| *s)
+    }
+
+    /// Removes the snapshot entry for `mutex` (on unlock, as in the paper:
+    /// "a snapshot entry is deleted as soon as M is unlocked").
+    pub fn drop_snapshot(&mut self, mutex: Ptr) {
+        self.lock_snapshots.retain(|(m, _)| *m != mutex);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esd_ir::ProgramBuilder;
+
+    fn tiny() -> Program {
+        let mut pb = ProgramBuilder::new("p");
+        pb.global_init("g", 2, vec![5]);
+        pb.function("main", 0, |f| {
+            f.nop();
+            f.ret_void();
+        });
+        pb.finish("main")
+    }
+
+    #[test]
+    fn initial_state_has_main_thread_and_globals() {
+        let p = tiny();
+        let s = ExecState::initial(&p);
+        assert_eq!(s.threads.len(), 1);
+        assert_eq!(s.globals.len(), 1);
+        assert_eq!(s.current, ThreadId(0));
+        assert_eq!(s.current_loc(), Some(Loc::new(p.entry, BlockId(0), 0)));
+        let g = s.mem.load(Ptr::to(s.globals[0])).unwrap();
+        assert_eq!(g, SymValue::int(5));
+        assert!(!s.is_global_stall());
+    }
+
+    #[test]
+    fn cow_memory_shares_objects_until_written() {
+        let p = tiny();
+        let s1 = ExecState::initial(&p);
+        let mut s2 = s1.clone();
+        assert_eq!(s1.mem.shared_objects_with(&s2.mem), s1.mem.num_objects());
+        s2.mem.store(Ptr::to(s2.globals[0]), SymValue::int(9)).unwrap();
+        // Exactly one object diverged.
+        assert_eq!(s1.mem.shared_objects_with(&s2.mem), s1.mem.num_objects() - 1);
+        // The original is untouched.
+        assert_eq!(s1.mem.load(Ptr::to(s1.globals[0])).unwrap(), SymValue::int(5));
+        assert_eq!(s2.mem.load(Ptr::to(s2.globals[0])).unwrap(), SymValue::int(9));
+    }
+
+    #[test]
+    fn sym_memory_detects_errors_like_the_concrete_one() {
+        let mut m = SymMemory::new();
+        let h = m.alloc(ObjKind::Heap, 2);
+        assert!(matches!(
+            m.load(Ptr { obj: h, off: 5 }),
+            Err(SymMemError::OutOfBounds { off: 5, size: 2 })
+        ));
+        m.free(Value::Ptr(Ptr::to(h))).unwrap();
+        assert!(matches!(m.load(Ptr::to(h)), Err(SymMemError::UseAfterFree(_))));
+        assert!(matches!(m.free(Value::Ptr(Ptr::to(h))), Err(SymMemError::DoubleFree(_))));
+        assert!(matches!(m.free(Value::Int(3)), Err(SymMemError::InvalidFree(_))));
+    }
+
+    #[test]
+    fn constraints_skip_trivially_true_ones() {
+        let p = tiny();
+        let mut s = ExecState::initial(&p);
+        s.add_constraint(SymExpr::constant(1));
+        assert!(s.constraints.is_empty());
+        s.add_constraint(SymExpr::cmp(esd_ir::CmpOp::Eq, SymExpr::var(SymVar(0)), SymExpr::constant(3)));
+        assert_eq!(s.constraints.len(), 1);
+    }
+
+    #[test]
+    fn snapshot_map_add_lookup_drop() {
+        let p = tiny();
+        let mut s = ExecState::initial(&p);
+        let m = Ptr::to(ObjId(42));
+        s.lock_snapshots.push((m, 7));
+        assert_eq!(s.snapshot_for(m), Some(7));
+        s.drop_snapshot(m);
+        assert_eq!(s.snapshot_for(m), None);
+    }
+
+    #[test]
+    fn fresh_vars_are_sequential_and_record_provenance() {
+        let p = tiny();
+        let mut s = ExecState::initial(&p);
+        let v0 = s.fresh_var(SymVarInfo {
+            thread: ThreadId(0),
+            seq: 0,
+            source: esd_ir::InputSource::Stdin,
+        });
+        let v1 = s.fresh_var(SymVarInfo {
+            thread: ThreadId(1),
+            seq: 0,
+            source: esd_ir::InputSource::Net,
+        });
+        assert_eq!(v0, SymVar(0));
+        assert_eq!(v1, SymVar(1));
+        assert_eq!(s.var_info.len(), 2);
+    }
+}

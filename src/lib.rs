@@ -1,0 +1,29 @@
+//! ESD — execution synthesis for automated software debugging, in Rust.
+//!
+//! This is the umbrella crate of the workspace: it re-exports the public API
+//! of every component so that downstream users (and the examples under
+//! `examples/`) can depend on a single crate.
+//!
+//! * [`ir`] — the program representation and concrete interpreter.
+//! * [`analysis`] — CFG, call graph, critical edges, intermediate goals,
+//!   proximity distances (the static phase).
+//! * [`symex`] — the multi-threaded symbolic-execution engine and search
+//!   strategies (the dynamic phase).
+//! * [`concurrency`] — deadlock / data-race detection and schedules.
+//! * [`core`] — the `esdsynth` facade, bug reports, execution files,
+//!   baselines and triage.
+//! * [`playback`] — the `esdplay` facade: deterministic replay, the debugger
+//!   façade and patch verification.
+//! * [`workloads`] — the evaluation workloads (real-bug analogs and BPF).
+
+pub use esd_analysis as analysis;
+pub use esd_concurrency as concurrency;
+pub use esd_core as core;
+pub use esd_ir as ir;
+pub use esd_playback as playback;
+pub use esd_symex as symex;
+pub use esd_workloads as workloads;
+
+pub use esd_core::{BugKind, BugReport, Esd, EsdOptions, SynthesizedExecution};
+pub use esd_playback::{play, Debugger};
+pub use esd_symex::GoalSpec;

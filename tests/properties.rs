@@ -1,0 +1,98 @@
+//! Property-based tests over the core data structures and invariants.
+
+use esd::concurrency::{Schedule, SegmentStop, VectorClock};
+use esd::ir::{BinOp, CmpOp, ProgramBuilder};
+use esd::ir::interp::{InterpreterConfig, MapInputs, SchedulerKind};
+use esd::ir::{Interpreter, ThreadId};
+use esd::symex::{Solver, SolverConfig, SymExpr, SymVar};
+use proptest::prelude::*;
+
+proptest! {
+    /// The solver never returns a model that violates the constraints it was
+    /// given (soundness): whatever assignment comes back must satisfy every
+    /// constraint under concrete evaluation.
+    #[test]
+    fn solver_models_always_satisfy_their_constraints(
+        bounds in proptest::collection::vec((0u32..4, 0i64..100, 0usize..6), 1..6)
+    ) {
+        let ops = [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge];
+        let constraints: Vec<_> = bounds
+            .iter()
+            .map(|(var, k, op)| SymExpr::cmp(ops[*op], SymExpr::var(SymVar(*var)), SymExpr::constant(*k)))
+            .collect();
+        let mut solver = Solver::new(SolverConfig::default());
+        if let esd::symex::SolverResult::Sat(model) = solver.solve(&constraints) {
+            for c in &constraints {
+                prop_assert_ne!(c.eval(&model), 0, "model must satisfy every constraint");
+            }
+        }
+    }
+
+    /// Schedules preserve the total number of counted steps under the
+    /// merge-on-push normalization.
+    #[test]
+    fn schedule_push_preserves_counted_steps(segs in proptest::collection::vec((0u32..3, 1u64..50), 0..40)) {
+        let mut schedule = Schedule::new();
+        let mut expected = 0u64;
+        for (t, n) in &segs {
+            schedule.push(*t, SegmentStop::Steps(*n));
+            expected += n;
+        }
+        prop_assert_eq!(schedule.counted_steps(), expected);
+        // Merging never produces two adjacent Steps segments of the same thread.
+        for w in schedule.segments.windows(2) {
+            let same_thread = w[0].thread == w[1].thread;
+            let both_steps = matches!(w[0].stop, SegmentStop::Steps(_)) && matches!(w[1].stop, SegmentStop::Steps(_));
+            prop_assert!(!(same_thread && both_steps));
+        }
+    }
+
+    /// Vector-clock happens-before is antisymmetric and consistent with joins.
+    #[test]
+    fn vector_clock_partial_order(ticks in proptest::collection::vec((0usize..3, 1u8..4), 1..20)) {
+        let mut a = VectorClock::new();
+        for (t, n) in &ticks {
+            for _ in 0..*n {
+                a.tick(*t);
+            }
+        }
+        let mut b = a.clone();
+        b.tick(0);
+        prop_assert!(a.happens_before(&b));
+        prop_assert!(!b.happens_before(&a));
+        let mut c = VectorClock::new();
+        c.tick(1);
+        c.join(&b);
+        prop_assert!(a.happens_before(&c));
+    }
+
+    /// The concrete interpreter is deterministic: same program, same inputs,
+    /// same scheduler seed ⇒ identical output and step count.
+    #[test]
+    fn interpreter_is_deterministic(x in 0i64..200, y in 0i64..200, seed in 0u64..32) {
+        let mut pb = ProgramBuilder::new("det");
+        pb.function("main", 0, |f| {
+            let a = f.getchar();
+            let b = f.getchar();
+            let s = f.bin(BinOp::Add, a, b);
+            let big = f.cmp(CmpOp::Gt, s, 100);
+            let t = f.new_block("t");
+            let e = f.new_block("e");
+            f.cond_br(big, t, e);
+            f.switch_to(t);
+            f.output(1);
+            f.ret_void();
+            f.switch_to(e);
+            f.output(0);
+            f.ret_void();
+        });
+        let p = pb.finish("main");
+        let run = || {
+            let inputs = MapInputs::from_entries([((ThreadId(0), 0), x), ((ThreadId(0), 1), y)]);
+            let mut i = Interpreter::new(&p, Box::new(inputs));
+            let r = i.run(&InterpreterConfig { scheduler: SchedulerKind::Random { seed }, ..Default::default() });
+            (r.output.clone(), r.steps)
+        };
+        prop_assert_eq!(run(), run());
+    }
+}
