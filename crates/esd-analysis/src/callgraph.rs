@@ -77,9 +77,7 @@ impl CallGraph {
                             let t: Vec<FuncId> = address_taken
                                 .iter()
                                 .copied()
-                                .filter(|t| {
-                                    program.func(*t).num_params as usize == expected_arity
-                                })
+                                .filter(|t| program.func(*t).num_params as usize == expected_arity)
                                 .collect();
                             (t, true)
                         }
@@ -187,9 +185,7 @@ fn compute_sccs(
                     let succs: Vec<usize> = sites
                         .get(&FuncId(v as u32))
                         .map(|ss| {
-                            ss.iter()
-                                .flat_map(|s| s.targets.iter().map(|t| t.0 as usize))
-                                .collect()
+                            ss.iter().flat_map(|s| s.targets.iter().map(|t| t.0 as usize)).collect()
                         })
                         .unwrap_or_default();
                     let mut descended = false;

@@ -107,8 +107,8 @@ impl CostModel {
     pub fn block_suffix_cost(&self, f: FuncId, b: BlockId, from_idx: u32) -> u64 {
         let per_block = &self.inst_cost[f.0 as usize][b.0 as usize];
         let mut c = 1u64; // terminator
-        for i in (from_idx as usize)..per_block.len() {
-            c = saturate(c, per_block[i]);
+        for &cost in per_block.iter().skip(from_idx as usize) {
+            c = saturate(c, cost);
         }
         c
     }
@@ -118,8 +118,8 @@ impl CostModel {
     pub fn block_prefix_cost(&self, f: FuncId, b: BlockId, upto_idx: u32) -> u64 {
         let per_block = &self.inst_cost[f.0 as usize][b.0 as usize];
         let mut c = 0u64;
-        for i in 0..(upto_idx as usize).min(per_block.len()) {
-            c = saturate(c, per_block[i]);
+        for &cost in per_block.iter().take(upto_idx as usize) {
+            c = saturate(c, cost);
         }
         c
     }
@@ -173,7 +173,9 @@ fn block_costs(
                             let targets: Vec<u64> = callgraph
                                 .address_taken
                                 .iter()
-                                .filter(|t| !callgraph.is_recursive_call(fid, **t) && computed[t.0 as usize])
+                                .filter(|t| {
+                                    !callgraph.is_recursive_call(fid, **t) && computed[t.0 as usize]
+                                })
                                 .map(|t| func_cost[t.0 as usize].min(RECURSION_COST))
                                 .collect();
                             if targets.is_empty() {

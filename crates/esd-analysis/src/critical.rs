@@ -69,18 +69,17 @@ impl StaticGoalInfo {
         let can_reach_goal = goal_cfg.can_reach(goal.block);
         let critical_edges = find_critical_edges(program, goal_cfg, goal, &can_reach_goal);
         let stores = global_stores(program);
-        let intermediate_goals =
-            derive_intermediate_goals(program, &critical_edges, &stores);
+        let intermediate_goals = derive_intermediate_goals(program, &critical_edges, &stores);
         let goal_reaching_funcs = callgraph.functions_reaching(goal.func);
-        let relevant =
-            compute_relevance(program, cfgs, callgraph, goal, &can_reach_goal, &goal_reaching_funcs);
-        StaticGoalInfo {
+        let relevant = compute_relevance(
+            program,
+            cfgs,
+            callgraph,
             goal,
-            critical_edges,
-            intermediate_goals,
-            relevant,
-            goal_reaching_funcs,
-        }
+            &can_reach_goal,
+            &goal_reaching_funcs,
+        );
+        StaticGoalInfo { goal, critical_edges, intermediate_goals, relevant, goal_reaching_funcs }
     }
 
     /// True if a state whose innermost frame is at `loc` should be abandoned
@@ -192,12 +191,7 @@ fn derive_intermediate_goals(
         };
 
         for var in &vars {
-            let init = program
-                .global(var.0)
-                .init
-                .get(var.1 as usize)
-                .copied()
-                .unwrap_or(0);
+            let init = program.global(var.0).init.get(var.1 as usize).copied().unwrap_or(0);
             let var_stores: Vec<&GlobalStore> =
                 stores.iter().filter(|s| s.target == *var).take(MAX_DEFS_PER_VAR).collect();
 

@@ -96,12 +96,8 @@ impl<'p> DistanceOracle<'p> {
     fn compute_goal_distances(&self, goal: Loc) -> GoalDistances {
         let nf = self.program.functions.len();
         let mut func_entry = vec![INF; nf];
-        let mut block_entry: Vec<Vec<u64>> = self
-            .program
-            .functions
-            .iter()
-            .map(|f| vec![INF; f.blocks.len()])
-            .collect();
+        let mut block_entry: Vec<Vec<u64>> =
+            self.program.functions.iter().map(|f| vec![INF; f.blocks.len()]).collect();
 
         // Only functions from which the goal's function is reachable through
         // calls can have finite distances; iterate to a fixed point over
@@ -146,11 +142,11 @@ impl<'p> DistanceOracle<'p> {
 
         // Seed with each block's "exit" distance: reaching the goal directly
         // inside the block, or entering a callee that can reach the goal.
-        for bi in 0..n {
+        for (bi, d) in dist.iter_mut().enumerate() {
             let b = BlockId(bi as u32);
             let base = self.block_exit_distance(f, b, 0, goal, func_entry);
             if base < INF {
-                dist[bi] = base;
+                *d = base;
                 heap.push(Reverse((base, bi)));
             }
         }

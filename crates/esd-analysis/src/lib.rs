@@ -55,10 +55,7 @@ pub struct StaticAnalysis {
 impl StaticAnalysis {
     /// Runs the full static phase of path synthesis for `goal`.
     pub fn compute(program: &Program, goal: Loc) -> Self {
-        let cfgs: Vec<Cfg> = program
-            .func_ids()
-            .map(|f| Cfg::build(program.func(f), f))
-            .collect();
+        let cfgs: Vec<Cfg> = program.func_ids().map(|f| Cfg::build(program.func(f), f)).collect();
         let callgraph = CallGraph::build(program);
         let costs = CostModel::new(program, &cfgs, &callgraph);
         let goal_info = StaticGoalInfo::compute(program, &cfgs, &callgraph, goal);

@@ -1,5 +1,6 @@
 //! Regenerates Figure 3 (BPF: synthesis time vs number of branches).
 fn main() {
-    let rows = esd_bench::fig3(&esd_bench::fig3_branch_counts(), esd_bench::ESD_BUDGET, esd_bench::KC_CAP);
+    let rows =
+        esd_bench::fig3(&esd_bench::fig3_branch_counts(), esd_bench::ESD_BUDGET, esd_bench::KC_CAP);
     esd_bench::print_fig3(&rows);
 }

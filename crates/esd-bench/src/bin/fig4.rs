@@ -1,5 +1,6 @@
 //! Regenerates Figure 4 (BPF: synthesis time vs program size in KLOC).
 fn main() {
-    let rows = esd_bench::fig3(&esd_bench::fig3_branch_counts(), esd_bench::ESD_BUDGET, esd_bench::KC_CAP);
+    let rows =
+        esd_bench::fig3(&esd_bench::fig3_branch_counts(), esd_bench::ESD_BUDGET, esd_bench::KC_CAP);
     esd_bench::print_fig4(&rows);
 }

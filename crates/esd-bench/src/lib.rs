@@ -220,7 +220,13 @@ pub fn print_fig3(rows: &[BpfRow]) {
     println!("{:<10} {:>12} {:>12} {:>12}", "branches", "ESD [s]", "steps", "KC [s]");
     let fmt = |v: &Option<f64>| v.map(|s| format!("{s:.2}")).unwrap_or_else(|| "cap".into());
     for r in rows {
-        println!("{:<10} {:>12} {:>12} {:>12}", r.branches, fmt(&r.esd_secs), r.esd_steps, fmt(&r.kc_secs));
+        println!(
+            "{:<10} {:>12} {:>12} {:>12}",
+            r.branches,
+            fmt(&r.esd_secs),
+            r.esd_steps,
+            fmt(&r.kc_secs)
+        );
     }
 }
 
@@ -254,7 +260,11 @@ pub fn ablation(esd_budget: u64) -> Vec<AblationRow> {
         ("full ESD", EsdOptions { max_steps: esd_budget, ..Default::default() }),
         (
             "no intermediate goals",
-            EsdOptions { max_steps: esd_budget, use_intermediate_goals: false, ..Default::default() },
+            EsdOptions {
+                max_steps: esd_budget,
+                use_intermediate_goals: false,
+                ..Default::default()
+            },
         ),
         (
             "no critical edges",

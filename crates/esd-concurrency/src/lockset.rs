@@ -107,11 +107,8 @@ where
             if lockset.is_empty() && info.state == WordState::SharedWrite {
                 // Find a conflicting prior access from a different thread,
                 // at least one of the pair being a write.
-                if let Some(prev) = info
-                    .accesses
-                    .iter()
-                    .rev()
-                    .find(|(t, _, w)| *t != thread && (*w || is_write))
+                if let Some(prev) =
+                    info.accesses.iter().rev().find(|(t, _, w)| *t != thread && (*w || is_write))
                 {
                     let key = (prev.1, at);
                     if !self.reported.contains(&key) {
@@ -202,6 +199,43 @@ mod tests {
         d.access(100, 1, 10, true, &[]);
         assert!(d.access(100, 2, 20, true, &[]).is_some());
         assert!(d.access(100, 2, 20, true, &[]).is_none(), "same pair not re-reported");
+    }
+
+    /// Replays a hand-built interleaving of the classic "lock dropped for
+    /// the slow path" bug: both threads usually update the shared counter
+    /// under lock `L`, but thread 2's second write happens after it released
+    /// the lock. The detector must flag exactly that write, against thread
+    /// 1's latest conflicting access, and stay quiet about the properly
+    /// locked prefix.
+    #[test]
+    fn hand_built_interleaving_pinpoints_the_unlocked_write() {
+        const COUNTER: u64 = 0xC0;
+        const LOCK: u64 = 7;
+        let mut d = Det::new();
+        // t1: lock; read+write counter; unlock.
+        assert!(d.access(COUNTER, 1, 100, false, &[LOCK]).is_none());
+        assert!(d.access(COUNTER, 1, 101, true, &[LOCK]).is_none());
+        // t2: lock; read+write counter; unlock.
+        assert!(d.access(COUNTER, 2, 200, false, &[LOCK]).is_none());
+        assert!(d.access(COUNTER, 2, 201, true, &[LOCK]).is_none());
+        // t1: one more locked update.
+        assert!(d.access(COUNTER, 1, 102, true, &[LOCK]).is_none());
+        // t2: buggy slow path — updates the counter after unlock.
+        let race = d.access(COUNTER, 2, 202, true, &[]).expect("unlocked write races");
+        assert_eq!(race.second, (2, 202, true), "the unlocked write is the racing access");
+        assert_eq!(race.first, (1, 102, true), "paired with t1's latest conflicting write");
+        // The same pair is not reported twice on replay of the tail.
+        assert!(d.access(COUNTER, 2, 202, true, &[]).is_none());
+    }
+
+    #[test]
+    fn race_reports_roundtrip_through_json() {
+        let mut d = Det::new();
+        d.access(100, 1, 10, true, &[]);
+        let race = d.access(100, 2, 20, true, &[]).expect("race");
+        let json = serde_json::to_string(&race).unwrap();
+        let back: RaceReport<u32, u32> = serde_json::from_str(&json).unwrap();
+        assert_eq!(race, back);
     }
 
     #[test]

@@ -45,8 +45,7 @@ impl<T: Eq + Hash + Copy, M: Eq + Hash + Copy> WaitGraph<T, M> {
         for start in self.waits_for.keys() {
             let mut chain = vec![*start];
             let mut cur = *start;
-            loop {
-                let Some(mutex) = self.waits_for.get(&cur) else { break };
+            while let Some(mutex) = self.waits_for.get(&cur) {
                 let Some(holder) = self.held_by.get(mutex) else { break };
                 if *holder == *start {
                     return Some(chain);

@@ -61,10 +61,7 @@ impl Schedule {
     /// Number of context switches the schedule encodes (segment boundaries
     /// between different threads).
     pub fn context_switches(&self) -> usize {
-        self.segments
-            .windows(2)
-            .filter(|w| w[0].thread != w[1].thread)
-            .count()
+        self.segments.windows(2).filter(|w| w[0].thread != w[1].thread).count()
     }
 
     /// Total number of instructions accounted for by `Steps` segments.
@@ -130,5 +127,29 @@ mod tests {
         let json = serde_json::to_string(&s).unwrap();
         let back: Schedule = serde_json::from_str(&json).unwrap();
         assert_eq!(s, back);
+    }
+
+    /// Round trip through pretty JSON covering every `SegmentStop` variant,
+    /// preserving segment order and derived statistics.
+    #[test]
+    fn serde_roundtrip_pretty_all_variants() {
+        let mut s = Schedule::new();
+        s.push(0, SegmentStop::Steps(1 << 60));
+        s.push(1, SegmentStop::Blocked);
+        s.push(2, SegmentStop::Finished);
+        s.push(0, SegmentStop::Steps(1));
+        let json = serde_json::to_string_pretty(&s).unwrap();
+        let back: Schedule = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+        assert_eq!(back.counted_steps(), s.counted_steps());
+        assert_eq!(back.context_switches(), s.context_switches());
+        assert_eq!(back.threads(), s.threads());
+    }
+
+    #[test]
+    fn serde_roundtrip_empty() {
+        let s = Schedule::new();
+        let back: Schedule = serde_json::from_str(&serde_json::to_string(&s).unwrap()).unwrap();
+        assert_eq!(back.segments.len(), 0);
     }
 }

@@ -128,6 +128,73 @@ mod tests {
         assert_eq!(a.partial_cmp_hb(&b), Some(Ordering::Equal));
     }
 
+    /// `happens_before` is a strict partial order: irreflexive,
+    /// antisymmetric and transitive over a family of hand-built clocks.
+    #[test]
+    fn happens_before_is_a_strict_partial_order() {
+        // A small family with equal, ordered and concurrent members.
+        let mut clocks: Vec<VectorClock> = Vec::new();
+        for (ticks0, ticks1, ticks2) in
+            [(0, 0, 0), (1, 0, 0), (0, 1, 0), (2, 1, 0), (1, 2, 3), (2, 2, 3)]
+        {
+            let mut c = VectorClock::new();
+            for _ in 0..ticks0 {
+                c.tick(0);
+            }
+            for _ in 0..ticks1 {
+                c.tick(1);
+            }
+            for _ in 0..ticks2 {
+                c.tick(2);
+            }
+            clocks.push(c);
+        }
+        for a in &clocks {
+            assert!(!a.happens_before(a), "irreflexive");
+            for b in &clocks {
+                assert!(!(a.happens_before(b) && b.happens_before(a)), "antisymmetric");
+                for c in &clocks {
+                    if a.happens_before(b) && b.happens_before(c) {
+                        assert!(a.happens_before(c), "transitive");
+                    }
+                }
+            }
+        }
+    }
+
+    /// `join` computes the least upper bound: both operands happen at or
+    /// before the join, and the join does not exceed the component-wise max.
+    #[test]
+    fn join_is_least_upper_bound() {
+        let mut a = VectorClock::new();
+        a.tick(0);
+        a.tick(0);
+        a.tick(2);
+        let mut b = VectorClock::new();
+        b.tick(1);
+        b.tick(2);
+        b.tick(2);
+        let mut j = a.clone();
+        j.join(&b);
+        for tid in 0..3 {
+            assert_eq!(j.get(tid), a.get(tid).max(b.get(tid)));
+        }
+        assert_ne!(a.partial_cmp_hb(&j), None, "a is ordered with the join");
+        assert_ne!(b.partial_cmp_hb(&j), None, "b is ordered with the join");
+        assert!(!j.happens_before(&a) && !j.happens_before(&b));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let mut c = VectorClock::new();
+        c.tick(0);
+        c.tick(3);
+        c.tick(3);
+        let json = serde_json::to_string(&c).unwrap();
+        let back: VectorClock = serde_json::from_str(&json).unwrap();
+        assert_eq!(c, back);
+    }
+
     #[test]
     fn transitivity_via_lock_handoff() {
         // t0 writes then releases (clock L takes t0's time); t1 acquires

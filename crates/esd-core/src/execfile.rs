@@ -101,9 +101,16 @@ mod tests {
         schedule.push(1, SegmentStop::Blocked);
         let synth = Synthesized {
             inputs: vec![
-                (SymVarInfo { thread: ThreadId(0), seq: 0, source: InputSource::Stdin }, 'm' as i64),
                 (
-                    SymVarInfo { thread: ThreadId(0), seq: 1, source: InputSource::Env("mode".into()) },
+                    SymVarInfo { thread: ThreadId(0), seq: 0, source: InputSource::Stdin },
+                    'm' as i64,
+                ),
+                (
+                    SymVarInfo {
+                        thread: ThreadId(0),
+                        seq: 1,
+                        source: InputSource::Env("mode".into()),
+                    },
                     'Y' as i64,
                 ),
             ],

@@ -65,18 +65,12 @@ pub fn kc_synthesize(
             elapsed: start.elapsed(),
             hit_budget: false,
         },
-        SearchOutcome::Exhausted(stats) => KcResult {
-            execution: None,
-            stats,
-            elapsed: start.elapsed(),
-            hit_budget: false,
-        },
-        SearchOutcome::BudgetExceeded(stats) => KcResult {
-            execution: None,
-            stats,
-            elapsed: start.elapsed(),
-            hit_budget: true,
-        },
+        SearchOutcome::Exhausted(stats) => {
+            KcResult { execution: None, stats, elapsed: start.elapsed(), hit_budget: false }
+        }
+        SearchOutcome::BudgetExceeded(stats) => {
+            KcResult { execution: None, stats, elapsed: start.elapsed(), hit_budget: true }
+        }
     }
 }
 

@@ -201,9 +201,8 @@ mod tests {
         // Fabricate a report pointing at the unreachable block.
         let mut interp = Interpreter::new(&p, Box::new(ZeroInputs));
         let _ = interp.run(&InterpreterConfig::default());
-        let goal = esd_symex::GoalSpec::Crash {
-            loc: esd_ir::Loc::new(p.entry, esd_ir::BlockId(1), 1),
-        };
+        let goal =
+            esd_symex::GoalSpec::Crash { loc: esd_ir::Loc::new(p.entry, esd_ir::BlockId(1), 1) };
         let esd = Esd::with_defaults();
         let err = esd.synthesize_goal(&p, goal, false).unwrap_err();
         assert_eq!(err, SynthesisError::Exhausted);

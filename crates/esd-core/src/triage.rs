@@ -47,24 +47,41 @@ mod tests {
             program: "p".into(),
             fault_tag: fault.into(),
             fault_loc: Some(Loc::new(FuncId(0), BlockId(1), loc_idx)),
-            inputs: vec![InputEntry { thread: 0, seq: 0, source: InputSource::Stdin, value: input }],
+            inputs: vec![InputEntry {
+                thread: 0,
+                seq: 0,
+                source: InputSource::Stdin,
+                value: input,
+            }],
             schedule,
         }
     }
 
     #[test]
     fn identical_executions_are_the_same_bug() {
-        assert_eq!(same_bug(&exec("segfault", 1, 7), &exec("segfault", 1, 7)), TriageResult::IdenticalExecution);
+        assert_eq!(
+            same_bug(&exec("segfault", 1, 7), &exec("segfault", 1, 7)),
+            TriageResult::IdenticalExecution
+        );
     }
 
     #[test]
     fn same_fault_same_location_is_a_duplicate() {
-        assert_eq!(same_bug(&exec("segfault", 1, 7), &exec("segfault", 1, 9)), TriageResult::SameFailure);
+        assert_eq!(
+            same_bug(&exec("segfault", 1, 7), &exec("segfault", 1, 9)),
+            TriageResult::SameFailure
+        );
     }
 
     #[test]
     fn different_location_or_fault_is_a_different_bug() {
-        assert_eq!(same_bug(&exec("segfault", 1, 7), &exec("segfault", 2, 7)), TriageResult::Different);
-        assert_eq!(same_bug(&exec("segfault", 1, 7), &exec("invalid-free", 1, 7)), TriageResult::Different);
+        assert_eq!(
+            same_bug(&exec("segfault", 1, 7), &exec("segfault", 2, 7)),
+            TriageResult::Different
+        );
+        assert_eq!(
+            same_bug(&exec("segfault", 1, 7), &exec("invalid-free", 1, 7)),
+            TriageResult::Different
+        );
     }
 }

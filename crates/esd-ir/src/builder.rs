@@ -36,10 +36,7 @@ impl ProgramBuilder {
     /// this for mutual recursion or to obtain an id before defining the body
     /// with [`ProgramBuilder::define`].
     pub fn declare(&mut self, name: &str, num_params: u32) -> FuncId {
-        assert!(
-            !self.func_names.iter().any(|n| n == name),
-            "duplicate function name {name:?}"
-        );
+        assert!(!self.func_names.iter().any(|n| n == name), "duplicate function name {name:?}");
         let id = FuncId(self.functions.len() as u32);
         self.functions.push(None);
         self.func_names.push(name.to_string());
@@ -82,10 +79,7 @@ impl ProgramBuilder {
     /// Adds a global of `size` words whose first `init.len()` words carry the
     /// given initial values.
     pub fn global_init(&mut self, name: &str, size: u32, init: Vec<i64>) -> GlobalId {
-        assert!(
-            !self.globals.iter().any(|g| g.name == name),
-            "duplicate global name {name:?}"
-        );
+        assert!(!self.globals.iter().any(|g| g.name == name), "duplicate global name {name:?}");
         assert!(init.len() <= size as usize, "initializer longer than global {name:?}");
         let id = GlobalId(self.globals.len() as u32);
         self.globals.push(Global { name: name.to_string(), size, init });
@@ -103,7 +97,11 @@ impl ProgramBuilder {
             .functions
             .into_iter()
             .enumerate()
-            .map(|(i, f)| f.unwrap_or_else(|| panic!("function {:?} declared but never defined", self.func_names[i])))
+            .map(|(i, f)| {
+                f.unwrap_or_else(|| {
+                    panic!("function {:?} declared but never defined", self.func_names[i])
+                })
+            })
             .collect();
         let entry_id = functions
             .iter()
@@ -174,11 +172,7 @@ impl FunctionBuilder {
 
     /// Makes `block` the target of subsequent instruction emissions.
     pub fn switch_to(&mut self, block: BlockId) {
-        assert!(
-            !self.sealed[block.0 as usize],
-            "cannot switch to sealed block {:?}",
-            block
-        );
+        assert!(!self.sealed[block.0 as usize], "cannot switch to sealed block {:?}", block);
         self.current = block;
     }
 
@@ -431,11 +425,7 @@ impl FunctionBuilder {
 
     fn finish(self) -> Function {
         for (i, sealed) in self.sealed.iter().enumerate() {
-            assert!(
-                *sealed,
-                "block bb{} of function {:?} has no terminator",
-                i, self.name
-            );
+            assert!(*sealed, "block bb{} of function {:?} has no terminator", i, self.name);
         }
         Function {
             name: self.name,

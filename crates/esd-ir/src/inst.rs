@@ -366,7 +366,12 @@ mod tests {
 
     #[test]
     fn def_and_uses_are_consistent() {
-        let i = Inst::Bin { dst: Reg(3), op: BinOp::Add, a: Operand::Reg(Reg(1)), b: Operand::Const(4) };
+        let i = Inst::Bin {
+            dst: Reg(3),
+            op: BinOp::Add,
+            a: Operand::Reg(Reg(1)),
+            b: Operand::Const(4),
+        };
         assert_eq!(i.def(), Some(Reg(3)));
         assert_eq!(i.uses(), vec![Operand::Reg(Reg(1)), Operand::Const(4)]);
 
@@ -399,7 +404,11 @@ mod tests {
     fn terminator_successors() {
         let br = Terminator::Br { target: BlockId(2) };
         assert_eq!(br.successors(), vec![BlockId(2)]);
-        let cbr = Terminator::CondBr { cond: Operand::Const(1), then_bb: BlockId(1), else_bb: BlockId(2) };
+        let cbr = Terminator::CondBr {
+            cond: Operand::Const(1),
+            then_bb: BlockId(1),
+            else_bb: BlockId(2),
+        };
         assert_eq!(cbr.successors(), vec![BlockId(1), BlockId(2)]);
         assert!(Terminator::Ret { value: None }.successors().is_empty());
     }

@@ -197,7 +197,10 @@ mod tests {
         assert!(matches!(m.free(Value::Ptr(Ptr::to(g))), Err(MemError::InvalidFree(_))));
         assert!(matches!(m.free(Value::Int(5)), Err(MemError::InvalidFree(_))));
         let h = m.alloc(ObjKind::Heap, 1);
-        assert!(matches!(m.free(Value::Ptr(Ptr { obj: h, off: 1 })), Err(MemError::InvalidFree(_))));
+        assert!(matches!(
+            m.free(Value::Ptr(Ptr { obj: h, off: 1 })),
+            Err(MemError::InvalidFree(_))
+        ));
         m.free(Value::Ptr(Ptr::to(h))).unwrap();
         assert!(matches!(m.free(Value::Ptr(Ptr::to(h))), Err(MemError::DoubleFree(_))));
     }

@@ -270,8 +270,9 @@ impl<'p> Interpreter<'p> {
     fn eval(&self, tid: ThreadId, op: Operand) -> Value {
         match op {
             Operand::Const(c) => Value::Int(c),
-            Operand::Reg(r) => self.threads[tid.0 as usize].top().regs[r.0 as usize]
-                .unwrap_or(Value::Int(0)),
+            Operand::Reg(r) => {
+                self.threads[tid.0 as usize].top().regs[r.0 as usize].unwrap_or(Value::Int(0))
+            }
         }
     }
 
@@ -409,12 +410,7 @@ impl<'p> Interpreter<'p> {
         loc: Loc,
     ) -> Option<StepResult> {
         if self.threads[tid.0 as usize].frames.len() >= MAX_STACK_DEPTH {
-            return Some(self.fault(
-                FaultKind::SegFault { addr: Value::Int(-1) },
-                tid,
-                loc,
-                None,
-            ));
+            return Some(self.fault(FaultKind::SegFault { addr: Value::Int(-1) }, tid, loc, None));
         }
         let callee = self.program.func(target);
         let mut locals = Vec::with_capacity(callee.local_sizes.len());
@@ -645,7 +641,9 @@ impl<'p> Interpreter<'p> {
                 };
                 if self.sync.holder_of(p) != Some(tid) {
                     return self.fault(
-                        FaultKind::SyncMisuse { what: "unlock of a mutex not held by this thread".into() },
+                        FaultKind::SyncMisuse {
+                            what: "unlock of a mutex not held by this thread".into(),
+                        },
                         tid,
                         loc,
                         Some(av),
@@ -678,7 +676,9 @@ impl<'p> Interpreter<'p> {
                 }
                 if self.sync.holder_of(mp) != Some(tid) {
                     return self.fault(
-                        FaultKind::SyncMisuse { what: "cond_wait without holding the mutex".into() },
+                        FaultKind::SyncMisuse {
+                            what: "cond_wait without holding the mutex".into(),
+                        },
                         tid,
                         loc,
                         Some(mv),
@@ -700,7 +700,11 @@ impl<'p> Interpreter<'p> {
                 };
                 let waiter = {
                     let c = self.sync.cond_mut(cp);
-                    if c.waiters.is_empty() { None } else { Some(c.waiters.remove(0)) }
+                    if c.waiters.is_empty() {
+                        None
+                    } else {
+                        Some(c.waiters.remove(0))
+                    }
                 };
                 if let Some((w, m)) = waiter {
                     let t = &mut self.threads[w.0 as usize];
@@ -820,9 +824,7 @@ impl<'p> Interpreter<'p> {
                 }
                 StepResult::Continue
             }
-            Terminator::Unreachable => {
-                self.fault(FaultKind::UnreachableExecuted, tid, loc, None)
-            }
+            Terminator::Unreachable => self.fault(FaultKind::UnreachableExecuted, tid, loc, None),
         }
     }
 

@@ -52,9 +52,11 @@ fn conditional_branching_follows_input() {
     });
     let p = pb.finish("main");
 
-    let r = run_with_inputs(&p, Box::new(MapInputs::from_entries([((ThreadId(0), 0), 'm' as i64)])));
+    let r =
+        run_with_inputs(&p, Box::new(MapInputs::from_entries([((ThreadId(0), 0), 'm' as i64)])));
     assert_eq!(r.output, vec![1]);
-    let r = run_with_inputs(&p, Box::new(MapInputs::from_entries([((ThreadId(0), 0), 'x' as i64)])));
+    let r =
+        run_with_inputs(&p, Box::new(MapInputs::from_entries([((ThreadId(0), 0), 'x' as i64)])));
     assert_eq!(r.output, vec![0]);
 }
 
@@ -452,10 +454,7 @@ fn input_log_records_reads_in_order() {
     let p = pb.finish("main");
     let mut interp = Interpreter::new(
         &p,
-        Box::new(MapInputs::from_entries([
-            ((ThreadId(0), 0), 10),
-            ((ThreadId(0), 1), 32),
-        ])),
+        Box::new(MapInputs::from_entries([((ThreadId(0), 0), 10), ((ThreadId(0), 1), 32)])),
     );
     let r = interp.run(&InterpreterConfig::default());
     assert_eq!(r.output, vec![42]);
@@ -499,10 +498,8 @@ fn paper_listing1_deadlock_program() {
     // M1 and re-locks it, creating a window for the classic deadlock.
     let p = listing1_program();
     // Inputs: getchar()='m', getenv("mode")[0]='Y' — the bug-enabling inputs.
-    let inputs = MapInputs::from_entries([
-        ((ThreadId(0), 0), 'm' as i64),
-        ((ThreadId(0), 1), 'Y' as i64),
-    ]);
+    let inputs =
+        MapInputs::from_entries([((ThreadId(0), 0), 'm' as i64), ((ThreadId(0), 1), 'Y' as i64)]);
     // Search over seeds for a schedule that deadlocks (stress testing); many
     // seeds will complete fine, which is exactly why the paper needs ESD.
     let mut deadlocked = false;

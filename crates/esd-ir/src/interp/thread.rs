@@ -25,7 +25,13 @@ pub struct Frame {
 impl Frame {
     /// Creates a frame for `func` with `num_regs` registers, placing `args`
     /// in the low registers.
-    pub fn new(func: FuncId, num_regs: u32, args: &[Value], locals: Vec<ObjId>, ret_dst: Option<Reg>) -> Self {
+    pub fn new(
+        func: FuncId,
+        num_regs: u32,
+        args: &[Value],
+        locals: Vec<ObjId>,
+        ret_dst: Option<Reg>,
+    ) -> Self {
         let mut regs = vec![None; num_regs as usize];
         for (i, a) in args.iter().enumerate() {
             regs[i] = Some(*a);

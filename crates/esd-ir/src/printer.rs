@@ -70,7 +70,9 @@ fn inst_str(program: &Program, inst: &Inst) -> String {
         Inst::Call { dst, callee, args } => {
             let args: Vec<String> = args.iter().map(op_str).collect();
             match dst {
-                Some(d) => format!("{:?} = call {}({})", d, callee_str(program, callee), args.join(", ")),
+                Some(d) => {
+                    format!("{:?} = call {}({})", d, callee_str(program, callee), args.join(", "))
+                }
                 None => format!("call {}({})", callee_str(program, callee), args.join(", ")),
             }
         }
@@ -113,7 +115,14 @@ fn block_label(f: &Function, id: BlockId) -> String {
 /// Renders one function as text.
 pub fn print_function(program: &Program, f: &Function) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "fn {}({} params, {} regs, {} locals) {{", f.name, f.num_params, f.num_regs, f.local_sizes.len());
+    let _ = writeln!(
+        out,
+        "fn {}({} params, {} regs, {} locals) {{",
+        f.name,
+        f.num_params,
+        f.num_regs,
+        f.local_sizes.len()
+    );
     for bid in f.block_ids() {
         let block = f.block(bid);
         let _ = writeln!(out, "  {}:", block_label(f, bid));

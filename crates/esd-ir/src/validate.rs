@@ -126,54 +126,44 @@ fn validate_function(
                 }
             }
             match inst {
-                Inst::AddrLocal { local, .. } => {
-                    if local.0 as usize >= f.local_sizes.len() {
-                        err(Some(bid), format!("local {:?} out of range", local));
-                    }
+                Inst::AddrLocal { local, .. } if local.0 as usize >= f.local_sizes.len() => {
+                    err(Some(bid), format!("local {:?} out of range", local));
                 }
-                Inst::AddrGlobal { global, .. } => {
-                    if global.0 as usize >= program.globals.len() {
-                        err(Some(bid), format!("global {:?} out of range", global));
-                    }
+                Inst::AddrGlobal { global, .. } if global.0 as usize >= program.globals.len() => {
+                    err(Some(bid), format!("global {:?} out of range", global));
                 }
-                Inst::FuncAddr { func, .. } => {
-                    if func.0 as usize >= program.functions.len() {
-                        err(Some(bid), format!("function address {:?} out of range", func));
-                    }
+                Inst::FuncAddr { func, .. } if func.0 as usize >= program.functions.len() => {
+                    err(Some(bid), format!("function address {:?} out of range", func));
                 }
-                Inst::Call { callee, args, .. } => {
-                    if let Callee::Direct(target) = callee {
-                        if target.0 as usize >= program.functions.len() {
-                            err(Some(bid), format!("call target {:?} out of range", target));
-                        } else {
-                            let callee_fn = program.func(*target);
-                            if callee_fn.num_params as usize != args.len() {
-                                err(
-                                    Some(bid),
-                                    format!(
-                                        "call to {:?} passes {} args but it takes {}",
-                                        callee_fn.name,
-                                        args.len(),
-                                        callee_fn.num_params
-                                    ),
-                                );
-                            }
-                        }
-                    }
-                }
-                Inst::ThreadSpawn { func, .. } => {
-                    if let Callee::Direct(target) = func {
-                        if target.0 as usize >= program.functions.len() {
-                            err(Some(bid), format!("spawn target {:?} out of range", target));
-                        } else if program.func(*target).num_params != 1 {
+                Inst::Call { callee: Callee::Direct(target), args, .. } => {
+                    if target.0 as usize >= program.functions.len() {
+                        err(Some(bid), format!("call target {:?} out of range", target));
+                    } else {
+                        let callee_fn = program.func(*target);
+                        if callee_fn.num_params as usize != args.len() {
                             err(
                                 Some(bid),
                                 format!(
-                                    "spawned function {:?} must take exactly one parameter",
-                                    program.func(*target).name
+                                    "call to {:?} passes {} args but it takes {}",
+                                    callee_fn.name,
+                                    args.len(),
+                                    callee_fn.num_params
                                 ),
                             );
                         }
+                    }
+                }
+                Inst::ThreadSpawn { func: Callee::Direct(target), .. } => {
+                    if target.0 as usize >= program.functions.len() {
+                        err(Some(bid), format!("spawn target {:?} out of range", target));
+                    } else if program.func(*target).num_params != 1 {
+                        err(
+                            Some(bid),
+                            format!(
+                                "spawned function {:?} must take exactly one parameter",
+                                program.func(*target).name
+                            ),
+                        );
                     }
                 }
                 _ => {}

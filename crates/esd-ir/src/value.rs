@@ -25,7 +25,10 @@ impl Ptr {
         Ptr { obj, off: 0 }
     }
 
-    /// Returns this pointer displaced by `delta` words.
+    /// Returns this pointer displaced by `delta` words. Named after
+    /// `<*const T>::add`, which it mirrors; it is not `std::ops::Add` because
+    /// the displacement is a word count, not another pointer.
+    #[allow(clippy::should_implement_trait)]
     pub fn add(self, delta: i64) -> Self {
         Ptr { obj: self.obj, off: self.off.wrapping_add(delta) }
     }

@@ -63,18 +63,11 @@ impl<'p> Debugger<'p> {
                     .watched_globals
                     .iter()
                     .map(|name| {
-                        let value = self
-                            .program
-                            .global_by_name(name)
-                            .and_then(|_| {
-                                // Globals are allocated in program order, so
-                                // the id equals the allocation index.
-                                let gid = self.program.global_by_name(name).unwrap();
-                                interp
-                                    .mem
-                                    .object(find_global_obj(interp, gid.0))
-                                    .map(|o| o.data[0])
-                            });
+                        let value = self.program.global_by_name(name).and_then(|gid| {
+                            // Globals are allocated in program order, so
+                            // the id equals the allocation index.
+                            interp.mem.object(find_global_obj(interp, gid.0)).map(|o| o.data[0])
+                        });
                         (name.clone(), value)
                     })
                     .collect();

@@ -1,11 +1,11 @@
 //! Deterministic replay of a synthesized execution file.
 
+use esd_concurrency::SegmentStop;
 use esd_core::SynthesizedExecution;
 use esd_ir::{
     interp::{InterpreterConfig, MapInputs, SchedulerKind, StepResult},
     ExecOutcome, Interpreter, Loc, Program, ThreadId,
 };
-use esd_concurrency::SegmentStop;
 
 /// Cap on the number of attempts to drive one schedule segment (defends
 /// against malformed execution files).

@@ -25,8 +25,8 @@ use esd_analysis::{StaticAnalysis, INF};
 use esd_concurrency::{find_mutex_deadlock, LocksetDetector, Schedule, SegmentStop};
 use esd_ir::interp::{ObjKind, ThreadStatus};
 use esd_ir::{
-    BinOp, Callee, CmpOp, FaultKind, FuncId, Inst, Loc, Operand, Program, Ptr, Reg,
-    Terminator, ThreadId, Value,
+    BinOp, Callee, CmpOp, FaultKind, FuncId, Inst, Loc, Operand, Program, Ptr, Reg, Terminator,
+    ThreadId, Value,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -218,6 +218,10 @@ enum StepEffect {
 
 const SCHED_WEIGHT: u64 = 1_000_000_000;
 
+/// Min-heap of queued states keyed by
+/// `(priority, proximity, steps, state id)`.
+type StateQueue = BinaryHeap<Reverse<(u64, u64, u64, u64)>>;
+
 /// The search engine.
 pub struct Engine<'p> {
     program: &'p Program,
@@ -230,7 +234,7 @@ pub struct Engine<'p> {
     next_state_id: u64,
     /// One virtual queue per goal target set (intermediate goals + final).
     queue_targets: Vec<Vec<Loc>>,
-    queues: Vec<BinaryHeap<Reverse<(u64, u64, u64, u64)>>>,
+    queues: Vec<StateQueue>,
     versions: HashMap<u64, u64>,
     dfs_stack: Vec<u64>,
     rng: StdRng,
@@ -412,9 +416,7 @@ impl<'p> Engine<'p> {
                 path_dist = path_dist.min(self.oracle.proximity(&stack, *t));
             }
         }
-        let sched = if self.config.schedule_bias
-            && matches!(self.goal, GoalSpec::Deadlock { .. })
-        {
+        let sched = if self.config.schedule_bias && matches!(self.goal, GoalSpec::Deadlock { .. }) {
             match state.sched_distance {
                 SchedDistance::Near => 0,
                 SchedDistance::Neutral => SCHED_WEIGHT,
@@ -470,10 +472,7 @@ impl<'p> Engine<'p> {
     fn eval(&self, state: &ExecState, op: Operand) -> SymValue {
         match op {
             Operand::Const(c) => SymValue::int(c),
-            Operand::Reg(r) => state
-                .thread(state.current)
-                .top()
-                .regs[r.0 as usize]
+            Operand::Reg(r) => state.thread(state.current).top().regs[r.0 as usize]
                 .clone()
                 .unwrap_or(SymValue::ZERO),
         }
@@ -539,12 +538,7 @@ impl<'p> Engine<'p> {
 
     // ---- fault / goal handling ----------------------------------------------
 
-    fn handle_fault(
-        &mut self,
-        state: &mut ExecState,
-        fault: FaultKind,
-        loc: Loc,
-    ) -> StepEffect {
+    fn handle_fault(&mut self, state: &mut ExecState, fault: FaultKind, loc: Loc) -> StepEffect {
         let is_goal = match &self.goal {
             GoalSpec::Crash { loc: goal_loc } => loc == *goal_loc,
             GoalSpec::Deadlock { .. } => false,
@@ -661,10 +655,7 @@ impl<'p> Engine<'p> {
     /// Picks another runnable thread (lowest id different from the current
     /// one), if any.
     fn other_runnable(&self, state: &ExecState) -> Option<ThreadId> {
-        state
-            .runnable_threads()
-            .into_iter()
-            .find(|t| *t != state.current)
+        state.runnable_threads().into_iter().find(|t| *t != state.current)
     }
 
     /// Forks a state in which the current thread is preempted right now
@@ -789,7 +780,9 @@ impl<'p> Engine<'p> {
                 }
                 StepEffect::Continue
             }
-            Terminator::Unreachable => self.handle_fault(state, FaultKind::UnreachableExecuted, loc),
+            Terminator::Unreachable => {
+                self.handle_fault(state, FaultKind::UnreachableExecuted, loc)
+            }
         }
     }
 
@@ -832,7 +825,8 @@ impl<'p> Engine<'p> {
         match (then_feasible, else_feasible) {
             (false, false) => StepEffect::Dead,
             (true, false) | (false, true) => {
-                let (bb, c) = if then_feasible { (then_bb, cond) } else { (else_bb, SymExpr::not(cond)) };
+                let (bb, c) =
+                    if then_feasible { (then_bb, cond) } else { (else_bb, SymExpr::not(cond)) };
                 state.add_constraint(c);
                 let top = state.thread_mut(cur).top_mut();
                 top.block = bb;
@@ -969,11 +963,9 @@ impl<'p> Engine<'p> {
                                 self.advance(state);
                                 StepEffect::Continue
                             }
-                            Err(e) => self.handle_fault(
-                                state,
-                                Self::mem_fault(e, Value::Ptr(p)),
-                                loc,
-                            ),
+                            Err(e) => {
+                                self.handle_fault(state, Self::mem_fault(e, Value::Ptr(p)), loc)
+                            }
                         }
                     }
                     Err(f) => self.handle_fault(state, f, loc),
@@ -993,11 +985,9 @@ impl<'p> Engine<'p> {
                                 self.advance(state);
                                 StepEffect::Continue
                             }
-                            Err(e) => self.handle_fault(
-                                state,
-                                Self::mem_fault(e, Value::Ptr(p)),
-                                loc,
-                            ),
+                            Err(e) => {
+                                self.handle_fault(state, Self::mem_fault(e, Value::Ptr(p)), loc)
+                            }
                         }
                     }
                     Err(f) => self.handle_fault(state, f, loc),
@@ -1012,11 +1002,9 @@ impl<'p> Engine<'p> {
                     Some(Value::Ptr(p)) => SymValue::Concrete(Value::Ptr(p.add(o))),
                     Some(Value::Int(i)) => SymValue::int(i.wrapping_add(o)),
                     None => match b.as_expr() {
-                        Some(e) => SymValue::Symbolic(SymExpr::bin(
-                            BinOp::Add,
-                            e,
-                            SymExpr::constant(o),
-                        )),
+                        Some(e) => {
+                            SymValue::Symbolic(SymExpr::bin(BinOp::Add, e, SymExpr::constant(o)))
+                        }
                         None => SymValue::int(o),
                     },
                 };
@@ -1144,7 +1132,9 @@ impl<'p> Engine<'p> {
                 if state.sync.holder_of(mp) != Some(cur) {
                     return self.handle_fault(
                         state,
-                        FaultKind::SyncMisuse { what: "cond_wait without holding the mutex".into() },
+                        FaultKind::SyncMisuse {
+                            what: "cond_wait without holding the mutex".into(),
+                        },
                         loc,
                     );
                 }
@@ -1224,7 +1214,23 @@ impl<'p> Engine<'p> {
                 state.thread_mut(cur).status = ThreadStatus::BlockedOnJoin(target);
                 self.block_and_switch(state)
             }
-            Inst::Yield | Inst::Nop => {
+            Inst::Yield => {
+                self.count_step(state);
+                self.advance(state);
+                // A yield is an explicit preemption point. In race-directed
+                // mode (§4.2) fork the schedule in which another thread runs
+                // from here, so interleavings that split a load from its
+                // store are reachable; the default search keeps treating
+                // yield as a no-op (the bounded searches and BPF workloads
+                // rely on that).
+                if self.config.race_preemptions {
+                    if let Some(next) = self.other_runnable(state) {
+                        self.fork_preempted(state, next);
+                    }
+                }
+                StepEffect::Continue
+            }
+            Inst::Nop => {
                 self.count_step(state);
                 self.advance(state);
                 StepEffect::Continue
@@ -1285,14 +1291,16 @@ impl<'p> Engine<'p> {
         }
     }
 
-    fn resolve_callee(&mut self, state: &mut ExecState, callee: &Callee) -> Result<FuncId, FaultKind> {
+    fn resolve_callee(
+        &mut self,
+        state: &mut ExecState,
+        callee: &Callee,
+    ) -> Result<FuncId, FaultKind> {
         match callee {
             Callee::Direct(f) => Ok(*f),
             Callee::Indirect(op) => {
                 let v = self.eval(state, *op);
-                let raw = self
-                    .concretize(state, &v)
-                    .unwrap_or(0);
+                let raw = self.concretize(state, &v).unwrap_or(0);
                 let idx = raw - esd_ir::interp::FUNC_ADDR_BASE;
                 if idx >= 0 && (idx as usize) < self.program.functions.len() {
                     Ok(FuncId(idx as u32))
@@ -1303,7 +1311,13 @@ impl<'p> Engine<'p> {
         }
     }
 
-    fn push_frame(&mut self, state: &mut ExecState, target: FuncId, args: &[SymValue], ret_dst: Option<Reg>) {
+    fn push_frame(
+        &mut self,
+        state: &mut ExecState,
+        target: FuncId,
+        args: &[SymValue],
+        ret_dst: Option<Reg>,
+    ) {
         let cur = state.current;
         let callee = self.program.func(target);
         let mut locals = Vec::with_capacity(callee.local_sizes.len());
@@ -1341,11 +1355,8 @@ impl<'p> Engine<'p> {
             return None;
         }
         // Only consider globals and heap objects (locals are thread-private).
-        let shared = state
-            .mem
-            .object(p.obj)
-            .map(|o| !matches!(o.kind, ObjKind::Local(_)))
-            .unwrap_or(false);
+        let shared =
+            state.mem.object(p.obj).map(|o| !matches!(o.kind, ObjKind::Local(_))).unwrap_or(false);
         if !shared {
             return None;
         }
@@ -1406,27 +1417,28 @@ impl<'p> Engine<'p> {
             Some(owner) => {
                 // The mutex is held (possibly by this very thread: self
                 // deadlock). Apply the roll-back heuristic, then block.
-                if self.config.schedule_bias && owner != cur {
-                    if state.threads[owner.0 as usize].inner_lock_held == Some(p) {
-                        // M is the owner's inner lock, so it may be our outer
-                        // lock: prioritize the snapshots in which the owner
-                        // was preempted before acquiring, deprioritize us.
-                        let snapshot_ids: Vec<u64> =
-                            state.lock_snapshots.iter().map(|(_, s)| *s).collect();
-                        for sid in snapshot_ids {
-                            let promoted = match self.states.get_mut(&sid) {
-                                Some(s) => {
-                                    s.sched_distance = SchedDistance::Near;
-                                    Some(s.clone())
-                                }
-                                None => None,
-                            };
-                            if let Some(snap) = promoted {
-                                self.insert_into_queues(&snap);
+                if self.config.schedule_bias
+                    && owner != cur
+                    && state.threads[owner.0 as usize].inner_lock_held == Some(p)
+                {
+                    // M is the owner's inner lock, so it may be our outer
+                    // lock: prioritize the snapshots in which the owner
+                    // was preempted before acquiring, deprioritize us.
+                    let snapshot_ids: Vec<u64> =
+                        state.lock_snapshots.iter().map(|(_, s)| *s).collect();
+                    for sid in snapshot_ids {
+                        let promoted = match self.states.get_mut(&sid) {
+                            Some(s) => {
+                                s.sched_distance = SchedDistance::Near;
+                                Some(s.clone())
                             }
+                            None => None,
+                        };
+                        if let Some(snap) = promoted {
+                            self.insert_into_queues(&snap);
                         }
-                        state.sched_distance = SchedDistance::Far;
                     }
+                    state.sched_distance = SchedDistance::Far;
                 }
                 self.count_step(state);
                 state.sync.mutex_mut(p).waiters.push(cur);
@@ -1436,4 +1448,3 @@ impl<'p> Engine<'p> {
         }
     }
 }
-

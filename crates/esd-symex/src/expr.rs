@@ -100,7 +100,10 @@ impl SymExpr {
         Arc::new(SymExpr::Cmp(op, a, b))
     }
 
-    /// Builds the logical negation with simplification.
+    /// Builds the logical negation with simplification. Not `std::ops::Not`:
+    /// it is an associated constructor over `Arc<SymExpr>`, matching the
+    /// other expression builders (`bin`, `cmp`, `var`).
+    #[allow(clippy::should_implement_trait)]
     pub fn not(e: Arc<SymExpr>) -> Arc<SymExpr> {
         match e.as_ref() {
             SymExpr::Const(c) => SymExpr::constant((*c == 0) as i64),

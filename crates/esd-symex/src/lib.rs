@@ -13,13 +13,15 @@
 //!   goals, and the deadlock / data-race schedule-synthesis heuristics.
 
 pub mod engine;
-#[cfg(test)]
-mod tests;
 pub mod expr;
 pub mod solver;
 pub mod state;
+#[cfg(test)]
+mod tests;
 
-pub use engine::{Engine, EngineConfig, GoalSpec, SearchOutcome, SearchStats, Strategy, Synthesized};
+pub use engine::{
+    Engine, EngineConfig, GoalSpec, SearchOutcome, SearchStats, Strategy, Synthesized,
+};
 pub use expr::{SymExpr, SymValue, SymVar, SymVarInfo};
 pub use solver::{Solver, SolverConfig, SolverResult};
 pub use state::{ExecState, SchedDistance, SymMemory, SymThread};

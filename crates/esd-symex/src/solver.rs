@@ -150,7 +150,8 @@ impl Solver {
                         let v = cvars[rng.gen_range(0..cvars.len())];
                         let delta = rhs.eval(&candidate) - lhs.eval(&candidate);
                         let cur = candidate.get(&v).copied().unwrap_or(0);
-                        let (lo, hi) = intervals.get(&v).copied().unwrap_or((i64::MIN / 4, i64::MAX / 4));
+                        let (lo, hi) =
+                            intervals.get(&v).copied().unwrap_or((i64::MIN / 4, i64::MAX / 4));
                         let adjust = match rng.gen_range(0..4) {
                             0 => delta,
                             1 => -delta,
@@ -347,10 +348,8 @@ mod tests {
     #[test]
     fn contradictory_equalities_are_unsat_or_unknown_but_never_sat() {
         let mut s = Solver::new(SolverConfig::default());
-        let constraints = vec![
-            SymExpr::cmp(CmpOp::Eq, var(0), c(1)),
-            SymExpr::cmp(CmpOp::Eq, var(0), c(2)),
-        ];
+        let constraints =
+            vec![SymExpr::cmp(CmpOp::Eq, var(0), c(1)), SymExpr::cmp(CmpOp::Eq, var(0), c(2))];
         let r = s.solve(&constraints);
         assert!(!r.is_sat());
     }
@@ -358,10 +357,8 @@ mod tests {
     #[test]
     fn empty_interval_is_unsat() {
         let mut s = Solver::new(SolverConfig::default());
-        let constraints = vec![
-            SymExpr::cmp(CmpOp::Gt, var(0), c(10)),
-            SymExpr::cmp(CmpOp::Lt, var(0), c(5)),
-        ];
+        let constraints =
+            vec![SymExpr::cmp(CmpOp::Gt, var(0), c(10)), SymExpr::cmp(CmpOp::Lt, var(0), c(5))];
         assert_eq!(s.solve(&constraints), SolverResult::Unsat);
         assert!(!s.is_feasible(&constraints));
     }
@@ -371,10 +368,8 @@ mod tests {
         let mut s = Solver::new(SolverConfig::default());
         // x + y == 100, x == 42 ⇒ y == 58.
         let sum = SymExpr::bin(BinOp::Add, var(0), var(1));
-        let constraints = vec![
-            SymExpr::cmp(CmpOp::Eq, var(0), c(42)),
-            SymExpr::cmp(CmpOp::Eq, sum, c(100)),
-        ];
+        let constraints =
+            vec![SymExpr::cmp(CmpOp::Eq, var(0), c(42)), SymExpr::cmp(CmpOp::Eq, sum, c(100))];
         match s.solve(&constraints) {
             SolverResult::Sat(m) => {
                 assert_eq!(m[&SymVar(0)], 42);

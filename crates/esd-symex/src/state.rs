@@ -236,9 +236,7 @@ impl SymMemory {
     pub fn shared_objects_with(&self, other: &SymMemory) -> usize {
         self.objects
             .iter()
-            .filter(|(id, obj)| {
-                other.objects.get(id).map(|o| Arc::ptr_eq(o, obj)).unwrap_or(false)
-            })
+            .filter(|(id, obj)| other.objects.get(id).map(|o| Arc::ptr_eq(o, obj)).unwrap_or(false))
             .count()
     }
 }
@@ -456,7 +454,11 @@ mod tests {
         let mut s = ExecState::initial(&p);
         s.add_constraint(SymExpr::constant(1));
         assert!(s.constraints.is_empty());
-        s.add_constraint(SymExpr::cmp(esd_ir::CmpOp::Eq, SymExpr::var(SymVar(0)), SymExpr::constant(3)));
+        s.add_constraint(SymExpr::cmp(
+            esd_ir::CmpOp::Eq,
+            SymExpr::var(SymVar(0)),
+            SymExpr::constant(3),
+        ));
         assert_eq!(s.constraints.len(), 1);
     }
 

@@ -219,10 +219,7 @@ fn esd_explores_less_than_kc_on_listing1() {
     let kc = run_engine(
         &p,
         GoalSpec::Deadlock { thread_locs },
-        EngineConfig {
-            max_steps: 400_000,
-            ..EngineConfig::kc(Strategy::RandomPath { seed: 3 })
-        },
+        EngineConfig { max_steps: 400_000, ..EngineConfig::kc(Strategy::RandomPath { seed: 3 }) },
     );
     let kc_steps = kc.stats().steps;
     // Listing 1 is tiny, so both approaches succeed quickly here; the paper's
@@ -246,7 +243,8 @@ fn assertion_violation_goal_with_symbolic_condition() {
         f.ret_void();
     });
     let p = pb.finish("main");
-    let outcome = run_engine(&p, GoalSpec::Crash { loc: goal_loc.unwrap() }, EngineConfig::default());
+    let outcome =
+        run_engine(&p, GoalSpec::Crash { loc: goal_loc.unwrap() }, EngineConfig::default());
     let synth = outcome.found().expect("assertion failure must be synthesized");
     assert!(matches!(synth.fault, FaultKind::AssertFailure { .. }));
     let stdin = synth.inputs.iter().find(|(i, _)| i.seq == 0).map(|(_, v)| *v).unwrap();
@@ -278,7 +276,8 @@ fn other_bugs_found_along_the_way_are_recorded() {
     let p = pb.finish("main");
     let primary = crash_loc.unwrap();
     let analysis = StaticAnalysis::compute(&p, primary);
-    let mut engine = Engine::new(&p, &analysis, GoalSpec::Crash { loc: primary }, EngineConfig::default());
+    let mut engine =
+        Engine::new(&p, &analysis, GoalSpec::Crash { loc: primary }, EngineConfig::default());
     let outcome = engine.run();
     let synth = outcome.found().expect("goal crash found");
     assert_eq!(synth.inputs[0].1, 2);

@@ -50,8 +50,7 @@ pub fn generate_bpf(config: &BpfConfig) -> Workload {
         "bpf_b{}_i{}_t{}_l{}",
         config.branches, inputs, threads, locks
     ));
-    let input_globals: Vec<_> =
-        (0..inputs).map(|i| pb.global(&format!("input{i}"), 1)).collect();
+    let input_globals: Vec<_> = (0..inputs).map(|i| pb.global(&format!("input{i}"), 1)).collect();
     let lock_globals: Vec<_> = (0..locks).map(|i| pb.global(&format!("lock{i}"), 1)).collect();
     let enable = pb.global("deadlock_enable", 1);
     let scratch = pb.global("scratch", 4);
@@ -210,7 +209,9 @@ mod tests {
     fn generated_programs_scale_with_the_branch_knob() {
         let sizes: Vec<usize> = [8u32, 32, 128]
             .iter()
-            .map(|b| generate_bpf(&BpfConfig { branches: *b, ..Default::default() }).program.num_insts())
+            .map(|b| {
+                generate_bpf(&BpfConfig { branches: *b, ..Default::default() }).program.num_insts()
+            })
             .collect();
         assert!(sizes[0] < sizes[1] && sizes[1] < sizes[2]);
     }
@@ -220,7 +221,10 @@ mod tests {
         let a = generate_bpf(&BpfConfig::default());
         let b = generate_bpf(&BpfConfig::default());
         assert_eq!(a.program.num_insts(), b.program.num_insts());
-        assert_eq!(esd_ir::printer::print_program(&a.program), esd_ir::printer::print_program(&b.program));
+        assert_eq!(
+            esd_ir::printer::print_program(&a.program),
+            esd_ir::printer::print_program(&b.program)
+        );
         assert_eq!(a.failing_inputs, b.failing_inputs);
         let c = generate_bpf(&BpfConfig { seed: 99, ..Default::default() });
         assert_ne!(a.failing_inputs, c.failing_inputs);

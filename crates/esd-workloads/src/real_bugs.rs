@@ -644,7 +644,11 @@ mod tests {
 
     #[test]
     fn crash_analogs_are_synthesized() {
-        for w in [paste_invalid_free(), ls_injected(1), coreutils_crash("mknod", "x", 'z' as i64, 1.0, 3)] {
+        for w in [
+            paste_invalid_free(),
+            ls_injected(1),
+            coreutils_crash("mknod", "x", 'z' as i64, 1.0, 3),
+        ] {
             let esd = Esd::new(EsdOptions { max_steps: 2_000_000, ..Default::default() });
             let result = esd
                 .synthesize_goal(&w.program, w.goal(), false)

@@ -17,7 +17,8 @@ fn main() {
     let mut executions = Vec::new();
     for w in [&ls1_a, &ls1_b, &ls2] {
         let dump = capture_coredump(w, 5).expect("report captured");
-        let report = esd.synthesize(&w.program, &BugReport::from_coredump(dump)).expect("synthesized");
+        let report =
+            esd.synthesize(&w.program, &BugReport::from_coredump(dump)).expect("synthesized");
         executions.push((w.name.clone(), report.execution));
     }
 

@@ -27,9 +27,11 @@ fn main() {
     for input in &report.execution.inputs {
         println!("  input t{} #{} ({:?}) = {}", input.thread, input.seq, input.source, input.value);
     }
-    println!("  schedule: {} segments, {} context switches",
+    println!(
+        "  schedule: {} segments, {} context switches",
         report.execution.schedule.segments.len(),
-        report.execution.schedule.context_switches());
+        report.execution.schedule.context_switches()
+    );
 
     let replay = play(&workload.program, &report.execution);
     println!("playback reproduced the deadlock: {}", replay.reproduced);

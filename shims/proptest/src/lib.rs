@@ -1,0 +1,178 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Supports the subset this workspace's property tests use:
+//!
+//! * the [`proptest!`] macro over `#[test] fn name(arg in strategy, ...)`
+//!   items,
+//! * integer range strategies (`0i64..100`, `1u8..=4`),
+//! * tuples of strategies,
+//! * [`collection::vec`] for variable-length vectors,
+//! * `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!`.
+//!
+//! There is no shrinking: a failing case panics immediately with the standard
+//! assertion message, which is enough for CI. Each test runs a fixed number
+//! of deterministic cases (seeded per case index), so failures reproduce.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::ops::{Range, RangeInclusive};
+
+/// Number of generated cases per property (mirrors proptest's default order
+/// of magnitude while staying fast for `cargo test -q`).
+pub const CASES: u64 = 192;
+
+/// Deterministic per-case RNG handed to strategies by the [`proptest!`]
+/// expansion.
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// RNG for case number `case` (deterministic; independent across cases).
+    pub fn for_case(case: u64) -> TestRng {
+        TestRng(StdRng::seed_from_u64(0xe5d_0000 + case))
+    }
+}
+
+/// A generator of values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.0.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.0.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl Strategy for Range<char> {
+    type Value = char;
+    fn generate(&self, rng: &mut TestRng) -> char {
+        let lo = self.start as u32;
+        let hi = self.end as u32;
+        loop {
+            if let Some(c) = char::from_u32(rng.0.gen_range(lo..hi)) {
+                return c;
+            }
+        }
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+/// Collection strategies, mirroring `proptest::collection`.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Generates vectors whose elements come from `element` and whose length
+    /// comes from `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = if self.size.start >= self.size.end {
+                self.size.start
+            } else {
+                rng.0.gen_range(self.size.clone())
+            };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// The common imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest, Strategy};
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...)` item becomes
+/// a `#[test]` that runs the body over [`CASES`](crate::CASES) generated
+/// inputs.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strategy:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                for __case in 0..$crate::CASES {
+                    let mut __rng = $crate::TestRng::for_case(__case);
+                    $(let $arg = $crate::Strategy::generate(&($strategy), &mut __rng);)*
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// `assert!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// `assert_eq!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// `assert_ne!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    proptest! {
+        #[test]
+        fn ranges_and_vecs(xs in crate::collection::vec((0u32..4, 0i64..100), 1..6), y in 1u8..=3) {
+            prop_assert!(!xs.is_empty() && xs.len() < 6);
+            for (a, b) in &xs {
+                prop_assert!(*a < 4);
+                prop_assert!((0..100).contains(b));
+            }
+            prop_assert!((1..=3).contains(&y));
+        }
+    }
+}

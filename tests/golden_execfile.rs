@@ -1,0 +1,93 @@
+//! Golden test for the execution-file JSON format (`esd-core/src/execfile.rs`).
+//!
+//! A synthesized execution for the `paste` invalid-free workload is checked
+//! in under `tests/fixtures/`. It must keep deserializing and replaying, so
+//! any change to the JSON format — field renames, enum tagging, schedule
+//! encoding — is caught here instead of silently breaking saved execution
+//! files in the field.
+//!
+//! If the format changes *intentionally*, regenerate the fixture with
+//!
+//! ```text
+//! ESD_REGEN_GOLDEN=1 cargo test --test golden_execfile
+//! ```
+//!
+//! and commit the new file together with the format change.
+
+use esd::core::{Esd, EsdOptions, SynthesizedExecution};
+use esd::playback::play;
+use esd::workloads::real_bugs::paste_invalid_free;
+
+const FIXTURE: &str = include_str!("fixtures/paste_execution.json");
+
+fn fixture_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/paste_execution.json")
+}
+
+fn regen_requested() -> bool {
+    std::env::var("ESD_REGEN_GOLDEN").ok().as_deref() == Some("1")
+}
+
+/// Regenerates the fixture (only when `ESD_REGEN_GOLDEN=1`); run this before
+/// the read-only golden tests in the same invocation.
+#[test]
+fn a_regenerate_fixture_when_requested() {
+    if !regen_requested() {
+        return;
+    }
+    let w = paste_invalid_free();
+    let esd = Esd::new(EsdOptions { max_steps: 2_000_000, ..Default::default() });
+    let report = esd.synthesize_goal(&w.program, w.goal(), false).expect("synthesis succeeds");
+    let mut json = report.execution.to_json();
+    json.push('\n');
+    std::fs::write(fixture_path(), json).expect("fixture written");
+}
+
+#[test]
+fn golden_execution_file_deserializes() {
+    if regen_requested() {
+        // The in-memory FIXTURE constant is stale during a regeneration run.
+        return;
+    }
+    let exec = SynthesizedExecution::from_json(FIXTURE).unwrap_or_else(|e| {
+        panic!(
+            "checked-in execution file no longer parses ({e}); if the JSON \
+             format changed intentionally, regenerate with \
+             ESD_REGEN_GOLDEN=1 cargo test --test golden_execfile"
+        )
+    });
+    assert_eq!(exec.program, "paste");
+    assert_eq!(exec.fault_tag, "invalid-free");
+    assert!(!exec.inputs.is_empty(), "fixture carries concrete inputs");
+    assert!(!exec.schedule.segments.is_empty(), "fixture carries a schedule");
+}
+
+#[test]
+fn golden_execution_file_replays() {
+    if regen_requested() {
+        // The in-memory FIXTURE constant is stale during a regeneration run.
+        return;
+    }
+    let exec = SynthesizedExecution::from_json(FIXTURE).expect("fixture parses");
+    let w = paste_invalid_free();
+    let replay = play(&w.program, &exec);
+    assert!(
+        replay.reproduced,
+        "checked-in execution file must still reproduce the paste invalid free"
+    );
+}
+
+/// Serialization is deterministic and stable: writing the parsed fixture back
+/// out reproduces the checked-in bytes exactly.
+#[test]
+fn golden_execution_file_roundtrips_byte_identical() {
+    if regen_requested() {
+        return;
+    }
+    let exec = SynthesizedExecution::from_json(FIXTURE).expect("fixture parses");
+    assert_eq!(
+        format!("{}\n", exec.to_json()),
+        FIXTURE,
+        "re-serializing the fixture must reproduce it byte for byte"
+    );
+}

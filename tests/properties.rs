@@ -1,8 +1,8 @@
 //! Property-based tests over the core data structures and invariants.
 
 use esd::concurrency::{Schedule, SegmentStop, VectorClock};
-use esd::ir::{BinOp, CmpOp, ProgramBuilder};
 use esd::ir::interp::{InterpreterConfig, MapInputs, SchedulerKind};
+use esd::ir::{BinOp, CmpOp, ProgramBuilder};
 use esd::ir::{Interpreter, ThreadId};
 use esd::symex::{Solver, SolverConfig, SymExpr, SymVar};
 use proptest::prelude::*;
