@@ -4,7 +4,7 @@
 //! (§3.2 of the paper) and the proximity heuristic used by the dynamic phase
 //! (§3.4, Algorithm 1):
 //!
-//! * per-function control-flow graphs and reachability ([`cfg`]),
+//! * per-function control-flow graphs and reachability ([`cfg`](mod@cfg)),
 //! * the interprocedural call graph with best-effort function-pointer
 //!   resolution ([`callgraph`]),
 //! * instruction/block/function cost models and distance-to-return

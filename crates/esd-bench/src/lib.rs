@@ -11,7 +11,7 @@
 
 use esd_core::{kc_synthesize, stress_test, Esd, EsdOptions, KcStrategy, StressConfig};
 use esd_playback::play;
-use esd_symex::GoalSpec;
+use esd_symex::{FrontierKind, GoalSpec};
 use esd_workloads::{all_real_bugs, generate_bpf, BpfConfig, Workload, WorkloadKind};
 use std::time::{Duration, Instant};
 
@@ -25,6 +25,42 @@ pub const KC_CAP: u64 = 1_000_000;
 /// `ESD_BENCH_FULL` environment variable.
 pub fn full_mode() -> bool {
     std::env::var("ESD_BENCH_FULL").map(|v| v == "1").unwrap_or(false)
+}
+
+/// The search frontier the ESD side of a benchmark should use, so the fig2 /
+/// fig3 / fig4 binaries can compare frontiers: the first positional CLI
+/// argument wins (`fig2 dfs`), then the `ESD_FRONTIER` environment variable,
+/// then the paper's proximity-guided default.
+///
+/// These files double as harness=false `cargo bench` targets, and cargo
+/// hands every bench binary its `--bench` flag plus any `BENCHNAME` filter
+/// as arguments — so when `--bench` is present, unparseable positionals are
+/// treated as filters and ignored. In direct invocation an unknown spelling
+/// aborts with the parser's message rather than silently measuring the
+/// wrong thing.
+pub fn frontier_from_args() -> FrontierKind {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let under_cargo_bench = args.iter().any(|a| a == "--bench");
+    let positional = args.iter().find(|a| !a.starts_with('-'));
+    let from_env = || {
+        std::env::var("ESD_FRONTIER")
+            .ok()
+            .map(|s| s.parse().unwrap_or_else(|e: String| panic!("{e}")))
+            .unwrap_or_default()
+    };
+    match positional {
+        Some(s) => match s.parse() {
+            Ok(kind) => kind,
+            Err(_) if under_cargo_bench => from_env(),
+            Err(e) => panic!("{e}"),
+        },
+        None => from_env(),
+    }
+}
+
+/// ESD options for a benchmark run with the given budget and frontier.
+pub fn esd_options(max_steps: u64, frontier: FrontierKind) -> EsdOptions {
+    EsdOptions { max_steps, frontier, ..Default::default() }
 }
 
 fn secs(d: Duration) -> f64 {
@@ -120,23 +156,24 @@ pub struct Fig2Row {
     pub kc_rand_secs: Option<f64>,
 }
 
-/// Regenerates Figure 2: time to find a path to the bug, ESD vs the two KC
-/// search strategies, on ls1–ls4 and the real-bug analogs.
-pub fn fig2(esd_budget: u64, kc_cap: u64) -> Vec<Fig2Row> {
+/// Regenerates Figure 2: time to find a path to the bug, ESD (with the given
+/// search frontier) vs the two KC search strategies, on ls1–ls4 and the
+/// real-bug analogs.
+pub fn fig2(esd_budget: u64, kc_cap: u64, frontier: FrontierKind) -> Vec<Fig2Row> {
     let mut rows = Vec::new();
     for w in all_real_bugs() {
         if w.name == "listing1" {
             continue;
         }
-        rows.push(run_fig2_row(&w, esd_budget, kc_cap));
+        rows.push(run_fig2_row(&w, esd_budget, kc_cap, frontier));
     }
     rows
 }
 
-/// Runs one Figure-2 bar group.
-pub fn run_fig2_row(w: &Workload, esd_budget: u64, kc_cap: u64) -> Fig2Row {
+/// Runs one Figure-2 bar group with the given ESD frontier.
+pub fn run_fig2_row(w: &Workload, esd_budget: u64, kc_cap: u64, frontier: FrontierKind) -> Fig2Row {
     let goal = w.goal();
-    let esd = Esd::new(EsdOptions { max_steps: esd_budget, ..Default::default() });
+    let esd = Esd::new(esd_options(esd_budget, frontier));
     let start = Instant::now();
     let esd_secs =
         esd.synthesize_goal(&w.program, goal.clone(), false).ok().map(|_| secs(start.elapsed()));
@@ -152,8 +189,10 @@ pub fn run_fig2_row(w: &Workload, esd_budget: u64, kc_cap: u64) -> Fig2Row {
 
 /// Renders Figure 2 as a table (one row per bar group; "cap" marks the bars
 /// that fade out at the top of the paper's plot).
-pub fn print_fig2(rows: &[Fig2Row]) {
-    println!("Figure 2: time to find a path to the bug — ESD vs KC(DFS) vs KC(RandPath)");
+pub fn print_fig2(rows: &[Fig2Row], frontier: FrontierKind) {
+    println!(
+        "Figure 2: time to find a path to the bug — ESD[{frontier}] vs KC(DFS) vs KC(RandPath)"
+    );
     println!("{:<10} {:>12} {:>12} {:>14}", "System", "ESD [s]", "KC-DFS [s]", "KC-Rand [s]");
     let fmt = |v: &Option<f64>| v.map(|s| format!("{s:.2}")).unwrap_or_else(|| "cap".into());
     for r in rows {
@@ -182,13 +221,19 @@ pub struct BpfRow {
     pub kc_secs: Option<f64>,
 }
 
-/// Regenerates Figure 3 / Figure 4: synthesis time vs BPF program complexity.
-pub fn fig3(branch_counts: &[u32], esd_budget: u64, kc_cap: u64) -> Vec<BpfRow> {
+/// Regenerates Figure 3 / Figure 4: synthesis time vs BPF program complexity,
+/// with the ESD side using the given search frontier.
+pub fn fig3(
+    branch_counts: &[u32],
+    esd_budget: u64,
+    kc_cap: u64,
+    frontier: FrontierKind,
+) -> Vec<BpfRow> {
     let mut rows = Vec::new();
     for &branches in branch_counts {
         let w = generate_bpf(&BpfConfig { branches, ..Default::default() });
         let goal = w.goal();
-        let esd = Esd::new(EsdOptions { max_steps: esd_budget, ..Default::default() });
+        let esd = Esd::new(esd_options(esd_budget, frontier));
         let start = Instant::now();
         let esd_result = esd.synthesize_goal(&w.program, goal.clone(), false);
         let esd_elapsed = start.elapsed();
@@ -215,8 +260,10 @@ pub fn fig3_branch_counts() -> Vec<u32> {
 }
 
 /// Renders Figure 3 (x = branches).
-pub fn print_fig3(rows: &[BpfRow]) {
-    println!("Figure 3: BPF — synthesis time vs number of branches (ESD vs KC-RandPath)");
+pub fn print_fig3(rows: &[BpfRow], frontier: FrontierKind) {
+    println!(
+        "Figure 3: BPF — synthesis time vs number of branches (ESD[{frontier}] vs KC-RandPath)"
+    );
     println!("{:<10} {:>12} {:>12} {:>12}", "branches", "ESD [s]", "steps", "KC [s]");
     let fmt = |v: &Option<f64>| v.map(|s| format!("{s:.2}")).unwrap_or_else(|| "cap".into());
     for r in rows {
@@ -231,8 +278,8 @@ pub fn print_fig3(rows: &[BpfRow]) {
 }
 
 /// Renders Figure 4 (x = program size in KLOC).
-pub fn print_fig4(rows: &[BpfRow]) {
-    println!("Figure 4: BPF — synthesis time vs program size (KLOC)");
+pub fn print_fig4(rows: &[BpfRow], frontier: FrontierKind) {
+    println!("Figure 4: BPF — synthesis time vs program size (KLOC), ESD[{frontier}]");
     println!("{:<10} {:>12}", "KLOC", "ESD [s]");
     let fmt = |v: &Option<f64>| v.map(|s| format!("{s:.2}")).unwrap_or_else(|| "cap".into());
     for r in rows {
@@ -386,8 +433,21 @@ mod tests {
 
     #[test]
     fn fig3_rows_report_kloc_monotonically() {
-        let rows = fig3(&[16, 64], 1_500_000, 10_000);
+        let rows = fig3(&[16, 64], 1_500_000, 10_000, FrontierKind::Proximity);
         assert_eq!(rows.len(), 2);
         assert!(rows[0].kloc < rows[1].kloc);
+    }
+
+    /// Every frontier is selectable through the bench plumbing (tiny budgets:
+    /// this checks the wiring, not synthesis success).
+    #[test]
+    fn all_frontiers_are_selectable() {
+        let w = all_real_bugs().into_iter().find(|w| w.name == "mkfifo").unwrap();
+        for frontier in
+            [FrontierKind::Dfs, FrontierKind::Bfs, FrontierKind::Random, FrontierKind::Proximity]
+        {
+            let row = run_fig2_row(&w, 20_000, 1_000, frontier);
+            assert_eq!(row.system, "mkfifo");
+        }
     }
 }

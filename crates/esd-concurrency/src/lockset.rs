@@ -7,10 +7,23 @@
 //! (or written by one and read by another), the accesses are flagged as a
 //! potential data race. ESD inserts schedule preemption points before flagged
 //! accesses (§4.2).
+//!
+//! # Fork semantics
+//!
+//! The detector's whole state (per-word candidate locksets and the
+//! duplicate-report suppression set) lives in persistent [`PMap`]s, so
+//! [`Clone`] is **O(1)** and the clone is fully independent: accesses
+//! recorded in one copy are never observed by the other. The symbolic
+//! execution engine relies on this — every forked execution state carries
+//! its own detector, so sibling interleavings each discover (and get
+//! preemption points for) the races on *their* path, instead of the first
+//! interleaving's report suppressing everyone else's.
 
+use crate::pmap::PMap;
 use serde::{Deserialize, Serialize};
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
 use std::hash::Hash;
+use std::sync::Arc;
 
 /// The classic Eraser state machine for one memory word.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -32,6 +45,16 @@ struct WordInfo<T, L, A> {
     accesses: Vec<(T, A, bool)>,
 }
 
+impl<T: PartialEq, L: Eq + Hash, A: PartialEq> PartialEq for WordInfo<T, L, A> {
+    fn eq(&self, other: &Self) -> bool {
+        self.state == other.state
+            && self.first_thread == other.first_thread
+            && self.lockset == other.lockset
+            && self.last_write == other.last_write
+            && self.accesses == other.accesses
+    }
+}
+
 /// A potential (harmful) data race between two accesses.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct RaceReport<T, A> {
@@ -43,11 +66,32 @@ pub struct RaceReport<T, A> {
 
 /// A lockset-based race detector, generic over thread ids `T`, lock ids `L`
 /// and access locations `A`.
-#[derive(Debug, Clone, Default)]
+///
+/// Internally all state lives in persistent maps ([`PMap`]), so cloning the
+/// detector is O(1) and clones never observe each other's accesses (see the
+/// [module docs](self) for why the engine depends on this).
+#[derive(Debug)]
 pub struct LocksetDetector<V, T, L, A> {
-    words: HashMap<V, WordInfo<T, L, A>>,
-    /// Locations already reported, to avoid duplicate reports.
-    reported: HashSet<(A, A)>,
+    /// Per-word state, `Arc`-wrapped so the trie's path copies (and clones
+    /// shared with forked detectors) duplicate pointers, not word state; the
+    /// word being updated is cloned at most once per access via
+    /// `Arc::make_mut`.
+    words: PMap<V, Arc<WordInfo<T, L, A>>>,
+    /// Location pairs already reported, to avoid duplicate reports *within
+    /// one interleaving*.
+    reported: PMap<(A, A), ()>,
+}
+
+impl<V, T, L, A> Clone for LocksetDetector<V, T, L, A> {
+    fn clone(&self) -> Self {
+        LocksetDetector { words: self.words.clone(), reported: self.reported.clone() }
+    }
+}
+
+impl<V, T, L, A> Default for LocksetDetector<V, T, L, A> {
+    fn default() -> Self {
+        LocksetDetector { words: PMap::new(), reported: PMap::new() }
+    }
 }
 
 impl<V, T, L, A> LocksetDetector<V, T, L, A>
@@ -59,7 +103,7 @@ where
 {
     /// Creates an empty detector.
     pub fn new() -> Self {
-        LocksetDetector { words: HashMap::new(), reported: HashSet::new() }
+        LocksetDetector::default()
     }
 
     /// Records an access and returns a race report if this access races with
@@ -73,13 +117,22 @@ where
         held: &[L],
     ) -> Option<RaceReport<T, A>> {
         let held_set: HashSet<L> = held.iter().copied().collect();
-        let info = self.words.entry(word).or_insert_with(|| WordInfo {
-            state: WordState::Exclusive,
-            first_thread: thread,
-            lockset: None,
-            last_write: None,
-            accesses: Vec::new(),
-        });
+        if !self.words.contains_key(&word) {
+            self.words.insert(
+                word,
+                Arc::new(WordInfo {
+                    state: WordState::Exclusive,
+                    first_thread: thread,
+                    lockset: None,
+                    last_write: None,
+                    accesses: Vec::new(),
+                }),
+            );
+        }
+        // In-place when this detector uniquely owns the word's state; a copy
+        // is made only if a forked sibling still shares it (`Arc::make_mut`).
+        let slot = self.words.get_mut(&word).expect("just inserted");
+        let info = Arc::make_mut(slot);
 
         // State transitions.
         if thread != info.first_thread {
@@ -101,7 +154,7 @@ where
                 }
                 None => {
                     info.lockset = Some(held_set.clone());
-                    held_set.clone()
+                    held_set
                 }
             };
             if lockset.is_empty() && info.state == WordState::SharedWrite {
@@ -111,8 +164,8 @@ where
                     info.accesses.iter().rev().find(|(t, _, w)| *t != thread && (*w || is_write))
                 {
                     let key = (prev.1, at);
-                    if !self.reported.contains(&key) {
-                        self.reported.insert(key);
+                    if !self.reported.contains_key(&key) {
+                        self.reported.insert(key, ());
                         race = Some(RaceReport { first: *prev, second: (thread, at, is_write) });
                     }
                 }
@@ -132,6 +185,23 @@ where
     /// Number of distinct words the detector has seen.
     pub fn tracked_words(&self) -> usize {
         self.words.len()
+    }
+
+    /// Number of distinct racing location pairs reported so far.
+    pub fn reported_pairs(&self) -> usize {
+        self.reported.len()
+    }
+}
+
+impl<V, T, L, A> PartialEq for LocksetDetector<V, T, L, A>
+where
+    V: Eq + Hash,
+    T: Eq + Copy,
+    L: Eq + Hash,
+    A: Eq + Hash + Copy,
+{
+    fn eq(&self, other: &Self) -> bool {
+        self.words == other.words && self.reported == other.reported
     }
 }
 
@@ -236,6 +306,44 @@ mod tests {
         let json = serde_json::to_string(&race).unwrap();
         let back: RaceReport<u32, u32> = serde_json::from_str(&json).unwrap();
         assert_eq!(race, back);
+    }
+
+    /// The fork semantics the symbolic-execution engine depends on: a cloned
+    /// detector is an independent snapshot, so a race already reported in one
+    /// sibling interleaving is still reported in the other.
+    #[test]
+    fn forked_detectors_report_the_same_race_independently() {
+        let mut parent = Det::new();
+        parent.access(100, 1, 10, true, &[]);
+        // Fork before anything is reported: both siblings must flag the race.
+        let mut sibling_a = parent.clone();
+        let mut sibling_b = parent.clone();
+        assert!(sibling_a.access(100, 2, 20, true, &[]).is_some());
+        assert!(
+            sibling_b.access(100, 2, 20, true, &[]).is_some(),
+            "a sibling's report must not suppress this interleaving's race"
+        );
+        // The parent saw neither access nor report.
+        assert_eq!(parent.reported_pairs(), 0);
+        assert_eq!(parent.tracked_words(), 1);
+        assert_eq!(sibling_a.reported_pairs(), 1);
+        // Within one interleaving the dedup still applies.
+        assert!(sibling_a.access(100, 2, 20, true, &[]).is_none());
+    }
+
+    #[test]
+    fn clone_is_a_snapshot_in_both_directions() {
+        let mut parent = Det::new();
+        parent.access(1, 1, 10, true, &[7]);
+        let snapshot = parent.clone();
+        let frozen = parent.clone();
+        // Advancing the parent does not change the snapshot…
+        parent.access(1, 2, 20, true, &[]);
+        parent.access(2, 1, 30, false, &[]);
+        assert_eq!(snapshot, frozen);
+        assert_eq!(snapshot.tracked_words(), 1);
+        // …and the parent diverged as expected.
+        assert_eq!(parent.tracked_words(), 2);
     }
 
     #[test]

@@ -11,7 +11,7 @@
 use crate::execfile::SynthesizedExecution;
 use esd_analysis::StaticAnalysis;
 use esd_ir::Program;
-use esd_symex::{Engine, EngineConfig, GoalSpec, SearchOutcome, SearchStats, Strategy};
+use esd_symex::{Engine, EngineConfig, GoalSpec, SearchConfig, SearchOutcome, SearchStats};
 use std::time::{Duration, Instant};
 
 /// Which Klee searcher KC uses.
@@ -52,11 +52,11 @@ pub fn kc_synthesize(
     let start = Instant::now();
     let primary = goal.primary_locs()[0];
     let analysis = StaticAnalysis::compute(program, primary);
-    let engine_strategy = match strategy {
-        KcStrategy::Dfs => Strategy::Dfs,
-        KcStrategy::RandomPath { seed } => Strategy::RandomPath { seed },
+    let search = match strategy {
+        KcStrategy::Dfs => SearchConfig::dfs(),
+        KcStrategy::RandomPath { seed } => SearchConfig::random(seed),
     };
-    let config = EngineConfig { max_steps, ..EngineConfig::kc(engine_strategy) };
+    let config = EngineConfig { max_steps, ..EngineConfig::kc(search) };
     let mut engine = Engine::new(program, &analysis, goal, config);
     match engine.run() {
         SearchOutcome::Found(synth) => KcResult {

@@ -4,7 +4,9 @@ use crate::execfile::SynthesizedExecution;
 use crate::report::{extract_goal, BugKind, BugReport};
 use esd_analysis::StaticAnalysis;
 use esd_ir::Program;
-use esd_symex::{Engine, EngineConfig, GoalSpec, SearchOutcome, SearchStats, Strategy};
+use esd_symex::{
+    Engine, EngineConfig, FrontierKind, GoalSpec, SearchConfig, SearchOutcome, SearchStats,
+};
 use std::time::{Duration, Instant};
 
 /// Knobs for a synthesis run (sensible defaults reproduce the paper's ESD
@@ -17,6 +19,10 @@ pub struct EsdOptions {
     pub max_states: usize,
     /// Random seed for the uniform queue choice.
     pub seed: u64,
+    /// Which search frontier orders the exploration (the paper's
+    /// proximity-guided frontier by default; DFS / BFS / random are available
+    /// for comparison — see `esd_symex::frontier`).
+    pub frontier: FrontierKind,
     /// Use intermediate goals from the static phase.
     pub use_intermediate_goals: bool,
     /// Abandon paths that violate critical edges.
@@ -33,6 +39,7 @@ impl Default for EsdOptions {
             max_steps: 5_000_000,
             max_states: 50_000,
             seed: 1,
+            frontier: FrontierKind::Proximity,
             use_intermediate_goals: true,
             use_critical_edges: true,
             schedule_bias: true,
@@ -109,7 +116,7 @@ impl Esd {
         let primary = goal.primary_locs()[0];
         let analysis = StaticAnalysis::compute(program, primary);
         let config = EngineConfig {
-            strategy: Strategy::Proximity { seed: self.options.seed },
+            search: SearchConfig { kind: self.options.frontier, seed: self.options.seed },
             preemption_bound: None,
             max_steps: self.options.max_steps,
             max_states: self.options.max_states,

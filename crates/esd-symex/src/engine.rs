@@ -9,29 +9,26 @@
 //! concrete inputs and the recorded serialized schedule becomes the
 //! synthesized execution.
 //!
-//! Strategies:
-//! * [`Strategy::Proximity`] — ESD: virtual per-goal priority queues ordered
-//!   by the Algorithm-1 proximity estimate, biased by the deadlock schedule
-//!   distance (§4.1), with critical-edge path abandonment and intermediate
-//!   goals from the static phase.
-//! * [`Strategy::Dfs`] and [`Strategy::RandomPath`] — the two KC baseline
-//!   strategies (Klee's searchers), optionally with Chess-style preemption
-//!   bounding.
+//! Which state is advanced next is decided by a pluggable [`SearchFrontier`]
+//! (see [`crate::frontier`]) selected through [`SearchConfig`]: ESD's
+//! proximity-guided virtual queues — ordered by the Algorithm-1 proximity
+//! estimate, biased by the deadlock schedule distance (§4.1), with
+//! critical-edge path abandonment and intermediate goals from the static
+//! phase — or the DFS / BFS / RandomPath baselines, optionally with
+//! Chess-style preemption bounding (the KC baseline).
 
 use crate::expr::{SymExpr, SymValue, SymVarInfo};
+use crate::frontier::{SearchConfig, SearchFrontier, StatePriority};
 use crate::solver::{Solver, SolverConfig, SolverResult};
 use crate::state::{ExecState, SchedDistance, SymFrame, SymMemError, SymThread};
 use esd_analysis::{StaticAnalysis, INF};
-use esd_concurrency::{find_mutex_deadlock, LocksetDetector, Schedule, SegmentStop};
+use esd_concurrency::{find_mutex_deadlock, Schedule, SegmentStop};
 use esd_ir::interp::{ObjKind, ThreadStatus};
 use esd_ir::{
     BinOp, Callee, CmpOp, FaultKind, FuncId, Inst, Loc, Operand, Program, Ptr, Reg, Terminator,
     ThreadId, Value,
 };
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::HashMap;
 use std::sync::Arc;
 
 /// What the synthesizer is looking for.
@@ -62,28 +59,11 @@ impl GoalSpec {
     }
 }
 
-/// State-selection strategy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Strategy {
-    /// Depth-first (Klee DFS / exhaustive-like).
-    Dfs,
-    /// Uniformly random among live states (Klee RandomPath-like).
-    RandomPath {
-        /// PRNG seed.
-        seed: u64,
-    },
-    /// ESD's proximity-guided search.
-    Proximity {
-        /// PRNG seed for the uniform choice among virtual queues.
-        seed: u64,
-    },
-}
-
 /// Engine configuration.
 #[derive(Debug, Clone)]
 pub struct EngineConfig {
-    /// State-selection strategy.
-    pub strategy: Strategy,
+    /// Which search frontier orders the exploration, and its seed.
+    pub search: SearchConfig,
     /// Chess-style preemption bound (the KC baseline uses `Some(2)`); `None`
     /// leaves preemptions unbounded as in ESD.
     pub preemption_bound: Option<u32>,
@@ -112,7 +92,7 @@ pub struct EngineConfig {
 impl Default for EngineConfig {
     fn default() -> Self {
         EngineConfig {
-            strategy: Strategy::Proximity { seed: 1 },
+            search: SearchConfig::default(),
             preemption_bound: None,
             max_steps: 2_000_000,
             max_states: 20_000,
@@ -128,11 +108,11 @@ impl Default for EngineConfig {
 
 impl EngineConfig {
     /// The configuration used for the KC baseline (Klee + Chess): the given
-    /// search strategy, preemption bounding at 2, and none of ESD's
+    /// search frontier, preemption bounding at 2, and none of ESD's
     /// goal-directed heuristics.
-    pub fn kc(strategy: Strategy) -> Self {
+    pub fn kc(search: SearchConfig) -> Self {
         EngineConfig {
-            strategy,
+            search,
             preemption_bound: Some(2),
             use_intermediate_goals: false,
             use_critical_edges: false,
@@ -218,10 +198,6 @@ enum StepEffect {
 
 const SCHED_WEIGHT: u64 = 1_000_000_000;
 
-/// Min-heap of queued states keyed by
-/// `(priority, proximity, steps, state id)`.
-type StateQueue = BinaryHeap<Reverse<(u64, u64, u64, u64)>>;
-
 /// The search engine.
 pub struct Engine<'p> {
     program: &'p Program,
@@ -232,15 +208,13 @@ pub struct Engine<'p> {
     solver: Solver,
     states: HashMap<u64, ExecState>,
     next_state_id: u64,
-    /// One virtual queue per goal target set (intermediate goals + final).
+    /// One virtual queue per goal target set (intermediate goals + final),
+    /// used to compute the per-queue priority keys for the frontier.
     queue_targets: Vec<Vec<Loc>>,
-    queues: Vec<StateQueue>,
-    versions: HashMap<u64, u64>,
-    dfs_stack: Vec<u64>,
-    rng: StdRng,
+    /// The pluggable worklist ordering the exploration.
+    frontier: Box<dyn SearchFrontier>,
     stats: SearchStats,
     seen_fingerprints: std::collections::HashSet<u64>,
-    race_detector: LocksetDetector<(u64, i64), u32, (u64, i64), Loc>,
     /// Locations of faults found that did not match the goal.
     pub other_bugs: Vec<(FaultKind, Option<Loc>)>,
 }
@@ -263,11 +237,7 @@ impl<'p> Engine<'p> {
             }
         }
         queue_targets.push(goal.primary_locs());
-        let seed = match config.strategy {
-            Strategy::RandomPath { seed } | Strategy::Proximity { seed } => seed,
-            Strategy::Dfs => 0,
-        };
-        let queues = queue_targets.iter().map(|_| BinaryHeap::new()).collect();
+        let frontier = config.search.build(queue_targets.len());
         Engine {
             program,
             analysis,
@@ -278,13 +248,9 @@ impl<'p> Engine<'p> {
             states: HashMap::new(),
             next_state_id: 0,
             queue_targets,
-            queues,
-            versions: HashMap::new(),
-            dfs_stack: Vec::new(),
-            rng: StdRng::seed_from_u64(seed),
+            frontier,
             stats: SearchStats::default(),
             seen_fingerprints: std::collections::HashSet::new(),
-            race_detector: LocksetDetector::new(),
             other_bugs: Vec::new(),
         }
     }
@@ -334,23 +300,27 @@ impl<'p> Engine<'p> {
 
     // ---- state pool management ---------------------------------------------
 
-    fn register_state(&mut self, mut state: ExecState) {
+    /// Admits a forked state into the pool, returning its assigned id —
+    /// `None` when the state was dropped (pool full, or its fingerprint was
+    /// already explored).
+    fn register_state(&mut self, mut state: ExecState) -> Option<u64> {
         if self.states.len() >= self.config.max_states {
-            return;
+            return None;
         }
         if self.config.dedup_states {
             let fp = Self::fingerprint(&state);
             if !self.seen_fingerprints.insert(fp) {
-                return;
+                return None;
             }
         }
         state.id = self.next_state_id;
         self.next_state_id += 1;
         self.stats.states_created += 1;
-        self.insert_into_queues(&state);
-        self.dfs_stack.push(state.id);
-        self.states.insert(state.id, state);
+        self.push_to_frontier(&state);
+        let id = state.id;
+        self.states.insert(id, state);
         self.stats.max_live_states = self.stats.max_live_states.max(self.states.len());
+        Some(id)
     }
 
     /// A cheap structural fingerprint of a state, used to drop duplicate
@@ -381,26 +351,19 @@ impl<'p> Engine<'p> {
     }
 
     fn reinsert_state(&mut self, state: ExecState) {
-        self.insert_into_queues(&state);
-        self.dfs_stack.push(state.id);
+        self.push_to_frontier(&state);
         self.states.insert(state.id, state);
     }
 
-    fn insert_into_queues(&mut self, state: &ExecState) {
-        let version = self.versions.entry(state.id).or_insert(0);
-        *version += 1;
-        let version = *version;
-        if !matches!(self.config.strategy, Strategy::Proximity { .. }) {
-            return;
-        }
-        for (qi, targets) in self.queue_targets.iter().enumerate() {
-            let key = self.priority_key(state, targets);
-            // Tie-break equal distances by depth (more executed instructions
-            // first), so the search keeps extending its most advanced state
-            // instead of sweeping the whole frontier breadth-first.
-            let depth_tiebreak = u64::MAX - state.steps;
-            self.queues[qi].push(Reverse((key, depth_tiebreak, version, state.id)));
-        }
+    /// (Re-)enters a state into the frontier, computing the per-goal-queue
+    /// priority keys only when the frontier consumes them.
+    fn push_to_frontier(&mut self, state: &ExecState) {
+        let queue_keys = if self.frontier.wants_priorities() {
+            self.queue_targets.iter().map(|targets| self.priority_key(state, targets)).collect()
+        } else {
+            Vec::new()
+        };
+        self.frontier.push(state.id, &StatePriority { queue_keys, depth: state.steps });
     }
 
     fn priority_key(&self, state: &ExecState, targets: &[Loc]) -> u64 {
@@ -429,42 +392,7 @@ impl<'p> Engine<'p> {
     }
 
     fn select_state(&mut self) -> Option<u64> {
-        match self.config.strategy {
-            Strategy::Dfs => {
-                while let Some(id) = self.dfs_stack.pop() {
-                    if self.states.contains_key(&id) {
-                        return Some(id);
-                    }
-                }
-                None
-            }
-            Strategy::RandomPath { .. } => {
-                if self.states.is_empty() {
-                    return None;
-                }
-                let ids: Vec<u64> = self.states.keys().copied().collect();
-                Some(ids[self.rng.gen_range(0..ids.len())])
-            }
-            Strategy::Proximity { .. } => {
-                if self.states.is_empty() {
-                    return None;
-                }
-                // Uniformly random queue, as in the paper; pop lazily-deleted
-                // entries until a live, current-version one appears.
-                for _ in 0..self.queues.len() * 4 {
-                    let qi = self.rng.gen_range(0..self.queues.len());
-                    while let Some(Reverse((_, _, version, id))) = self.queues[qi].pop() {
-                        if let Some(cur) = self.versions.get(&id) {
-                            if *cur == version && self.states.contains_key(&id) {
-                                return Some(id);
-                            }
-                        }
-                    }
-                }
-                // All queues empty (stale): fall back to any live state.
-                self.states.keys().next().copied()
-            }
-        }
+        self.frontier.pop()
     }
 
     // ---- evaluation helpers -------------------------------------------------
@@ -660,7 +588,9 @@ impl<'p> Engine<'p> {
 
     /// Forks a state in which the current thread is preempted right now
     /// (before executing its next instruction) and `next` runs instead.
-    /// Respects the preemption bound. Returns the id of the forked state.
+    /// Respects the preemption bound. Returns the id of the forked state, or
+    /// `None` when no fork was admitted to the pool (so callers never record
+    /// an id that a later, unrelated state would be assigned).
     fn fork_preempted(&mut self, state: &ExecState, next: ThreadId) -> Option<u64> {
         if let Some(bound) = self.config.preemption_bound {
             if state.preemptions >= bound {
@@ -680,9 +610,7 @@ impl<'p> Engine<'p> {
         let mut alt = state.clone();
         alt.preemptions += 1;
         self.switch_to(&mut alt, next, SegmentStop::Steps(0));
-        let id = self.next_state_id;
-        self.register_state(alt);
-        Some(id)
+        self.register_state(alt)
     }
 
     // ---- the micro-step --------------------------------------------------------
@@ -1363,7 +1291,10 @@ impl<'p> Engine<'p> {
         let cur = state.current;
         let held: Vec<(u64, i64)> =
             state.thread(cur).held_locks.iter().map(|h| (h.obj.0, h.off)).collect();
-        let race = self.race_detector.access((p.obj.0, p.off), cur.0, loc, is_write, &held);
+        // Per-interleaving analysis: the detector lives on the state, so a
+        // race reported here is reported again (and forks a preemption) in
+        // every sibling interleaving that reaches the same pair.
+        let race = state.race_detector.access((p.obj.0, p.off), cur.0, loc, is_write, &held);
         if race.is_some() {
             self.stats.races_flagged += 1;
             if let Some(next) = self.other_runnable(state) {
@@ -1435,7 +1366,7 @@ impl<'p> Engine<'p> {
                             None => None,
                         };
                         if let Some(snap) = promoted {
-                            self.insert_into_queues(&snap);
+                            self.push_to_frontier(&snap);
                         }
                     }
                     state.sched_distance = SchedDistance::Far;

@@ -1,0 +1,488 @@
+//! Pluggable search frontiers: the engine's worklist of execution states.
+//!
+//! The search engine repeatedly *pops* a state from the frontier, advances it
+//! by one micro-step, and *pushes* it back (or pushes the states it forked
+//! into). Which state the frontier hands back next is the search strategy —
+//! the only part of the dynamic phase that differs between ESD and the
+//! baselines it is compared against — so it is factored out behind the
+//! [`SearchFrontier`] trait and selected via [`SearchConfig`]:
+//!
+//! * [`ProximityFrontier`] — ESD's strategy (§3.4, Algorithm 1): one virtual
+//!   priority queue per goal (intermediate goals from the static phase plus
+//!   the final goal), each ordered by the proximity estimate; selection picks
+//!   a queue uniformly at random and takes its closest state.
+//! * [`DfsFrontier`] — depth-first (Klee's DFS searcher, "equivalent to an
+//!   exhaustive search").
+//! * [`BfsFrontier`] — breadth-first: the frontier is a FIFO, so exploration
+//!   sweeps the whole state tree level by level. Not in the paper; useful as
+//!   a fairness baseline when comparing frontiers in `esd-bench`.
+//! * [`RandomFrontier`] — uniformly random among live states (Klee's
+//!   RandomPath searcher, the second KC baseline).
+//!
+//! # Contract
+//!
+//! The engine computes a [`StatePriority`] for a state every time the state
+//! enters (or re-enters) the frontier and calls [`SearchFrontier::push`]; a
+//! later `push` of the same id *replaces* the previous position (used to
+//! promote states when the deadlock heuristics change their priority). A
+//! [`SearchFrontier::pop`] removes the returned state from the frontier.
+//! Implementations may keep lazily-invalidated entries internally, but `pop`
+//! must only return ids that are currently pushed, and `len` counts live
+//! states, not internal entries.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
+
+/// Which [`SearchFrontier`] implementation the engine uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FrontierKind {
+    /// Depth-first search ([`DfsFrontier`]).
+    Dfs,
+    /// Breadth-first search ([`BfsFrontier`]).
+    Bfs,
+    /// Uniformly random among live states ([`RandomFrontier`]).
+    Random,
+    /// ESD's proximity-guided virtual queues ([`ProximityFrontier`]).
+    #[default]
+    Proximity,
+}
+
+impl std::str::FromStr for FrontierKind {
+    type Err = String;
+
+    /// Parses `"dfs"`, `"bfs"`, `"random"` / `"randompath"`, or
+    /// `"proximity"` / `"esd"` (case-insensitive) — the spellings accepted by
+    /// the `esd-bench` binaries and `ESD_FRONTIER` environment variable.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "dfs" => Ok(FrontierKind::Dfs),
+            "bfs" => Ok(FrontierKind::Bfs),
+            "random" | "randompath" => Ok(FrontierKind::Random),
+            "proximity" | "esd" => Ok(FrontierKind::Proximity),
+            other => Err(format!("unknown frontier {other:?} (expected dfs|bfs|random|proximity)")),
+        }
+    }
+}
+
+impl std::fmt::Display for FrontierKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            FrontierKind::Dfs => "dfs",
+            FrontierKind::Bfs => "bfs",
+            FrontierKind::Random => "random",
+            FrontierKind::Proximity => "proximity",
+        })
+    }
+}
+
+/// How the engine orders its exploration: a frontier implementation plus the
+/// seed for the stochastic ones.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SearchConfig {
+    /// The frontier implementation to use.
+    pub kind: FrontierKind,
+    /// PRNG seed for [`FrontierKind::Random`] and [`FrontierKind::Proximity`]
+    /// (ignored by the deterministic frontiers).
+    pub seed: u64,
+}
+
+impl Default for SearchConfig {
+    fn default() -> Self {
+        SearchConfig::proximity(1)
+    }
+}
+
+impl SearchConfig {
+    /// Depth-first exploration.
+    pub fn dfs() -> Self {
+        SearchConfig { kind: FrontierKind::Dfs, seed: 0 }
+    }
+
+    /// Breadth-first exploration.
+    pub fn bfs() -> Self {
+        SearchConfig { kind: FrontierKind::Bfs, seed: 0 }
+    }
+
+    /// Uniformly random state selection with the given seed.
+    pub fn random(seed: u64) -> Self {
+        SearchConfig { kind: FrontierKind::Random, seed }
+    }
+
+    /// ESD's proximity-guided selection with the given seed.
+    pub fn proximity(seed: u64) -> Self {
+        SearchConfig { kind: FrontierKind::Proximity, seed }
+    }
+
+    /// The same configuration with a different frontier kind.
+    pub fn with_kind(self, kind: FrontierKind) -> Self {
+        SearchConfig { kind, ..self }
+    }
+
+    /// Instantiates the frontier. `num_queues` is the number of virtual goal
+    /// queues the engine maintains (intermediate goals + the final goal);
+    /// only the proximity frontier uses it.
+    pub fn build(&self, num_queues: usize) -> Box<dyn SearchFrontier> {
+        match self.kind {
+            FrontierKind::Dfs => Box::new(DfsFrontier::new()),
+            FrontierKind::Bfs => Box::new(BfsFrontier::new()),
+            FrontierKind::Random => Box::new(RandomFrontier::new(self.seed)),
+            FrontierKind::Proximity => Box::new(ProximityFrontier::new(num_queues, self.seed)),
+        }
+    }
+}
+
+/// The ordering information the engine computes for a state as it enters the
+/// frontier.
+#[derive(Debug, Clone, Default)]
+pub struct StatePriority {
+    /// One key per virtual goal queue — lower is closer to that goal
+    /// (proximity estimate biased by the deadlock schedule distance). Empty
+    /// unless the frontier [wants priorities](SearchFrontier::wants_priorities).
+    pub queue_keys: Vec<u64>,
+    /// Total instructions this state has executed (used to break priority
+    /// ties in favor of deeper states).
+    pub depth: u64,
+}
+
+/// A worklist of execution-state ids; see the [module docs](self) for the
+/// push/pop contract.
+pub trait SearchFrontier {
+    /// Inserts state `id`, or — if it is already in the frontier — moves it
+    /// to the position implied by the new priority.
+    fn push(&mut self, id: u64, prio: &StatePriority);
+
+    /// Removes and returns the next state to advance, or `None` when the
+    /// frontier is empty.
+    fn pop(&mut self) -> Option<u64>;
+
+    /// True if this frontier consumes [`StatePriority::queue_keys`]; the
+    /// engine skips the per-goal proximity computation otherwise.
+    fn wants_priorities(&self) -> bool {
+        false
+    }
+
+    /// Number of states currently in the frontier.
+    fn len(&self) -> usize;
+
+    /// True when no states are queued.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Lazy-invalidation bookkeeping shared by the frontier implementations:
+/// stale entries (from a superseding `push` of the same id) stay in the
+/// underlying container and are skipped on `pop` by checking their stamp.
+#[derive(Debug, Default)]
+struct Liveness {
+    current: HashMap<u64, u64>,
+    next_stamp: u64,
+}
+
+impl Liveness {
+    /// Registers a (re-)push of `id`, returning the stamp that marks the new
+    /// entry as the only valid one.
+    fn stamp(&mut self, id: u64) -> u64 {
+        self.next_stamp += 1;
+        self.current.insert(id, self.next_stamp);
+        self.next_stamp
+    }
+
+    /// Consumes the entry `(id, stamp)` if it is the valid one, removing the
+    /// id from the frontier.
+    fn take(&mut self, id: u64, stamp: u64) -> bool {
+        if self.current.get(&id) == Some(&stamp) {
+            self.current.remove(&id);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.current.len()
+    }
+}
+
+/// Depth-first frontier: a LIFO stack, so the search always extends the most
+/// recently forked state first.
+#[derive(Debug, Default)]
+pub struct DfsFrontier {
+    stack: Vec<(u64, u64)>,
+    live: Liveness,
+}
+
+impl DfsFrontier {
+    /// Creates an empty DFS frontier.
+    pub fn new() -> Self {
+        DfsFrontier::default()
+    }
+}
+
+impl SearchFrontier for DfsFrontier {
+    fn push(&mut self, id: u64, _prio: &StatePriority) {
+        let stamp = self.live.stamp(id);
+        self.stack.push((stamp, id));
+    }
+
+    fn pop(&mut self) -> Option<u64> {
+        while let Some((stamp, id)) = self.stack.pop() {
+            if self.live.take(id, stamp) {
+                return Some(id);
+            }
+        }
+        None
+    }
+
+    fn len(&self) -> usize {
+        self.live.len()
+    }
+}
+
+/// Breadth-first frontier: a FIFO queue, so states are advanced in the order
+/// they were created and the state tree is swept level by level.
+#[derive(Debug, Default)]
+pub struct BfsFrontier {
+    queue: VecDeque<(u64, u64)>,
+    live: Liveness,
+}
+
+impl BfsFrontier {
+    /// Creates an empty BFS frontier.
+    pub fn new() -> Self {
+        BfsFrontier::default()
+    }
+}
+
+impl SearchFrontier for BfsFrontier {
+    fn push(&mut self, id: u64, _prio: &StatePriority) {
+        let stamp = self.live.stamp(id);
+        self.queue.push_back((stamp, id));
+    }
+
+    fn pop(&mut self) -> Option<u64> {
+        while let Some((stamp, id)) = self.queue.pop_front() {
+            if self.live.take(id, stamp) {
+                return Some(id);
+            }
+        }
+        None
+    }
+
+    fn len(&self) -> usize {
+        self.live.len()
+    }
+}
+
+/// Uniformly random frontier (Klee's RandomPath searcher): `pop` draws one of
+/// the live states with equal probability.
+#[derive(Debug)]
+pub struct RandomFrontier {
+    ids: Vec<u64>,
+    present: HashSet<u64>,
+    rng: StdRng,
+}
+
+impl RandomFrontier {
+    /// Creates an empty random frontier drawing from the given seed.
+    pub fn new(seed: u64) -> Self {
+        RandomFrontier {
+            ids: Vec::new(),
+            present: HashSet::new(),
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl SearchFrontier for RandomFrontier {
+    fn push(&mut self, id: u64, _prio: &StatePriority) {
+        if self.present.insert(id) {
+            self.ids.push(id);
+        }
+    }
+
+    fn pop(&mut self) -> Option<u64> {
+        if self.ids.is_empty() {
+            return None;
+        }
+        let i = self.rng.gen_range(0..self.ids.len());
+        let id = self.ids.swap_remove(i);
+        self.present.remove(&id);
+        Some(id)
+    }
+
+    fn len(&self) -> usize {
+        self.ids.len()
+    }
+}
+
+/// Min-heap of `(key, inverted depth, stamp, state id)` entries.
+type StateQueue = BinaryHeap<Reverse<(u64, u64, u64, u64)>>;
+
+/// ESD's proximity-guided frontier (§3.4): one virtual priority queue per
+/// goal target set, each ordered by the precomputed proximity key; `pop`
+/// picks a queue uniformly at random and returns its closest state. Ties are
+/// broken toward deeper states so the search keeps extending its most
+/// advanced interleaving instead of sweeping breadth-first.
+#[derive(Debug)]
+pub struct ProximityFrontier {
+    queues: Vec<StateQueue>,
+    live: Liveness,
+    rng: StdRng,
+}
+
+impl ProximityFrontier {
+    /// Creates a frontier with `num_queues` virtual goal queues.
+    pub fn new(num_queues: usize, seed: u64) -> Self {
+        ProximityFrontier {
+            queues: (0..num_queues.max(1)).map(|_| BinaryHeap::new()).collect(),
+            live: Liveness::default(),
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl SearchFrontier for ProximityFrontier {
+    fn push(&mut self, id: u64, prio: &StatePriority) {
+        debug_assert_eq!(prio.queue_keys.len(), self.queues.len(), "one key per virtual queue");
+        let stamp = self.live.stamp(id);
+        let depth_tiebreak = u64::MAX - prio.depth;
+        for (queue, key) in self.queues.iter_mut().zip(&prio.queue_keys) {
+            queue.push(Reverse((*key, depth_tiebreak, stamp, id)));
+        }
+    }
+
+    fn pop(&mut self) -> Option<u64> {
+        if self.live.len() == 0 {
+            return None;
+        }
+        // Uniformly random queue, as in the paper; skip lazily-invalidated
+        // entries until a live, current-stamp one appears.
+        for _ in 0..self.queues.len() * 4 {
+            let qi = self.rng.gen_range(0..self.queues.len());
+            while let Some(Reverse((_, _, stamp, id))) = self.queues[qi].pop() {
+                if self.live.take(id, stamp) {
+                    return Some(id);
+                }
+            }
+        }
+        // Every sampled queue drained stale: fall back to any live state.
+        let id = *self.live.current.keys().next()?;
+        self.live.current.remove(&id);
+        Some(id)
+    }
+
+    fn wants_priorities(&self) -> bool {
+        true
+    }
+
+    fn len(&self) -> usize {
+        self.live.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn prio(keys: &[u64], depth: u64) -> StatePriority {
+        StatePriority { queue_keys: keys.to_vec(), depth }
+    }
+
+    #[test]
+    fn frontier_kind_parses_and_displays() {
+        for (s, k) in [
+            ("dfs", FrontierKind::Dfs),
+            ("BFS", FrontierKind::Bfs),
+            ("RandomPath", FrontierKind::Random),
+            ("esd", FrontierKind::Proximity),
+            ("proximity", FrontierKind::Proximity),
+        ] {
+            assert_eq!(s.parse::<FrontierKind>().unwrap(), k);
+        }
+        assert!("weird".parse::<FrontierKind>().is_err());
+        assert_eq!(FrontierKind::Proximity.to_string(), "proximity");
+    }
+
+    #[test]
+    fn dfs_pops_most_recent_first() {
+        let mut f = DfsFrontier::new();
+        for id in [1, 2, 3] {
+            f.push(id, &prio(&[], 0));
+        }
+        assert_eq!(f.len(), 3);
+        assert_eq!(f.pop(), Some(3));
+        assert_eq!(f.pop(), Some(2));
+        f.push(9, &prio(&[], 0));
+        assert_eq!(f.pop(), Some(9));
+        assert_eq!(f.pop(), Some(1));
+        assert_eq!(f.pop(), None);
+    }
+
+    #[test]
+    fn bfs_pops_oldest_first() {
+        let mut f = BfsFrontier::new();
+        for id in [1, 2, 3] {
+            f.push(id, &prio(&[], 0));
+        }
+        assert_eq!(f.pop(), Some(1));
+        f.push(9, &prio(&[], 0));
+        assert_eq!(f.pop(), Some(2));
+        assert_eq!(f.pop(), Some(3));
+        assert_eq!(f.pop(), Some(9));
+        assert_eq!(f.pop(), None);
+    }
+
+    #[test]
+    fn repush_supersedes_the_old_position() {
+        // 1 is pushed first (bottom of the DFS stack), then re-pushed: it
+        // must now pop before 2, and only once.
+        let mut f = DfsFrontier::new();
+        f.push(1, &prio(&[], 0));
+        f.push(2, &prio(&[], 0));
+        f.push(1, &prio(&[], 0));
+        assert_eq!(f.len(), 2);
+        assert_eq!(f.pop(), Some(1));
+        assert_eq!(f.pop(), Some(2));
+        assert_eq!(f.pop(), None);
+    }
+
+    #[test]
+    fn random_draws_every_state_exactly_once() {
+        let mut f = RandomFrontier::new(7);
+        for id in 0..50 {
+            f.push(id, &prio(&[], 0));
+        }
+        let mut seen: Vec<u64> = (0..50).map(|_| f.pop().unwrap()).collect();
+        assert_eq!(f.pop(), None);
+        seen.sort_unstable();
+        assert_eq!(seen, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn proximity_prefers_lower_keys_and_deeper_ties() {
+        let mut f = ProximityFrontier::new(1, 1);
+        f.push(10, &prio(&[100], 5));
+        f.push(11, &prio(&[3], 5));
+        f.push(12, &prio(&[3], 50)); // same key, deeper → wins the tie
+        assert_eq!(f.pop(), Some(12));
+        assert_eq!(f.pop(), Some(11));
+        assert_eq!(f.pop(), Some(10));
+        assert_eq!(f.pop(), None);
+        assert!(f.wants_priorities());
+    }
+
+    #[test]
+    fn proximity_repush_updates_the_priority() {
+        let mut f = ProximityFrontier::new(2, 1);
+        f.push(1, &prio(&[50, 50], 0));
+        f.push(2, &prio(&[40, 40], 0));
+        // Promote 1 past 2 (the deadlock heuristic's snapshot promotion).
+        f.push(1, &prio(&[0, 0], 0));
+        assert_eq!(f.pop(), Some(1));
+        assert_eq!(f.pop(), Some(2));
+        assert_eq!(f.pop(), None);
+    }
+}

@@ -5,23 +5,30 @@
 //!
 //! * symbolic [`expr`]essions and values,
 //! * a lightweight, sound-but-incomplete constraint [`solver`],
-//! * forked execution [`state`]s with copy-on-write memory and per-state
-//!   thread lists,
-//! * the search [`engine`] with ESD's proximity-guided strategy (plus the
-//!   DFS / RandomPath strategies and Chess-style preemption bounding used by
-//!   the paper's KC baseline), critical-edge path abandonment, intermediate
-//!   goals, and the deadlock / data-race schedule-synthesis heuristics.
+//! * forked execution [`state`]s with copy-on-write memory, per-state thread
+//!   lists, and per-state concurrency analysis (each interleaving carries its
+//!   own O(1)-forkable lockset race detector),
+//! * pluggable search [`frontier`]s — ESD's proximity-guided virtual queues
+//!   plus DFS / BFS / RandomPath baselines — selected via
+//!   [`SearchConfig`],
+//! * the search [`engine`] driving it all, with critical-edge path
+//!   abandonment, intermediate goals, Chess-style preemption bounding (the
+//!   KC baseline) and the deadlock / data-race schedule-synthesis
+//!   heuristics.
 
 pub mod engine;
 pub mod expr;
+pub mod frontier;
 pub mod solver;
 pub mod state;
 #[cfg(test)]
 mod tests;
 
-pub use engine::{
-    Engine, EngineConfig, GoalSpec, SearchOutcome, SearchStats, Strategy, Synthesized,
-};
+pub use engine::{Engine, EngineConfig, GoalSpec, SearchOutcome, SearchStats, Synthesized};
 pub use expr::{SymExpr, SymValue, SymVar, SymVarInfo};
+pub use frontier::{
+    BfsFrontier, DfsFrontier, FrontierKind, ProximityFrontier, RandomFrontier, SearchConfig,
+    SearchFrontier, StatePriority,
+};
 pub use solver::{Solver, SolverConfig, SolverResult};
-pub use state::{ExecState, SchedDistance, SymMemory, SymThread};
+pub use state::{ExecState, RaceDetector, SchedDistance, SymMemory, SymThread};

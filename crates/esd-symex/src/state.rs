@@ -5,9 +5,17 @@
 //! symbolic branches and at scheduling decisions; the address space is shared
 //! copy-on-write at object granularity between forked states (Klee's
 //! mechanism, which the paper calls "key to ESD's scalability").
+//!
+//! Per-state *concurrency analysis* is part of the state too: every state
+//! carries its own [`RaceDetector`] (candidate locksets and the
+//! already-reported race pairs for *this* interleaving). The detector's
+//! backing maps are persistent (`Arc`-shared, copy-on-write — see
+//! [`esd_concurrency::pmap`]), so a fork clones it in O(1) and sibling
+//! interleavings then discover race preemption points independently: a race
+//! reported on one path never suppresses the same race on a sibling path.
 
 use crate::expr::{SymExpr, SymValue, SymVar, SymVarInfo};
-use esd_concurrency::Schedule;
+use esd_concurrency::{LocksetDetector, Schedule};
 use esd_ir::interp::{ObjKind, SyncState, ThreadStatus};
 use esd_ir::{BlockId, FuncId, Loc, ObjId, Program, Ptr, Reg, ThreadId, Value};
 use std::collections::HashMap;
@@ -254,6 +262,11 @@ pub enum SchedDistance {
     Far,
 }
 
+/// The lockset race detector as instantiated by the engine: memory words are
+/// `(object id, offset)` pairs, threads are raw thread indices, locks are the
+/// `(object id, offset)` of the mutex, and access sites are IR locations.
+pub type RaceDetector = LocksetDetector<(u64, i64), u32, (u64, i64), Loc>;
+
 /// A complete execution state.
 #[derive(Debug, Clone)]
 pub struct ExecState {
@@ -288,6 +301,11 @@ pub struct ExecState {
     /// Number of preemptive (non-forced) context switches so far, for
     /// Chess-style preemption bounding in the KC baseline.
     pub preemptions: u32,
+    /// This interleaving's lockset race analysis (§4.2): candidate locksets
+    /// per shared word plus the race pairs already reported *on this path*.
+    /// Cloned O(1) on fork (persistent maps), so sibling states flag their
+    /// races independently of each other.
+    pub race_detector: RaceDetector,
     /// True once the state has been abandoned (critical-edge violation,
     /// unsatisfiable constraints, fault at a non-goal location, …).
     pub dead: bool,
@@ -327,6 +345,7 @@ impl ExecState {
             sched_distance: SchedDistance::Neutral,
             lock_snapshots: Vec::new(),
             preemptions: 0,
+            race_detector: RaceDetector::new(),
             dead: false,
         }
     }
@@ -471,6 +490,23 @@ mod tests {
         assert_eq!(s.snapshot_for(m), Some(7));
         s.drop_snapshot(m);
         assert_eq!(s.snapshot_for(m), None);
+    }
+
+    #[test]
+    fn forked_states_track_races_independently() {
+        let p = tiny();
+        let mut parent = ExecState::initial(&p);
+        let at = |i| Loc::new(p.entry, BlockId(0), i);
+        // Thread 0 writes word (1,0) unlocked before the fork.
+        parent.race_detector.access((1, 0), 0, at(0), true, &[]);
+        let mut child = parent.clone();
+        // The child's thread 1 completes the race; the parent must still be
+        // able to report the same pair afterwards (no shared dedup set).
+        assert!(child.race_detector.access((1, 0), 1, at(1), true, &[]).is_some());
+        assert_eq!(parent.race_detector.reported_pairs(), 0);
+        assert!(parent.race_detector.access((1, 0), 1, at(1), true, &[]).is_some());
+        // Within each interleaving the pair is still deduplicated.
+        assert!(child.race_detector.access((1, 0), 1, at(1), true, &[]).is_none());
     }
 
     #[test]

@@ -1,7 +1,8 @@
 //! Engine-level tests: sequential path synthesis, deadlock schedule
 //! synthesis, and the KC baseline behaviour — all on small programs.
 
-use crate::engine::{Engine, EngineConfig, GoalSpec, SearchOutcome, Strategy};
+use crate::engine::{Engine, EngineConfig, GoalSpec, SearchOutcome};
+use crate::frontier::SearchConfig;
 use esd_analysis::StaticAnalysis;
 use esd_ir::{BinOp, BlockId, CmpOp, FaultKind, Loc, Program, ProgramBuilder, ThreadId};
 
@@ -143,11 +144,16 @@ fn sequential_crash_path_is_synthesized_with_correct_inputs() {
 #[test]
 fn dfs_also_finds_the_sequential_crash() {
     let (p, crash_loc) = crashy_program();
-    let outcome = run_engine(
-        &p,
-        GoalSpec::Crash { loc: crash_loc },
-        EngineConfig { strategy: Strategy::Dfs, ..EngineConfig::kc(Strategy::Dfs) },
-    );
+    let outcome =
+        run_engine(&p, GoalSpec::Crash { loc: crash_loc }, EngineConfig::kc(SearchConfig::dfs()));
+    assert!(outcome.found().is_some());
+}
+
+#[test]
+fn bfs_also_finds_the_sequential_crash() {
+    let (p, crash_loc) = crashy_program();
+    let outcome =
+        run_engine(&p, GoalSpec::Crash { loc: crash_loc }, EngineConfig::kc(SearchConfig::bfs()));
     assert!(outcome.found().is_some());
 }
 
@@ -219,7 +225,7 @@ fn esd_explores_less_than_kc_on_listing1() {
     let kc = run_engine(
         &p,
         GoalSpec::Deadlock { thread_locs },
-        EngineConfig { max_steps: 400_000, ..EngineConfig::kc(Strategy::RandomPath { seed: 3 }) },
+        EngineConfig { max_steps: 400_000, ..EngineConfig::kc(SearchConfig::random(3)) },
     );
     let kc_steps = kc.stats().steps;
     // Listing 1 is tiny, so both approaches succeed quickly here; the paper's
@@ -282,6 +288,72 @@ fn other_bugs_found_along_the_way_are_recorded() {
     let synth = outcome.found().expect("goal crash found");
     assert_eq!(synth.inputs[0].1, 2);
     assert!(engine.other_bugs.iter().any(|(f, _)| matches!(f, FaultKind::AssertFailure { .. })));
+}
+
+/// Regression test for the ROADMAP-tracked bug fixed by moving the race
+/// detector from `Engine` into `ExecState`: with one engine-global detector,
+/// the duplicate-pair suppression set was shared by every forked state, so
+/// after the first interleaving flagged a racing pair, the *sibling*
+/// interleaving reaching the very same pair stayed silent — and never got its
+/// race preemption point. The program below forks two sibling states at a
+/// symbolic branch; both then run the identical unlocked
+/// main-store/worker-store race. Both siblings must flag it.
+#[test]
+fn sibling_forks_flag_the_same_race_independently() {
+    let mut pb = ProgramBuilder::new("sibling_race");
+    let g = pb.global("g", 1);
+    let worker = pb.declare("worker", 1);
+    pb.define(worker, |f| {
+        let gp = f.addr_global(g);
+        f.store(gp, 7);
+        f.ret_void();
+    });
+    let main_id = pb.declare("main", 0);
+    pb.define(main_id, |f| {
+        let x = f.getchar();
+        let c = f.cmp(CmpOp::Eq, x, 1);
+        let a = f.new_block("a");
+        let b = f.new_block("b");
+        let go = f.new_block("go");
+        // The fork: both sides are feasible, so the engine creates two
+        // sibling states that differ only in this branch's constraint.
+        f.cond_br(c, a, b);
+        f.switch_to(a);
+        f.nop();
+        f.br(go);
+        f.switch_to(b);
+        f.nop();
+        f.br(go);
+        f.switch_to(go);
+        let gp = f.addr_global(g);
+        f.store(gp, 1); // t0's unlocked write…
+        let t = f.spawn(worker, 0);
+        f.join(t); // …races with t1's unlocked write, in both siblings.
+        f.ret_void();
+    });
+    let p = pb.finish("main");
+
+    // Unreachable crash goal: the search explores everything and exhausts.
+    let goal = GoalSpec::Crash { loc: Loc::new(main_id, BlockId(1), 0) };
+    let config = EngineConfig {
+        search: SearchConfig::dfs(),
+        use_intermediate_goals: false,
+        use_critical_edges: false,
+        schedule_bias: false,
+        race_preemptions: true,
+        ..EngineConfig::default()
+    };
+    let primary = goal.primary_locs()[0];
+    let analysis = StaticAnalysis::compute(&p, primary);
+    let mut engine = Engine::new(&p, &analysis, goal, config);
+    let outcome = engine.run();
+    assert!(matches!(outcome, SearchOutcome::Exhausted(_)), "tiny program must be exhausted");
+    assert_eq!(
+        outcome.stats().races_flagged,
+        2,
+        "both sibling interleavings must flag the race (the old engine-global \
+         detector reported it once and suppressed the sibling's)"
+    );
 }
 
 #[test]

@@ -6,6 +6,10 @@
 //! 3. Play the synthesized execution back deterministically.
 //!
 //! Run with: `cargo run --example quickstart`
+//!
+//! Set `ESD_FRONTIER=dfs|bfs|random|proximity` to swap the search frontier
+//! the synthesizer uses (see `examples/frontier_comparison.rs` for a
+//! side-by-side run).
 
 use esd::core::{Esd, EsdOptions};
 use esd::playback::play;
@@ -16,7 +20,11 @@ fn main() {
     println!("program under debug: {}", workload.program.name);
     println!("goal (from the bug report): {:?}", workload.goal());
 
-    let esd = Esd::new(EsdOptions::default());
+    let frontier = std::env::var("ESD_FRONTIER")
+        .ok()
+        .map(|s| s.parse().expect("ESD_FRONTIER must be dfs|bfs|random|proximity"))
+        .unwrap_or_default();
+    let esd = Esd::new(EsdOptions { frontier, ..Default::default() });
     let report = esd
         .synthesize_goal(&workload.program, workload.goal(), false)
         .expect("ESD synthesizes the Listing-1 deadlock");

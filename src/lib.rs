@@ -2,19 +2,48 @@
 //!
 //! This is the umbrella crate of the workspace: it re-exports the public API
 //! of every component so that downstream users (and the examples under
-//! `examples/`) can depend on a single crate.
+//! `examples/`) can depend on a single crate. The crate graph, the synthesis
+//! pipeline and the extension points are documented in `ARCHITECTURE.md` at
+//! the repository root.
 //!
 //! * [`ir`] — the program representation and concrete interpreter.
 //! * [`analysis`] — CFG, call graph, critical edges, intermediate goals,
 //!   proximity distances (the static phase).
-//! * [`symex`] — the multi-threaded symbolic-execution engine and search
-//!   strategies (the dynamic phase).
+//! * [`symex`] — the multi-threaded symbolic-execution engine with pluggable
+//!   search frontiers (the dynamic phase).
 //! * [`concurrency`] — deadlock / data-race detection and schedules.
 //! * [`core`] — the `esdsynth` facade, bug reports, execution files,
 //!   baselines and triage.
 //! * [`playback`] — the `esdplay` facade: deterministic replay, the debugger
 //!   façade and patch verification.
 //! * [`workloads`] — the evaluation workloads (real-bug analogs and BPF).
+//!
+//! # Example — from a bug report to a replayed failure
+//!
+//! The core flow of `examples/quickstart.rs`, on the paper's Listing-1
+//! deadlock (two threads that deadlock only under specific inputs *and* an
+//! adverse schedule):
+//!
+//! ```
+//! use esd::{Esd, EsdOptions};
+//! use esd::playback::play;
+//! use esd::workloads::listing1;
+//!
+//! let workload = listing1();
+//!
+//! // Synthesize an execution that reaches the reported deadlock: concrete
+//! // values for every program input plus a serialized thread schedule.
+//! let esd = Esd::new(EsdOptions { max_steps: 400_000, ..Default::default() });
+//! let report = esd
+//!     .synthesize_goal(&workload.program, workload.goal(), false)
+//!     .expect("ESD synthesizes the Listing-1 deadlock");
+//! assert!(!report.execution.inputs.is_empty());
+//! assert!(report.execution.schedule.context_switches() >= 2);
+//!
+//! // Play it back deterministically: the same failure, every time.
+//! let replay = play(&workload.program, &report.execution);
+//! assert!(replay.reproduced);
+//! ```
 
 pub use esd_analysis as analysis;
 pub use esd_concurrency as concurrency;
@@ -24,6 +53,10 @@ pub use esd_playback as playback;
 pub use esd_symex as symex;
 pub use esd_workloads as workloads;
 
+/// The synthesis pipeline (re-exported from [`esd_core`]), home of [`Esd`]
+/// and [`EsdOptions`].
+pub use esd_core::synth;
+
 pub use esd_core::{BugKind, BugReport, Esd, EsdOptions, SynthesizedExecution};
 pub use esd_playback::{play, Debugger};
-pub use esd_symex::GoalSpec;
+pub use esd_symex::{FrontierKind, GoalSpec, SearchConfig};

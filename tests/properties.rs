@@ -2,9 +2,9 @@
 
 use esd::concurrency::{Schedule, SegmentStop, VectorClock};
 use esd::ir::interp::{InterpreterConfig, MapInputs, SchedulerKind};
-use esd::ir::{BinOp, CmpOp, ProgramBuilder};
+use esd::ir::{BinOp, BlockId, CmpOp, Loc, ProgramBuilder};
 use esd::ir::{Interpreter, ThreadId};
-use esd::symex::{Solver, SolverConfig, SymExpr, SymVar};
+use esd::symex::{ExecState, RaceDetector, Solver, SolverConfig, SymExpr, SymVar};
 use proptest::prelude::*;
 
 proptest! {
@@ -64,6 +64,48 @@ proptest! {
         c.tick(1);
         c.join(&b);
         prop_assert!(a.happens_before(&c));
+    }
+
+    /// Forked execution states carry independent concurrency analysis:
+    /// cloning an `ExecState` and advancing the clone's lockset/race state
+    /// never mutates the parent's — in either direction — no matter what
+    /// access sequence each side performs (the ROADMAP-tracked
+    /// sibling-suppression bug, stated as a property).
+    #[test]
+    fn forked_state_race_analysis_never_leaks_into_the_parent(
+        prefix in proptest::collection::vec((0u64..4, 0u32..3, 0u64..30, 0u64..4), 0..20),
+        suffix in proptest::collection::vec((0u64..4, 0u32..3, 0u64..30, 0u64..4), 1..40),
+    ) {
+        let mut pb = ProgramBuilder::new("tiny");
+        pb.function("main", 0, |f| {
+            f.nop();
+            f.ret_void();
+        });
+        let program = pb.finish("main");
+        let entry = program.entry;
+        // (word, thread, site, flags): bit 0 = write, bit 1 = lock held.
+        let access = |d: &mut RaceDetector, (w, t, a, fl): (u64, u32, u64, u64)| {
+            let held: &[(u64, i64)] = if fl & 2 != 0 { &[(9, 0)] } else { &[] };
+            d.access((w, 0), t, Loc::new(entry, BlockId(a as u32), 0), fl & 1 != 0, held);
+        };
+        let mut parent = ExecState::initial(&program);
+        for a in &prefix {
+            access(&mut parent.race_detector, *a);
+        }
+        let snapshot = parent.race_detector.clone();
+        let mut child = parent.clone();
+        for a in &suffix {
+            access(&mut child.race_detector, *a);
+        }
+        // The child advanced; the parent must be bit-for-bit where it was.
+        prop_assert!(parent.race_detector == snapshot, "child accesses leaked into the parent");
+        prop_assert_eq!(parent.race_detector.reported_pairs(), snapshot.reported_pairs());
+        // And the reverse: advancing the parent leaves the child untouched.
+        let child_snapshot = child.race_detector.clone();
+        for a in &suffix {
+            access(&mut parent.race_detector, *a);
+        }
+        prop_assert!(child.race_detector == child_snapshot, "parent accesses leaked into the child");
     }
 
     /// The concrete interpreter is deterministic: same program, same inputs,
