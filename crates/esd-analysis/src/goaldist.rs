@@ -14,14 +14,14 @@
 //! Distances are per-goal; the oracle caches the per-goal maps so that the
 //! final goal and every intermediate goal each pay the pre-computation once.
 
-use crate::callgraph::CallGraph;
-use crate::cfg::Cfg;
-use crate::costs::{CostModel, INF};
+use crate::costs::INF;
+use crate::StaticAnalysis;
 use esd_ir::{BlockId, Callee, FuncId, Inst, Loc, Program};
 use std::cell::RefCell;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 use std::rc::Rc;
+use std::sync::Arc;
 
 fn sat(a: u64, b: u64) -> u64 {
     let s = a.saturating_add(b);
@@ -45,23 +45,23 @@ pub struct GoalDistances {
 }
 
 /// Answers proximity queries (Algorithm 1) for arbitrary goals.
-pub struct DistanceOracle<'p> {
-    program: &'p Program,
-    cfgs: &'p [Cfg],
-    callgraph: &'p CallGraph,
-    costs: &'p CostModel,
+///
+/// The oracle shares ownership of the program and its static analysis via
+/// [`Arc`], so the search engine (and the synthesis sessions built on it) can
+/// own an oracle outright instead of borrowing one for the duration of a
+/// blocking run.
+pub struct DistanceOracle {
+    program: Arc<Program>,
+    analysis: Arc<StaticAnalysis>,
     cache: RefCell<HashMap<Loc, Rc<GoalDistances>>>,
 }
 
-impl<'p> DistanceOracle<'p> {
-    /// Creates an oracle over the given pre-computed analyses.
-    pub fn new(
-        program: &'p Program,
-        cfgs: &'p [Cfg],
-        callgraph: &'p CallGraph,
-        costs: &'p CostModel,
-    ) -> Self {
-        DistanceOracle { program, cfgs, callgraph, costs, cache: RefCell::new(HashMap::new()) }
+impl DistanceOracle {
+    /// Creates an oracle over the given program and its pre-computed static
+    /// analysis (the oracle reads the CFGs, the call graph and the cost
+    /// model; the per-goal pieces of the analysis are ignored).
+    pub fn new(program: Arc<Program>, analysis: Arc<StaticAnalysis>) -> Self {
+        DistanceOracle { program, analysis, cache: RefCell::new(HashMap::new()) }
     }
 
     /// Returns (computing and caching on first use) the distance maps for
@@ -80,6 +80,7 @@ impl<'p> DistanceOracle<'p> {
             Inst::Call { callee: Callee::Direct(t), .. }
             | Inst::ThreadSpawn { func: Callee::Direct(t), .. } => vec![*t],
             Inst::Call { callee: Callee::Indirect(_), args, .. } => self
+                .analysis
                 .callgraph
                 .address_taken
                 .iter()
@@ -103,7 +104,7 @@ impl<'p> DistanceOracle<'p> {
         // calls can have finite distances; iterate to a fixed point over
         // those (the dependency is: a caller's distance uses its callees'
         // entry distances).
-        let relevant = self.callgraph.functions_reaching(goal.func);
+        let relevant = self.analysis.callgraph.functions_reaching(goal.func);
         let mut order: Vec<FuncId> = relevant.iter().copied().collect();
         // Process the goal's own function first, then the rest; the fixed
         // point iteration handles any remaining ordering issues.
@@ -135,7 +136,7 @@ impl<'p> DistanceOracle<'p> {
     /// current estimates of callee entry distances.
     fn function_block_distances(&self, f: FuncId, goal: Loc, func_entry: &[u64]) -> Vec<u64> {
         let function = self.program.func(f);
-        let cfg = &self.cfgs[f.0 as usize];
+        let cfg = &self.analysis.cfgs[f.0 as usize];
         let n = function.blocks.len();
         let mut dist = vec![INF; n];
         let mut heap: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
@@ -156,7 +157,7 @@ impl<'p> DistanceOracle<'p> {
             }
             for p in cfg.preds(BlockId(b as u32)) {
                 let pi = p.0 as usize;
-                let nd = sat(self.costs.block_cost[f.0 as usize][pi], d);
+                let nd = sat(self.analysis.costs.block_cost[f.0 as usize][pi], d);
                 if nd < dist[pi] {
                     dist[pi] = nd;
                     heap.push(Reverse((nd, pi)));
@@ -184,18 +185,20 @@ impl<'p> DistanceOracle<'p> {
         // Goal directly ahead in this block.
         if f == goal.func && b == goal.block && from_idx <= goal.idx {
             let d = self
+                .analysis
                 .costs
                 .block_prefix_cost(f, b, goal.idx)
-                .saturating_sub(self.costs.block_prefix_cost(f, b, from_idx));
+                .saturating_sub(self.analysis.costs.block_prefix_cost(f, b, from_idx));
             best = best.min(d);
         }
         // A call ahead in this block into a goal-reaching function.
         for (i, inst) in block.insts.iter().enumerate().skip(from_idx as usize) {
             if matches!(inst, Inst::Call { .. } | Inst::ThreadSpawn { .. }) {
                 let walked = self
+                    .analysis
                     .costs
                     .block_prefix_cost(f, b, i as u32)
-                    .saturating_sub(self.costs.block_prefix_cost(f, b, from_idx));
+                    .saturating_sub(self.analysis.costs.block_prefix_cost(f, b, from_idx));
                 for t in self.call_targets(inst, f) {
                     let via = sat(sat(walked, 1), func_entry[t.0 as usize]);
                     best = best.min(via);
@@ -216,7 +219,7 @@ impl<'p> DistanceOracle<'p> {
         let goal = gd.goal;
         let mut best = self.block_exit_distance(f, loc.block, loc.idx, goal, &gd.func_entry);
         // Leave through the terminator and continue from a successor block.
-        let suffix = self.costs.block_suffix_cost(f, loc.block, loc.idx);
+        let suffix = self.analysis.costs.block_suffix_cost(f, loc.block, loc.idx);
         let function = self.program.func(f);
         for s in function.block(loc.block).term.successors() {
             let d = sat(suffix, gd.block_entry[f.0 as usize][s.0 as usize]);
@@ -234,11 +237,11 @@ impl<'p> DistanceOracle<'p> {
         let mut dmin = self.distance_from(&gd, pc);
         // Walk outward through the call stack: return from the current
         // frame(s), then continue toward the goal from the return address.
-        let mut ret_cost = self.costs.dist2ret(self.program, pc);
+        let mut ret_cost = self.analysis.costs.dist2ret(&self.program, pc);
         for caller in stack.iter().rev().skip(1) {
             let d = sat(sat(ret_cost, 1), self.distance_from(&gd, *caller));
             dmin = dmin.min(d);
-            ret_cost = sat(sat(ret_cost, 1), self.costs.dist2ret(self.program, *caller));
+            ret_cost = sat(sat(ret_cost, 1), self.analysis.costs.dist2ret(&self.program, *caller));
             if ret_cost >= INF {
                 break;
             }
@@ -250,29 +253,24 @@ impl<'p> DistanceOracle<'p> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::callgraph::CallGraph;
-    use crate::cfg::Cfg;
-    use crate::costs::CostModel;
     use esd_ir::{CmpOp, Operand, Program, ProgramBuilder};
 
     struct Fixture {
-        program: Program,
-        cfgs: Vec<Cfg>,
-        callgraph: CallGraph,
-        costs: CostModel,
+        program: Arc<Program>,
+        analysis: Arc<StaticAnalysis>,
     }
 
     impl Fixture {
         fn new(program: Program) -> Self {
-            let cfgs: Vec<Cfg> =
-                program.func_ids().map(|f| Cfg::build(program.func(f), f)).collect();
-            let callgraph = CallGraph::build(&program);
-            let costs = CostModel::new(&program, &cfgs, &callgraph);
-            Fixture { program, cfgs, callgraph, costs }
+            // The oracle only reads the goal-independent parts of the
+            // analysis, so any valid location works as the analysis goal.
+            let goal = Loc::new(program.entry, BlockId(0), 0);
+            let analysis = Arc::new(StaticAnalysis::compute(&program, goal));
+            Fixture { program: Arc::new(program), analysis }
         }
 
-        fn oracle(&self) -> DistanceOracle<'_> {
-            DistanceOracle::new(&self.program, &self.cfgs, &self.callgraph, &self.costs)
+        fn oracle(&self) -> DistanceOracle {
+            DistanceOracle::new(self.program.clone(), self.analysis.clone())
         }
     }
 

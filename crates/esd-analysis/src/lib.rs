@@ -32,6 +32,7 @@ pub use critical::{CriticalEdge, IntermediateGoal, StaticGoalInfo};
 pub use goaldist::DistanceOracle;
 
 use esd_ir::{Loc, Program};
+use std::sync::Arc;
 
 /// The complete static-analysis bundle for one synthesis goal.
 ///
@@ -64,9 +65,14 @@ impl StaticAnalysis {
 
     /// Creates the distance oracle (Algorithm 1) for this program. The oracle
     /// can answer proximity queries for the main goal as well as for any
-    /// intermediate goal.
-    pub fn distance_oracle<'p>(&'p self, program: &'p Program) -> DistanceOracle<'p> {
-        DistanceOracle::new(program, &self.cfgs, &self.callgraph, &self.costs)
+    /// intermediate goal, and shares ownership of its inputs so callers that
+    /// outlive the current stack frame (resumable synthesis sessions) can own
+    /// it outright.
+    pub fn distance_oracle(
+        analysis: &Arc<StaticAnalysis>,
+        program: &Arc<Program>,
+    ) -> DistanceOracle {
+        DistanceOracle::new(program.clone(), analysis.clone())
     }
 }
 
@@ -98,11 +104,12 @@ mod tests {
         });
         let p = pb.finish("main");
         let goal = Loc::new(p.entry, esd_ir::BlockId(1), 0);
-        let sa = StaticAnalysis::compute(&p, goal);
+        let sa = Arc::new(StaticAnalysis::compute(&p, goal));
         assert_eq!(sa.cfgs.len(), 2);
         assert_eq!(sa.goal, goal);
-        let oracle = sa.distance_oracle(&p);
         let entry = Loc::new(p.entry, esd_ir::BlockId(0), 0);
+        let p = Arc::new(p);
+        let oracle = StaticAnalysis::distance_oracle(&sa, &p);
         let d = oracle.proximity(&[entry], goal);
         assert!(d < costs::INF);
     }

@@ -1,7 +1,7 @@
 //! Regenerates Figure 3 (BPF: synthesis time vs number of branches).
 //!
 //! The ESD search frontier is selectable, to compare frontiers on the same
-//! sweep: `fig3 [dfs|bfs|random|proximity]`, or the `ESD_FRONTIER`
+//! sweep: `fig3 [dfs|bfs|random|proximity|beam[:width]]`, or the `ESD_FRONTIER`
 //! environment variable (default: proximity).
 fn main() {
     let frontier = esd_bench::frontier_from_args();

@@ -1,7 +1,7 @@
 //! Regenerates Figure 4 (BPF: synthesis time vs program size in KLOC).
 //!
 //! The ESD search frontier is selectable, to compare frontiers on the same
-//! sweep: `fig4 [dfs|bfs|random|proximity]`, or the `ESD_FRONTIER`
+//! sweep: `fig4 [dfs|bfs|random|proximity|beam[:width]]`, or the `ESD_FRONTIER`
 //! environment variable (default: proximity).
 fn main() {
     let frontier = esd_bench::frontier_from_args();

@@ -29,8 +29,10 @@ pub fn full_mode() -> bool {
 
 /// The search frontier the ESD side of a benchmark should use, so the fig2 /
 /// fig3 / fig4 binaries can compare frontiers: the first positional CLI
-/// argument wins (`fig2 dfs`), then the `ESD_FRONTIER` environment variable,
-/// then the paper's proximity-guided default.
+/// argument wins (`fig2 dfs`, `fig2 beam:16`), then the `ESD_FRONTIER`
+/// environment variable, then the paper's proximity-guided default. Accepted
+/// spellings are those of `FrontierKind::from_str`:
+/// `dfs|bfs|random|proximity|beam[:width]`.
 ///
 /// These files double as harness=false `cargo bench` targets, and cargo
 /// hands every bench binary its `--bench` flag plus any `BENCHNAME` filter
@@ -56,11 +58,6 @@ pub fn frontier_from_args() -> FrontierKind {
         },
         None => from_env(),
     }
-}
-
-/// ESD options for a benchmark run with the given budget and frontier.
-pub fn esd_options(max_steps: u64, frontier: FrontierKind) -> EsdOptions {
-    EsdOptions { max_steps, frontier, ..Default::default() }
 }
 
 fn secs(d: Duration) -> f64 {
@@ -99,7 +96,7 @@ pub fn table1(esd_budget: u64) -> Vec<Table1Row> {
 
 /// Runs one Table-1 row (public so the quick bench targets can reuse it).
 pub fn run_table1_row(w: &Workload, esd_budget: u64) -> Table1Row {
-    let esd = Esd::new(EsdOptions { max_steps: esd_budget, ..Default::default() });
+    let esd = EsdOptions::builder().max_steps(esd_budget).synthesizer();
     let start = Instant::now();
     let result = esd.synthesize_goal(&w.program, w.goal(), false);
     let elapsed = start.elapsed();
@@ -173,7 +170,7 @@ pub fn fig2(esd_budget: u64, kc_cap: u64, frontier: FrontierKind) -> Vec<Fig2Row
 /// Runs one Figure-2 bar group with the given ESD frontier.
 pub fn run_fig2_row(w: &Workload, esd_budget: u64, kc_cap: u64, frontier: FrontierKind) -> Fig2Row {
     let goal = w.goal();
-    let esd = Esd::new(esd_options(esd_budget, frontier));
+    let esd = EsdOptions::builder().max_steps(esd_budget).frontier(frontier).synthesizer();
     let start = Instant::now();
     let esd_secs =
         esd.synthesize_goal(&w.program, goal.clone(), false).ok().map(|_| secs(start.elapsed()));
@@ -233,7 +230,7 @@ pub fn fig3(
     for &branches in branch_counts {
         let w = generate_bpf(&BpfConfig { branches, ..Default::default() });
         let goal = w.goal();
-        let esd = Esd::new(esd_options(esd_budget, frontier));
+        let esd = EsdOptions::builder().max_steps(esd_budget).frontier(frontier).synthesizer();
         let start = Instant::now();
         let esd_result = esd.synthesize_goal(&w.program, goal.clone(), false);
         let esd_elapsed = start.elapsed();
@@ -303,24 +300,12 @@ pub struct AblationRow {
 /// the other heuristics switched off one at a time.
 pub fn ablation(esd_budget: u64) -> Vec<AblationRow> {
     let w = esd_workloads::real_bugs::sqlite_recursive_lock();
+    let base = || EsdOptions::builder().max_steps(esd_budget);
     let configs: Vec<(&'static str, EsdOptions)> = vec![
-        ("full ESD", EsdOptions { max_steps: esd_budget, ..Default::default() }),
-        (
-            "no intermediate goals",
-            EsdOptions {
-                max_steps: esd_budget,
-                use_intermediate_goals: false,
-                ..Default::default()
-            },
-        ),
-        (
-            "no critical edges",
-            EsdOptions { max_steps: esd_budget, use_critical_edges: false, ..Default::default() },
-        ),
-        (
-            "no schedule bias",
-            EsdOptions { max_steps: esd_budget, schedule_bias: false, ..Default::default() },
-        ),
+        ("full ESD", base().build()),
+        ("no intermediate goals", base().use_intermediate_goals(false).build()),
+        ("no critical edges", base().use_critical_edges(false).build()),
+        ("no schedule bias", base().schedule_bias(false).build()),
     ];
     configs
         .into_iter()
@@ -385,7 +370,7 @@ pub fn stress_baseline(runs: u32) -> Vec<(String, bool, u64)> {
 pub fn playback_check(esd_budget: u64, repetitions: u32) -> Vec<(String, bool)> {
     let mut out = Vec::new();
     for w in all_real_bugs() {
-        let esd = Esd::new(EsdOptions { max_steps: esd_budget, ..Default::default() });
+        let esd = EsdOptions::builder().max_steps(esd_budget).synthesizer();
         let ok = match esd.synthesize_goal(&w.program, w.goal(), false) {
             Ok(r) => (0..repetitions).all(|_| play(&w.program, &r.execution).reproduced),
             Err(_) => false,
@@ -399,7 +384,7 @@ pub fn playback_check(esd_budget: u64, repetitions: u32) -> Vec<(String, bool)> 
 /// named workload and return the elapsed time if it succeeded.
 pub fn synthesize_one(name: &str, budget: u64) -> Option<Duration> {
     let w = all_real_bugs().into_iter().find(|w| w.name == name)?;
-    let esd = Esd::new(EsdOptions { max_steps: budget, ..Default::default() });
+    let esd = EsdOptions::builder().max_steps(budget).synthesizer();
     let start = Instant::now();
     esd.synthesize_goal(&w.program, w.goal(), false).ok().map(|_| start.elapsed())
 }
@@ -443,9 +428,13 @@ mod tests {
     #[test]
     fn all_frontiers_are_selectable() {
         let w = all_real_bugs().into_iter().find(|w| w.name == "mkfifo").unwrap();
-        for frontier in
-            [FrontierKind::Dfs, FrontierKind::Bfs, FrontierKind::Random, FrontierKind::Proximity]
-        {
+        for frontier in [
+            FrontierKind::Dfs,
+            FrontierKind::Bfs,
+            FrontierKind::Random,
+            FrontierKind::Proximity,
+            FrontierKind::beam(),
+        ] {
             let row = run_fig2_row(&w, 20_000, 1_000, frontier);
             assert_eq!(row.system, "mkfifo");
         }

@@ -12,6 +12,7 @@ use crate::execfile::SynthesizedExecution;
 use esd_analysis::StaticAnalysis;
 use esd_ir::Program;
 use esd_symex::{Engine, EngineConfig, GoalSpec, SearchConfig, SearchOutcome, SearchStats};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Which Klee searcher KC uses.
@@ -51,13 +52,13 @@ pub fn kc_synthesize(
 ) -> KcResult {
     let start = Instant::now();
     let primary = goal.primary_locs()[0];
-    let analysis = StaticAnalysis::compute(program, primary);
+    let analysis = Arc::new(StaticAnalysis::compute(program, primary));
     let search = match strategy {
         KcStrategy::Dfs => SearchConfig::dfs(),
         KcStrategy::RandomPath { seed } => SearchConfig::random(seed),
     };
     let config = EngineConfig { max_steps, ..EngineConfig::kc(search) };
-    let mut engine = Engine::new(program, &analysis, goal, config);
+    let mut engine = Engine::new(Arc::new(program.clone()), analysis, goal, config);
     match engine.run() {
         SearchOutcome::Found(synth) => KcResult {
             execution: Some(SynthesizedExecution::from_synthesized(&program.name, &synth)),

@@ -10,6 +10,11 @@
 //!   environment (`esd-playback`).
 //! * [`synth`] — the `esdsynth` equivalent: static phase, proximity-guided
 //!   dynamic phase, constraint solving, execution-file emission.
+//! * [`session`] — the resumable form of `esdsynth`: stepwise
+//!   [`SynthesisSession`]s with progress [`Observer`]s, deadlines and
+//!   cancellation, configured via the builder-style [`EsdOptionsBuilder`].
+//! * [`portfolio`] — N sessions with different search frontiers time-sliced
+//!   round-robin over the same job; first winner takes it.
 //! * [`kc`] — the KC baseline (Klee searchers + Chess preemption bounding).
 //! * [`stress`] — the brute-force stress/random-testing baseline (§7.2),
 //!   which doubles as the way workload failures "happen in production" and
@@ -17,16 +22,25 @@
 //! * [`triage`] — automated bug triage / deduplication via synthesized
 //!   executions (§8, usage models).
 
+// Documentation enforcement (see ARCHITECTURE.md): every public item must
+// carry rustdoc, extended from the esd-concurrency pilot now that the
+// session/portfolio redesign stabilized this crate's API.
+#![deny(missing_docs)]
+
 pub mod execfile;
 pub mod kc;
+pub mod portfolio;
 pub mod report;
+pub mod session;
 pub mod stress;
 pub mod synth;
 pub mod triage;
 
 pub use execfile::{InputEntry, SynthesizedExecution};
 pub use kc::{kc_synthesize, KcStrategy};
+pub use portfolio::{MemberOutcome, MemberReport, Portfolio, PortfolioResult, PortfolioWinner};
 pub use report::{extract_goal, BugKind, BugReport};
+pub use session::{EsdOptionsBuilder, Observer, ProgressEvent, SessionStatus, SynthesisSession};
 pub use stress::{stress_test, StressConfig, StressOutcome};
 pub use synth::{Esd, EsdOptions, SynthesisError, SynthesisReport};
 pub use triage::{same_bug, TriageResult};

@@ -1,0 +1,320 @@
+//! A frontier portfolio: N synthesis sessions for the same job, time-sliced
+//! round-robin on one machine.
+//!
+//! Which search frontier wins on a given workload is an empirical question —
+//! the whole point of the paper's Figure 2/3 comparison — and answering it
+//! used to cost N sequential full runs. A [`Portfolio`] instead creates one
+//! [`SynthesisSession`] per member (same program, same goal, one shared
+//! static phase) and advances them in fixed-size round-robin slices until
+//! the first member synthesizes an execution. The remaining members are
+//! cancelled, and every member reports its partial [`SearchStats`] so the
+//! caller still gets the comparison data.
+//!
+//! Because sessions are independent engines with their own seeds, a member's
+//! trajectory is unaffected by the others: the winner's execution is exactly
+//! what a solo run of that member would have synthesized (asserted by the
+//! `portfolio_winner_matches_the_solo_run` integration test).
+
+use crate::session::{SessionStatus, SynthesisSession};
+use crate::synth::{EsdOptions, SynthesisReport};
+use esd_analysis::StaticAnalysis;
+use esd_ir::Program;
+use esd_symex::{FrontierKind, GoalSpec, SearchStats};
+use std::sync::Arc;
+
+/// How many rounds each member advances per portfolio turn by default.
+pub const DEFAULT_SLICE_ROUNDS: u64 = 1024;
+
+/// The frontier set [`Portfolio::run`] uses when no members were added: the
+/// paper's proximity strategy, the three undirected baselines, and the
+/// batched beam frontier.
+pub const DEFAULT_FRONTIERS: [FrontierKind; 5] = [
+    FrontierKind::Proximity,
+    FrontierKind::Dfs,
+    FrontierKind::Bfs,
+    FrontierKind::Random,
+    FrontierKind::Beam { width: esd_symex::DEFAULT_BEAM_WIDTH },
+];
+
+/// A portfolio of synthesis configurations raced against each other on one
+/// job.
+pub struct Portfolio {
+    base: EsdOptions,
+    members: Vec<(String, EsdOptions)>,
+    slice_rounds: u64,
+}
+
+/// Why a portfolio member stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemberOutcome {
+    /// This member synthesized the execution first.
+    Won,
+    /// Another member won first; this one was cancelled mid-search.
+    Preempted,
+    /// The member exhausted its search space without reaching the goal.
+    Exhausted,
+    /// The member ran out of its instruction budget.
+    BudgetExceeded,
+    /// The member's wall-clock deadline passed.
+    DeadlineExpired,
+}
+
+/// Per-member statistics of a portfolio run.
+#[derive(Debug, Clone)]
+pub struct MemberReport {
+    /// The member's label (the frontier spelling unless given explicitly).
+    pub label: String,
+    /// The search frontier the member used.
+    pub frontier: FrontierKind,
+    /// The member's PRNG seed.
+    pub seed: u64,
+    /// Search rounds the member was advanced before the portfolio stopped.
+    pub rounds: u64,
+    /// Why the member stopped.
+    pub outcome: MemberOutcome,
+    /// The member's (possibly partial) search statistics.
+    pub stats: SearchStats,
+}
+
+/// The winning member of a portfolio run.
+#[derive(Debug, Clone)]
+pub struct PortfolioWinner {
+    /// Index into [`PortfolioResult::members`].
+    pub member: usize,
+    /// The winning member's label.
+    pub label: String,
+    /// The synthesized execution and its statistics — identical to what a
+    /// solo run of the winning configuration would produce.
+    pub report: SynthesisReport,
+}
+
+/// The result of [`Portfolio::run`].
+#[derive(Debug, Clone)]
+pub struct PortfolioResult {
+    /// The first member to synthesize an execution, if any did.
+    pub winner: Option<PortfolioWinner>,
+    /// Every member's outcome and statistics, in the order they were added.
+    pub members: Vec<MemberReport>,
+}
+
+impl PortfolioResult {
+    /// The winning report, if any member won.
+    pub fn report(&self) -> Option<&SynthesisReport> {
+        self.winner.as_ref().map(|w| &w.report)
+    }
+}
+
+impl Portfolio {
+    /// Creates an empty portfolio whose members derive from `base` (running
+    /// it without adding members races [`DEFAULT_FRONTIERS`]).
+    pub fn new(base: EsdOptions) -> Self {
+        Portfolio { base, members: Vec::new(), slice_rounds: DEFAULT_SLICE_ROUNDS }
+    }
+
+    /// A portfolio over default options.
+    pub fn with_defaults() -> Self {
+        Portfolio::new(EsdOptions::default())
+    }
+
+    /// Sets how many rounds each member advances per round-robin turn.
+    pub fn slice_rounds(mut self, rounds: u64) -> Self {
+        self.slice_rounds = rounds.max(1);
+        self
+    }
+
+    /// Adds a member: the base options with the given search frontier.
+    pub fn frontier(mut self, kind: FrontierKind) -> Self {
+        let options = EsdOptions { frontier: kind, ..self.base.clone() };
+        self.members.push((kind.to_string(), options));
+        self
+    }
+
+    /// Adds one member per frontier kind.
+    pub fn frontiers(mut self, kinds: impl IntoIterator<Item = FrontierKind>) -> Self {
+        for kind in kinds {
+            self = self.frontier(kind);
+        }
+        self
+    }
+
+    /// Adds a member: the base options with the given frontier and seed
+    /// (several seeds of one stochastic frontier are a portfolio too).
+    pub fn seeded(mut self, kind: FrontierKind, seed: u64) -> Self {
+        let options = EsdOptions { frontier: kind, seed, ..self.base.clone() };
+        self.members.push((format!("{kind}#{seed}"), options));
+        self
+    }
+
+    /// Adds a fully custom member.
+    pub fn member(mut self, label: impl Into<String>, options: EsdOptions) -> Self {
+        self.members.push((label.into(), options));
+        self
+    }
+
+    /// Races the members on one job: every member gets a session over a
+    /// shared static phase, sessions advance round-robin `slice_rounds` at a
+    /// time, and the first [`SessionStatus::Found`] wins. Members still
+    /// running when a winner emerges are cancelled with partial stats.
+    pub fn run(&self, program: &Program, goal: GoalSpec) -> PortfolioResult {
+        let members: Vec<(String, EsdOptions)> = if self.members.is_empty() {
+            DEFAULT_FRONTIERS
+                .iter()
+                .map(|&kind| (kind.to_string(), EsdOptions { frontier: kind, ..self.base.clone() }))
+                .collect()
+        } else {
+            self.members.clone()
+        };
+        let started_at = std::time::Instant::now();
+        let program = Arc::new(program.clone());
+        let analysis = Arc::new(StaticAnalysis::compute(&program, goal.primary_locs()[0]));
+        let mut sessions: Vec<SynthesisSession> = members
+            .iter()
+            .map(|(_, options)| {
+                let mut session = SynthesisSession::from_parts(
+                    program.clone(),
+                    analysis.clone(),
+                    goal.clone(),
+                    options.clone(),
+                    None,
+                    0,
+                );
+                // Every member's clock (elapsed, deadline) covers the shared
+                // static phase, like a solo run's would.
+                session.started_at = started_at;
+                session
+            })
+            .collect();
+
+        let mut winner: Option<usize> = None;
+        'race: loop {
+            let mut any_running = false;
+            for (i, session) in sessions.iter_mut().enumerate() {
+                if !session.poll().is_running() {
+                    continue;
+                }
+                if session.run_for(self.slice_rounds).found().is_some() {
+                    winner = Some(i);
+                    break 'race;
+                }
+                any_running |= session.poll().is_running();
+            }
+            if !any_running {
+                break;
+            }
+        }
+
+        // Cancel the losers that were still searching, then assemble the
+        // per-member reports.
+        for (i, session) in sessions.iter_mut().enumerate() {
+            if winner != Some(i) {
+                session.cancel();
+            }
+        }
+        let mut result = PortfolioResult { winner: None, members: Vec::new() };
+        for ((label, options), session) in members.into_iter().zip(sessions) {
+            let rounds = session.rounds();
+            let (frontier, seed) = (options.frontier, options.seed);
+            let (outcome, stats) = match session.into_status() {
+                SessionStatus::Found(report) => {
+                    let stats = report.stats.clone();
+                    result.winner = Some(PortfolioWinner {
+                        member: result.members.len(),
+                        label: label.clone(),
+                        report: *report,
+                    });
+                    (MemberOutcome::Won, stats)
+                }
+                SessionStatus::Cancelled(stats) => (MemberOutcome::Preempted, stats),
+                SessionStatus::Exhausted(stats) => (MemberOutcome::Exhausted, stats),
+                SessionStatus::BudgetExceeded(stats) => (MemberOutcome::BudgetExceeded, stats),
+                SessionStatus::DeadlineExpired(stats) => (MemberOutcome::DeadlineExpired, stats),
+                SessionStatus::Running => unreachable!("all sessions finished or were cancelled"),
+            };
+            result.members.push(MemberReport { label, frontier, seed, rounds, outcome, stats });
+        }
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esd_ir::{CmpOp, Loc, ProgramBuilder};
+
+    fn crashy() -> (esd_ir::Program, Loc) {
+        let mut pb = ProgramBuilder::new("portfolio_crashy");
+        let mut loc = None;
+        pb.function("main", 0, |f| {
+            let x = f.getchar();
+            let c = f.cmp(CmpOp::Eq, x, 7);
+            let bug = f.new_block("bug");
+            let ok = f.new_block("ok");
+            f.cond_br(c, bug, ok);
+            f.switch_to(bug);
+            let z = f.konst(0);
+            loc = Some(Loc::new(esd_ir::FuncId(0), bug, f.next_inst_idx()));
+            let v = f.load(z);
+            f.output(v);
+            f.ret_void();
+            f.switch_to(ok);
+            f.ret_void();
+        });
+        (pb.finish("main"), loc.unwrap())
+    }
+
+    #[test]
+    fn portfolio_produces_a_winner_and_full_member_stats() {
+        let (p, loc) = crashy();
+        let result = Portfolio::with_defaults().run(&p, GoalSpec::Crash { loc });
+        let winner = result.winner.as_ref().expect("some frontier finds the crash");
+        assert_eq!(result.members.len(), DEFAULT_FRONTIERS.len());
+        assert_eq!(result.members[winner.member].outcome, MemberOutcome::Won);
+        assert_eq!(result.members[winner.member].label, winner.label);
+        assert_eq!(winner.report.execution.inputs[0].value, 7);
+        // Every non-winning member still reports its (partial) stats.
+        for (i, member) in result.members.iter().enumerate() {
+            if i != winner.member {
+                assert_ne!(member.outcome, MemberOutcome::Won);
+            }
+        }
+    }
+
+    #[test]
+    fn explicit_members_and_labels_are_preserved() {
+        let (p, loc) = crashy();
+        let result = Portfolio::with_defaults()
+            .slice_rounds(16)
+            .frontier(FrontierKind::Dfs)
+            .seeded(FrontierKind::Random, 3)
+            .member("custom", EsdOptions::builder().frontier(FrontierKind::Bfs).build())
+            .run(&p, GoalSpec::Crash { loc });
+        let labels: Vec<&str> = result.members.iter().map(|m| m.label.as_str()).collect();
+        assert_eq!(labels, ["dfs", "random#3", "custom"]);
+        assert!(result.winner.is_some());
+    }
+
+    #[test]
+    fn goalless_portfolio_reports_no_winner() {
+        // A goal no path reaches: every member exhausts (or hits budget) and
+        // the portfolio reports winner = None with all stats present.
+        let mut pb = ProgramBuilder::new("clean");
+        pb.function("main", 0, |f| {
+            let dead = f.new_block("dead");
+            f.ret_void();
+            f.switch_to(dead);
+            f.nop();
+            f.ret_void();
+        });
+        let p = pb.finish("main");
+        let goal = GoalSpec::Crash { loc: Loc::new(p.entry, esd_ir::BlockId(1), 0) };
+        let result = Portfolio::new(EsdOptions::builder().max_steps(10_000).build()).run(&p, goal);
+        assert!(result.winner.is_none());
+        assert_eq!(result.members.len(), DEFAULT_FRONTIERS.len());
+        for member in &result.members {
+            assert!(matches!(
+                member.outcome,
+                MemberOutcome::Exhausted | MemberOutcome::BudgetExceeded
+            ));
+        }
+    }
+}

@@ -1,0 +1,586 @@
+//! Stepwise synthesis sessions: the resumable form of `esdsynth`.
+//!
+//! [`Esd::synthesize`](crate::Esd::synthesize) is a blocking one-shot — fine
+//! for a single bug report, wrong for anything that needs to observe
+//! progress, enforce a deadline, cancel a runaway job, or interleave several
+//! synthesis jobs on one machine. A [`SynthesisSession`] is the same pipeline
+//! cut at the engine's round boundary ([`esd_symex::Engine::step_round`]):
+//! it owns the program, the static analysis and the engine for one job, and
+//! the caller decides when (and how much) it runs:
+//!
+//! * [`SynthesisSession::run_for`] advances up to `n` search rounds and
+//!   returns the current [`SessionStatus`];
+//! * [`SynthesisSession::poll`] inspects the status without advancing;
+//! * [`SynthesisSession::cancel`] stops the job, keeping the partial
+//!   [`SearchStats`];
+//! * an [`Observer`] receives [`ProgressEvent`]s (step count, states forked
+//!   and pruned, races flagged, current best proximity) while the search
+//!   runs.
+//!
+//! Slicing never changes the result: for a fixed seed, a session advanced
+//! one round at a time synthesizes the exact execution the one-shot facade
+//! produces, because the facade *is* a loop over the same rounds.
+//!
+//! Sessions are configured with the builder-style [`EsdOptionsBuilder`]
+//! (`EsdOptions::builder()`), and composed by the
+//! [`Portfolio`](crate::portfolio::Portfolio) runner, which time-slices
+//! several sessions with different search frontiers over the same job.
+
+use crate::execfile::SynthesizedExecution;
+use crate::synth::{Esd, EsdOptions, SynthesisReport};
+use esd_analysis::StaticAnalysis;
+use esd_ir::Program;
+use esd_symex::{
+    Engine, EngineConfig, FrontierKind, GoalSpec, SearchConfig, SearchStats, StepOutcome,
+    Synthesized,
+};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How many rounds a session runs between [`ProgressEvent`]s by default
+/// (overridable via [`EsdOptionsBuilder::progress_every`]).
+pub const DEFAULT_PROGRESS_EVERY: u64 = 4096;
+
+/// How a session slice is advanced internally by the blocking facade.
+const RUN_TO_COMPLETION_SLICE: u64 = 16 * 1024;
+
+/// A progress snapshot handed to an [`Observer`] while a session runs.
+#[derive(Debug, Clone)]
+pub struct ProgressEvent {
+    /// Search rounds (frontier selections) completed so far.
+    pub rounds: u64,
+    /// Instructions executed across all states.
+    pub steps: u64,
+    /// States created (forks admitted to the pool, including the initial
+    /// state).
+    pub states_created: u64,
+    /// Forked states dropped before entering the pool (duplicate
+    /// fingerprint or pool cap).
+    pub states_pruned: u64,
+    /// Live states currently in the pool.
+    pub live_states: usize,
+    /// Data races flagged by the lockset detector.
+    pub races_flagged: usize,
+    /// Bugs found that did not match the goal.
+    pub other_bugs_found: usize,
+    /// The lowest final-goal priority key seen so far (`None` until a
+    /// priority-driven frontier computes one) — how close the search has
+    /// come to the reported failure.
+    pub best_proximity: Option<u64>,
+    /// Wall-clock time since the session was created.
+    pub elapsed: Duration,
+}
+
+/// Receives progress callbacks from a [`SynthesisSession`].
+///
+/// Attach one with [`EsdOptionsBuilder::observer`]. Both methods have empty
+/// default bodies so implementors opt into exactly the callbacks they need.
+pub trait Observer {
+    /// Called every [`EsdOptionsBuilder::progress_every`] rounds while the
+    /// session is running.
+    fn on_progress(&mut self, _event: &ProgressEvent) {}
+
+    /// Called exactly once, when the session reaches a terminal
+    /// [`SessionStatus`] (found / exhausted / budget / deadline /
+    /// cancelled).
+    fn on_finish(&mut self, _status: &SessionStatus) {}
+}
+
+/// The state of a [`SynthesisSession`].
+#[derive(Debug, Clone)]
+pub enum SessionStatus {
+    /// The search has not reached a verdict; keep calling
+    /// [`SynthesisSession::run_for`].
+    Running,
+    /// The goal was reached: the synthesized execution and its report.
+    Found(Box<SynthesisReport>),
+    /// Every state was explored or abandoned without reaching the goal.
+    Exhausted(SearchStats),
+    /// The instruction budget (`max_steps`) ran out.
+    BudgetExceeded(SearchStats),
+    /// The wall-clock deadline passed before the search reached a verdict.
+    DeadlineExpired(SearchStats),
+    /// [`SynthesisSession::cancel`] was called; the stats cover the work
+    /// done up to that point.
+    Cancelled(SearchStats),
+}
+
+impl SessionStatus {
+    /// True while the session can still be advanced.
+    pub fn is_running(&self) -> bool {
+        matches!(self, SessionStatus::Running)
+    }
+
+    /// The synthesis report, if the session succeeded.
+    pub fn found(&self) -> Option<&SynthesisReport> {
+        match self {
+            SessionStatus::Found(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// The search statistics carried by a terminal status (`None` while
+    /// running).
+    pub fn stats(&self) -> Option<&SearchStats> {
+        match self {
+            SessionStatus::Running => None,
+            SessionStatus::Found(r) => Some(&r.stats),
+            SessionStatus::Exhausted(s)
+            | SessionStatus::BudgetExceeded(s)
+            | SessionStatus::DeadlineExpired(s)
+            | SessionStatus::Cancelled(s) => Some(s),
+        }
+    }
+}
+
+/// Builder-style configuration for [`EsdOptions`], sessions and synthesizers
+/// — obtained from [`EsdOptions::builder`].
+///
+/// Every knob of the plain options struct has a chainable setter, plus the
+/// session-only knobs (deadline, observer, progress cadence). Finish with
+/// [`build`](EsdOptionsBuilder::build) for a plain [`EsdOptions`],
+/// [`synthesizer`](EsdOptionsBuilder::synthesizer) for a blocking [`Esd`],
+/// or [`session`](EsdOptionsBuilder::session) for a resumable
+/// [`SynthesisSession`] (the only finisher that uses an attached observer).
+#[derive(Default)]
+pub struct EsdOptionsBuilder {
+    options: EsdOptions,
+    observer: Option<Box<dyn Observer>>,
+    progress_every: Option<u64>,
+}
+
+impl EsdOptionsBuilder {
+    /// Total instruction budget for the dynamic phase.
+    pub fn max_steps(mut self, max_steps: u64) -> Self {
+        self.options.max_steps = max_steps;
+        self
+    }
+
+    /// Maximum number of live execution states.
+    pub fn max_states(mut self, max_states: usize) -> Self {
+        self.options.max_states = max_states;
+        self
+    }
+
+    /// Random seed for the stochastic frontiers.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.options.seed = seed;
+        self
+    }
+
+    /// Which search frontier orders the exploration.
+    pub fn frontier(mut self, frontier: FrontierKind) -> Self {
+        self.options.frontier = frontier;
+        self
+    }
+
+    /// Use intermediate goals from the static phase.
+    pub fn use_intermediate_goals(mut self, on: bool) -> Self {
+        self.options.use_intermediate_goals = on;
+        self
+    }
+
+    /// Abandon paths that violate critical edges.
+    pub fn use_critical_edges(mut self, on: bool) -> Self {
+        self.options.use_critical_edges = on;
+        self
+    }
+
+    /// Use the deadlock schedule-distance bias.
+    pub fn schedule_bias(mut self, on: bool) -> Self {
+        self.options.schedule_bias = on;
+        self
+    }
+
+    /// Enable lockset-race-directed preemptions (`--with-race-det`).
+    pub fn with_race_detection(mut self, on: bool) -> Self {
+        self.options.with_race_detection = on;
+        self
+    }
+
+    /// Wall-clock deadline: the search stops with
+    /// [`SessionStatus::DeadlineExpired`] (or
+    /// [`SynthesisError::DeadlineExpired`](crate::SynthesisError) from the
+    /// blocking facade) once this much time has passed since the session was
+    /// created.
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.options.deadline = Some(deadline);
+        self
+    }
+
+    /// Attach a progress [`Observer`]. Observers are carried by sessions, so
+    /// this only takes effect through the
+    /// [`session`](EsdOptionsBuilder::session) finisher.
+    pub fn observer(mut self, observer: Box<dyn Observer>) -> Self {
+        self.observer = Some(observer);
+        self
+    }
+
+    /// How many rounds between [`Observer::on_progress`] calls
+    /// (default [`DEFAULT_PROGRESS_EVERY`]; `0` disables periodic events).
+    pub fn progress_every(mut self, rounds: u64) -> Self {
+        self.progress_every = Some(rounds);
+        self
+    }
+
+    /// Finishes into a plain [`EsdOptions`] (any attached observer is for
+    /// sessions only and is dropped here).
+    pub fn build(self) -> EsdOptions {
+        self.options
+    }
+
+    /// Finishes into a blocking [`Esd`] synthesizer with these options.
+    pub fn synthesizer(self) -> Esd {
+        Esd::new(self.options)
+    }
+
+    /// Finishes into a resumable [`SynthesisSession`] for one job, carrying
+    /// the attached observer. The static phase runs here; the dynamic phase
+    /// runs as the caller advances the session.
+    pub fn session(self, program: &Program, goal: GoalSpec) -> SynthesisSession {
+        let mut session = SynthesisSession::new(program, goal, self.options);
+        session.observer = self.observer;
+        session.progress_every = self.progress_every.unwrap_or(DEFAULT_PROGRESS_EVERY);
+        session
+    }
+}
+
+/// One resumable synthesis job: the program, its static analysis and the
+/// search engine, advanced in caller-controlled slices.
+///
+/// Create one with [`EsdOptions::builder`]`()...`[`session`](EsdOptionsBuilder::session)
+/// (or [`SynthesisSession::new`]). Determinism invariant: for a fixed seed,
+/// the slicing pattern (`run_for(1)` a million times, `run_for(u64::MAX)`
+/// once, or anything between) never changes the synthesized execution —
+/// see the `session_slicing_is_deterministic` integration test.
+pub struct SynthesisSession {
+    engine: Engine,
+    observer: Option<Box<dyn Observer>>,
+    deadline: Option<Duration>,
+    progress_every: u64,
+    /// When this job's clock started. Constructors that run the static
+    /// phase themselves rebase this so `elapsed` (and the deadline) cover
+    /// the whole synthesis — static + dynamic — like the blocking facade
+    /// always reported.
+    pub(crate) started_at: Instant,
+    rounds: u64,
+    status: SessionStatus,
+}
+
+impl SynthesisSession {
+    /// Creates a session for one job with the given options (no observer;
+    /// use the builder to attach one).
+    pub fn new(program: &Program, goal: GoalSpec, options: EsdOptions) -> Self {
+        let started_at = Instant::now();
+        let program = Arc::new(program.clone());
+        let analysis = Arc::new(StaticAnalysis::compute(&program, goal.primary_locs()[0]));
+        let mut session =
+            Self::from_parts(program, analysis, goal, options, None, DEFAULT_PROGRESS_EVERY);
+        session.started_at = started_at;
+        session
+    }
+
+    /// Creates a session over an already-computed static analysis, so
+    /// several sessions for the same job (a [`Portfolio`](crate::Portfolio))
+    /// share one static phase. `progress_every == 0` disables periodic
+    /// progress events.
+    pub fn from_parts(
+        program: Arc<Program>,
+        analysis: Arc<StaticAnalysis>,
+        goal: GoalSpec,
+        options: EsdOptions,
+        observer: Option<Box<dyn Observer>>,
+        progress_every: u64,
+    ) -> Self {
+        let config = EngineConfig {
+            search: SearchConfig { kind: options.frontier, seed: options.seed },
+            preemption_bound: None,
+            max_steps: options.max_steps,
+            max_states: options.max_states,
+            use_intermediate_goals: options.use_intermediate_goals,
+            use_critical_edges: options.use_critical_edges,
+            schedule_bias: options.schedule_bias,
+            race_preemptions: options.with_race_detection,
+            ..EngineConfig::default()
+        };
+        let engine = Engine::new(program, analysis, goal, config);
+        SynthesisSession {
+            engine,
+            observer,
+            deadline: options.deadline,
+            progress_every,
+            started_at: Instant::now(),
+            rounds: 0,
+            status: SessionStatus::Running,
+        }
+    }
+
+    /// Advances the search by up to `rounds` rounds (frontier selections),
+    /// stopping early at any terminal status, and returns the status.
+    ///
+    /// Calling this after the session finished is a no-op returning the
+    /// terminal status.
+    pub fn run_for(&mut self, rounds: u64) -> &SessionStatus {
+        for _ in 0..rounds {
+            if !self.status.is_running() {
+                break;
+            }
+            if let Some(deadline) = self.deadline {
+                if self.started_at.elapsed() >= deadline {
+                    let stats = self.engine.stats().clone();
+                    self.finish(SessionStatus::DeadlineExpired(stats));
+                    break;
+                }
+            }
+            let outcome = self.engine.step_round();
+            self.rounds += 1;
+            match outcome {
+                StepOutcome::Running => {}
+                StepOutcome::Found(synth) => {
+                    let report = self.report(*synth);
+                    self.finish(SessionStatus::Found(Box::new(report)));
+                }
+                StepOutcome::Exhausted => {
+                    let stats = self.engine.stats().clone();
+                    self.finish(SessionStatus::Exhausted(stats));
+                }
+                StepOutcome::BudgetExceeded => {
+                    let stats = self.engine.stats().clone();
+                    self.finish(SessionStatus::BudgetExceeded(stats));
+                }
+            }
+            if self.status.is_running()
+                && self.progress_every > 0
+                && self.rounds.is_multiple_of(self.progress_every)
+            {
+                let event = self.progress_event();
+                if let Some(observer) = &mut self.observer {
+                    observer.on_progress(&event);
+                }
+            }
+        }
+        &self.status
+    }
+
+    /// Runs the session to a terminal status (the blocking facade's loop).
+    pub fn run_to_completion(&mut self) -> &SessionStatus {
+        while self.status.is_running() {
+            self.run_for(RUN_TO_COMPLETION_SLICE);
+        }
+        &self.status
+    }
+
+    /// The current status, without advancing the search.
+    pub fn poll(&self) -> &SessionStatus {
+        &self.status
+    }
+
+    /// Stops the job. The session transitions to
+    /// [`SessionStatus::Cancelled`] (if it was still running) and the
+    /// partial search statistics are returned; a session that already
+    /// finished keeps its status and returns its final stats.
+    pub fn cancel(&mut self) -> SearchStats {
+        if self.status.is_running() {
+            let stats = self.engine.stats().clone();
+            self.finish(SessionStatus::Cancelled(stats));
+        }
+        self.stats()
+    }
+
+    /// Consumes the session, returning its final (or current) status.
+    pub fn into_status(self) -> SessionStatus {
+        self.status
+    }
+
+    /// The search statistics accumulated so far (terminal or not).
+    pub fn stats(&self) -> SearchStats {
+        self.engine.stats().clone()
+    }
+
+    /// Search rounds advanced so far.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// Wall-clock time since the session was created.
+    pub fn elapsed(&self) -> Duration {
+        self.started_at.elapsed()
+    }
+
+    /// The goal this session searches for.
+    pub fn goal(&self) -> &GoalSpec {
+        self.engine.goal()
+    }
+
+    /// A progress snapshot of the current search state (the same data an
+    /// [`Observer`] receives).
+    pub fn progress_event(&self) -> ProgressEvent {
+        let stats = self.engine.stats();
+        ProgressEvent {
+            rounds: self.rounds,
+            steps: stats.steps,
+            states_created: stats.states_created,
+            states_pruned: stats.states_pruned,
+            live_states: self.engine.live_states(),
+            races_flagged: stats.races_flagged,
+            other_bugs_found: stats.other_bugs_found,
+            best_proximity: stats.best_proximity,
+            elapsed: self.started_at.elapsed(),
+        }
+    }
+
+    fn finish(&mut self, status: SessionStatus) {
+        self.status = status;
+        if let Some(observer) = &mut self.observer {
+            observer.on_finish(&self.status);
+        }
+    }
+
+    fn report(&self, synth: Synthesized) -> SynthesisReport {
+        SynthesisReport {
+            execution: SynthesizedExecution::from_synthesized(&self.engine.program().name, &synth),
+            goal: self.engine.goal().clone(),
+            stats: synth.stats,
+            elapsed: self.started_at.elapsed(),
+            other_bugs: self.engine.other_bugs.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esd_ir::{CmpOp, Loc, ProgramBuilder};
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    fn crashy() -> (esd_ir::Program, Loc) {
+        let mut pb = ProgramBuilder::new("session_crashy");
+        let mut loc = None;
+        pb.function("main", 0, |f| {
+            let x = f.getchar();
+            let c = f.cmp(CmpOp::Eq, x, 42);
+            let bug = f.new_block("bug");
+            let ok = f.new_block("ok");
+            f.cond_br(c, bug, ok);
+            f.switch_to(bug);
+            let z = f.konst(0);
+            loc = Some(Loc::new(esd_ir::FuncId(0), bug, f.next_inst_idx()));
+            let v = f.load(z);
+            f.output(v);
+            f.ret_void();
+            f.switch_to(ok);
+            f.ret_void();
+        });
+        (pb.finish("main"), loc.unwrap())
+    }
+
+    #[test]
+    fn builder_round_trips_every_option() {
+        let options = EsdOptions::builder()
+            .max_steps(123)
+            .max_states(45)
+            .seed(6)
+            .frontier(FrontierKind::Dfs)
+            .use_intermediate_goals(false)
+            .use_critical_edges(false)
+            .schedule_bias(false)
+            .with_race_detection(true)
+            .deadline(Duration::from_secs(9))
+            .build();
+        assert_eq!(options.max_steps, 123);
+        assert_eq!(options.max_states, 45);
+        assert_eq!(options.seed, 6);
+        assert_eq!(options.frontier, FrontierKind::Dfs);
+        assert!(!options.use_intermediate_goals);
+        assert!(!options.use_critical_edges);
+        assert!(!options.schedule_bias);
+        assert!(options.with_race_detection);
+        assert_eq!(options.deadline, Some(Duration::from_secs(9)));
+    }
+
+    #[test]
+    fn session_finds_the_goal_in_single_round_slices() {
+        let (p, loc) = crashy();
+        let mut session =
+            EsdOptions::builder().max_steps(100_000).session(&p, GoalSpec::Crash { loc });
+        let mut slices = 0u64;
+        while session.poll().is_running() {
+            session.run_for(1);
+            slices += 1;
+            assert!(slices < 1_000_000, "runaway session");
+        }
+        let report = session.poll().found().expect("crash synthesized").clone();
+        assert_eq!(report.execution.inputs[0].value, 42);
+        assert_eq!(session.rounds(), slices);
+        // Further slices are no-ops on a finished session.
+        assert!(session.run_for(10).found().is_some());
+        assert_eq!(session.rounds(), slices);
+    }
+
+    #[test]
+    fn cancel_returns_partial_stats_and_sticks() {
+        let (p, loc) = crashy();
+        let mut session = SynthesisSession::new(&p, GoalSpec::Crash { loc }, EsdOptions::default());
+        session.run_for(3);
+        assert!(session.poll().is_running());
+        let stats = session.cancel();
+        assert!(stats.steps > 0, "three rounds must have executed instructions");
+        assert!(matches!(session.poll(), SessionStatus::Cancelled(_)));
+        // A cancelled session cannot be resumed.
+        assert!(matches!(session.run_for(100), SessionStatus::Cancelled(_)));
+        assert!(session.cancel().steps >= stats.steps);
+    }
+
+    #[test]
+    fn deadline_expires_a_session() {
+        let (p, loc) = crashy();
+        let mut session = EsdOptions::builder()
+            .deadline(Duration::from_secs(0))
+            .session(&p, GoalSpec::Crash { loc });
+        assert!(matches!(session.run_for(10), SessionStatus::DeadlineExpired(_)));
+    }
+
+    /// An observer shared with the test through `Rc<RefCell<_>>`.
+    #[derive(Default)]
+    struct Recording {
+        progress: Vec<ProgressEvent>,
+        finished: Option<&'static str>,
+    }
+
+    struct RecordingObserver(Rc<RefCell<Recording>>);
+
+    impl Observer for RecordingObserver {
+        fn on_progress(&mut self, event: &ProgressEvent) {
+            self.0.borrow_mut().progress.push(event.clone());
+        }
+
+        fn on_finish(&mut self, status: &SessionStatus) {
+            self.0.borrow_mut().finished = Some(match status {
+                SessionStatus::Running => "running",
+                SessionStatus::Found(_) => "found",
+                SessionStatus::Exhausted(_) => "exhausted",
+                SessionStatus::BudgetExceeded(_) => "budget",
+                SessionStatus::DeadlineExpired(_) => "deadline",
+                SessionStatus::Cancelled(_) => "cancelled",
+            });
+        }
+    }
+
+    #[test]
+    fn observer_sees_progress_and_the_finish() {
+        let (p, loc) = crashy();
+        let recording = Rc::new(RefCell::new(Recording::default()));
+        let mut session = EsdOptions::builder()
+            .observer(Box::new(RecordingObserver(recording.clone())))
+            .progress_every(2)
+            .session(&p, GoalSpec::Crash { loc });
+        session.run_to_completion();
+        let recording = recording.borrow();
+        assert_eq!(recording.finished, Some("found"));
+        assert!(!recording.progress.is_empty(), "progress cadence of 2 must fire");
+        let last = recording.progress.last().unwrap();
+        assert!(last.steps > 0);
+        assert!(last.rounds >= 2);
+    }
+}

@@ -1,16 +1,33 @@
 //! The `esdsynth` facade: from a bug report to a synthesized execution file.
+//!
+//! [`Esd::synthesize`] is the blocking one-shot entry point; it is a thin
+//! wrapper over a [`SynthesisSession`],
+//! the resumable form that supports progress observation, deadlines,
+//! cancellation and time-slicing (see [`crate::session`] and
+//! [`crate::portfolio`]).
 
-use crate::execfile::SynthesizedExecution;
 use crate::report::{extract_goal, BugKind, BugReport};
-use esd_analysis::StaticAnalysis;
+use crate::session::{EsdOptionsBuilder, SessionStatus, SynthesisSession};
+use crate::SynthesizedExecution;
 use esd_ir::Program;
-use esd_symex::{
-    Engine, EngineConfig, FrontierKind, GoalSpec, SearchConfig, SearchOutcome, SearchStats,
-};
-use std::time::{Duration, Instant};
+use esd_symex::{FrontierKind, GoalSpec, SearchStats};
+use std::time::Duration;
 
 /// Knobs for a synthesis run (sensible defaults reproduce the paper's ESD
 /// configuration; the ablation benches flip individual heuristics off).
+///
+/// Prefer constructing these with the chainable [`EsdOptions::builder`]:
+///
+/// ```
+/// use esd_core::EsdOptions;
+/// use esd_symex::FrontierKind;
+///
+/// let options = EsdOptions::builder()
+///     .max_steps(1_000_000)
+///     .frontier(FrontierKind::beam())
+///     .build();
+/// assert_eq!(options.max_steps, 1_000_000);
+/// ```
 #[derive(Debug, Clone)]
 pub struct EsdOptions {
     /// Total instruction budget for the dynamic phase.
@@ -20,8 +37,8 @@ pub struct EsdOptions {
     /// Random seed for the uniform queue choice.
     pub seed: u64,
     /// Which search frontier orders the exploration (the paper's
-    /// proximity-guided frontier by default; DFS / BFS / random are available
-    /// for comparison — see `esd_symex::frontier`).
+    /// proximity-guided frontier by default; DFS / BFS / random / beam are
+    /// available for comparison — see `esd_symex::frontier`).
     pub frontier: FrontierKind,
     /// Use intermediate goals from the static phase.
     pub use_intermediate_goals: bool,
@@ -31,6 +48,9 @@ pub struct EsdOptions {
     pub schedule_bias: bool,
     /// Enable lockset-race-directed preemptions (`--with-race-det`).
     pub with_race_detection: bool,
+    /// Optional wall-clock deadline for the search, measured from session
+    /// creation.
+    pub deadline: Option<Duration>,
 }
 
 impl Default for EsdOptions {
@@ -44,7 +64,18 @@ impl Default for EsdOptions {
             use_critical_edges: true,
             schedule_bias: true,
             with_race_detection: false,
+            deadline: None,
         }
+    }
+}
+
+impl EsdOptions {
+    /// Starts a builder over the default options; finish with
+    /// [`build`](EsdOptionsBuilder::build),
+    /// [`synthesizer`](EsdOptionsBuilder::synthesizer) or
+    /// [`session`](EsdOptionsBuilder::session).
+    pub fn builder() -> EsdOptionsBuilder {
+        EsdOptionsBuilder::default()
     }
 }
 
@@ -57,6 +88,10 @@ pub enum SynthesisError {
     Exhausted,
     /// The step budget was exceeded before reaching the goal.
     BudgetExceeded,
+    /// The wall-clock deadline passed before reaching the goal.
+    DeadlineExpired,
+    /// The underlying session was cancelled before reaching the goal.
+    Cancelled,
 }
 
 /// The result of a successful synthesis run.
@@ -90,6 +125,11 @@ impl Esd {
         Esd::new(EsdOptions::default())
     }
 
+    /// The options this synthesizer runs with.
+    pub fn options(&self) -> &EsdOptions {
+        &self.options
+    }
+
     /// Synthesizes an execution reproducing the failure in `report`
     /// (the `esdsynth <coredump> <program>` entry point).
     pub fn synthesize(
@@ -106,40 +146,48 @@ impl Esd {
     /// Synthesizes an execution for an explicit goal (used by the workload
     /// harness, and by the "validate a static-analysis report" usage model
     /// where there is no coredump yet).
+    ///
+    /// This is a convenience wrapper that runs a
+    /// [`SynthesisSession`] to completion;
+    /// callers that need progress events, deadlines, cancellation or
+    /// time-slicing should create the session themselves (see
+    /// [`Esd::session`]).
     pub fn synthesize_goal(
         &self,
         program: &Program,
         goal: GoalSpec,
         race_preemptions: bool,
     ) -> Result<SynthesisReport, SynthesisError> {
-        let start = Instant::now();
-        let primary = goal.primary_locs()[0];
-        let analysis = StaticAnalysis::compute(program, primary);
-        let config = EngineConfig {
-            search: SearchConfig { kind: self.options.frontier, seed: self.options.seed },
-            preemption_bound: None,
-            max_steps: self.options.max_steps,
-            max_states: self.options.max_states,
-            use_intermediate_goals: self.options.use_intermediate_goals,
-            use_critical_edges: self.options.use_critical_edges,
-            schedule_bias: self.options.schedule_bias,
-            race_preemptions,
-            ..EngineConfig::default()
-        };
-        let mut engine = Engine::new(program, &analysis, goal.clone(), config);
-        let outcome = engine.run();
-        let other_bugs = engine.other_bugs.clone();
-        match outcome {
-            SearchOutcome::Found(synth) => Ok(SynthesisReport {
-                execution: SynthesizedExecution::from_synthesized(&program.name, &synth),
-                goal,
-                stats: synth.stats.clone(),
-                elapsed: start.elapsed(),
-                other_bugs,
-            }),
-            SearchOutcome::Exhausted(_) => Err(SynthesisError::Exhausted),
-            SearchOutcome::BudgetExceeded(_) => Err(SynthesisError::BudgetExceeded),
+        let mut session = self.session_with_race(program, goal, race_preemptions);
+        session.run_to_completion();
+        match session.into_status() {
+            SessionStatus::Found(report) => Ok(*report),
+            SessionStatus::Exhausted(_) => Err(SynthesisError::Exhausted),
+            SessionStatus::BudgetExceeded(_) => Err(SynthesisError::BudgetExceeded),
+            SessionStatus::DeadlineExpired(_) => Err(SynthesisError::DeadlineExpired),
+            SessionStatus::Cancelled(_) => Err(SynthesisError::Cancelled),
+            SessionStatus::Running => unreachable!("run_to_completion returned while running"),
         }
+    }
+
+    /// Creates a resumable [`SynthesisSession`] for `goal` with this
+    /// synthesizer's options.
+    pub fn session(&self, program: &Program, goal: GoalSpec) -> SynthesisSession {
+        SynthesisSession::new(program, goal, self.options.clone())
+    }
+
+    fn session_with_race(
+        &self,
+        program: &Program,
+        goal: GoalSpec,
+        race_preemptions: bool,
+    ) -> SynthesisSession {
+        // The explicit parameter governs, exactly as it did when this method
+        // drove the engine directly (`synthesize` folds the option in before
+        // calling here; sessions created via the builder use the option).
+        let mut options = self.options.clone();
+        options.with_race_detection = race_preemptions;
+        SynthesisSession::new(program, goal, options)
     }
 }
 

@@ -21,7 +21,7 @@ use crate::expr::{SymExpr, SymValue, SymVarInfo};
 use crate::frontier::{SearchConfig, SearchFrontier, StatePriority};
 use crate::solver::{Solver, SolverConfig, SolverResult};
 use crate::state::{ExecState, SchedDistance, SymFrame, SymMemError, SymThread};
-use esd_analysis::{StaticAnalysis, INF};
+use esd_analysis::{DistanceOracle, StaticAnalysis, INF};
 use esd_concurrency::{find_mutex_deadlock, Schedule, SegmentStop};
 use esd_ir::interp::{ObjKind, ThreadStatus};
 use esd_ir::{
@@ -130,6 +130,9 @@ pub struct SearchStats {
     pub steps: u64,
     /// States created (including the initial one).
     pub states_created: u64,
+    /// Forked states dropped before entering the pool (duplicate
+    /// fingerprint, or the pool was at its `max_states` cap).
+    pub states_pruned: u64,
     /// Peak number of live states.
     pub max_live_states: usize,
     /// Solver queries issued.
@@ -139,6 +142,11 @@ pub struct SearchStats {
     pub other_bugs_found: usize,
     /// Data races flagged by the lockset detector.
     pub races_flagged: usize,
+    /// The lowest final-goal priority key observed so far (proximity
+    /// estimate, biased by the deadlock schedule distance) — how close the
+    /// search has come to the goal. `None` until a priority-driven frontier
+    /// computes its first key.
+    pub best_proximity: Option<u64>,
 }
 
 /// A successfully synthesized execution.
@@ -165,6 +173,22 @@ pub enum SearchOutcome {
     Exhausted(SearchStats),
     /// The step budget ran out.
     BudgetExceeded(SearchStats),
+}
+
+/// Outcome of advancing the search by one round ([`Engine::step_round`]):
+/// either the search can continue, or it ended the way a [`SearchOutcome`]
+/// ends (the stats live on the engine — [`Engine::stats`]).
+#[derive(Debug)]
+pub enum StepOutcome {
+    /// The round completed without reaching a verdict; call
+    /// [`Engine::step_round`] again to keep searching.
+    Running,
+    /// The goal was reached and an execution synthesized.
+    Found(Box<Synthesized>),
+    /// Every state was explored or abandoned without reaching the goal.
+    Exhausted,
+    /// The step budget ran out.
+    BudgetExceeded,
 }
 
 impl SearchOutcome {
@@ -199,15 +223,24 @@ enum StepEffect {
 const SCHED_WEIGHT: u64 = 1_000_000_000;
 
 /// The search engine.
-pub struct Engine<'p> {
-    program: &'p Program,
-    analysis: &'p StaticAnalysis,
-    oracle: esd_analysis::DistanceOracle<'p>,
+///
+/// The engine owns its program and static analysis (shared via [`Arc`]), so
+/// callers that outlive the current stack frame — resumable synthesis
+/// sessions, portfolio runners — can own an engine outright. The search is
+/// re-entrant: [`Engine::step_round`] advances exactly one frontier selection
+/// and returns a [`StepOutcome`]; [`Engine::run`] is a thin loop over it.
+pub struct Engine {
+    program: Arc<Program>,
+    analysis: Arc<StaticAnalysis>,
+    oracle: DistanceOracle,
     goal: GoalSpec,
     config: EngineConfig,
     solver: Solver,
     states: HashMap<u64, ExecState>,
     next_state_id: u64,
+    /// Whether the initial state has been seeded (done lazily on the first
+    /// round so a freshly created engine is cheap).
+    started: bool,
     /// One virtual queue per goal target set (intermediate goals + final),
     /// used to compute the per-queue priority keys for the frontier.
     queue_targets: Vec<Vec<Loc>>,
@@ -219,15 +252,15 @@ pub struct Engine<'p> {
     pub other_bugs: Vec<(FaultKind, Option<Loc>)>,
 }
 
-impl<'p> Engine<'p> {
+impl Engine {
     /// Creates an engine for `program` searching for `goal`.
     pub fn new(
-        program: &'p Program,
-        analysis: &'p StaticAnalysis,
+        program: Arc<Program>,
+        analysis: Arc<StaticAnalysis>,
         goal: GoalSpec,
         config: EngineConfig,
     ) -> Self {
-        let oracle = analysis.distance_oracle(program);
+        let oracle = StaticAnalysis::distance_oracle(&analysis, &program);
         let mut queue_targets: Vec<Vec<Loc>> = Vec::new();
         if config.use_intermediate_goals {
             for alts in analysis.goal_info.intermediate_goal_locs() {
@@ -247,6 +280,7 @@ impl<'p> Engine<'p> {
             config,
             states: HashMap::new(),
             next_state_id: 0,
+            started: false,
             queue_targets,
             frontier,
             stats: SearchStats::default(),
@@ -255,39 +289,61 @@ impl<'p> Engine<'p> {
         }
     }
 
-    /// Runs the search.
-    pub fn run(&mut self) -> SearchOutcome {
-        let init = ExecState::initial(self.program);
-        self.register_state(init);
-        loop {
-            if self.stats.steps >= self.config.max_steps {
-                self.stats.solver_queries = self.solver.queries;
-                return SearchOutcome::BudgetExceeded(self.stats.clone());
-            }
-            let Some(sid) = self.select_state() else {
-                self.stats.solver_queries = self.solver.queries;
-                return SearchOutcome::Exhausted(self.stats.clone());
-            };
-            let mut state = match self.states.remove(&sid) {
-                Some(s) => s,
-                None => continue,
-            };
-            let effect = self.step(&mut state);
-            match effect {
+    /// Advances the search by one round: one frontier selection plus the
+    /// micro-step of the selected state (seeding the initial state first, on
+    /// the very first round).
+    ///
+    /// This is the re-entrant core of the engine: callers may interleave
+    /// rounds of several engines, stop between rounds (the partial
+    /// [`Engine::stats`] stay accessible), and resume later — the search
+    /// trajectory is exactly the one [`Engine::run`] would take, because
+    /// `run` *is* a loop over `step_round`.
+    pub fn step_round(&mut self) -> StepOutcome {
+        if !self.started {
+            self.started = true;
+            let init = ExecState::initial(&self.program);
+            self.register_state(init);
+        }
+        if self.stats.steps >= self.config.max_steps {
+            self.stats.solver_queries = self.solver.queries;
+            return StepOutcome::BudgetExceeded;
+        }
+        let Some(sid) = self.select_state() else {
+            self.stats.solver_queries = self.solver.queries;
+            return StepOutcome::Exhausted;
+        };
+        let outcome = match self.states.remove(&sid) {
+            None => StepOutcome::Running,
+            Some(mut state) => match self.step(&mut state) {
                 StepEffect::Continue => {
                     self.reinsert_state(state);
+                    StepOutcome::Running
                 }
-                StepEffect::Dead => {
-                    // dropped
-                }
+                StepEffect::Dead => StepOutcome::Running, // state dropped
                 StepEffect::Goal { fault, fault_loc } => {
-                    match self.finalize(&mut state, fault.clone(), fault_loc) {
-                        Some(synth) => return SearchOutcome::Found(Box::new(synth)),
-                        None => {
-                            // Constraints could not be solved; abandon this
-                            // state and keep searching.
-                        }
+                    match self.finalize(&mut state, fault, fault_loc) {
+                        Some(synth) => StepOutcome::Found(Box::new(synth)),
+                        // Constraints could not be solved; abandon this state
+                        // and keep searching.
+                        None => StepOutcome::Running,
                     }
+                }
+            },
+        };
+        self.stats.solver_queries = self.solver.queries;
+        outcome
+    }
+
+    /// Runs the search to completion: a thin loop over
+    /// [`Engine::step_round`].
+    pub fn run(&mut self) -> SearchOutcome {
+        loop {
+            match self.step_round() {
+                StepOutcome::Running => continue,
+                StepOutcome::Found(synth) => return SearchOutcome::Found(synth),
+                StepOutcome::Exhausted => return SearchOutcome::Exhausted(self.stats.clone()),
+                StepOutcome::BudgetExceeded => {
+                    return SearchOutcome::BudgetExceeded(self.stats.clone())
                 }
             }
         }
@@ -298,6 +354,26 @@ impl<'p> Engine<'p> {
         &self.stats
     }
 
+    /// Number of live (queued or pooled) execution states.
+    pub fn live_states(&self) -> usize {
+        self.states.len()
+    }
+
+    /// The goal this engine searches for.
+    pub fn goal(&self) -> &GoalSpec {
+        &self.goal
+    }
+
+    /// The program under search.
+    pub fn program(&self) -> &Arc<Program> {
+        &self.program
+    }
+
+    /// The static analysis backing the proximity heuristic.
+    pub fn analysis(&self) -> &Arc<StaticAnalysis> {
+        &self.analysis
+    }
+
     // ---- state pool management ---------------------------------------------
 
     /// Admits a forked state into the pool, returning its assigned id —
@@ -305,11 +381,13 @@ impl<'p> Engine<'p> {
     /// already explored).
     fn register_state(&mut self, mut state: ExecState) -> Option<u64> {
         if self.states.len() >= self.config.max_states {
+            self.stats.states_pruned += 1;
             return None;
         }
         if self.config.dedup_states {
             let fp = Self::fingerprint(&state);
             if !self.seen_fingerprints.insert(fp) {
+                self.stats.states_pruned += 1;
                 return None;
             }
         }
@@ -358,11 +436,22 @@ impl<'p> Engine<'p> {
     /// (Re-)enters a state into the frontier, computing the per-goal-queue
     /// priority keys only when the frontier consumes them.
     fn push_to_frontier(&mut self, state: &ExecState) {
-        let queue_keys = if self.frontier.wants_priorities() {
+        let queue_keys: Vec<u64> = if !self.frontier.wants_priorities() {
+            Vec::new()
+        } else if self.frontier.wants_intermediate_priorities() {
             self.queue_targets.iter().map(|targets| self.priority_key(state, targets)).collect()
         } else {
-            Vec::new()
+            // The frontier only consumes the final-goal key (e.g. the beam):
+            // skip the per-intermediate-goal proximity scans entirely.
+            let final_targets = self.queue_targets.last().expect("final goal queue");
+            vec![self.priority_key(state, final_targets)]
         };
+        // The last queue targets the final goal; its key is the progress
+        // signal surfaced to observers.
+        if let Some(&final_key) = queue_keys.last() {
+            self.stats.best_proximity =
+                Some(self.stats.best_proximity.map_or(final_key, |b| b.min(final_key)));
+        }
         self.frontier.push(state.id, &StatePriority { queue_keys, depth: state.steps });
     }
 

@@ -18,6 +18,11 @@
 //!   a fairness baseline when comparing frontiers in `esd-bench`.
 //! * [`RandomFrontier`] — uniformly random among live states (Klee's
 //!   RandomPath searcher, the second KC baseline).
+//! * [`BeamFrontier`] — batched proximity search: selection picks the `k`
+//!   closest states at once and advances each of them before re-selecting.
+//!   Not in the paper; the ROADMAP's batched-frontier step toward a
+//!   work-stealing, multi-threaded engine (a whole beam can be handed to a
+//!   worker pool).
 //!
 //! # Contract
 //!
@@ -35,6 +40,10 @@ use rand::{Rng, SeedableRng};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
 
+/// The beam width [`FrontierKind::Beam`] uses when none is given explicitly
+/// (`"beam"` parses to this width).
+pub const DEFAULT_BEAM_WIDTH: usize = 8;
+
 /// Which [`SearchFrontier`] implementation the engine uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum FrontierKind {
@@ -47,33 +56,59 @@ pub enum FrontierKind {
     /// ESD's proximity-guided virtual queues ([`ProximityFrontier`]).
     #[default]
     Proximity,
+    /// Batched proximity search ([`BeamFrontier`]): advance the `width`
+    /// closest states per selection.
+    Beam {
+        /// How many states each selection batch advances.
+        width: usize,
+    },
+}
+
+impl FrontierKind {
+    /// The beam frontier at its default width.
+    pub fn beam() -> Self {
+        FrontierKind::Beam { width: DEFAULT_BEAM_WIDTH }
+    }
 }
 
 impl std::str::FromStr for FrontierKind {
     type Err = String;
 
-    /// Parses `"dfs"`, `"bfs"`, `"random"` / `"randompath"`, or
-    /// `"proximity"` / `"esd"` (case-insensitive) — the spellings accepted by
-    /// the `esd-bench` binaries and `ESD_FRONTIER` environment variable.
+    /// Parses `"dfs"`, `"bfs"`, `"random"` / `"randompath"`, `"proximity"` /
+    /// `"esd"`, or `"beam"` / `"beam:<width>"` (case-insensitive) — the
+    /// spellings accepted by the `esd-bench` binaries and `ESD_FRONTIER`
+    /// environment variable.
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        match s.to_ascii_lowercase().as_str() {
+        let lower = s.to_ascii_lowercase();
+        if let Some(width) = lower.strip_prefix("beam:") {
+            return match width.parse::<usize>() {
+                Ok(w) if w > 0 => Ok(FrontierKind::Beam { width: w }),
+                _ => Err(format!("beam width {width:?} must be a positive integer")),
+            };
+        }
+        match lower.as_str() {
             "dfs" => Ok(FrontierKind::Dfs),
             "bfs" => Ok(FrontierKind::Bfs),
             "random" | "randompath" => Ok(FrontierKind::Random),
             "proximity" | "esd" => Ok(FrontierKind::Proximity),
-            other => Err(format!("unknown frontier {other:?} (expected dfs|bfs|random|proximity)")),
+            "beam" => Ok(FrontierKind::beam()),
+            other => Err(format!(
+                "unknown frontier {other:?} (expected dfs|bfs|random|proximity|beam[:width])"
+            )),
         }
     }
 }
 
 impl std::fmt::Display for FrontierKind {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(match self {
-            FrontierKind::Dfs => "dfs",
-            FrontierKind::Bfs => "bfs",
-            FrontierKind::Random => "random",
-            FrontierKind::Proximity => "proximity",
-        })
+        match self {
+            FrontierKind::Dfs => f.write_str("dfs"),
+            FrontierKind::Bfs => f.write_str("bfs"),
+            FrontierKind::Random => f.write_str("random"),
+            FrontierKind::Proximity => f.write_str("proximity"),
+            FrontierKind::Beam { width } if *width == DEFAULT_BEAM_WIDTH => f.write_str("beam"),
+            FrontierKind::Beam { width } => write!(f, "beam:{width}"),
+        }
     }
 }
 
@@ -115,6 +150,11 @@ impl SearchConfig {
         SearchConfig { kind: FrontierKind::Proximity, seed }
     }
 
+    /// Batched proximity selection advancing `width` states per batch.
+    pub fn beam(width: usize) -> Self {
+        SearchConfig { kind: FrontierKind::Beam { width }, seed: 0 }
+    }
+
     /// The same configuration with a different frontier kind.
     pub fn with_kind(self, kind: FrontierKind) -> Self {
         SearchConfig { kind, ..self }
@@ -129,6 +169,7 @@ impl SearchConfig {
             FrontierKind::Bfs => Box::new(BfsFrontier::new()),
             FrontierKind::Random => Box::new(RandomFrontier::new(self.seed)),
             FrontierKind::Proximity => Box::new(ProximityFrontier::new(num_queues, self.seed)),
+            FrontierKind::Beam { width } => Box::new(BeamFrontier::new(width)),
         }
     }
 }
@@ -161,6 +202,16 @@ pub trait SearchFrontier {
     /// engine skips the per-goal proximity computation otherwise.
     fn wants_priorities(&self) -> bool {
         false
+    }
+
+    /// True if the frontier consumes one key *per virtual goal queue*
+    /// (intermediate goals and final goal). When false — and
+    /// [`wants_priorities`](SearchFrontier::wants_priorities) is true — the
+    /// engine computes only the final-goal key and pushes
+    /// `queue_keys == [final_key]`, skipping the per-intermediate-goal
+    /// proximity scans.
+    fn wants_intermediate_priorities(&self) -> bool {
+        true
     }
 
     /// Number of states currently in the frontier.
@@ -199,6 +250,22 @@ impl Liveness {
         } else {
             false
         }
+    }
+
+    /// True if `(id, stamp)` is the valid entry for `id`, without consuming
+    /// it (used when moving entries between internal containers).
+    fn is_current(&self, id: u64, stamp: u64) -> bool {
+        self.current.get(&id) == Some(&stamp)
+    }
+
+    /// Removes and returns an arbitrary live id — the degraded fallback for
+    /// the case where a frontier's internal containers only hold stale
+    /// entries for ids that are still live (unreachable while the push/pop
+    /// invariants hold).
+    fn take_any(&mut self) -> Option<u64> {
+        let id = *self.current.keys().next()?;
+        self.current.remove(&id);
+        Some(id)
     }
 
     fn len(&self) -> usize {
@@ -369,13 +436,102 @@ impl SearchFrontier for ProximityFrontier {
             }
         }
         // Every sampled queue drained stale: fall back to any live state.
-        let id = *self.live.current.keys().next()?;
-        self.live.current.remove(&id);
-        Some(id)
+        self.live.take_any()
     }
 
     fn wants_priorities(&self) -> bool {
         true
+    }
+
+    fn len(&self) -> usize {
+        self.live.len()
+    }
+}
+
+/// Batched proximity frontier: selection draws the `width` states with the
+/// lowest *final-goal* priority key into a beam, and `pop` drains the beam
+/// before re-selecting. Every state of a beam is therefore advanced once per
+/// selection — the ROADMAP's "advance k states per selection" batched
+/// frontier. Compared to [`ProximityFrontier`] it trades selection sharpness
+/// (the beam is not re-ranked after each micro-step) for selection work that
+/// is amortized over `width` states and a natural unit to hand to a worker
+/// pool once the engine goes multi-threaded.
+#[derive(Debug)]
+pub struct BeamFrontier {
+    width: usize,
+    heap: StateQueue,
+    /// The current beam, drained by `pop`; entries carry their stamp so a
+    /// re-push while beamed (a priority promotion) invalidates them here too.
+    beam: VecDeque<(u64, u64)>,
+    live: Liveness,
+}
+
+impl BeamFrontier {
+    /// Creates an empty beam frontier advancing `width` states per selection.
+    pub fn new(width: usize) -> Self {
+        BeamFrontier {
+            width: width.max(1),
+            heap: BinaryHeap::new(),
+            beam: VecDeque::new(),
+            live: Liveness::default(),
+        }
+    }
+
+    /// Moves the `width` best live entries from the heap into the beam.
+    fn refill(&mut self) {
+        while self.beam.len() < self.width {
+            match self.heap.pop() {
+                Some(Reverse((_, _, stamp, id))) => {
+                    // Stale entries (superseded by a later push) are dropped;
+                    // live ones keep their stamp and stay live while beamed.
+                    if self.live.is_current(id, stamp) {
+                        self.beam.push_back((stamp, id));
+                    }
+                }
+                None => break,
+            }
+        }
+    }
+}
+
+impl SearchFrontier for BeamFrontier {
+    fn push(&mut self, id: u64, prio: &StatePriority) {
+        // Order by the final-goal key only (the last — and, since this
+        // frontier opts out of intermediate priorities, only — queue key):
+        // the beam is a batch of the states globally closest to the
+        // reported failure.
+        let key = prio.queue_keys.last().copied().unwrap_or(0);
+        let stamp = self.live.stamp(id);
+        self.heap.push(Reverse((key, u64::MAX - prio.depth, stamp, id)));
+    }
+
+    fn pop(&mut self) -> Option<u64> {
+        loop {
+            while let Some((stamp, id)) = self.beam.pop_front() {
+                if self.live.take(id, stamp) {
+                    return Some(id);
+                }
+            }
+            if self.live.len() == 0 {
+                return None;
+            }
+            self.refill();
+            if self.beam.is_empty() {
+                // Every heap entry was stale but live states remain: degrade
+                // to any live state rather than stalling the search.
+                return self.live.take_any();
+            }
+        }
+    }
+
+    fn wants_priorities(&self) -> bool {
+        true
+    }
+
+    fn wants_intermediate_priorities(&self) -> bool {
+        // Only the final-goal key is consumed; let the engine skip the
+        // per-intermediate-goal proximity scans.
+        false
     }
 
     fn len(&self) -> usize {
@@ -399,11 +555,21 @@ mod tests {
             ("RandomPath", FrontierKind::Random),
             ("esd", FrontierKind::Proximity),
             ("proximity", FrontierKind::Proximity),
+            ("beam", FrontierKind::Beam { width: DEFAULT_BEAM_WIDTH }),
+            ("beam:4", FrontierKind::Beam { width: 4 }),
         ] {
             assert_eq!(s.parse::<FrontierKind>().unwrap(), k);
         }
         assert!("weird".parse::<FrontierKind>().is_err());
+        assert!("beam:0".parse::<FrontierKind>().is_err());
+        assert!("beam:x".parse::<FrontierKind>().is_err());
         assert_eq!(FrontierKind::Proximity.to_string(), "proximity");
+        assert_eq!(FrontierKind::beam().to_string(), "beam");
+        assert_eq!(FrontierKind::Beam { width: 16 }.to_string(), "beam:16");
+        // Display round-trips through FromStr for every kind.
+        for k in [FrontierKind::beam(), FrontierKind::Beam { width: 3 }, FrontierKind::Dfs] {
+            assert_eq!(k.to_string().parse::<FrontierKind>().unwrap(), k);
+        }
     }
 
     #[test]
@@ -472,6 +638,39 @@ mod tests {
         assert_eq!(f.pop(), Some(10));
         assert_eq!(f.pop(), None);
         assert!(f.wants_priorities());
+    }
+
+    #[test]
+    fn beam_advances_the_selected_batch_before_reselecting() {
+        let mut f = BeamFrontier::new(2);
+        f.push(1, &prio(&[10], 0));
+        f.push(2, &prio(&[20], 0));
+        f.push(3, &prio(&[30], 0));
+        // The first selection beams {1, 2} (the two lowest keys).
+        assert_eq!(f.pop(), Some(1));
+        // A closer state arriving mid-beam must wait for the next selection —
+        // the batch is committed.
+        f.push(4, &prio(&[0], 0));
+        assert_eq!(f.pop(), Some(2));
+        // Next selection re-ranks: {4, 3}.
+        assert_eq!(f.pop(), Some(4));
+        assert_eq!(f.pop(), Some(3));
+        assert_eq!(f.pop(), None);
+        assert!(f.wants_priorities());
+    }
+
+    #[test]
+    fn beam_repush_supersedes_even_inside_the_beam() {
+        let mut f = BeamFrontier::new(4);
+        f.push(1, &prio(&[10], 0));
+        f.push(2, &prio(&[20], 0));
+        // Both are beamed by the first selection; re-pushing 2 while it is
+        // beamed must not make it pop twice.
+        assert_eq!(f.pop(), Some(1));
+        f.push(2, &prio(&[5], 0));
+        assert_eq!(f.len(), 1);
+        assert_eq!(f.pop(), Some(2));
+        assert_eq!(f.pop(), None);
     }
 
     #[test]

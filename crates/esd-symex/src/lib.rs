@@ -16,6 +16,11 @@
 //!   KC baseline) and the deadlock / data-race schedule-synthesis
 //!   heuristics.
 
+// Documentation enforcement (see ARCHITECTURE.md): every public item must
+// carry rustdoc, extended from the esd-concurrency pilot now that the
+// step_round/frontier redesign stabilized this crate's API.
+#![deny(missing_docs)]
+
 pub mod engine;
 pub mod expr;
 pub mod frontier;
@@ -24,11 +29,13 @@ pub mod state;
 #[cfg(test)]
 mod tests;
 
-pub use engine::{Engine, EngineConfig, GoalSpec, SearchOutcome, SearchStats, Synthesized};
+pub use engine::{
+    Engine, EngineConfig, GoalSpec, SearchOutcome, SearchStats, StepOutcome, Synthesized,
+};
 pub use expr::{SymExpr, SymValue, SymVar, SymVarInfo};
 pub use frontier::{
-    BfsFrontier, DfsFrontier, FrontierKind, ProximityFrontier, RandomFrontier, SearchConfig,
-    SearchFrontier, StatePriority,
+    BeamFrontier, BfsFrontier, DfsFrontier, FrontierKind, ProximityFrontier, RandomFrontier,
+    SearchConfig, SearchFrontier, StatePriority, DEFAULT_BEAM_WIDTH,
 };
 pub use solver::{Solver, SolverConfig, SolverResult};
 pub use state::{ExecState, RaceDetector, SchedDistance, SymMemory, SymThread};

@@ -5,6 +5,7 @@ use crate::engine::{Engine, EngineConfig, GoalSpec, SearchOutcome};
 use crate::frontier::SearchConfig;
 use esd_analysis::StaticAnalysis;
 use esd_ir::{BinOp, BlockId, CmpOp, FaultKind, Loc, Program, ProgramBuilder, ThreadId};
+use std::sync::Arc;
 
 /// A sequential program that crashes (null dereference) only when
 /// `getchar() == 'k'` and `arg0 > 100`.
@@ -112,8 +113,8 @@ fn listing1_program() -> (Program, Vec<Loc>) {
 
 fn run_engine(p: &Program, goal: GoalSpec, config: EngineConfig) -> SearchOutcome {
     let primary = goal.primary_locs()[0];
-    let analysis = StaticAnalysis::compute(p, primary);
-    let mut engine = Engine::new(p, &analysis, goal, config);
+    let analysis = Arc::new(StaticAnalysis::compute(p, primary));
+    let mut engine = Engine::new(Arc::new(p.clone()), analysis, goal, config);
     engine.run()
 }
 
@@ -281,9 +282,13 @@ fn other_bugs_found_along_the_way_are_recorded() {
     });
     let p = pb.finish("main");
     let primary = crash_loc.unwrap();
-    let analysis = StaticAnalysis::compute(&p, primary);
-    let mut engine =
-        Engine::new(&p, &analysis, GoalSpec::Crash { loc: primary }, EngineConfig::default());
+    let analysis = Arc::new(StaticAnalysis::compute(&p, primary));
+    let mut engine = Engine::new(
+        Arc::new(p),
+        analysis,
+        GoalSpec::Crash { loc: primary },
+        EngineConfig::default(),
+    );
     let outcome = engine.run();
     let synth = outcome.found().expect("goal crash found");
     assert_eq!(synth.inputs[0].1, 2);
@@ -344,8 +349,8 @@ fn sibling_forks_flag_the_same_race_independently() {
         ..EngineConfig::default()
     };
     let primary = goal.primary_locs()[0];
-    let analysis = StaticAnalysis::compute(&p, primary);
-    let mut engine = Engine::new(&p, &analysis, goal, config);
+    let analysis = Arc::new(StaticAnalysis::compute(&p, primary));
+    let mut engine = Engine::new(Arc::new(p), analysis, goal, config);
     let outcome = engine.run();
     assert!(matches!(outcome, SearchOutcome::Exhausted(_)), "tiny program must be exhausted");
     assert_eq!(

@@ -4,11 +4,12 @@
 //!
 //! Run with: `cargo run --example bug_triage`
 
-use esd::core::{same_bug, BugReport, Esd, EsdOptions, TriageResult};
+use esd::core::{same_bug, BugReport, TriageResult};
 use esd::workloads::{capture_coredump, real_bugs::ls_injected};
+use esd::EsdOptions;
 
 fn main() {
-    let esd = Esd::new(EsdOptions::default());
+    let esd = EsdOptions::builder().synthesizer();
     // Two independent reports of the ls1 bug and one report of the ls2 bug.
     let ls1_a = ls_injected(1);
     let ls1_b = ls_injected(1);

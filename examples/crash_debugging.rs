@@ -5,16 +5,17 @@
 //!
 //! Run with: `cargo run --example crash_debugging`
 
-use esd::core::{BugReport, Esd, EsdOptions};
+use esd::core::BugReport;
 use esd::playback::Debugger;
 use esd::workloads::{capture_coredump, real_bugs::ghttpd_log_overflow};
+use esd::EsdOptions;
 
 fn main() {
     let workload = ghttpd_log_overflow();
     let dump = capture_coredump(&workload, 5).expect("the overflow crashes at the user site");
     println!("coredump: {}", dump.summary());
 
-    let esd = Esd::new(EsdOptions::default());
+    let esd = EsdOptions::builder().synthesizer();
     let report = esd
         .synthesize(&workload.program, &BugReport::from_coredump(dump))
         .expect("ESD synthesizes the overflow");

@@ -4,13 +4,13 @@
 //!
 //! Run with: `cargo run --example deadlock_debugging`
 
-use esd::core::{Esd, EsdOptions};
 use esd::playback::{play, verify_patch};
 use esd::workloads::real_bugs::sqlite_recursive_lock;
+use esd::EsdOptions;
 
 fn main() {
     let workload = sqlite_recursive_lock();
-    let esd = Esd::new(EsdOptions::default());
+    let esd = EsdOptions::builder().synthesizer();
     let report = esd
         .synthesize_goal(&workload.program, workload.goal(), false)
         .expect("ESD synthesizes the SQLite deadlock");

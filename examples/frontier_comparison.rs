@@ -11,9 +11,9 @@
 //!
 //! Run with: `cargo run --release --example frontier_comparison`
 
-use esd::core::{Esd, EsdOptions};
 use esd::symex::FrontierKind;
 use esd::workloads::listing1;
+use esd::EsdOptions;
 
 fn main() {
     let workload = listing1();
@@ -21,10 +21,14 @@ fn main() {
     println!("goal (from the bug report): {:?}\n", workload.goal());
     println!("{:<12} {:>10} {:>10} {:>12}", "frontier", "steps", "states", "outcome");
 
-    for frontier in
-        [FrontierKind::Proximity, FrontierKind::Dfs, FrontierKind::Bfs, FrontierKind::Random]
-    {
-        let esd = Esd::new(EsdOptions { frontier, max_steps: 2_000_000, ..Default::default() });
+    for frontier in [
+        FrontierKind::Proximity,
+        FrontierKind::Dfs,
+        FrontierKind::Bfs,
+        FrontierKind::Random,
+        FrontierKind::beam(),
+    ] {
+        let esd = EsdOptions::builder().frontier(frontier).max_steps(2_000_000).synthesizer();
         match esd.synthesize_goal(&workload.program, workload.goal(), false) {
             Ok(report) => println!(
                 "{:<12} {:>10} {:>10} {:>12}",

@@ -1,0 +1,51 @@
+//! Which search frontier wins on this bug? Race them.
+//!
+//! A [`Portfolio`] time-slices one synthesis session per search frontier —
+//! proximity, DFS, BFS, random and the batched beam — round-robin over the
+//! same job (one shared static phase) and stops at the first synthesized
+//! execution. The losers are cancelled, but their partial statistics are
+//! kept, so a single run answers the Figure-2 question "which frontier
+//! wins?" without N sequential full searches.
+//!
+//! Run with: `cargo run --release --example portfolio_debugging`
+
+use esd::playback::play;
+use esd::workloads::real_bugs::sqlite_recursive_lock;
+use esd::{EsdOptions, Portfolio};
+
+fn main() {
+    let workload = sqlite_recursive_lock();
+    println!("program under debug: {}", workload.program.name);
+    println!("goal (from the bug report): {:?}\n", workload.goal());
+
+    // No explicit members: the portfolio races its default frontier set
+    // {proximity, dfs, bfs, random, beam}. Small slices keep the race fair:
+    // every member advances a little before anyone can claim the win.
+    let portfolio =
+        Portfolio::new(EsdOptions::builder().max_steps(4_000_000).build()).slice_rounds(100);
+    let result = portfolio.run(&workload.program, workload.goal());
+
+    println!(
+        "{:<12} {:>12} {:>10} {:>10} {:>14}",
+        "member", "outcome", "rounds", "steps", "states"
+    );
+    for member in &result.members {
+        println!(
+            "{:<12} {:>12} {:>10} {:>10} {:>14}",
+            member.label,
+            format!("{:?}", member.outcome),
+            member.rounds,
+            member.stats.steps,
+            member.stats.states_created,
+        );
+    }
+
+    match &result.winner {
+        Some(winner) => {
+            println!("\nwinner: {} (member #{})", winner.label, winner.member);
+            let replay = play(&workload.program, &winner.report.execution);
+            println!("winning execution replays the deadlock: {}", replay.reproduced);
+        }
+        None => println!("\nno member synthesized the failure within its budget"),
+    }
+}

@@ -11,9 +11,9 @@
 //! the synthesizer uses (see `examples/frontier_comparison.rs` for a
 //! side-by-side run).
 
-use esd::core::{Esd, EsdOptions};
 use esd::playback::play;
 use esd::workloads::listing1;
+use esd::EsdOptions;
 
 fn main() {
     let workload = listing1();
@@ -22,9 +22,9 @@ fn main() {
 
     let frontier = std::env::var("ESD_FRONTIER")
         .ok()
-        .map(|s| s.parse().expect("ESD_FRONTIER must be dfs|bfs|random|proximity"))
+        .map(|s| s.parse().expect("ESD_FRONTIER must be dfs|bfs|random|proximity|beam[:width]"))
         .unwrap_or_default();
-    let esd = Esd::new(EsdOptions { frontier, ..Default::default() });
+    let esd = EsdOptions::builder().frontier(frontier).synthesizer();
     let report = esd
         .synthesize_goal(&workload.program, workload.goal(), false)
         .expect("ESD synthesizes the Listing-1 deadlock");

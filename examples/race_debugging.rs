@@ -5,10 +5,9 @@
 //!
 //! Run with: `cargo run --example race_debugging`
 
-use esd::core::{Esd, EsdOptions};
 use esd::ir::{CmpOp, Loc, ProgramBuilder};
 use esd::playback::play;
-use esd::GoalSpec;
+use esd::{EsdOptions, GoalSpec};
 
 fn main() {
     // Two workers do counter = counter + 1 without holding the lock.
@@ -40,7 +39,7 @@ fn main() {
     let program = pb.finish("main");
 
     let goal = GoalSpec::Crash { loc: assert_loc.unwrap() };
-    let esd = Esd::new(EsdOptions { with_race_detection: true, ..Default::default() });
+    let esd = EsdOptions::builder().with_race_detection(true).synthesizer();
     match esd.synthesize_goal(&program, goal, true) {
         Ok(report) => {
             println!(

@@ -25,7 +25,7 @@
 //! adverse schedule):
 //!
 //! ```
-//! use esd::{Esd, EsdOptions};
+//! use esd::EsdOptions;
 //! use esd::playback::play;
 //! use esd::workloads::listing1;
 //!
@@ -33,7 +33,7 @@
 //!
 //! // Synthesize an execution that reaches the reported deadlock: concrete
 //! // values for every program input plus a serialized thread schedule.
-//! let esd = Esd::new(EsdOptions { max_steps: 400_000, ..Default::default() });
+//! let esd = EsdOptions::builder().max_steps(400_000).synthesizer();
 //! let report = esd
 //!     .synthesize_goal(&workload.program, workload.goal(), false)
 //!     .expect("ESD synthesizes the Listing-1 deadlock");
@@ -43,6 +43,29 @@
 //! // Play it back deterministically: the same failure, every time.
 //! let replay = play(&workload.program, &report.execution);
 //! assert!(replay.reproduced);
+//! ```
+//!
+//! # Example — a stepwise session with cancellation
+//!
+//! The same job as a resumable [`SynthesisSession`]: the caller advances the
+//! search in slices, may observe progress between them, and can stop at any
+//! point keeping the partial statistics. A [`Portfolio`] builds on sessions
+//! to race several search frontiers over one job round-robin.
+//!
+//! ```
+//! use esd::{EsdOptions, SessionStatus};
+//! use esd::workloads::listing1;
+//!
+//! let workload = listing1();
+//! let mut session = EsdOptions::builder()
+//!     .max_steps(400_000)
+//!     .session(&workload.program, workload.goal());
+//!
+//! // Advance the search 1000 rounds at a time.
+//! while session.poll().is_running() {
+//!     session.run_for(1000);
+//! }
+//! assert!(matches!(session.poll(), SessionStatus::Found(_)));
 //! ```
 
 pub use esd_analysis as analysis;
@@ -57,6 +80,17 @@ pub use esd_workloads as workloads;
 /// and [`EsdOptions`].
 pub use esd_core::synth;
 
-pub use esd_core::{BugKind, BugReport, Esd, EsdOptions, SynthesizedExecution};
+/// Stepwise synthesis sessions (re-exported from [`esd_core`]), home of
+/// [`SynthesisSession`] and the progress [`Observer`].
+pub use esd_core::session;
+
+/// The frontier portfolio runner (re-exported from [`esd_core`]), home of
+/// [`Portfolio`].
+pub use esd_core::portfolio;
+
+pub use esd_core::{
+    BugKind, BugReport, Esd, EsdOptions, EsdOptionsBuilder, Observer, Portfolio, PortfolioResult,
+    ProgressEvent, SessionStatus, SynthesisSession, SynthesizedExecution,
+};
 pub use esd_playback::{play, Debugger};
-pub use esd_symex::{FrontierKind, GoalSpec, SearchConfig};
+pub use esd_symex::{FrontierKind, GoalSpec, SearchConfig, StepOutcome};

@@ -1,14 +1,15 @@
 //! Cross-crate integration tests: the full pipeline from a production failure
 //! to a deterministic replay, for representative workloads of each bug class.
 
-use esd::core::{BugReport, Esd, EsdOptions};
+use esd::core::BugReport;
 use esd::playback::play;
 use esd::workloads::{all_real_bugs, capture_coredump, WorkloadKind};
+use esd::EsdOptions;
 
 /// Crashes: coredump → goal extraction → synthesis → playback, end to end.
 #[test]
 fn crash_workloads_roundtrip_from_coredump_to_replay() {
-    let esd = Esd::new(EsdOptions { max_steps: 4_000_000, ..Default::default() });
+    let esd = EsdOptions::builder().max_steps(4_000_000).synthesizer();
     for w in all_real_bugs() {
         if w.kind != WorkloadKind::Crash {
             continue;
@@ -26,7 +27,7 @@ fn crash_workloads_roundtrip_from_coredump_to_replay() {
 /// Deadlocks: synthesis from the reported goal and deterministic replay.
 #[test]
 fn deadlock_workloads_synthesize_and_replay() {
-    let esd = Esd::new(EsdOptions { max_steps: 6_000_000, ..Default::default() });
+    let esd = EsdOptions::builder().max_steps(6_000_000).synthesizer();
     for w in all_real_bugs() {
         if w.kind != WorkloadKind::Hang {
             continue;
@@ -46,7 +47,7 @@ fn deadlock_workloads_synthesize_and_replay() {
 /// still replays.
 #[test]
 fn execution_files_replay_after_json_roundtrip() {
-    let esd = Esd::new(EsdOptions { max_steps: 2_000_000, ..Default::default() });
+    let esd = EsdOptions::builder().max_steps(2_000_000).synthesizer();
     let w = esd::workloads::real_bugs::paste_invalid_free();
     let report = esd.synthesize_goal(&w.program, w.goal(), false).unwrap();
     let json = report.execution.to_json();

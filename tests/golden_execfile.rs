@@ -14,9 +14,10 @@
 //!
 //! and commit the new file together with the format change.
 
-use esd::core::{Esd, EsdOptions, SynthesizedExecution};
+use esd::core::SynthesizedExecution;
 use esd::playback::play;
 use esd::workloads::real_bugs::paste_invalid_free;
+use esd::EsdOptions;
 
 const FIXTURE: &str = include_str!("fixtures/paste_execution.json");
 
@@ -36,7 +37,7 @@ fn a_regenerate_fixture_when_requested() {
         return;
     }
     let w = paste_invalid_free();
-    let esd = Esd::new(EsdOptions { max_steps: 2_000_000, ..Default::default() });
+    let esd = EsdOptions::builder().max_steps(2_000_000).synthesizer();
     let report = esd.synthesize_goal(&w.program, w.goal(), false).expect("synthesis succeeds");
     let mut json = report.execution.to_json();
     json.push('\n');
