@@ -100,6 +100,42 @@ impl StaticGoalInfo {
     pub fn intermediate_goal_locs(&self) -> Vec<Vec<Loc>> {
         self.intermediate_goals.iter().map(|g| g.alternatives.clone()).collect()
     }
+
+    /// Merges the static phase's results for *several* goal locations into
+    /// one bundle — a multi-threaded goal (a deadlock report lists one
+    /// blocked-lock location per deadlocked thread) needs guidance toward
+    /// every location, not just the first:
+    ///
+    /// * **intermediate goals** are the union (each becomes its own virtual
+    ///   queue, so proximity guidance covers every thread's lock site);
+    /// * **critical edges** are the intersection — an edge is only "must
+    ///   take" if every goal requires it (with a single goal this is the
+    ///   identity, and the engine does not apply critical edges to deadlock
+    ///   goals anyway);
+    /// * a block is **relevant** if it is relevant for *any* goal, and the
+    ///   goal-reaching function set is the union.
+    ///
+    /// `goal` (and the panic on an empty list) keep the single-goal shape:
+    /// the first location stays the nominal primary goal.
+    pub fn merge(infos: Vec<StaticGoalInfo>) -> StaticGoalInfo {
+        let mut infos = infos.into_iter();
+        let mut merged = infos.next().expect("at least one goal");
+        for info in infos {
+            merged.critical_edges.retain(|e| info.critical_edges.contains(e));
+            for goal in info.intermediate_goals {
+                if !merged.intermediate_goals.contains(&goal) {
+                    merged.intermediate_goals.push(goal);
+                }
+            }
+            for (f, blocks) in merged.relevant.iter_mut().enumerate() {
+                for (b, relevant) in blocks.iter_mut().enumerate() {
+                    *relevant = *relevant || info.relevant[f][b];
+                }
+            }
+            merged.goal_reaching_funcs.extend(info.goal_reaching_funcs);
+        }
+        merged
+    }
 }
 
 /// Walks backward from the goal block marking critical edges, in the style of

@@ -16,7 +16,13 @@
 //! * critical edges and intermediate goals ([`critical`]).
 //!
 //! [`StaticAnalysis`] bundles everything the dynamic phase needs for one
-//! goal.
+//! goal — or, for multi-threaded goals such as deadlocks, for the whole set
+//! of goal locations at once ([`StaticAnalysis::compute_multi`]).
+
+// Documentation enforcement (see ARCHITECTURE.md): every public item must
+// carry rustdoc, extended from the esd-concurrency pilot now that the static
+// phase's multi-goal API stabilized this crate's surface.
+#![deny(missing_docs)]
 
 pub mod callgraph;
 pub mod cfg;
@@ -56,11 +62,28 @@ pub struct StaticAnalysis {
 impl StaticAnalysis {
     /// Runs the full static phase of path synthesis for `goal`.
     pub fn compute(program: &Program, goal: Loc) -> Self {
+        Self::compute_multi(program, &[goal])
+    }
+
+    /// Runs the static phase for a *set* of goal locations and merges the
+    /// per-goal results ([`StaticGoalInfo::merge`]). Deadlock goals list one
+    /// blocked-lock location per deadlocked thread; computing the phase over
+    /// all of them makes the intermediate-goal queues (and the relevance
+    /// map) cover every thread's lock site instead of only the first one's.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `goals` is empty. `goals[0]` becomes the nominal
+    /// [`StaticAnalysis::goal`].
+    pub fn compute_multi(program: &Program, goals: &[Loc]) -> Self {
+        assert!(!goals.is_empty(), "at least one goal location");
         let cfgs: Vec<Cfg> = program.func_ids().map(|f| Cfg::build(program.func(f), f)).collect();
         let callgraph = CallGraph::build(program);
         let costs = CostModel::new(program, &cfgs, &callgraph);
-        let goal_info = StaticGoalInfo::compute(program, &cfgs, &callgraph, goal);
-        StaticAnalysis { cfgs, callgraph, costs, goal_info, goal }
+        let infos =
+            goals.iter().map(|g| StaticGoalInfo::compute(program, &cfgs, &callgraph, *g)).collect();
+        let goal_info = StaticGoalInfo::merge(infos);
+        StaticAnalysis { cfgs, callgraph, costs, goal_info, goal: goals[0] }
     }
 
     /// Creates the distance oracle (Algorithm 1) for this program. The oracle
@@ -81,6 +104,73 @@ mod tests {
     use super::*;
     use esd_ir::CmpOp;
     use esd_ir::ProgramBuilder;
+
+    /// Regression test for multi-location goals (deadlock reports list one
+    /// blocked-lock location per thread): seeding the static phase with only
+    /// the first location used to lose the other threads' guidance. The
+    /// second goal here sits behind a flag-guarded branch in `worker`, so its
+    /// intermediate goal (the `flag = 1` store in `main`) only appears when
+    /// the phase is computed over *all* goal locations.
+    #[test]
+    fn compute_multi_unions_guidance_over_all_goal_locations() {
+        let mut pb = ProgramBuilder::new("two_goal");
+        let flag = pb.global("flag", 1);
+        let mut goal2 = None;
+        let worker = pb.function("worker", 0, |f| {
+            let fp = f.addr_global(flag);
+            let v = f.load(fp);
+            let c = f.cmp(CmpOp::Eq, v, 1);
+            let locked = f.new_block("locked");
+            let out = f.new_block("out");
+            f.cond_br(c, locked, out);
+            f.switch_to(locked);
+            goal2 = Some(Loc::new(esd_ir::FuncId(0), locked, f.next_inst_idx()));
+            f.output(1);
+            f.br(out);
+            f.switch_to(out);
+            f.ret_void();
+        });
+        let mut goal1 = None;
+        let mut store_block = None;
+        pb.function("main", 0, |f| {
+            let fp = f.addr_global(flag);
+            let x = f.getchar();
+            let is_y = f.cmp(CmpOp::Eq, x, 'Y' as i64);
+            let set = f.new_block("set");
+            let go = f.new_block("go");
+            f.cond_br(is_y, set, go);
+            f.switch_to(set);
+            store_block = Some(set);
+            f.store(fp, 1);
+            f.br(go);
+            f.switch_to(go);
+            f.call_void(worker, vec![]);
+            goal1 = Some(Loc::new(esd_ir::FuncId(1), go, f.next_inst_idx()));
+            f.output(0);
+            f.ret_void();
+        });
+        let p = pb.finish("main");
+        let (goal1, goal2) = (goal1.unwrap(), goal2.unwrap());
+
+        // Seeded with only the first location, the second goal's guidance is
+        // invisible: no intermediate goals at all.
+        let single = StaticAnalysis::compute(&p, goal1);
+        assert!(single.goal_info.intermediate_goals.is_empty());
+
+        let multi = StaticAnalysis::compute_multi(&p, &[goal1, goal2]);
+        assert_eq!(multi.goal, goal1, "the first location stays the nominal goal");
+        let goals = &multi.goal_info.intermediate_goals;
+        assert!(
+            goals.iter().any(|g| g.alternatives.iter().any(|l| Some(l.block) == store_block)),
+            "the flag store guarding the second goal must become an intermediate goal"
+        );
+        // Critical edges merge by intersection: goal1 has none, so the merged
+        // info must not impose goal2's edge on paths to goal1.
+        assert!(multi.goal_info.critical_edges.is_empty());
+        // Blocks on the way to either goal stay relevant.
+        assert!(!multi.goal_info.is_irrelevant_block(goal2));
+        assert!(!multi.goal_info.is_irrelevant_block(goal1));
+    }
 
     #[test]
     fn static_analysis_bundles_all_parts() {

@@ -43,7 +43,7 @@ pub fn full_mode() -> bool {
 pub fn frontier_from_args() -> FrontierKind {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let under_cargo_bench = args.iter().any(|a| a == "--bench");
-    let positional = args.iter().find(|a| !a.starts_with('-'));
+    let positional = args.iter().find(|a| !a.starts_with('-') && !a.starts_with("threads:"));
     let from_env = || {
         std::env::var("ESD_FRONTIER")
             .ok()
@@ -58,6 +58,26 @@ pub fn frontier_from_args() -> FrontierKind {
         },
         None => from_env(),
     }
+}
+
+/// The engine thread count the ESD side of a benchmark should use, so the
+/// fig2 / fig3 / fig4 binaries can measure the multi-threaded beam engine: a
+/// `threads:<n>` positional CLI argument wins (`fig2 beam:16 threads:4`),
+/// then the `ESD_THREADS` environment variable, then single-threaded.
+/// `0` (or `auto`) means "all available parallelism". The thread count never
+/// changes what is synthesized — only how fast (see
+/// `esd_symex::EngineConfig::threads`).
+pub fn threads_from_args() -> usize {
+    let parse = |s: &str| -> usize {
+        if s.eq_ignore_ascii_case("auto") {
+            return 0;
+        }
+        s.parse().unwrap_or_else(|_| {
+            panic!("thread count {s:?} must be a non-negative integer or \"auto\"")
+        })
+    };
+    let from_cli = std::env::args().skip(1).find_map(|a| a.strip_prefix("threads:").map(parse));
+    from_cli.or_else(|| std::env::var("ESD_THREADS").ok().map(|s| parse(&s))).unwrap_or(1)
 }
 
 fn secs(d: Duration) -> f64 {
@@ -154,23 +174,33 @@ pub struct Fig2Row {
 }
 
 /// Regenerates Figure 2: time to find a path to the bug, ESD (with the given
-/// search frontier) vs the two KC search strategies, on ls1–ls4 and the
-/// real-bug analogs.
-pub fn fig2(esd_budget: u64, kc_cap: u64, frontier: FrontierKind) -> Vec<Fig2Row> {
+/// search frontier and engine thread count) vs the two KC search strategies,
+/// on ls1–ls4 and the real-bug analogs.
+pub fn fig2(esd_budget: u64, kc_cap: u64, frontier: FrontierKind, threads: usize) -> Vec<Fig2Row> {
     let mut rows = Vec::new();
     for w in all_real_bugs() {
         if w.name == "listing1" {
             continue;
         }
-        rows.push(run_fig2_row(&w, esd_budget, kc_cap, frontier));
+        rows.push(run_fig2_row(&w, esd_budget, kc_cap, frontier, threads));
     }
     rows
 }
 
-/// Runs one Figure-2 bar group with the given ESD frontier.
-pub fn run_fig2_row(w: &Workload, esd_budget: u64, kc_cap: u64, frontier: FrontierKind) -> Fig2Row {
+/// Runs one Figure-2 bar group with the given ESD frontier and thread count.
+pub fn run_fig2_row(
+    w: &Workload,
+    esd_budget: u64,
+    kc_cap: u64,
+    frontier: FrontierKind,
+    threads: usize,
+) -> Fig2Row {
     let goal = w.goal();
-    let esd = EsdOptions::builder().max_steps(esd_budget).frontier(frontier).synthesizer();
+    let esd = EsdOptions::builder()
+        .max_steps(esd_budget)
+        .frontier(frontier)
+        .threads(threads)
+        .synthesizer();
     let start = Instant::now();
     let esd_secs =
         esd.synthesize_goal(&w.program, goal.clone(), false).ok().map(|_| secs(start.elapsed()));
@@ -186,9 +216,10 @@ pub fn run_fig2_row(w: &Workload, esd_budget: u64, kc_cap: u64, frontier: Fronti
 
 /// Renders Figure 2 as a table (one row per bar group; "cap" marks the bars
 /// that fade out at the top of the paper's plot).
-pub fn print_fig2(rows: &[Fig2Row], frontier: FrontierKind) {
+pub fn print_fig2(rows: &[Fig2Row], frontier: FrontierKind, threads: usize) {
     println!(
-        "Figure 2: time to find a path to the bug — ESD[{frontier}] vs KC(DFS) vs KC(RandPath)"
+        "Figure 2: time to find a path to the bug — \
+         ESD[{frontier}, threads={threads}] vs KC(DFS) vs KC(RandPath)"
     );
     println!("{:<10} {:>12} {:>12} {:>14}", "System", "ESD [s]", "KC-DFS [s]", "KC-Rand [s]");
     let fmt = |v: &Option<f64>| v.map(|s| format!("{s:.2}")).unwrap_or_else(|| "cap".into());
@@ -219,18 +250,23 @@ pub struct BpfRow {
 }
 
 /// Regenerates Figure 3 / Figure 4: synthesis time vs BPF program complexity,
-/// with the ESD side using the given search frontier.
+/// with the ESD side using the given search frontier and engine thread count.
 pub fn fig3(
     branch_counts: &[u32],
     esd_budget: u64,
     kc_cap: u64,
     frontier: FrontierKind,
+    threads: usize,
 ) -> Vec<BpfRow> {
     let mut rows = Vec::new();
     for &branches in branch_counts {
         let w = generate_bpf(&BpfConfig { branches, ..Default::default() });
         let goal = w.goal();
-        let esd = EsdOptions::builder().max_steps(esd_budget).frontier(frontier).synthesizer();
+        let esd = EsdOptions::builder()
+            .max_steps(esd_budget)
+            .frontier(frontier)
+            .threads(threads)
+            .synthesizer();
         let start = Instant::now();
         let esd_result = esd.synthesize_goal(&w.program, goal.clone(), false);
         let esd_elapsed = start.elapsed();
@@ -257,9 +293,10 @@ pub fn fig3_branch_counts() -> Vec<u32> {
 }
 
 /// Renders Figure 3 (x = branches).
-pub fn print_fig3(rows: &[BpfRow], frontier: FrontierKind) {
+pub fn print_fig3(rows: &[BpfRow], frontier: FrontierKind, threads: usize) {
     println!(
-        "Figure 3: BPF — synthesis time vs number of branches (ESD[{frontier}] vs KC-RandPath)"
+        "Figure 3: BPF — synthesis time vs number of branches \
+         (ESD[{frontier}, threads={threads}] vs KC-RandPath)"
     );
     println!("{:<10} {:>12} {:>12} {:>12}", "branches", "ESD [s]", "steps", "KC [s]");
     let fmt = |v: &Option<f64>| v.map(|s| format!("{s:.2}")).unwrap_or_else(|| "cap".into());
@@ -275,8 +312,11 @@ pub fn print_fig3(rows: &[BpfRow], frontier: FrontierKind) {
 }
 
 /// Renders Figure 4 (x = program size in KLOC).
-pub fn print_fig4(rows: &[BpfRow], frontier: FrontierKind) {
-    println!("Figure 4: BPF — synthesis time vs program size (KLOC), ESD[{frontier}]");
+pub fn print_fig4(rows: &[BpfRow], frontier: FrontierKind, threads: usize) {
+    println!(
+        "Figure 4: BPF — synthesis time vs program size (KLOC), \
+         ESD[{frontier}, threads={threads}]"
+    );
     println!("{:<10} {:>12}", "KLOC", "ESD [s]");
     let fmt = |v: &Option<f64>| v.map(|s| format!("{s:.2}")).unwrap_or_else(|| "cap".into());
     for r in rows {
@@ -418,7 +458,7 @@ mod tests {
 
     #[test]
     fn fig3_rows_report_kloc_monotonically() {
-        let rows = fig3(&[16, 64], 1_500_000, 10_000, FrontierKind::Proximity);
+        let rows = fig3(&[16, 64], 1_500_000, 10_000, FrontierKind::Proximity, 1);
         assert_eq!(rows.len(), 2);
         assert!(rows[0].kloc < rows[1].kloc);
     }
@@ -435,7 +475,9 @@ mod tests {
             FrontierKind::Proximity,
             FrontierKind::beam(),
         ] {
-            let row = run_fig2_row(&w, 20_000, 1_000, frontier);
+            // Two engine threads on the beam run exercise the worker-pool
+            // path end to end through the bench plumbing.
+            let row = run_fig2_row(&w, 20_000, 1_000, frontier, 2);
             assert_eq!(row.system, "mkfifo");
         }
     }

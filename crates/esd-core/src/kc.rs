@@ -51,8 +51,7 @@ pub fn kc_synthesize(
     max_steps: u64,
 ) -> KcResult {
     let start = Instant::now();
-    let primary = goal.primary_locs()[0];
-    let analysis = Arc::new(StaticAnalysis::compute(program, primary));
+    let analysis = Arc::new(StaticAnalysis::compute_multi(program, &goal.primary_locs()));
     let search = match strategy {
         KcStrategy::Dfs => SearchConfig::dfs(),
         KcStrategy::RandomPath { seed } => SearchConfig::random(seed),

@@ -166,7 +166,9 @@ impl Portfolio {
         };
         let started_at = std::time::Instant::now();
         let program = Arc::new(program.clone());
-        let analysis = Arc::new(StaticAnalysis::compute(&program, goal.primary_locs()[0]));
+        // One shared static phase, computed over every goal location (all of
+        // a deadlock's blocked-lock sites, not just the first).
+        let analysis = Arc::new(StaticAnalysis::compute_multi(&program, &goal.primary_locs()));
         let mut sessions: Vec<SynthesisSession> = members
             .iter()
             .map(|(_, options)| {
@@ -291,6 +293,95 @@ mod tests {
         let labels: Vec<&str> = result.members.iter().map(|m| m.label.as_str()).collect();
         assert_eq!(labels, ["dfs", "random#3", "custom"]);
         assert!(result.winner.is_some());
+    }
+
+    /// A crash reachable only through the *second* of two forks, with a long
+    /// detour on the not-taken side so the first fork's parent is still alive
+    /// when the second fork is attempted: a member capped at one live state
+    /// drops that fork and genuinely exhausts, while a member with the
+    /// critical-edge guidance walks straight to the goal.
+    fn second_fork_crashy() -> (esd_ir::Program, Loc) {
+        let mut pb = ProgramBuilder::new("second_fork");
+        let mut loc = None;
+        pb.function("main", 0, |f| {
+            let x = f.getchar();
+            let y = f.getchar();
+            let t1 = f.new_block("t1");
+            let e1 = f.new_block("e1");
+            let t2 = f.new_block("t2");
+            let bug = f.new_block("bug");
+            let c1 = f.cmp(CmpOp::Eq, x, 1);
+            f.cond_br(c1, t1, e1);
+            f.switch_to(t1);
+            // Long detour: keeps this state alive (and the pool at its cap)
+            // while the e1 fork reaches its own branch.
+            for _ in 0..24 {
+                f.nop();
+            }
+            f.ret_void();
+            f.switch_to(e1);
+            let c2 = f.cmp(CmpOp::Eq, y, 1);
+            f.cond_br(c2, t2, bug);
+            f.switch_to(t2);
+            f.ret_void();
+            f.switch_to(bug);
+            let z = f.konst(0);
+            loc = Some(Loc::new(esd_ir::FuncId(0), bug, f.next_inst_idx()));
+            let v = f.load(z);
+            f.output(v);
+            f.ret_void();
+        });
+        (pb.finish("main"), loc.unwrap())
+    }
+
+    /// Turn fairness: when an earlier member goes terminal (genuinely
+    /// `Exhausted`, not merely preempted), the round-robin must keep slicing
+    /// the remaining members, and a later-index member can still win. The
+    /// per-member `rounds` accounting must stay exact across the winning
+    /// turn — a member that stops mid-slice reports the rounds it actually
+    /// ran, byte-for-byte what a solo run of the same configuration reports.
+    #[test]
+    fn later_member_wins_after_earlier_member_exhausts() {
+        let (p, loc) = second_fork_crashy();
+        let goal = GoalSpec::Crash { loc };
+        let starved = EsdOptions::builder()
+            .max_states(1)
+            .use_critical_edges(false)
+            .frontier(FrontierKind::Bfs)
+            .build();
+        let guided = EsdOptions::default();
+        let result = Portfolio::with_defaults()
+            .slice_rounds(64)
+            .member("starved", starved.clone())
+            .member("guided", guided.clone())
+            .run(&p, goal.clone());
+
+        let winner = result.winner.as_ref().expect("the guided member finds the crash");
+        assert_eq!(winner.member, 1, "the later-index member must win");
+        assert_eq!(result.members[0].outcome, MemberOutcome::Exhausted);
+        assert_eq!(result.members[1].outcome, MemberOutcome::Won);
+
+        // Exact rounds accounting: each member ran precisely as many rounds
+        // as a solo session of its configuration runs to the same verdict.
+        let program = Arc::new(p.clone());
+        let analysis = Arc::new(StaticAnalysis::compute_multi(&program, &goal.primary_locs()));
+        for (options, member) in [(starved, &result.members[0]), (guided, &result.members[1])] {
+            let mut solo = SynthesisSession::from_parts(
+                program.clone(),
+                analysis.clone(),
+                goal.clone(),
+                options,
+                None,
+                0,
+            );
+            solo.run_to_completion();
+            assert_eq!(
+                solo.rounds(),
+                member.rounds,
+                "{}: portfolio slicing must not distort the rounds count",
+                member.label
+            );
+        }
     }
 
     #[test]

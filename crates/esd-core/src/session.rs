@@ -198,6 +198,14 @@ impl EsdOptionsBuilder {
         self
     }
 
+    /// Worker threads for multi-state frontier batches (the beam frontier);
+    /// `1` stays on the calling thread, `0` uses all available parallelism.
+    /// The thread count never changes the synthesized execution.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.options.threads = threads;
+        self
+    }
+
     /// Wall-clock deadline: the search stops with
     /// [`SessionStatus::DeadlineExpired`] (or
     /// [`SynthesisError::DeadlineExpired`](crate::SynthesisError) from the
@@ -273,7 +281,10 @@ impl SynthesisSession {
     pub fn new(program: &Program, goal: GoalSpec, options: EsdOptions) -> Self {
         let started_at = Instant::now();
         let program = Arc::new(program.clone());
-        let analysis = Arc::new(StaticAnalysis::compute(&program, goal.primary_locs()[0]));
+        // The static phase covers *every* goal location (a deadlock report
+        // lists one blocked-lock location per deadlocked thread), so the
+        // proximity guidance reaches all of them.
+        let analysis = Arc::new(StaticAnalysis::compute_multi(&program, &goal.primary_locs()));
         let mut session =
             Self::from_parts(program, analysis, goal, options, None, DEFAULT_PROGRESS_EVERY);
         session.started_at = started_at;
@@ -301,6 +312,7 @@ impl SynthesisSession {
             use_critical_edges: options.use_critical_edges,
             schedule_bias: options.schedule_bias,
             race_preemptions: options.with_race_detection,
+            threads: options.threads,
             ..EngineConfig::default()
         };
         let engine = Engine::new(program, analysis, goal, config);
@@ -475,6 +487,90 @@ mod tests {
         (pb.finish("main"), loc.unwrap())
     }
 
+    /// A plain AB/BA two-lock deadlock: `t1` locks A then B, `t2` locks B
+    /// then A. Returns the program and the two blocked-lock locations (one
+    /// per deadlocked thread), which live in *different* functions — the
+    /// shape that requires the static phase to cover every goal location.
+    fn deadlocky() -> (esd_ir::Program, Vec<Loc>) {
+        let mut pb = esd_ir::ProgramBuilder::new("session_deadlock");
+        let a = pb.global("A", 1);
+        let b = pb.global("B", 1);
+        let mut inner1 = None;
+        let t1 = pb.declare("t1", 1);
+        pb.define(t1, |f| {
+            let ap = f.addr_global(a);
+            let bp = f.addr_global(b);
+            f.lock(ap);
+            inner1 = Some(Loc::new(t1, f.current_block(), f.next_inst_idx()));
+            f.lock(bp);
+            f.unlock(bp);
+            f.unlock(ap);
+            f.ret_void();
+        });
+        let mut inner2 = None;
+        let t2 = pb.declare("t2", 1);
+        pb.define(t2, |f| {
+            let ap = f.addr_global(a);
+            let bp = f.addr_global(b);
+            f.lock(bp);
+            inner2 = Some(Loc::new(t2, f.current_block(), f.next_inst_idx()));
+            f.lock(ap);
+            f.unlock(ap);
+            f.unlock(bp);
+            f.ret_void();
+        });
+        pb.function("main", 0, |f| {
+            let h1 = f.spawn(t1, 0);
+            let h2 = f.spawn(t2, 0);
+            f.join(h1);
+            f.join(h2);
+            f.ret_void();
+        });
+        (pb.finish("main"), vec![inner1.unwrap(), inner2.unwrap()])
+    }
+
+    /// Regression test for the deadlock static phase: the session used to
+    /// seed `StaticAnalysis` with only `primary_locs()[0]`, so guidance
+    /// ignored the second deadlocked thread's lock site. With the phase
+    /// computed over all goal locations, the AB/BA deadlock — whose two
+    /// blocked-lock sites live in two different functions — is synthesized.
+    #[test]
+    fn two_lock_deadlock_is_synthesized_with_multi_goal_static_phase() {
+        let (p, locs) = deadlocky();
+        let mut session = EsdOptions::builder()
+            .max_steps(400_000)
+            .session(&p, GoalSpec::Deadlock { thread_locs: locs });
+        let status = session.run_to_completion();
+        let report = status.found().expect("the AB/BA deadlock must be synthesized");
+        assert_eq!(report.execution.fault_tag, "deadlock");
+        assert!(
+            report.execution.schedule.segments.len() >= 2,
+            "a deadlock schedule needs at least two thread segments"
+        );
+    }
+
+    /// Regression test for `SearchStats::best_proximity`: it used to record
+    /// the frontier priority key *after* the deadlock schedule-bias offset,
+    /// so observer progress on deadlock goals jumped by multiples of the
+    /// schedule weight (1e9). It must report the raw path distance.
+    #[test]
+    fn best_proximity_reports_raw_distance_on_deadlock_goals() {
+        let (p, locs) = deadlocky();
+        let mut session =
+            EsdOptions::builder().session(&p, GoalSpec::Deadlock { thread_locs: locs });
+        session.run_for(1);
+        let proximity = session
+            .progress_event()
+            .best_proximity
+            .expect("the proximity frontier computes a key on the first push");
+        assert!(
+            proximity < 1_000_000_000,
+            "best_proximity {proximity} must be the raw path distance, not the \
+             schedule-biased priority key (offset by multiples of 1e9)"
+        );
+        session.cancel();
+    }
+
     #[test]
     fn builder_round_trips_every_option() {
         let options = EsdOptions::builder()
@@ -487,6 +583,7 @@ mod tests {
             .schedule_bias(false)
             .with_race_detection(true)
             .deadline(Duration::from_secs(9))
+            .threads(4)
             .build();
         assert_eq!(options.max_steps, 123);
         assert_eq!(options.max_states, 45);
@@ -497,6 +594,7 @@ mod tests {
         assert!(!options.schedule_bias);
         assert!(options.with_race_detection);
         assert_eq!(options.deadline, Some(Duration::from_secs(9)));
+        assert_eq!(options.threads, 4);
     }
 
     #[test]

@@ -51,6 +51,12 @@ pub struct EsdOptions {
     /// Optional wall-clock deadline for the search, measured from session
     /// creation.
     pub deadline: Option<Duration>,
+    /// Worker threads for advancing multi-state frontier batches (the beam
+    /// frontier): `1` runs everything on the calling thread, `0` uses all
+    /// available parallelism. Purely a wall-clock knob — the synthesized
+    /// execution is byte-identical for every thread count (see
+    /// `esd_symex::EngineConfig::threads`).
+    pub threads: usize,
 }
 
 impl Default for EsdOptions {
@@ -65,6 +71,7 @@ impl Default for EsdOptions {
             schedule_bias: true,
             with_race_detection: false,
             deadline: None,
+            threads: 1,
         }
     }
 }

@@ -16,20 +16,38 @@
 //! critical-edge path abandonment and intermediate goals from the static
 //! phase — or the DFS / BFS / RandomPath baselines, optionally with
 //! Chess-style preemption bounding (the KC baseline).
+//!
+//! # Threading model
+//!
+//! The engine is split into a **shared search pool** (this module: the state
+//! map, the frontier, the dedup fingerprints, the statistics) and a
+//! **per-worker `Stepper`** (the crate-private `stepper` module) that advances individual
+//! states with its own private [`Solver`](crate::solver::Solver). One
+//! [`Engine::step_round`] pops a whole *batch* from the frontier
+//! ([`SearchFrontier::pop_batch`]) — a single state for the single-state
+//! frontiers, the entire beam for [`FrontierKind::Beam`](crate::frontier::FrontierKind::Beam) — advances every
+//! state of the batch on [scoped worker
+//! threads](std::thread::scope) when [`EngineConfig::threads`] allows, and
+//! then merges the recorded effects (forked states, statistics, flagged
+//! races, other bugs, snapshot promotions) back into the pool **in
+//! deterministic batch order**. Steppers never touch shared mutable search
+//! state and solver queries are deterministic per call, so the thread count
+//! is unobservable: a `threads = N` run synthesizes the byte-identical
+//! execution file of a `threads = 1` run (pinned by the
+//! `parallel_beam_matches_single_threaded_run` golden test).
 
-use crate::expr::{SymExpr, SymValue, SymVarInfo};
 use crate::frontier::{SearchConfig, SearchFrontier, StatePriority};
-use crate::solver::{Solver, SolverConfig, SolverResult};
-use crate::state::{ExecState, SchedDistance, SymFrame, SymMemError, SymThread};
+use crate::solver::SolverConfig;
+use crate::state::{ExecState, SchedDistance};
+use crate::stepper::{PendingFork, Promotion, Solution, Stepper, TurnResult, TurnVerdict};
 use esd_analysis::{DistanceOracle, StaticAnalysis, INF};
-use esd_concurrency::{find_mutex_deadlock, Schedule, SegmentStop};
-use esd_ir::interp::{ObjKind, ThreadStatus};
-use esd_ir::{
-    BinOp, Callee, CmpOp, FaultKind, FuncId, Inst, Loc, Operand, Program, Ptr, Reg, Terminator,
-    ThreadId, Value,
-};
-use std::collections::HashMap;
+use esd_concurrency::Schedule;
+use esd_ir::interp::ThreadStatus;
+use esd_ir::{FaultKind, Loc, Program};
+use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
+
+pub use crate::expr::SymVarInfo;
 
 /// What the synthesizer is looking for.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -50,7 +68,8 @@ pub enum GoalSpec {
 }
 
 impl GoalSpec {
-    /// The primary goal location used for proximity guidance.
+    /// The goal locations used for proximity guidance and for seeding the
+    /// static phase (one per deadlocked thread; a single one for crashes).
     pub fn primary_locs(&self) -> Vec<Loc> {
         match self {
             GoalSpec::Crash { loc } => vec![*loc],
@@ -67,7 +86,8 @@ pub struct EngineConfig {
     /// Chess-style preemption bound (the KC baseline uses `Some(2)`); `None`
     /// leaves preemptions unbounded as in ESD.
     pub preemption_bound: Option<u32>,
-    /// Total instruction budget across all states.
+    /// Total instruction budget across all states (checked between rounds, so
+    /// a round may overshoot by at most one batch's burst).
     pub max_steps: u64,
     /// Maximum number of live states kept at once.
     pub max_states: usize,
@@ -85,6 +105,22 @@ pub struct EngineConfig {
     /// without it, as Klee/Chess enumerate paths and interleavings without
     /// state deduplication.
     pub dedup_states: bool,
+    /// Worker threads used to advance a multi-state frontier batch (a beam):
+    /// `1` (the default) steps every batch on the calling thread, `0` uses
+    /// all available parallelism, `n > 1` uses up to `n` workers. The thread
+    /// count never changes the search — batches are merged in deterministic
+    /// batch order — so it is purely a wall-clock knob.
+    pub threads: usize,
+    /// How many micro-steps each state of a *multi-state* batch advances per
+    /// round. Single-state batches (every non-beam frontier, and a beam that
+    /// drained to one live state) always advance exactly one micro-step, so
+    /// the single-state frontiers keep their one-instruction-per-selection
+    /// granularity. The burst is the amortization unit of the worker pool:
+    /// a beam is committed before it is drained — nothing is re-ranked
+    /// between the instructions of a batch even sequentially — so larger
+    /// bursts buy less scheduling overhead per instruction without changing
+    /// the selection granularity in rounds.
+    pub batch_burst: u32,
     /// Solver configuration.
     pub solver: SolverConfig,
 }
@@ -101,6 +137,8 @@ impl Default for EngineConfig {
             schedule_bias: true,
             race_preemptions: false,
             dedup_states: true,
+            threads: 1,
+            batch_burst: 32,
             solver: SolverConfig::default(),
         }
     }
@@ -142,10 +180,10 @@ pub struct SearchStats {
     pub other_bugs_found: usize,
     /// Data races flagged by the lockset detector.
     pub races_flagged: usize,
-    /// The lowest final-goal priority key observed so far (proximity
-    /// estimate, biased by the deadlock schedule distance) — how close the
-    /// search has come to the goal. `None` until a priority-driven frontier
-    /// computes its first key.
+    /// The lowest raw path distance to the final goal observed so far (the
+    /// Algorithm-1 proximity estimate, *without* the deadlock schedule-bias
+    /// offset) — how close the search has come to the goal. `None` until a
+    /// priority-driven frontier computes its first key.
     pub best_proximity: Option<u64>,
 }
 
@@ -209,33 +247,23 @@ impl SearchOutcome {
     }
 }
 
-/// Why a single micro-step of one state ended.
-enum StepEffect {
-    /// Keep exploring this state.
-    Continue,
-    /// The state reached the goal; constraints were solved into `inputs`.
-    Goal { fault: FaultKind, fault_loc: Option<Loc> },
-    /// The state is dead (fault at non-goal location, infeasible path,
-    /// unmatching deadlock, all threads finished, …).
-    Dead,
-}
-
 const SCHED_WEIGHT: u64 = 1_000_000_000;
 
-/// The search engine.
+/// The search engine: the shared search pool and the round loop.
 ///
 /// The engine owns its program and static analysis (shared via [`Arc`]), so
 /// callers that outlive the current stack frame — resumable synthesis
 /// sessions, portfolio runners — can own an engine outright. The search is
-/// re-entrant: [`Engine::step_round`] advances exactly one frontier selection
+/// re-entrant: [`Engine::step_round`] advances exactly one frontier batch
 /// and returns a [`StepOutcome`]; [`Engine::run`] is a thin loop over it.
+/// State advancement itself lives in the per-worker `Stepper`; see the
+/// [module docs](self) for the threading model.
 pub struct Engine {
     program: Arc<Program>,
     analysis: Arc<StaticAnalysis>,
     oracle: DistanceOracle,
     goal: GoalSpec,
     config: EngineConfig,
-    solver: Solver,
     states: HashMap<u64, ExecState>,
     next_state_id: u64,
     /// Whether the initial state has been seeded (done lazily on the first
@@ -246,6 +274,10 @@ pub struct Engine {
     queue_targets: Vec<Vec<Loc>>,
     /// The pluggable worklist ordering the exploration.
     frontier: Box<dyn SearchFrontier>,
+    /// [`EngineConfig::threads`] with `0` ("auto") resolved to the machine's
+    /// available parallelism once, at construction — `worker_count` sits on
+    /// the per-round hot path.
+    resolved_threads: usize,
     stats: SearchStats,
     seen_fingerprints: std::collections::HashSet<u64>,
     /// Locations of faults found that did not match the goal.
@@ -271,33 +303,40 @@ impl Engine {
         }
         queue_targets.push(goal.primary_locs());
         let frontier = config.search.build(queue_targets.len());
+        let resolved_threads = if config.threads == 0 {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        } else {
+            config.threads
+        };
         Engine {
             program,
             analysis,
             oracle,
             goal,
-            solver: Solver::new(config.solver),
             config,
             states: HashMap::new(),
             next_state_id: 0,
             started: false,
             queue_targets,
             frontier,
+            resolved_threads,
             stats: SearchStats::default(),
             seen_fingerprints: std::collections::HashSet::new(),
             other_bugs: Vec::new(),
         }
     }
 
-    /// Advances the search by one round: one frontier selection plus the
-    /// micro-step of the selected state (seeding the initial state first, on
-    /// the very first round).
+    /// Advances the search by one round: one frontier batch selection plus a
+    /// turn of every selected state (seeding the initial state first, on the
+    /// very first round).
     ///
     /// This is the re-entrant core of the engine: callers may interleave
     /// rounds of several engines, stop between rounds (the partial
     /// [`Engine::stats`] stay accessible), and resume later — the search
     /// trajectory is exactly the one [`Engine::run`] would take, because
-    /// `run` *is* a loop over `step_round`.
+    /// `run` *is* a loop over `step_round`. The trajectory is also
+    /// independent of [`EngineConfig::threads`]: batch results are merged in
+    /// batch order, whichever worker produced them first.
     pub fn step_round(&mut self) -> StepOutcome {
         if !self.started {
             self.started = true;
@@ -305,33 +344,22 @@ impl Engine {
             self.register_state(init);
         }
         if self.stats.steps >= self.config.max_steps {
-            self.stats.solver_queries = self.solver.queries;
             return StepOutcome::BudgetExceeded;
         }
-        let Some(sid) = self.select_state() else {
-            self.stats.solver_queries = self.solver.queries;
+        let batch = self.frontier.pop_batch();
+        if batch.is_empty() {
             return StepOutcome::Exhausted;
-        };
-        let outcome = match self.states.remove(&sid) {
-            None => StepOutcome::Running,
-            Some(mut state) => match self.step(&mut state) {
-                StepEffect::Continue => {
-                    self.reinsert_state(state);
-                    StepOutcome::Running
-                }
-                StepEffect::Dead => StepOutcome::Running, // state dropped
-                StepEffect::Goal { fault, fault_loc } => {
-                    match self.finalize(&mut state, fault, fault_loc) {
-                        Some(synth) => StepOutcome::Found(Box::new(synth)),
-                        // Constraints could not be solved; abandon this state
-                        // and keep searching.
-                        None => StepOutcome::Running,
-                    }
-                }
-            },
-        };
-        self.stats.solver_queries = self.solver.queries;
-        outcome
+        }
+        let jobs: Vec<(u64, ExecState)> =
+            batch.iter().filter_map(|id| self.states.remove(id).map(|s| (*id, s))).collect();
+        if jobs.is_empty() {
+            return StepOutcome::Running;
+        }
+        // Single-state batches keep the historical one-instruction-per-
+        // selection granularity; only committed multi-state beams burst.
+        let burst = if jobs.len() > 1 { self.config.batch_burst.max(1) } else { 1 };
+        let results = self.run_turns(jobs, burst);
+        self.merge(results)
     }
 
     /// Runs the search to completion: a thin loop over
@@ -374,6 +402,140 @@ impl Engine {
         &self.analysis
     }
 
+    // ---- worker fan-out -----------------------------------------------------
+
+    /// Advances every `(id, state)` job by one turn of up to `burst`
+    /// micro-steps, fanning the jobs out over scoped worker threads when the
+    /// configuration allows, and returns the results *in job order* (workers
+    /// get contiguous chunks, so concatenating chunk results restores the
+    /// batch order regardless of which worker finished first).
+    fn run_turns(&self, jobs: Vec<(u64, ExecState)>, burst: u32) -> Vec<TurnResult> {
+        let workers = self.worker_count(jobs.len());
+        if workers <= 1 {
+            let mut stepper = Stepper::new(&self.program, &self.analysis, &self.goal, &self.config);
+            return jobs.into_iter().map(|(id, state)| stepper.turn(id, state, burst)).collect();
+        }
+        let chunk_size = jobs.len().div_ceil(workers);
+        let mut chunks: Vec<Vec<(u64, ExecState)>> = Vec::with_capacity(workers);
+        let mut it = jobs.into_iter();
+        loop {
+            let chunk: Vec<(u64, ExecState)> = it.by_ref().take(chunk_size).collect();
+            if chunk.is_empty() {
+                break;
+            }
+            chunks.push(chunk);
+        }
+        let (program, analysis) = (&self.program, &self.analysis);
+        let (goal, config) = (&self.goal, &self.config);
+        let run_chunk = |chunk: Vec<(u64, ExecState)>| {
+            let mut stepper = Stepper::new(program, analysis, goal, config);
+            chunk.into_iter().map(|(id, state)| stepper.turn(id, state, burst)).collect::<Vec<_>>()
+        };
+        // The calling thread is a worker too: spawn only `workers - 1`
+        // threads and step the first chunk inline, so the pool costs one
+        // spawn less per round.
+        let first = chunks.remove(0);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|chunk| {
+                    let run_chunk = &run_chunk;
+                    scope.spawn(move || run_chunk(chunk))
+                })
+                .collect();
+            let mut results = run_chunk(first);
+            for handle in handles {
+                results.extend(handle.join().expect("engine worker panicked"));
+            }
+            results
+        })
+    }
+
+    /// The number of workers a batch of `batch_len` states may use.
+    fn worker_count(&self, batch_len: usize) -> usize {
+        self.resolved_threads.min(batch_len)
+    }
+
+    // ---- deterministic merge ------------------------------------------------
+
+    /// Merges a batch's turn results into the shared pool, strictly in batch
+    /// order: statistics first, then snapshot promotions, then fork
+    /// admission (dedup fingerprint + pool cap, assigning state ids in
+    /// creation order), then the surviving parent re-enters the frontier.
+    /// The first goal-reaching result in batch order wins; later results of
+    /// the same batch are discarded (deterministically — batch order does
+    /// not depend on the worker count).
+    fn merge(&mut self, results: Vec<TurnResult>) -> StepOutcome {
+        let mut pending: VecDeque<TurnResult> = results.into();
+        while let Some(mut result) = pending.pop_front() {
+            self.stats.steps += result.steps;
+            self.stats.solver_queries += result.solver_queries;
+            self.stats.races_flagged += result.races_flagged;
+            self.stats.other_bugs_found += result.other_bugs.len();
+            self.other_bugs.append(&mut result.other_bugs);
+            for promotion in std::mem::take(&mut result.promotions) {
+                match promotion {
+                    Promotion::Registered(sid) => self.promote_snapshot(sid, &mut pending),
+                    // A snapshot forked earlier in the same turn: promote it
+                    // before admission so it enters the frontier with the
+                    // promoted priority (sequentially the fork would have
+                    // registered Neutral and been re-pushed Near one round
+                    // later — the effective frontier position is the same).
+                    Promotion::Pending(fork) => {
+                        result.forks[fork].state.sched_distance = SchedDistance::Near;
+                    }
+                }
+            }
+            for PendingFork { state, lock_snapshot } in std::mem::take(&mut result.forks) {
+                if let Some(id) = self.register_state(state) {
+                    if let Some(mutex) = lock_snapshot {
+                        result.state.lock_snapshots.push((mutex, id));
+                    }
+                }
+            }
+            match result.verdict {
+                TurnVerdict::Continue => self.reinsert_state(result.state),
+                TurnVerdict::Dead => {}
+                TurnVerdict::Goal { solution: Some(solution) } => {
+                    return StepOutcome::Found(Box::new(self.synthesized(solution)));
+                }
+                // The goal state's constraints could not be solved: abandon
+                // it and keep searching.
+                TurnVerdict::Goal { solution: None } => {}
+            }
+        }
+        StepOutcome::Running
+    }
+
+    /// Applies the deadlock roll-back heuristic to a snapshot state: promote
+    /// it to [`SchedDistance::Near`] wherever it currently lives — the pool,
+    /// or the not-yet-merged remainder of the current batch.
+    fn promote_snapshot(&mut self, sid: u64, pending: &mut VecDeque<TurnResult>) {
+        if let Some(mut state) = self.states.remove(&sid) {
+            // Taken out of the map only to satisfy the borrow checker across
+            // the push (which recomputes the priority keys); reinserted
+            // unconditionally below.
+            state.sched_distance = SchedDistance::Near;
+            self.push_to_frontier(&state);
+            self.states.insert(sid, state);
+        } else if let Some(result) = pending.iter_mut().find(|r| r.id == sid) {
+            // The snapshot is part of this very batch: its re-entry into the
+            // frontier (with the promoted priority) happens when its own
+            // result is merged.
+            result.state.sched_distance = SchedDistance::Near;
+        }
+    }
+
+    fn synthesized(&self, solution: Solution) -> Synthesized {
+        Synthesized {
+            inputs: solution.inputs,
+            schedule: solution.schedule,
+            fault: solution.fault,
+            fault_loc: solution.fault_loc,
+            stats: self.stats.clone(),
+        }
+    }
+
     // ---- state pool management ---------------------------------------------
 
     /// Admits a forked state into the pool, returning its assigned id —
@@ -403,12 +565,16 @@ impl Engine {
 
     /// A cheap structural fingerprint of a state, used to drop duplicate
     /// scheduling forks: thread positions and statuses, lock ownership, the
-    /// scheduled thread, the path-constraint count and the globals' contents.
+    /// scheduled thread, the running path-constraint hash and the globals'
+    /// contents. Hashing [`ExecState::path_hash`] (rather than the constraint
+    /// *count*) keeps the dedup sound: two states with equal-length but
+    /// different path conditions are different search states, and pruning one
+    /// as a "duplicate" of the other could prune the only path to the goal.
     fn fingerprint(state: &ExecState) -> u64 {
         use std::hash::{Hash, Hasher};
         let mut h = std::collections::hash_map::DefaultHasher::new();
         state.current.0.hash(&mut h);
-        state.constraints.len().hash(&mut h);
+        state.path_hash.hash(&mut h);
         for t in &state.threads {
             t.id.0.hash(&mut h);
             std::mem::discriminant(&t.status).hash(&mut h);
@@ -436,28 +602,41 @@ impl Engine {
     /// (Re-)enters a state into the frontier, computing the per-goal-queue
     /// priority keys only when the frontier consumes them.
     fn push_to_frontier(&mut self, state: &ExecState) {
-        let queue_keys: Vec<u64> = if !self.frontier.wants_priorities() {
-            Vec::new()
-        } else if self.frontier.wants_intermediate_priorities() {
-            self.queue_targets.iter().map(|targets| self.priority_key(state, targets)).collect()
+        let prio = self.frontier_priority(state);
+        self.frontier.push(state.id, &prio);
+    }
+
+    /// Computes the state's frontier priority and records the raw final-goal
+    /// path distance into [`SearchStats::best_proximity`] (the observer
+    /// progress signal is the unbiased Algorithm-1 estimate, not the
+    /// schedule-biased queue key — otherwise deadlock-goal progress would
+    /// jump by multiples of the schedule weight).
+    fn frontier_priority(&mut self, state: &ExecState) -> StatePriority {
+        if !self.frontier.wants_priorities() {
+            return StatePriority { queue_keys: Vec::new(), depth: state.steps };
+        }
+        let sched = self.sched_bias(state);
+        let (queue_keys, final_dist) = if self.frontier.wants_intermediate_priorities() {
+            let dists: Vec<u64> =
+                self.queue_targets.iter().map(|t| self.path_distance(state, t)).collect();
+            let final_dist = *dists.last().expect("final goal queue");
+            (dists.into_iter().map(|d| Self::bias(sched, d)).collect(), final_dist)
         } else {
             // The frontier only consumes the final-goal key (e.g. the beam):
             // skip the per-intermediate-goal proximity scans entirely.
             let final_targets = self.queue_targets.last().expect("final goal queue");
-            vec![self.priority_key(state, final_targets)]
+            let d = self.path_distance(state, final_targets);
+            (vec![Self::bias(sched, d)], d)
         };
-        // The last queue targets the final goal; its key is the progress
-        // signal surfaced to observers.
-        if let Some(&final_key) = queue_keys.last() {
-            self.stats.best_proximity =
-                Some(self.stats.best_proximity.map_or(final_key, |b| b.min(final_key)));
-        }
-        self.frontier.push(state.id, &StatePriority { queue_keys, depth: state.steps });
+        self.stats.best_proximity =
+            Some(self.stats.best_proximity.map_or(final_dist, |b| b.min(final_dist)));
+        StatePriority { queue_keys, depth: state.steps }
     }
 
-    fn priority_key(&self, state: &ExecState, targets: &[Loc]) -> u64 {
-        // The state's path distance is the best proximity any runnable thread
-        // (preferring the scheduled one) has to any of the queue's targets.
+    /// The state's raw path distance to `targets`: the best proximity any
+    /// runnable thread (preferring the scheduled one) has to any of the
+    /// queue's target locations.
+    fn path_distance(&self, state: &ExecState, targets: &[Loc]) -> u64 {
         let mut path_dist = INF;
         for thread in &state.threads {
             if thread.is_finished() || (!thread.is_runnable() && thread.id != state.current) {
@@ -468,7 +647,12 @@ impl Engine {
                 path_dist = path_dist.min(self.oracle.proximity(&stack, *t));
             }
         }
-        let sched = if self.config.schedule_bias && matches!(self.goal, GoalSpec::Deadlock { .. }) {
+        path_dist
+    }
+
+    /// The deadlock schedule-distance bias (§4.1) applied to priority keys.
+    fn sched_bias(&self, state: &ExecState) -> u64 {
+        if self.config.schedule_bias && matches!(self.goal, GoalSpec::Deadlock { .. }) {
             match state.sched_distance {
                 SchedDistance::Near => 0,
                 SchedDistance::Neutral => SCHED_WEIGHT,
@@ -476,995 +660,10 @@ impl Engine {
             }
         } else {
             0
-        };
+        }
+    }
+
+    fn bias(sched: u64, path_dist: u64) -> u64 {
         sched.saturating_add(path_dist.min(SCHED_WEIGHT - 1))
-    }
-
-    fn select_state(&mut self) -> Option<u64> {
-        self.frontier.pop()
-    }
-
-    // ---- evaluation helpers -------------------------------------------------
-
-    fn eval(&self, state: &ExecState, op: Operand) -> SymValue {
-        match op {
-            Operand::Const(c) => SymValue::int(c),
-            Operand::Reg(r) => state.thread(state.current).top().regs[r.0 as usize]
-                .clone()
-                .unwrap_or(SymValue::ZERO),
-        }
-    }
-
-    fn set_reg(&self, state: &mut ExecState, r: Reg, v: SymValue) {
-        let cur = state.current;
-        state.thread_mut(cur).top_mut().regs[r.0 as usize] = Some(v);
-    }
-
-    fn advance(&self, state: &mut ExecState) {
-        let cur = state.current;
-        state.thread_mut(cur).top_mut().idx += 1;
-    }
-
-    fn count_step(&mut self, state: &mut ExecState) {
-        state.steps += 1;
-        state.segment_steps += 1;
-        self.stats.steps += 1;
-    }
-
-    /// Concretizes a symbolic value to an integer, pinning it with an
-    /// equality constraint (used for addresses, allocation sizes, …).
-    fn concretize(&mut self, state: &mut ExecState, v: &SymValue) -> Option<i64> {
-        match v {
-            SymValue::Concrete(Value::Int(i)) => Some(*i),
-            SymValue::Concrete(Value::Ptr(_)) => None,
-            SymValue::Symbolic(e) => {
-                if let Some(c) = e.as_const() {
-                    return Some(c);
-                }
-                let model = self.solver.solve(&state.constraints).model()?;
-                let value = e.eval(&model);
-                state.add_constraint(SymExpr::cmp(CmpOp::Eq, e.clone(), SymExpr::constant(value)));
-                Some(value)
-            }
-        }
-    }
-
-    fn mem_fault(err: SymMemError, addr: Value) -> FaultKind {
-        match err {
-            SymMemError::NotAPointer(v) => FaultKind::SegFault { addr: v },
-            SymMemError::DanglingObject(_) => FaultKind::SegFault { addr },
-            SymMemError::UseAfterFree(_) => FaultKind::UseAfterFree,
-            SymMemError::OutOfBounds { off, size } => FaultKind::OutOfBounds { off, size },
-            SymMemError::InvalidFree(_) => FaultKind::InvalidFree,
-            SymMemError::DoubleFree(_) => FaultKind::DoubleFree,
-        }
-    }
-
-    /// Resolves a value used as an address into a concrete pointer, or
-    /// produces the fault it would cause.
-    fn as_address(&mut self, state: &mut ExecState, v: &SymValue) -> Result<Ptr, FaultKind> {
-        match v {
-            SymValue::Concrete(Value::Ptr(p)) => Ok(*p),
-            SymValue::Concrete(Value::Int(i)) => Err(FaultKind::SegFault { addr: Value::Int(*i) }),
-            SymValue::Symbolic(_) => {
-                let c = self.concretize(state, v).unwrap_or(0);
-                Err(FaultKind::SegFault { addr: Value::Int(c) })
-            }
-        }
-    }
-
-    // ---- fault / goal handling ----------------------------------------------
-
-    fn handle_fault(&mut self, state: &mut ExecState, fault: FaultKind, loc: Loc) -> StepEffect {
-        let is_goal = match &self.goal {
-            GoalSpec::Crash { loc: goal_loc } => loc == *goal_loc,
-            GoalSpec::Deadlock { .. } => false,
-        };
-        if is_goal {
-            StepEffect::Goal { fault, fault_loc: Some(loc) }
-        } else {
-            self.stats.other_bugs_found += 1;
-            self.other_bugs.push((fault, Some(loc)));
-            let _ = state;
-            StepEffect::Dead
-        }
-    }
-
-    /// Checks whether the state's blocked threads form the reported deadlock
-    /// (or some other deadlock). Returns the step effect if the state can no
-    /// longer make progress toward the goal.
-    fn check_deadlock(&mut self, state: &mut ExecState) -> Option<StepEffect> {
-        // Build the wait-for relation over mutex-blocked threads.
-        let mut waits: HashMap<u32, Ptr> = HashMap::new();
-        let mut held: HashMap<Ptr, u32> = HashMap::new();
-        for t in &state.threads {
-            if let ThreadStatus::BlockedOnMutex(m) = t.status {
-                waits.insert(t.id.0, m);
-            }
-            for h in &t.held_locks {
-                held.insert(*h, t.id.0);
-            }
-        }
-        let cycle = find_mutex_deadlock(&waits, &held);
-        let stalled = state.is_global_stall();
-        if cycle.is_none() && !stalled {
-            return None;
-        }
-        // The set of locations at which threads are blocked on mutexes.
-        let blocked_locs: Vec<Loc> = state
-            .threads
-            .iter()
-            .filter(|t| matches!(t.status, ThreadStatus::BlockedOnMutex(_)))
-            .map(|t| t.top().loc())
-            .collect();
-        if let GoalSpec::Deadlock { thread_locs } = &self.goal {
-            let mut remaining = blocked_locs.clone();
-            let all_matched = thread_locs.iter().all(|g| {
-                if let Some(pos) = remaining.iter().position(|b| b == g) {
-                    remaining.remove(pos);
-                    true
-                } else {
-                    false
-                }
-            });
-            if all_matched && (cycle.is_some() || stalled) && !thread_locs.is_empty() {
-                return Some(StepEffect::Goal { fault: FaultKind::Deadlock, fault_loc: None });
-            }
-        }
-        if cycle.is_some() || stalled {
-            // A deadlock that does not match the report: record it and
-            // abandon the state (the paper rolls back and resumes the search
-            // for the reported deadlock; abandoning this state achieves the
-            // same because its fork ancestors are still in the pool).
-            self.stats.other_bugs_found += 1;
-            self.other_bugs.push((FaultKind::Deadlock, state.current_loc()));
-            return Some(StepEffect::Dead);
-        }
-        None
-    }
-
-    fn finalize(
-        &mut self,
-        state: &mut ExecState,
-        fault: FaultKind,
-        fault_loc: Option<Loc>,
-    ) -> Option<Synthesized> {
-        let model = match self.solver.solve(&state.constraints) {
-            SolverResult::Sat(m) => m,
-            _ => return None,
-        };
-        let inputs = state
-            .var_info
-            .iter()
-            .enumerate()
-            .map(|(i, info)| {
-                (info.clone(), model.get(&crate::expr::SymVar(i as u32)).copied().unwrap_or(0))
-            })
-            .collect();
-        // Close the trailing schedule segment.
-        let mut schedule = state.schedule.clone();
-        if state.segment_steps > 0 {
-            schedule.push(state.current.0, SegmentStop::Steps(state.segment_steps));
-        }
-        self.stats.solver_queries = self.solver.queries;
-        Some(Synthesized { inputs, schedule, fault, fault_loc, stats: self.stats.clone() })
-    }
-
-    // ---- scheduling -----------------------------------------------------------
-
-    /// Ends the current thread's schedule segment with `stop` and switches to
-    /// `next`.
-    fn switch_to(&mut self, state: &mut ExecState, next: ThreadId, stop: SegmentStop) {
-        match stop {
-            SegmentStop::Steps(_) => {
-                if state.segment_steps > 0 {
-                    state.schedule.push(state.current.0, SegmentStop::Steps(state.segment_steps));
-                }
-            }
-            other => {
-                state.schedule.push(state.current.0, other);
-            }
-        }
-        state.segment_steps = 0;
-        state.current = next;
-    }
-
-    /// Picks another runnable thread (lowest id different from the current
-    /// one), if any.
-    fn other_runnable(&self, state: &ExecState) -> Option<ThreadId> {
-        state.runnable_threads().into_iter().find(|t| *t != state.current)
-    }
-
-    /// Forks a state in which the current thread is preempted right now
-    /// (before executing its next instruction) and `next` runs instead.
-    /// Respects the preemption bound. Returns the id of the forked state, or
-    /// `None` when no fork was admitted to the pool (so callers never record
-    /// an id that a later, unrelated state would be assigned).
-    fn fork_preempted(&mut self, state: &ExecState, next: ThreadId) -> Option<u64> {
-        if let Some(bound) = self.config.preemption_bound {
-            if state.preemptions >= bound {
-                return None;
-            }
-        }
-        if self.states.len() >= self.config.max_states {
-            return None;
-        }
-        // If the scheduled thread has not advanced at all since the last
-        // context switch, a preemption here would recreate an already-seen
-        // scheduling decision (states would ping-pong between two parked
-        // threads); skip the fork.
-        if state.segment_steps == 0 {
-            return None;
-        }
-        let mut alt = state.clone();
-        alt.preemptions += 1;
-        self.switch_to(&mut alt, next, SegmentStop::Steps(0));
-        self.register_state(alt)
-    }
-
-    // ---- the micro-step --------------------------------------------------------
-
-    fn step(&mut self, state: &mut ExecState) -> StepEffect {
-        // If the scheduled thread cannot run, switch or detect a stall.
-        if !state.thread(state.current).is_runnable() {
-            if let Some(next) = self.other_runnable(state) {
-                let stop = if state.thread(state.current).is_finished() {
-                    SegmentStop::Finished
-                } else {
-                    SegmentStop::Blocked
-                };
-                self.switch_to(state, next, stop);
-            } else if state.has_unfinished_threads() {
-                return self.check_deadlock(state).unwrap_or(StepEffect::Dead);
-            } else {
-                return StepEffect::Dead;
-            }
-        }
-
-        let cur = state.current;
-        let frame_loc = state.thread(cur).top().loc();
-        let func = self.program.func(frame_loc.func);
-        let block = func.block(frame_loc.block);
-
-        // Critical-edge / relevance abandonment (ESD only).
-        if self.config.use_critical_edges
-            && state.thread(cur).frames.len() == 1
-            && self.analysis.goal_info.is_irrelevant_block(frame_loc)
-            && !matches!(self.goal, GoalSpec::Deadlock { .. })
-        {
-            return StepEffect::Dead;
-        }
-
-        if frame_loc.idx as usize >= block.insts.len() {
-            let term = block.term.clone();
-            return self.exec_terminator(state, frame_loc, term);
-        }
-        let inst = block.insts[frame_loc.idx as usize].clone();
-        self.exec_inst(state, frame_loc, inst)
-    }
-
-    fn exec_terminator(&mut self, state: &mut ExecState, loc: Loc, term: Terminator) -> StepEffect {
-        let cur = state.current;
-        self.count_step(state);
-        match term {
-            Terminator::Br { target } => {
-                let top = state.thread_mut(cur).top_mut();
-                top.block = target;
-                top.idx = 0;
-                StepEffect::Continue
-            }
-            Terminator::CondBr { cond, then_bb, else_bb } => {
-                let v = self.eval(state, cond);
-                match v.as_concrete() {
-                    Some(c) => {
-                        let top = state.thread_mut(cur).top_mut();
-                        top.block = if c.truthy() { then_bb } else { else_bb };
-                        top.idx = 0;
-                        StepEffect::Continue
-                    }
-                    None => {
-                        let expr = v.as_expr().expect("symbolic condition");
-                        self.fork_on_branch(state, loc, expr, then_bb, else_bb)
-                    }
-                }
-            }
-            Terminator::Ret { value } => {
-                let ret_val = value.map(|v| self.eval(state, v));
-                let frame = state.thread_mut(cur).frames.pop().expect("ret without frame");
-                for l in &frame.locals {
-                    state.mem.kill_local(*l);
-                }
-                if state.thread(cur).frames.is_empty() {
-                    state.thread_mut(cur).status = ThreadStatus::Finished;
-                    // Wake joiners.
-                    for t in &mut state.threads {
-                        if t.status == ThreadStatus::BlockedOnJoin(cur) {
-                            t.status = ThreadStatus::Runnable;
-                        }
-                    }
-                    if cur == ThreadId(0) {
-                        // Program exit without the bug: dead end.
-                        return StepEffect::Dead;
-                    }
-                    if let Some(next) = self.other_runnable(state) {
-                        self.switch_to(state, next, SegmentStop::Finished);
-                        return StepEffect::Continue;
-                    }
-                    return self.check_deadlock(state).unwrap_or(StepEffect::Dead);
-                }
-                if let (Some(dst), Some(v)) = (frame.ret_dst, ret_val) {
-                    self.set_reg(state, dst, v);
-                }
-                StepEffect::Continue
-            }
-            Terminator::Unreachable => {
-                self.handle_fault(state, FaultKind::UnreachableExecuted, loc)
-            }
-        }
-    }
-
-    fn fork_on_branch(
-        &mut self,
-        state: &mut ExecState,
-        loc: Loc,
-        cond: Arc<SymExpr>,
-        then_bb: esd_ir::BlockId,
-        else_bb: esd_ir::BlockId,
-    ) -> StepEffect {
-        let cur = state.current;
-        // Critical edge: only one side can lead to the goal. Only applied for
-        // single-location (crash) goals: for deadlocks the static info is
-        // computed from one thread's blocked location and must not constrain
-        // the other threads' paths.
-        if self.config.use_critical_edges && !matches!(self.goal, GoalSpec::Deadlock { .. }) {
-            if let Some(edge) = self.analysis.goal_info.critical_edge_at(loc.func, loc.block) {
-                let (take, expr) = if edge.required_value {
-                    (then_bb, cond.clone())
-                } else {
-                    (else_bb, SymExpr::not(cond.clone()))
-                };
-                state.add_constraint(expr);
-                if !self.solver.is_feasible(&state.constraints) {
-                    return StepEffect::Dead;
-                }
-                let top = state.thread_mut(cur).top_mut();
-                top.block = take;
-                top.idx = 0;
-                return StepEffect::Continue;
-            }
-        }
-        let mut then_constraints = state.constraints.clone();
-        then_constraints.push(cond.clone());
-        let mut else_constraints = state.constraints.clone();
-        else_constraints.push(SymExpr::not(cond.clone()));
-        let then_feasible = self.solver.is_feasible(&then_constraints);
-        let else_feasible = self.solver.is_feasible(&else_constraints);
-        match (then_feasible, else_feasible) {
-            (false, false) => StepEffect::Dead,
-            (true, false) | (false, true) => {
-                let (bb, c) =
-                    if then_feasible { (then_bb, cond) } else { (else_bb, SymExpr::not(cond)) };
-                state.add_constraint(c);
-                let top = state.thread_mut(cur).top_mut();
-                top.block = bb;
-                top.idx = 0;
-                StepEffect::Continue
-            }
-            (true, true) => {
-                // Fork: the else-side becomes a new state; this state takes
-                // the then-side.
-                let mut alt = state.clone();
-                alt.add_constraint(SymExpr::not(cond.clone()));
-                {
-                    let atop = alt.thread_mut(cur).top_mut();
-                    atop.block = else_bb;
-                    atop.idx = 0;
-                }
-                self.register_state(alt);
-                state.add_constraint(cond);
-                let top = state.thread_mut(cur).top_mut();
-                top.block = then_bb;
-                top.idx = 0;
-                StepEffect::Continue
-            }
-        }
-    }
-
-    fn exec_inst(&mut self, state: &mut ExecState, loc: Loc, inst: Inst) -> StepEffect {
-        let cur = state.current;
-        match inst {
-            Inst::Const { dst, value } => {
-                self.count_step(state);
-                self.set_reg(state, dst, SymValue::int(value));
-                self.advance(state);
-                StepEffect::Continue
-            }
-            Inst::Bin { dst, op, a, b } => {
-                self.count_step(state);
-                let va = self.eval(state, a);
-                let vb = self.eval(state, b);
-                let result = self.eval_bin(state, loc, op, va, vb);
-                match result {
-                    Ok(v) => {
-                        self.set_reg(state, dst, v);
-                        self.advance(state);
-                        StepEffect::Continue
-                    }
-                    Err(f) => self.handle_fault(state, f, loc),
-                }
-            }
-            Inst::Cmp { dst, op, a, b } => {
-                self.count_step(state);
-                let va = self.eval(state, a);
-                let vb = self.eval(state, b);
-                let v = match (va.as_concrete(), vb.as_concrete()) {
-                    (Some(x), Some(y)) => {
-                        let r = match op {
-                            CmpOp::Eq => x.value_eq(y),
-                            CmpOp::Ne => !x.value_eq(y),
-                            _ => {
-                                let xi = Self::value_as_int(x);
-                                let yi = Self::value_as_int(y);
-                                op.eval(xi, yi)
-                            }
-                        };
-                        SymValue::int(r as i64)
-                    }
-                    _ => match (va.as_expr(), vb.as_expr()) {
-                        (Some(ea), Some(eb)) => SymValue::Symbolic(SymExpr::cmp(op, ea, eb)),
-                        // Comparing a pointer with a symbolic integer:
-                        // pointers are never equal to integers here.
-                        _ => SymValue::int(matches!(op, CmpOp::Ne) as i64),
-                    },
-                };
-                self.set_reg(state, dst, v);
-                self.advance(state);
-                StepEffect::Continue
-            }
-            Inst::AddrLocal { dst, local } => {
-                self.count_step(state);
-                let obj = state.thread(cur).top().locals[local.0 as usize];
-                self.set_reg(state, dst, SymValue::Concrete(Value::Ptr(Ptr::to(obj))));
-                self.advance(state);
-                StepEffect::Continue
-            }
-            Inst::AddrGlobal { dst, global } => {
-                self.count_step(state);
-                let obj = state.globals[global.0 as usize];
-                self.set_reg(state, dst, SymValue::Concrete(Value::Ptr(Ptr::to(obj))));
-                self.advance(state);
-                StepEffect::Continue
-            }
-            Inst::FuncAddr { dst, func } => {
-                self.count_step(state);
-                self.set_reg(
-                    state,
-                    dst,
-                    SymValue::int(esd_ir::interp::FUNC_ADDR_BASE + func.0 as i64),
-                );
-                self.advance(state);
-                StepEffect::Continue
-            }
-            Inst::Alloc { dst, size } => {
-                self.count_step(state);
-                let sv = self.eval(state, size);
-                let n = self.concretize(state, &sv).unwrap_or(0).clamp(0, 1 << 20) as usize;
-                let obj = state.mem.alloc(ObjKind::Heap, n);
-                self.set_reg(state, dst, SymValue::Concrete(Value::Ptr(Ptr::to(obj))));
-                self.advance(state);
-                StepEffect::Continue
-            }
-            Inst::Free { ptr } => {
-                self.count_step(state);
-                let v = self.eval(state, ptr);
-                let cv = v.as_concrete().unwrap_or(Value::Int(0));
-                match state.mem.free(cv) {
-                    Ok(()) => {
-                        self.advance(state);
-                        StepEffect::Continue
-                    }
-                    Err(e) => self.handle_fault(state, Self::mem_fault(e, cv), loc),
-                }
-            }
-            Inst::Load { dst, addr } => {
-                self.count_step(state);
-                let av = self.eval(state, addr);
-                match self.as_address(state, &av) {
-                    Ok(p) => {
-                        if let Some(e) = self.maybe_race_preempt(state, p, loc, false) {
-                            return e;
-                        }
-                        match state.mem.load(p) {
-                            Ok(v) => {
-                                self.set_reg(state, dst, v);
-                                self.advance(state);
-                                StepEffect::Continue
-                            }
-                            Err(e) => {
-                                self.handle_fault(state, Self::mem_fault(e, Value::Ptr(p)), loc)
-                            }
-                        }
-                    }
-                    Err(f) => self.handle_fault(state, f, loc),
-                }
-            }
-            Inst::Store { addr, value } => {
-                self.count_step(state);
-                let av = self.eval(state, addr);
-                let vv = self.eval(state, value);
-                match self.as_address(state, &av) {
-                    Ok(p) => {
-                        if let Some(e) = self.maybe_race_preempt(state, p, loc, true) {
-                            return e;
-                        }
-                        match state.mem.store(p, vv) {
-                            Ok(()) => {
-                                self.advance(state);
-                                StepEffect::Continue
-                            }
-                            Err(e) => {
-                                self.handle_fault(state, Self::mem_fault(e, Value::Ptr(p)), loc)
-                            }
-                        }
-                    }
-                    Err(f) => self.handle_fault(state, f, loc),
-                }
-            }
-            Inst::Gep { dst, base, offset } => {
-                self.count_step(state);
-                let b = self.eval(state, base);
-                let ov = self.eval(state, offset);
-                let o = self.concretize(state, &ov).unwrap_or(0);
-                let r = match b.as_concrete() {
-                    Some(Value::Ptr(p)) => SymValue::Concrete(Value::Ptr(p.add(o))),
-                    Some(Value::Int(i)) => SymValue::int(i.wrapping_add(o)),
-                    None => match b.as_expr() {
-                        Some(e) => {
-                            SymValue::Symbolic(SymExpr::bin(BinOp::Add, e, SymExpr::constant(o)))
-                        }
-                        None => SymValue::int(o),
-                    },
-                };
-                self.set_reg(state, dst, r);
-                self.advance(state);
-                StepEffect::Continue
-            }
-            Inst::Call { dst, callee, args } => {
-                self.count_step(state);
-                let target = match self.resolve_callee(state, &callee) {
-                    Ok(t) => t,
-                    Err(f) => return self.handle_fault(state, f, loc),
-                };
-                let argv: Vec<SymValue> = args.iter().map(|a| self.eval(state, *a)).collect();
-                self.advance(state);
-                self.push_frame(state, target, &argv, dst);
-                StepEffect::Continue
-            }
-            Inst::Input { dst, source } => {
-                self.count_step(state);
-                let seq = state.thread(cur).input_seq;
-                state.thread_mut(cur).input_seq += 1;
-                let var = state.fresh_var(SymVarInfo { thread: cur, seq, source });
-                self.set_reg(state, dst, SymValue::Symbolic(SymExpr::var(var)));
-                self.advance(state);
-                StepEffect::Continue
-            }
-            Inst::Output { .. } => {
-                self.count_step(state);
-                self.advance(state);
-                StepEffect::Continue
-            }
-            Inst::Assert { cond, msg } => {
-                self.count_step(state);
-                let v = self.eval(state, cond);
-                match v.as_concrete() {
-                    Some(c) => {
-                        if c.truthy() {
-                            self.advance(state);
-                            StepEffect::Continue
-                        } else {
-                            self.handle_fault(state, FaultKind::AssertFailure { msg }, loc)
-                        }
-                    }
-                    None => {
-                        let e = v.as_expr().expect("symbolic assert");
-                        // The violating side is a failure at this location;
-                        // the passing side continues in this state.
-                        let is_goal_here =
-                            matches!(&self.goal, GoalSpec::Crash { loc: gl } if *gl == loc);
-                        let mut violating = state.constraints.clone();
-                        violating.push(SymExpr::not(e.clone()));
-                        let violation_feasible = self.solver.is_feasible(&violating);
-                        if violation_feasible && is_goal_here {
-                            state.constraints = violating;
-                            return StepEffect::Goal {
-                                fault: FaultKind::AssertFailure { msg },
-                                fault_loc: Some(loc),
-                            };
-                        }
-                        if violation_feasible {
-                            self.stats.other_bugs_found += 1;
-                            self.other_bugs
-                                .push((FaultKind::AssertFailure { msg: msg.clone() }, Some(loc)));
-                        }
-                        state.add_constraint(e);
-                        if !self.solver.is_feasible(&state.constraints) {
-                            return StepEffect::Dead;
-                        }
-                        self.advance(state);
-                        StepEffect::Continue
-                    }
-                }
-            }
-            Inst::MutexLock { mutex } => self.exec_lock(state, loc, mutex),
-            Inst::MutexUnlock { mutex } => {
-                self.count_step(state);
-                let av = self.eval(state, mutex);
-                let p = match self.as_address(state, &av) {
-                    Ok(p) => p,
-                    Err(f) => return self.handle_fault(state, f, loc),
-                };
-                if state.sync.holder_of(p) != Some(cur) {
-                    return self.handle_fault(
-                        state,
-                        FaultKind::SyncMisuse { what: "unlock of a mutex not held".into() },
-                        loc,
-                    );
-                }
-                state.sync.mutex_mut(p).holder = None;
-                state.thread_mut(cur).held_locks.retain(|h| *h != p);
-                if state.thread(cur).inner_lock_held == Some(p) {
-                    state.thread_mut(cur).inner_lock_held = None;
-                }
-                state.drop_snapshot(p);
-                let waiters = std::mem::take(&mut state.sync.mutex_mut(p).waiters);
-                for w in waiters {
-                    if state.threads[w.0 as usize].status == ThreadStatus::BlockedOnMutex(p) {
-                        state.threads[w.0 as usize].status = ThreadStatus::Runnable;
-                    }
-                }
-                self.advance(state);
-                StepEffect::Continue
-            }
-            Inst::CondWait { cond, mutex } => {
-                self.count_step(state);
-                let cv = self.eval(state, cond);
-                let mv = self.eval(state, mutex);
-                let (cp, mp) = match (self.as_address(state, &cv), self.as_address(state, &mv)) {
-                    (Ok(c), Ok(m)) => (c, m),
-                    (Err(f), _) | (_, Err(f)) => return self.handle_fault(state, f, loc),
-                };
-                if state.thread(cur).cond_resume == Some(mp) {
-                    if state.sync.holder_of(mp).is_none() {
-                        state.sync.mutex_mut(mp).holder = Some(cur);
-                        state.thread_mut(cur).held_locks.push(mp);
-                        state.thread_mut(cur).cond_resume = None;
-                        self.advance(state);
-                        return StepEffect::Continue;
-                    }
-                    state.sync.mutex_mut(mp).waiters.push(cur);
-                    state.thread_mut(cur).status = ThreadStatus::BlockedOnMutex(mp);
-                    return self.block_and_switch(state);
-                }
-                if state.sync.holder_of(mp) != Some(cur) {
-                    return self.handle_fault(
-                        state,
-                        FaultKind::SyncMisuse {
-                            what: "cond_wait without holding the mutex".into(),
-                        },
-                        loc,
-                    );
-                }
-                state.sync.mutex_mut(mp).holder = None;
-                state.thread_mut(cur).held_locks.retain(|h| *h != mp);
-                state.drop_snapshot(mp);
-                let waiters = std::mem::take(&mut state.sync.mutex_mut(mp).waiters);
-                for w in waiters {
-                    if state.threads[w.0 as usize].status == ThreadStatus::BlockedOnMutex(mp) {
-                        state.threads[w.0 as usize].status = ThreadStatus::Runnable;
-                    }
-                }
-                state.sync.cond_mut(cp).waiters.push((cur, mp));
-                state.thread_mut(cur).status = ThreadStatus::BlockedOnCond(cp);
-                self.block_and_switch(state)
-            }
-            Inst::CondSignal { cond } | Inst::CondBroadcast { cond } => {
-                let broadcast = matches!(inst, Inst::CondBroadcast { .. });
-                self.count_step(state);
-                let cv = self.eval(state, cond);
-                let cp = match self.as_address(state, &cv) {
-                    Ok(p) => p,
-                    Err(f) => return self.handle_fault(state, f, loc),
-                };
-                let waiters = {
-                    let c = state.sync.cond_mut(cp);
-                    if broadcast {
-                        std::mem::take(&mut c.waiters)
-                    } else if c.waiters.is_empty() {
-                        vec![]
-                    } else {
-                        vec![c.waiters.remove(0)]
-                    }
-                };
-                for (w, m) in waiters {
-                    state.threads[w.0 as usize].cond_resume = Some(m);
-                    state.threads[w.0 as usize].status = ThreadStatus::Runnable;
-                }
-                self.advance(state);
-                StepEffect::Continue
-            }
-            Inst::ThreadSpawn { dst, func, arg } => {
-                self.count_step(state);
-                let target = match self.resolve_callee(state, &func) {
-                    Ok(t) => t,
-                    Err(f) => return self.handle_fault(state, f, loc),
-                };
-                let av = self.eval(state, arg);
-                let new_tid = ThreadId(state.threads.len() as u32);
-                let callee = self.program.func(target);
-                let mut locals = Vec::with_capacity(callee.local_sizes.len());
-                for size in &callee.local_sizes {
-                    locals.push(state.mem.alloc(ObjKind::Local(new_tid), *size as usize));
-                }
-                let frame = SymFrame::new(target, callee.num_regs, &[av], locals, None);
-                state.threads.push(SymThread::new(new_tid, frame));
-                self.set_reg(state, dst, SymValue::int(new_tid.0 as i64));
-                self.advance(state);
-                StepEffect::Continue
-            }
-            Inst::ThreadJoin { thread } => {
-                self.count_step(state);
-                let tv = self.eval(state, thread);
-                let idx = self.concretize(state, &tv).unwrap_or(-1);
-                if idx < 0 || idx as usize >= state.threads.len() {
-                    return self.handle_fault(
-                        state,
-                        FaultKind::SyncMisuse { what: format!("join of invalid thread id {idx}") },
-                        loc,
-                    );
-                }
-                let target = ThreadId(idx as u32);
-                if state.threads[target.0 as usize].is_finished() {
-                    self.advance(state);
-                    return StepEffect::Continue;
-                }
-                state.thread_mut(cur).status = ThreadStatus::BlockedOnJoin(target);
-                self.block_and_switch(state)
-            }
-            Inst::Yield => {
-                self.count_step(state);
-                self.advance(state);
-                // A yield is an explicit preemption point. In race-directed
-                // mode (§4.2) fork the schedule in which another thread runs
-                // from here, so interleavings that split a load from its
-                // store are reachable; the default search keeps treating
-                // yield as a no-op (the bounded searches and BPF workloads
-                // rely on that).
-                if self.config.race_preemptions {
-                    if let Some(next) = self.other_runnable(state) {
-                        self.fork_preempted(state, next);
-                    }
-                }
-                StepEffect::Continue
-            }
-            Inst::Nop => {
-                self.count_step(state);
-                self.advance(state);
-                StepEffect::Continue
-            }
-        }
-    }
-
-    fn value_as_int(v: Value) -> i64 {
-        match v {
-            Value::Int(i) => i,
-            Value::Ptr(p) => 0x4000_0000_0000 + (p.obj.0 as i64) * 4096 + p.off,
-        }
-    }
-
-    fn eval_bin(
-        &mut self,
-        state: &mut ExecState,
-        _loc: Loc,
-        op: BinOp,
-        a: SymValue,
-        b: SymValue,
-    ) -> Result<SymValue, FaultKind> {
-        // Pointer arithmetic stays concrete.
-        if let Some(Value::Ptr(p)) = a.as_concrete() {
-            if matches!(op, BinOp::Add | BinOp::Sub) {
-                let delta = self.concretize(state, &b).unwrap_or(0);
-                let delta = if op == BinOp::Sub { -delta } else { delta };
-                return Ok(SymValue::Concrete(Value::Ptr(p.add(delta))));
-            }
-        }
-        match (a.as_concrete(), b.as_concrete()) {
-            (Some(x), Some(y)) => {
-                let xi = Self::value_as_int(x);
-                let yi = Self::value_as_int(y);
-                if matches!(op, BinOp::Div | BinOp::Rem) && yi == 0 {
-                    return Err(FaultKind::DivByZero);
-                }
-                Ok(SymValue::int(crate::expr::eval_bin(op, xi, yi).unwrap_or(0)))
-            }
-            _ => {
-                let ea = a.as_expr();
-                let eb = b.as_expr();
-                match (ea, eb) {
-                    (Some(ea), Some(eb)) => {
-                        if matches!(op, BinOp::Div | BinOp::Rem) {
-                            // Require a non-zero divisor on this path.
-                            state.add_constraint(SymExpr::cmp(
-                                CmpOp::Ne,
-                                eb.clone(),
-                                SymExpr::constant(0),
-                            ));
-                        }
-                        Ok(SymValue::Symbolic(SymExpr::bin(op, ea, eb)))
-                    }
-                    _ => Ok(SymValue::int(0)),
-                }
-            }
-        }
-    }
-
-    fn resolve_callee(
-        &mut self,
-        state: &mut ExecState,
-        callee: &Callee,
-    ) -> Result<FuncId, FaultKind> {
-        match callee {
-            Callee::Direct(f) => Ok(*f),
-            Callee::Indirect(op) => {
-                let v = self.eval(state, *op);
-                let raw = self.concretize(state, &v).unwrap_or(0);
-                let idx = raw - esd_ir::interp::FUNC_ADDR_BASE;
-                if idx >= 0 && (idx as usize) < self.program.functions.len() {
-                    Ok(FuncId(idx as u32))
-                } else {
-                    Err(FaultKind::BadIndirectCall { target: Value::Int(raw) })
-                }
-            }
-        }
-    }
-
-    fn push_frame(
-        &mut self,
-        state: &mut ExecState,
-        target: FuncId,
-        args: &[SymValue],
-        ret_dst: Option<Reg>,
-    ) {
-        let cur = state.current;
-        let callee = self.program.func(target);
-        let mut locals = Vec::with_capacity(callee.local_sizes.len());
-        for size in &callee.local_sizes {
-            locals.push(state.mem.alloc(ObjKind::Local(cur), *size as usize));
-        }
-        let frame = SymFrame::new(target, callee.num_regs, args, locals, ret_dst);
-        state.thread_mut(cur).frames.push(frame);
-    }
-
-    /// Ends the current segment because the scheduled thread blocked, and
-    /// switches to another runnable thread (or detects a stall).
-    fn block_and_switch(&mut self, state: &mut ExecState) -> StepEffect {
-        if let Some(e) = self.check_deadlock(state) {
-            return e;
-        }
-        if let Some(next) = self.other_runnable(state) {
-            self.switch_to(state, next, SegmentStop::Blocked);
-            StepEffect::Continue
-        } else {
-            self.check_deadlock(state).unwrap_or(StepEffect::Dead)
-        }
-    }
-
-    /// Lockset-based race preemption points (§4.2): on a flagged access, fork
-    /// a state in which the access is delayed and another thread runs first.
-    fn maybe_race_preempt(
-        &mut self,
-        state: &mut ExecState,
-        p: Ptr,
-        loc: Loc,
-        is_write: bool,
-    ) -> Option<StepEffect> {
-        if !self.config.race_preemptions {
-            return None;
-        }
-        // Only consider globals and heap objects (locals are thread-private).
-        let shared =
-            state.mem.object(p.obj).map(|o| !matches!(o.kind, ObjKind::Local(_))).unwrap_or(false);
-        if !shared {
-            return None;
-        }
-        let cur = state.current;
-        let held: Vec<(u64, i64)> =
-            state.thread(cur).held_locks.iter().map(|h| (h.obj.0, h.off)).collect();
-        // Per-interleaving analysis: the detector lives on the state, so a
-        // race reported here is reported again (and forks a preemption) in
-        // every sibling interleaving that reaches the same pair.
-        let race = state.race_detector.access((p.obj.0, p.off), cur.0, loc, is_write, &held);
-        if race.is_some() {
-            self.stats.races_flagged += 1;
-            if let Some(next) = self.other_runnable(state) {
-                self.fork_preempted(state, next);
-            }
-        }
-        None
-    }
-
-    /// `mutex_lock`, with the deadlock schedule-synthesis heuristics of §4.1.
-    fn exec_lock(&mut self, state: &mut ExecState, loc: Loc, mutex: Operand) -> StepEffect {
-        let cur = state.current;
-        let av = self.eval(state, mutex);
-        let p = match self.as_address(state, &av) {
-            Ok(p) => p,
-            Err(f) => {
-                self.count_step(state);
-                return self.handle_fault(state, f, loc);
-            }
-        };
-        let holder = state.sync.holder_of(p);
-        match holder {
-            None => {
-                // Fork the "preempted before acquiring" alternative.
-                if let Some(next) = self.other_runnable(state) {
-                    if let Some(snap_id) = self.fork_preempted(state, next) {
-                        state.lock_snapshots.push((p, snap_id));
-                    }
-                }
-                // Acquire in this state.
-                self.count_step(state);
-                state.sync.mutex_mut(p).holder = Some(cur);
-                state.thread_mut(cur).held_locks.push(p);
-                self.advance(state);
-                // Inner-lock heuristic: if this acquisition happened at one of
-                // the reported blocked-lock locations, remember it and
-                // preempt, so another thread can come and request this mutex.
-                if self.config.schedule_bias {
-                    if let GoalSpec::Deadlock { thread_locs } = &self.goal {
-                        if thread_locs.contains(&loc) {
-                            state.thread_mut(cur).inner_lock_held = Some(p);
-                            state.sched_distance = SchedDistance::Near;
-                            if let Some(next) = self.other_runnable(state) {
-                                self.switch_to(state, next, SegmentStop::Steps(0));
-                            }
-                        }
-                    }
-                }
-                StepEffect::Continue
-            }
-            Some(owner) => {
-                // The mutex is held (possibly by this very thread: self
-                // deadlock). Apply the roll-back heuristic, then block.
-                if self.config.schedule_bias
-                    && owner != cur
-                    && state.threads[owner.0 as usize].inner_lock_held == Some(p)
-                {
-                    // M is the owner's inner lock, so it may be our outer
-                    // lock: prioritize the snapshots in which the owner
-                    // was preempted before acquiring, deprioritize us.
-                    let snapshot_ids: Vec<u64> =
-                        state.lock_snapshots.iter().map(|(_, s)| *s).collect();
-                    for sid in snapshot_ids {
-                        let promoted = match self.states.get_mut(&sid) {
-                            Some(s) => {
-                                s.sched_distance = SchedDistance::Near;
-                                Some(s.clone())
-                            }
-                            None => None,
-                        };
-                        if let Some(snap) = promoted {
-                            self.push_to_frontier(&snap);
-                        }
-                    }
-                    state.sched_distance = SchedDistance::Far;
-                }
-                self.count_step(state);
-                state.sync.mutex_mut(p).waiters.push(cur);
-                state.thread_mut(cur).status = ThreadStatus::BlockedOnMutex(p);
-                self.block_and_switch(state)
-            }
-        }
     }
 }

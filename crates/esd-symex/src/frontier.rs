@@ -198,6 +198,19 @@ pub trait SearchFrontier {
     /// frontier is empty.
     fn pop(&mut self) -> Option<u64>;
 
+    /// Removes and returns the next *batch* of states to advance — the
+    /// engine's unit of parallelism: every state of a batch is advanced
+    /// (possibly on a worker pool) before the frontier is consulted again.
+    ///
+    /// The default implementation returns a batch of at most one state
+    /// (`pop()`), which is what the single-state frontiers want; the
+    /// [`BeamFrontier`] overrides it to hand back its whole beam at once.
+    /// The returned ids are removed from the frontier, and their order is
+    /// deterministic: the engine merges batch results in exactly this order.
+    fn pop_batch(&mut self) -> Vec<u64> {
+        self.pop().into_iter().collect()
+    }
+
     /// True if this frontier consumes [`StatePriority::queue_keys`]; the
     /// engine skips the per-goal proximity computation otherwise.
     fn wants_priorities(&self) -> bool {
@@ -492,6 +505,17 @@ impl BeamFrontier {
             }
         }
     }
+
+    /// Takes the next live entry out of the current beam, skipping entries
+    /// invalidated by a re-push since they were beamed.
+    fn drain_one(&mut self) -> Option<u64> {
+        while let Some((stamp, id)) = self.beam.pop_front() {
+            if self.live.take(id, stamp) {
+                return Some(id);
+            }
+        }
+        None
+    }
 }
 
 impl SearchFrontier for BeamFrontier {
@@ -507,10 +531,8 @@ impl SearchFrontier for BeamFrontier {
 
     fn pop(&mut self) -> Option<u64> {
         loop {
-            while let Some((stamp, id)) = self.beam.pop_front() {
-                if self.live.take(id, stamp) {
-                    return Some(id);
-                }
+            if let Some(id) = self.drain_one() {
+                return Some(id);
             }
             if self.live.len() == 0 {
                 return None;
@@ -520,6 +542,28 @@ impl SearchFrontier for BeamFrontier {
                 // Every heap entry was stale but live states remain: degrade
                 // to any live state rather than stalling the search.
                 return self.live.take_any();
+            }
+        }
+    }
+
+    fn pop_batch(&mut self) -> Vec<u64> {
+        // Hand the whole beam over as one batch: select (refill) the `width`
+        // closest live states and return them all, preserving the selection
+        // order `pop` would have drained them in.
+        let mut batch = Vec::new();
+        loop {
+            while let Some(id) = self.drain_one() {
+                batch.push(id);
+            }
+            if !batch.is_empty() || self.live.len() == 0 {
+                return batch;
+            }
+            self.refill();
+            if self.beam.is_empty() {
+                // Every heap entry was stale but live states remain: degrade
+                // to any live state rather than stalling the search.
+                batch.extend(self.live.take_any());
+                return batch;
             }
         }
     }
@@ -671,6 +715,24 @@ mod tests {
         assert_eq!(f.len(), 1);
         assert_eq!(f.pop(), Some(2));
         assert_eq!(f.pop(), None);
+    }
+
+    #[test]
+    fn pop_batch_drains_the_whole_beam_at_once() {
+        let mut f = BeamFrontier::new(2);
+        f.push(1, &prio(&[10], 0));
+        f.push(2, &prio(&[20], 0));
+        f.push(3, &prio(&[30], 0));
+        assert_eq!(f.pop_batch(), vec![1, 2]);
+        assert_eq!(f.pop_batch(), vec![3]);
+        assert!(f.pop_batch().is_empty());
+        // Single-state frontiers batch one state at a time (the default).
+        let mut d = DfsFrontier::new();
+        d.push(1, &prio(&[], 0));
+        d.push(2, &prio(&[], 0));
+        assert_eq!(d.pop_batch(), vec![2]);
+        assert_eq!(d.pop_batch(), vec![1]);
+        assert!(d.pop_batch().is_empty());
     }
 
     #[test]

@@ -282,6 +282,11 @@ pub struct ExecState {
     pub globals: Vec<ObjId>,
     /// Path constraints (each must be non-zero).
     pub constraints: Vec<Arc<SymExpr>>,
+    /// A running, order-sensitive hash of the path constraints, maintained by
+    /// [`ExecState::add_constraint`]. Used by the engine's structural state
+    /// fingerprint so two states whose constraint lists have equal length but
+    /// different *contents* are never deduplicated against each other.
+    pub path_hash: u64,
     /// Provenance of each symbolic variable, indexed by `SymVar`.
     pub var_info: Vec<SymVarInfo>,
     /// The thread currently scheduled in this state's serialized execution.
@@ -337,6 +342,7 @@ impl ExecState {
             sync: SyncState::default(),
             globals,
             constraints: Vec::new(),
+            path_hash: 0,
             var_info: Vec::new(),
             current: ThreadId(0),
             segment_steps: 0,
@@ -392,9 +398,13 @@ impl ExecState {
         v
     }
 
-    /// Adds a path constraint.
+    /// Adds a path constraint, folding it into [`ExecState::path_hash`].
     pub fn add_constraint(&mut self, c: Arc<SymExpr>) {
         if c.as_const() != Some(1) {
+            use std::hash::{Hash, Hasher};
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            c.hash(&mut h);
+            self.path_hash = self.path_hash.rotate_left(5) ^ h.finish();
             self.constraints.push(c);
         }
     }

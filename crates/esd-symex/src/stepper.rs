@@ -1,0 +1,1184 @@
+//! The per-worker state stepper: the micro-step interpreter of the search
+//! engine, factored so a frontier batch can be advanced on a worker pool.
+//!
+//! A [`Stepper`] owns everything one worker needs to advance execution states
+//! *independently* of the shared search pool: immutable views of the program,
+//! the static analysis and the goal, plus its **own** [`Solver`] (solver
+//! queries are deterministic per call, so workers never contend on — or
+//! diverge through — shared solver state). Everything a micro-step would have
+//! written into the engine — forked states, schedule-snapshot promotions,
+//! flagged races, other bugs found, executed steps, solver queries — is
+//! *recorded* into a [`TurnResult`] instead, and the engine merges the
+//! results of a batch back into the shared pool in deterministic batch order
+//! (see [`crate::engine`]). That split is what makes a `threads = N` run
+//! produce the byte-identical execution of a `threads = 1` run.
+
+use crate::engine::{EngineConfig, GoalSpec};
+use crate::expr::{SymExpr, SymValue, SymVarInfo};
+use crate::solver::{Solver, SolverResult};
+use crate::state::{ExecState, SchedDistance, SymFrame, SymMemError, SymThread};
+use esd_analysis::StaticAnalysis;
+use esd_concurrency::{find_mutex_deadlock, Schedule, SegmentStop};
+use esd_ir::interp::{ObjKind, ThreadStatus};
+use esd_ir::{
+    BinOp, Callee, CmpOp, FaultKind, FuncId, Inst, Loc, Operand, Program, Ptr, Reg, Terminator,
+    ThreadId, Value,
+};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Why a single micro-step of one state ended.
+enum StepEffect {
+    /// Keep exploring this state.
+    Continue,
+    /// The state reached the goal.
+    Goal { fault: FaultKind, fault_loc: Option<Loc> },
+    /// The state is dead (fault at non-goal location, infeasible path,
+    /// unmatching deadlock, all threads finished, …).
+    Dead,
+}
+
+/// A state forked during a turn, pending admission to the shared pool (the
+/// engine applies the dedup fingerprint and the pool cap at merge time, and
+/// only then assigns the state id).
+pub(crate) struct PendingFork {
+    /// The forked state (still carrying its parent's id until admission).
+    pub state: ExecState,
+    /// When set, the fork is a "preempted before acquiring this mutex"
+    /// snapshot: if it is admitted, the engine records `(mutex, assigned id)`
+    /// in the parent state's `K_S` map (`lock_snapshots`).
+    pub lock_snapshot: Option<Ptr>,
+}
+
+/// The solved goal of a successful turn: everything of a
+/// [`crate::engine::Synthesized`] except the engine-global statistics.
+pub(crate) struct Solution {
+    /// Concrete value for every symbolic input word, with its provenance.
+    pub inputs: Vec<(SymVarInfo, i64)>,
+    /// The serialized thread schedule (trailing segment closed).
+    pub schedule: Schedule,
+    /// The failure the synthesized execution triggers.
+    pub fault: FaultKind,
+    /// Location of the failure (`None` for deadlocks).
+    pub fault_loc: Option<Loc>,
+}
+
+/// A deadlock roll-back promotion recorded during a turn (§4.1): the target
+/// snapshot is either already registered in the pool, or was forked *earlier
+/// in this very turn* and has no id yet — the pre-burst engine never saw the
+/// second case because the fork's id was patched into `lock_snapshots`
+/// between rounds, but inside a burst the acquire and the conflicting lock
+/// attempt can share one turn.
+pub(crate) enum Promotion {
+    /// A snapshot state already admitted to the pool, by id.
+    Registered(u64),
+    /// A snapshot forked during this turn, by index into
+    /// [`TurnResult::forks`]; the merge promotes it *before* admission so it
+    /// enters the frontier with the promoted priority.
+    Pending(usize),
+}
+
+/// How a turn (one state's burst of micro-steps) ended.
+pub(crate) enum TurnVerdict {
+    /// The state survived the turn and should re-enter the frontier.
+    Continue,
+    /// The state died (abandoned path, non-goal fault, program exit, …).
+    Dead,
+    /// The state reached the goal. `solution` is `None` when the path
+    /// constraints could not be solved — the state is abandoned and the
+    /// search continues, exactly as in the sequential engine.
+    Goal {
+        /// The solved inputs and schedule, if the constraints were solvable.
+        solution: Option<Solution>,
+    },
+}
+
+/// Everything one state's turn produced, to be merged into the engine in
+/// deterministic batch order.
+pub(crate) struct TurnResult {
+    /// The id of the state that was advanced.
+    pub id: u64,
+    /// The post-turn state (meaningful for [`TurnVerdict::Continue`]; carried
+    /// regardless so the merge can patch `lock_snapshots` and apply pending
+    /// promotions uniformly).
+    pub state: ExecState,
+    /// How the turn ended.
+    pub verdict: TurnVerdict,
+    /// States forked during the turn, in creation order.
+    pub forks: Vec<PendingFork>,
+    /// Snapshot states to promote to [`SchedDistance::Near`] (the deadlock
+    /// roll-back heuristic of §4.1), in occurrence order.
+    pub promotions: Vec<Promotion>,
+    /// Faults found that did not match the goal.
+    pub other_bugs: Vec<(FaultKind, Option<Loc>)>,
+    /// Data races flagged by the per-state lockset detector.
+    pub races_flagged: usize,
+    /// Instructions executed during the turn.
+    pub steps: u64,
+    /// Solver queries issued during the turn.
+    pub solver_queries: u64,
+}
+
+/// A worker's stepper: immutable views of the search job plus a private
+/// solver and the per-turn effect accumulators.
+pub(crate) struct Stepper<'a> {
+    program: &'a Arc<Program>,
+    analysis: &'a Arc<StaticAnalysis>,
+    goal: &'a GoalSpec,
+    config: &'a EngineConfig,
+    solver: Solver,
+    forks: Vec<PendingFork>,
+    promotions: Vec<Promotion>,
+    other_bugs: Vec<(FaultKind, Option<Loc>)>,
+    races_flagged: usize,
+    steps: u64,
+}
+
+impl<'a> Stepper<'a> {
+    /// Creates a stepper for one worker; `turn` may be called repeatedly.
+    pub fn new(
+        program: &'a Arc<Program>,
+        analysis: &'a Arc<StaticAnalysis>,
+        goal: &'a GoalSpec,
+        config: &'a EngineConfig,
+    ) -> Self {
+        Stepper {
+            program,
+            analysis,
+            goal,
+            config,
+            solver: Solver::new(config.solver),
+            forks: Vec::new(),
+            promotions: Vec::new(),
+            other_bugs: Vec::new(),
+            races_flagged: 0,
+            steps: 0,
+        }
+    }
+
+    /// Advances `state` by up to `burst` micro-steps (stopping early when it
+    /// dies or reaches the goal) and returns everything the turn produced.
+    pub fn turn(&mut self, id: u64, mut state: ExecState, burst: u32) -> TurnResult {
+        let queries_before = self.solver.queries;
+        let mut verdict = TurnVerdict::Continue;
+        for _ in 0..burst.max(1) {
+            match self.step(&mut state) {
+                StepEffect::Continue => continue,
+                StepEffect::Dead => {
+                    verdict = TurnVerdict::Dead;
+                    break;
+                }
+                StepEffect::Goal { fault, fault_loc } => {
+                    let solution = self.solve_goal(&mut state, fault, fault_loc);
+                    verdict = TurnVerdict::Goal { solution };
+                    break;
+                }
+            }
+        }
+        TurnResult {
+            id,
+            state,
+            verdict,
+            forks: std::mem::take(&mut self.forks),
+            promotions: std::mem::take(&mut self.promotions),
+            other_bugs: std::mem::take(&mut self.other_bugs),
+            races_flagged: std::mem::take(&mut self.races_flagged),
+            steps: std::mem::take(&mut self.steps),
+            solver_queries: self.solver.queries - queries_before,
+        }
+    }
+
+    // ---- evaluation helpers -------------------------------------------------
+
+    fn eval(&self, state: &ExecState, op: Operand) -> SymValue {
+        match op {
+            Operand::Const(c) => SymValue::int(c),
+            Operand::Reg(r) => state.thread(state.current).top().regs[r.0 as usize]
+                .clone()
+                .unwrap_or(SymValue::ZERO),
+        }
+    }
+
+    fn set_reg(&self, state: &mut ExecState, r: Reg, v: SymValue) {
+        let cur = state.current;
+        state.thread_mut(cur).top_mut().regs[r.0 as usize] = Some(v);
+    }
+
+    fn advance(&self, state: &mut ExecState) {
+        let cur = state.current;
+        state.thread_mut(cur).top_mut().idx += 1;
+    }
+
+    fn count_step(&mut self, state: &mut ExecState) {
+        state.steps += 1;
+        state.segment_steps += 1;
+        self.steps += 1;
+    }
+
+    /// Concretizes a symbolic value to an integer, pinning it with an
+    /// equality constraint (used for addresses, allocation sizes, …).
+    fn concretize(&mut self, state: &mut ExecState, v: &SymValue) -> Option<i64> {
+        match v {
+            SymValue::Concrete(Value::Int(i)) => Some(*i),
+            SymValue::Concrete(Value::Ptr(_)) => None,
+            SymValue::Symbolic(e) => {
+                if let Some(c) = e.as_const() {
+                    return Some(c);
+                }
+                let model = self.solver.solve(&state.constraints).model()?;
+                let value = e.eval(&model);
+                state.add_constraint(SymExpr::cmp(CmpOp::Eq, e.clone(), SymExpr::constant(value)));
+                Some(value)
+            }
+        }
+    }
+
+    fn mem_fault(err: SymMemError, addr: Value) -> FaultKind {
+        match err {
+            SymMemError::NotAPointer(v) => FaultKind::SegFault { addr: v },
+            SymMemError::DanglingObject(_) => FaultKind::SegFault { addr },
+            SymMemError::UseAfterFree(_) => FaultKind::UseAfterFree,
+            SymMemError::OutOfBounds { off, size } => FaultKind::OutOfBounds { off, size },
+            SymMemError::InvalidFree(_) => FaultKind::InvalidFree,
+            SymMemError::DoubleFree(_) => FaultKind::DoubleFree,
+        }
+    }
+
+    /// Resolves a value used as an address into a concrete pointer, or
+    /// produces the fault it would cause.
+    fn as_address(&mut self, state: &mut ExecState, v: &SymValue) -> Result<Ptr, FaultKind> {
+        match v {
+            SymValue::Concrete(Value::Ptr(p)) => Ok(*p),
+            SymValue::Concrete(Value::Int(i)) => Err(FaultKind::SegFault { addr: Value::Int(*i) }),
+            SymValue::Symbolic(_) => {
+                let c = self.concretize(state, v).unwrap_or(0);
+                Err(FaultKind::SegFault { addr: Value::Int(c) })
+            }
+        }
+    }
+
+    // ---- fault / goal handling ----------------------------------------------
+
+    fn handle_fault(&mut self, state: &mut ExecState, fault: FaultKind, loc: Loc) -> StepEffect {
+        let is_goal = match self.goal {
+            GoalSpec::Crash { loc: goal_loc } => loc == *goal_loc,
+            GoalSpec::Deadlock { .. } => false,
+        };
+        if is_goal {
+            StepEffect::Goal { fault, fault_loc: Some(loc) }
+        } else {
+            self.other_bugs.push((fault, Some(loc)));
+            let _ = state;
+            StepEffect::Dead
+        }
+    }
+
+    /// Checks whether the state's blocked threads form the reported deadlock
+    /// (or some other deadlock). Returns the step effect if the state can no
+    /// longer make progress toward the goal.
+    fn check_deadlock(&mut self, state: &mut ExecState) -> Option<StepEffect> {
+        // Build the wait-for relation over mutex-blocked threads.
+        let mut waits: HashMap<u32, Ptr> = HashMap::new();
+        let mut held: HashMap<Ptr, u32> = HashMap::new();
+        for t in &state.threads {
+            if let ThreadStatus::BlockedOnMutex(m) = t.status {
+                waits.insert(t.id.0, m);
+            }
+            for h in &t.held_locks {
+                held.insert(*h, t.id.0);
+            }
+        }
+        let cycle = find_mutex_deadlock(&waits, &held);
+        let stalled = state.is_global_stall();
+        if cycle.is_none() && !stalled {
+            return None;
+        }
+        // The set of locations at which threads are blocked on mutexes.
+        let blocked_locs: Vec<Loc> = state
+            .threads
+            .iter()
+            .filter(|t| matches!(t.status, ThreadStatus::BlockedOnMutex(_)))
+            .map(|t| t.top().loc())
+            .collect();
+        if let GoalSpec::Deadlock { thread_locs } = self.goal {
+            let mut remaining = blocked_locs.clone();
+            let all_matched = thread_locs.iter().all(|g| {
+                if let Some(pos) = remaining.iter().position(|b| b == g) {
+                    remaining.remove(pos);
+                    true
+                } else {
+                    false
+                }
+            });
+            if all_matched && (cycle.is_some() || stalled) && !thread_locs.is_empty() {
+                return Some(StepEffect::Goal { fault: FaultKind::Deadlock, fault_loc: None });
+            }
+        }
+        if cycle.is_some() || stalled {
+            // A deadlock that does not match the report: record it and
+            // abandon the state (the paper rolls back and resumes the search
+            // for the reported deadlock; abandoning this state achieves the
+            // same because its fork ancestors are still in the pool).
+            self.other_bugs.push((FaultKind::Deadlock, state.current_loc()));
+            return Some(StepEffect::Dead);
+        }
+        None
+    }
+
+    /// Solves the goal state's path constraints into concrete inputs and
+    /// closes the trailing schedule segment.
+    fn solve_goal(
+        &mut self,
+        state: &mut ExecState,
+        fault: FaultKind,
+        fault_loc: Option<Loc>,
+    ) -> Option<Solution> {
+        let model = match self.solver.solve(&state.constraints) {
+            SolverResult::Sat(m) => m,
+            _ => return None,
+        };
+        let inputs = state
+            .var_info
+            .iter()
+            .enumerate()
+            .map(|(i, info)| {
+                (info.clone(), model.get(&crate::expr::SymVar(i as u32)).copied().unwrap_or(0))
+            })
+            .collect();
+        let mut schedule = state.schedule.clone();
+        if state.segment_steps > 0 {
+            schedule.push(state.current.0, SegmentStop::Steps(state.segment_steps));
+        }
+        Some(Solution { inputs, schedule, fault, fault_loc })
+    }
+
+    // ---- scheduling -----------------------------------------------------------
+
+    /// Ends the current thread's schedule segment with `stop` and switches to
+    /// `next`.
+    fn switch_to(&mut self, state: &mut ExecState, next: ThreadId, stop: SegmentStop) {
+        match stop {
+            SegmentStop::Steps(_) => {
+                if state.segment_steps > 0 {
+                    state.schedule.push(state.current.0, SegmentStop::Steps(state.segment_steps));
+                }
+            }
+            other => {
+                state.schedule.push(state.current.0, other);
+            }
+        }
+        state.segment_steps = 0;
+        state.current = next;
+    }
+
+    /// Picks another runnable thread (lowest id different from the current
+    /// one), if any.
+    fn other_runnable(&self, state: &ExecState) -> Option<ThreadId> {
+        state.runnable_threads().into_iter().find(|t| *t != state.current)
+    }
+
+    /// Mirrors [`ExecState::drop_snapshot`] for snapshots forked earlier in
+    /// this turn: "a snapshot entry is deleted as soon as M is unlocked", and
+    /// a fork whose mutex was released before its id could be assigned must
+    /// not enter the parent's `K_S` map at merge time.
+    fn scrub_pending_snapshot(&mut self, p: Ptr) {
+        for fork in &mut self.forks {
+            if fork.lock_snapshot == Some(p) {
+                fork.lock_snapshot = None;
+            }
+        }
+    }
+
+    /// Forks a state in which the current thread is preempted right now
+    /// (before executing its next instruction) and `next` runs instead.
+    /// Respects the preemption bound. The fork is *recorded*, not admitted:
+    /// the engine applies the dedup fingerprint and the pool cap when the
+    /// batch is merged. Returns true when a fork was recorded.
+    fn fork_preempted(&mut self, state: &ExecState, next: ThreadId) -> bool {
+        if let Some(bound) = self.config.preemption_bound {
+            if state.preemptions >= bound {
+                return false;
+            }
+        }
+        // If the scheduled thread has not advanced at all since the last
+        // context switch, a preemption here would recreate an already-seen
+        // scheduling decision (states would ping-pong between two parked
+        // threads); skip the fork.
+        if state.segment_steps == 0 {
+            return false;
+        }
+        let mut alt = state.clone();
+        alt.preemptions += 1;
+        self.switch_to(&mut alt, next, SegmentStop::Steps(0));
+        self.forks.push(PendingFork { state: alt, lock_snapshot: None });
+        true
+    }
+
+    // ---- the micro-step --------------------------------------------------------
+
+    fn step(&mut self, state: &mut ExecState) -> StepEffect {
+        // If the scheduled thread cannot run, switch or detect a stall.
+        if !state.thread(state.current).is_runnable() {
+            if let Some(next) = self.other_runnable(state) {
+                let stop = if state.thread(state.current).is_finished() {
+                    SegmentStop::Finished
+                } else {
+                    SegmentStop::Blocked
+                };
+                self.switch_to(state, next, stop);
+            } else if state.has_unfinished_threads() {
+                return self.check_deadlock(state).unwrap_or(StepEffect::Dead);
+            } else {
+                return StepEffect::Dead;
+            }
+        }
+
+        let cur = state.current;
+        let frame_loc = state.thread(cur).top().loc();
+        let func = self.program.func(frame_loc.func);
+        let block = func.block(frame_loc.block);
+
+        // Critical-edge / relevance abandonment (ESD only).
+        if self.config.use_critical_edges
+            && state.thread(cur).frames.len() == 1
+            && self.analysis.goal_info.is_irrelevant_block(frame_loc)
+            && !matches!(self.goal, GoalSpec::Deadlock { .. })
+        {
+            return StepEffect::Dead;
+        }
+
+        if frame_loc.idx as usize >= block.insts.len() {
+            let term = block.term.clone();
+            return self.exec_terminator(state, frame_loc, term);
+        }
+        let inst = block.insts[frame_loc.idx as usize].clone();
+        self.exec_inst(state, frame_loc, inst)
+    }
+
+    fn exec_terminator(&mut self, state: &mut ExecState, loc: Loc, term: Terminator) -> StepEffect {
+        let cur = state.current;
+        self.count_step(state);
+        match term {
+            Terminator::Br { target } => {
+                let top = state.thread_mut(cur).top_mut();
+                top.block = target;
+                top.idx = 0;
+                StepEffect::Continue
+            }
+            Terminator::CondBr { cond, then_bb, else_bb } => {
+                let v = self.eval(state, cond);
+                match v.as_concrete() {
+                    Some(c) => {
+                        let top = state.thread_mut(cur).top_mut();
+                        top.block = if c.truthy() { then_bb } else { else_bb };
+                        top.idx = 0;
+                        StepEffect::Continue
+                    }
+                    None => {
+                        let expr = v.as_expr().expect("symbolic condition");
+                        self.fork_on_branch(state, loc, expr, then_bb, else_bb)
+                    }
+                }
+            }
+            Terminator::Ret { value } => {
+                let ret_val = value.map(|v| self.eval(state, v));
+                let frame = state.thread_mut(cur).frames.pop().expect("ret without frame");
+                for l in &frame.locals {
+                    state.mem.kill_local(*l);
+                }
+                if state.thread(cur).frames.is_empty() {
+                    state.thread_mut(cur).status = ThreadStatus::Finished;
+                    // Wake joiners.
+                    for t in &mut state.threads {
+                        if t.status == ThreadStatus::BlockedOnJoin(cur) {
+                            t.status = ThreadStatus::Runnable;
+                        }
+                    }
+                    if cur == ThreadId(0) {
+                        // Program exit without the bug: dead end.
+                        return StepEffect::Dead;
+                    }
+                    if let Some(next) = self.other_runnable(state) {
+                        self.switch_to(state, next, SegmentStop::Finished);
+                        return StepEffect::Continue;
+                    }
+                    return self.check_deadlock(state).unwrap_or(StepEffect::Dead);
+                }
+                if let (Some(dst), Some(v)) = (frame.ret_dst, ret_val) {
+                    self.set_reg(state, dst, v);
+                }
+                StepEffect::Continue
+            }
+            Terminator::Unreachable => {
+                self.handle_fault(state, FaultKind::UnreachableExecuted, loc)
+            }
+        }
+    }
+
+    fn fork_on_branch(
+        &mut self,
+        state: &mut ExecState,
+        loc: Loc,
+        cond: Arc<SymExpr>,
+        then_bb: esd_ir::BlockId,
+        else_bb: esd_ir::BlockId,
+    ) -> StepEffect {
+        let cur = state.current;
+        // Critical edge: only one side can lead to the goal. Only applied for
+        // single-location (crash) goals: for deadlocks the static info is
+        // computed from one thread's blocked location and must not constrain
+        // the other threads' paths.
+        if self.config.use_critical_edges && !matches!(self.goal, GoalSpec::Deadlock { .. }) {
+            if let Some(edge) = self.analysis.goal_info.critical_edge_at(loc.func, loc.block) {
+                let (take, expr) = if edge.required_value {
+                    (then_bb, cond.clone())
+                } else {
+                    (else_bb, SymExpr::not(cond.clone()))
+                };
+                state.add_constraint(expr);
+                if !self.solver.is_feasible(&state.constraints) {
+                    return StepEffect::Dead;
+                }
+                let top = state.thread_mut(cur).top_mut();
+                top.block = take;
+                top.idx = 0;
+                return StepEffect::Continue;
+            }
+        }
+        let mut then_constraints = state.constraints.clone();
+        then_constraints.push(cond.clone());
+        let mut else_constraints = state.constraints.clone();
+        else_constraints.push(SymExpr::not(cond.clone()));
+        let then_feasible = self.solver.is_feasible(&then_constraints);
+        let else_feasible = self.solver.is_feasible(&else_constraints);
+        match (then_feasible, else_feasible) {
+            (false, false) => StepEffect::Dead,
+            (true, false) | (false, true) => {
+                let (bb, c) =
+                    if then_feasible { (then_bb, cond) } else { (else_bb, SymExpr::not(cond)) };
+                state.add_constraint(c);
+                let top = state.thread_mut(cur).top_mut();
+                top.block = bb;
+                top.idx = 0;
+                StepEffect::Continue
+            }
+            (true, true) => {
+                // Fork: the else-side becomes a new state; this state takes
+                // the then-side.
+                let mut alt = state.clone();
+                alt.add_constraint(SymExpr::not(cond.clone()));
+                {
+                    let atop = alt.thread_mut(cur).top_mut();
+                    atop.block = else_bb;
+                    atop.idx = 0;
+                }
+                self.forks.push(PendingFork { state: alt, lock_snapshot: None });
+                state.add_constraint(cond);
+                let top = state.thread_mut(cur).top_mut();
+                top.block = then_bb;
+                top.idx = 0;
+                StepEffect::Continue
+            }
+        }
+    }
+
+    fn exec_inst(&mut self, state: &mut ExecState, loc: Loc, inst: Inst) -> StepEffect {
+        let cur = state.current;
+        match inst {
+            Inst::Const { dst, value } => {
+                self.count_step(state);
+                self.set_reg(state, dst, SymValue::int(value));
+                self.advance(state);
+                StepEffect::Continue
+            }
+            Inst::Bin { dst, op, a, b } => {
+                self.count_step(state);
+                let va = self.eval(state, a);
+                let vb = self.eval(state, b);
+                let result = self.eval_bin(state, loc, op, va, vb);
+                match result {
+                    Ok(v) => {
+                        self.set_reg(state, dst, v);
+                        self.advance(state);
+                        StepEffect::Continue
+                    }
+                    Err(f) => self.handle_fault(state, f, loc),
+                }
+            }
+            Inst::Cmp { dst, op, a, b } => {
+                self.count_step(state);
+                let va = self.eval(state, a);
+                let vb = self.eval(state, b);
+                let v = match (va.as_concrete(), vb.as_concrete()) {
+                    (Some(x), Some(y)) => {
+                        let r = match op {
+                            CmpOp::Eq => x.value_eq(y),
+                            CmpOp::Ne => !x.value_eq(y),
+                            _ => {
+                                let xi = Self::value_as_int(x);
+                                let yi = Self::value_as_int(y);
+                                op.eval(xi, yi)
+                            }
+                        };
+                        SymValue::int(r as i64)
+                    }
+                    _ => match (va.as_expr(), vb.as_expr()) {
+                        (Some(ea), Some(eb)) => SymValue::Symbolic(SymExpr::cmp(op, ea, eb)),
+                        // Comparing a pointer with a symbolic integer:
+                        // pointers are never equal to integers here.
+                        _ => SymValue::int(matches!(op, CmpOp::Ne) as i64),
+                    },
+                };
+                self.set_reg(state, dst, v);
+                self.advance(state);
+                StepEffect::Continue
+            }
+            Inst::AddrLocal { dst, local } => {
+                self.count_step(state);
+                let obj = state.thread(cur).top().locals[local.0 as usize];
+                self.set_reg(state, dst, SymValue::Concrete(Value::Ptr(Ptr::to(obj))));
+                self.advance(state);
+                StepEffect::Continue
+            }
+            Inst::AddrGlobal { dst, global } => {
+                self.count_step(state);
+                let obj = state.globals[global.0 as usize];
+                self.set_reg(state, dst, SymValue::Concrete(Value::Ptr(Ptr::to(obj))));
+                self.advance(state);
+                StepEffect::Continue
+            }
+            Inst::FuncAddr { dst, func } => {
+                self.count_step(state);
+                self.set_reg(
+                    state,
+                    dst,
+                    SymValue::int(esd_ir::interp::FUNC_ADDR_BASE + func.0 as i64),
+                );
+                self.advance(state);
+                StepEffect::Continue
+            }
+            Inst::Alloc { dst, size } => {
+                self.count_step(state);
+                let sv = self.eval(state, size);
+                let n = self.concretize(state, &sv).unwrap_or(0).clamp(0, 1 << 20) as usize;
+                let obj = state.mem.alloc(ObjKind::Heap, n);
+                self.set_reg(state, dst, SymValue::Concrete(Value::Ptr(Ptr::to(obj))));
+                self.advance(state);
+                StepEffect::Continue
+            }
+            Inst::Free { ptr } => {
+                self.count_step(state);
+                let v = self.eval(state, ptr);
+                let cv = v.as_concrete().unwrap_or(Value::Int(0));
+                match state.mem.free(cv) {
+                    Ok(()) => {
+                        self.advance(state);
+                        StepEffect::Continue
+                    }
+                    Err(e) => self.handle_fault(state, Self::mem_fault(e, cv), loc),
+                }
+            }
+            Inst::Load { dst, addr } => {
+                self.count_step(state);
+                let av = self.eval(state, addr);
+                match self.as_address(state, &av) {
+                    Ok(p) => {
+                        if let Some(e) = self.maybe_race_preempt(state, p, loc, false) {
+                            return e;
+                        }
+                        match state.mem.load(p) {
+                            Ok(v) => {
+                                self.set_reg(state, dst, v);
+                                self.advance(state);
+                                StepEffect::Continue
+                            }
+                            Err(e) => {
+                                self.handle_fault(state, Self::mem_fault(e, Value::Ptr(p)), loc)
+                            }
+                        }
+                    }
+                    Err(f) => self.handle_fault(state, f, loc),
+                }
+            }
+            Inst::Store { addr, value } => {
+                self.count_step(state);
+                let av = self.eval(state, addr);
+                let vv = self.eval(state, value);
+                match self.as_address(state, &av) {
+                    Ok(p) => {
+                        if let Some(e) = self.maybe_race_preempt(state, p, loc, true) {
+                            return e;
+                        }
+                        match state.mem.store(p, vv) {
+                            Ok(()) => {
+                                self.advance(state);
+                                StepEffect::Continue
+                            }
+                            Err(e) => {
+                                self.handle_fault(state, Self::mem_fault(e, Value::Ptr(p)), loc)
+                            }
+                        }
+                    }
+                    Err(f) => self.handle_fault(state, f, loc),
+                }
+            }
+            Inst::Gep { dst, base, offset } => {
+                self.count_step(state);
+                let b = self.eval(state, base);
+                let ov = self.eval(state, offset);
+                let o = self.concretize(state, &ov).unwrap_or(0);
+                let r = match b.as_concrete() {
+                    Some(Value::Ptr(p)) => SymValue::Concrete(Value::Ptr(p.add(o))),
+                    Some(Value::Int(i)) => SymValue::int(i.wrapping_add(o)),
+                    None => match b.as_expr() {
+                        Some(e) => {
+                            SymValue::Symbolic(SymExpr::bin(BinOp::Add, e, SymExpr::constant(o)))
+                        }
+                        None => SymValue::int(o),
+                    },
+                };
+                self.set_reg(state, dst, r);
+                self.advance(state);
+                StepEffect::Continue
+            }
+            Inst::Call { dst, callee, args } => {
+                self.count_step(state);
+                let target = match self.resolve_callee(state, &callee) {
+                    Ok(t) => t,
+                    Err(f) => return self.handle_fault(state, f, loc),
+                };
+                let argv: Vec<SymValue> = args.iter().map(|a| self.eval(state, *a)).collect();
+                self.advance(state);
+                self.push_frame(state, target, &argv, dst);
+                StepEffect::Continue
+            }
+            Inst::Input { dst, source } => {
+                self.count_step(state);
+                let seq = state.thread(cur).input_seq;
+                state.thread_mut(cur).input_seq += 1;
+                let var = state.fresh_var(SymVarInfo { thread: cur, seq, source });
+                self.set_reg(state, dst, SymValue::Symbolic(SymExpr::var(var)));
+                self.advance(state);
+                StepEffect::Continue
+            }
+            Inst::Output { .. } => {
+                self.count_step(state);
+                self.advance(state);
+                StepEffect::Continue
+            }
+            Inst::Assert { cond, msg } => {
+                self.count_step(state);
+                let v = self.eval(state, cond);
+                match v.as_concrete() {
+                    Some(c) => {
+                        if c.truthy() {
+                            self.advance(state);
+                            StepEffect::Continue
+                        } else {
+                            self.handle_fault(state, FaultKind::AssertFailure { msg }, loc)
+                        }
+                    }
+                    None => {
+                        let e = v.as_expr().expect("symbolic assert");
+                        // The violating side is a failure at this location;
+                        // the passing side continues in this state.
+                        let is_goal_here =
+                            matches!(self.goal, GoalSpec::Crash { loc: gl } if *gl == loc);
+                        let mut violating = state.constraints.clone();
+                        violating.push(SymExpr::not(e.clone()));
+                        let violation_feasible = self.solver.is_feasible(&violating);
+                        if violation_feasible && is_goal_here {
+                            state.constraints = violating;
+                            return StepEffect::Goal {
+                                fault: FaultKind::AssertFailure { msg },
+                                fault_loc: Some(loc),
+                            };
+                        }
+                        if violation_feasible {
+                            self.other_bugs
+                                .push((FaultKind::AssertFailure { msg: msg.clone() }, Some(loc)));
+                        }
+                        state.add_constraint(e);
+                        if !self.solver.is_feasible(&state.constraints) {
+                            return StepEffect::Dead;
+                        }
+                        self.advance(state);
+                        StepEffect::Continue
+                    }
+                }
+            }
+            Inst::MutexLock { mutex } => self.exec_lock(state, loc, mutex),
+            Inst::MutexUnlock { mutex } => {
+                self.count_step(state);
+                let av = self.eval(state, mutex);
+                let p = match self.as_address(state, &av) {
+                    Ok(p) => p,
+                    Err(f) => return self.handle_fault(state, f, loc),
+                };
+                if state.sync.holder_of(p) != Some(cur) {
+                    return self.handle_fault(
+                        state,
+                        FaultKind::SyncMisuse { what: "unlock of a mutex not held".into() },
+                        loc,
+                    );
+                }
+                state.sync.mutex_mut(p).holder = None;
+                state.thread_mut(cur).held_locks.retain(|h| *h != p);
+                if state.thread(cur).inner_lock_held == Some(p) {
+                    state.thread_mut(cur).inner_lock_held = None;
+                }
+                state.drop_snapshot(p);
+                self.scrub_pending_snapshot(p);
+                let waiters = std::mem::take(&mut state.sync.mutex_mut(p).waiters);
+                for w in waiters {
+                    if state.threads[w.0 as usize].status == ThreadStatus::BlockedOnMutex(p) {
+                        state.threads[w.0 as usize].status = ThreadStatus::Runnable;
+                    }
+                }
+                self.advance(state);
+                StepEffect::Continue
+            }
+            Inst::CondWait { cond, mutex } => {
+                self.count_step(state);
+                let cv = self.eval(state, cond);
+                let mv = self.eval(state, mutex);
+                let (cp, mp) = match (self.as_address(state, &cv), self.as_address(state, &mv)) {
+                    (Ok(c), Ok(m)) => (c, m),
+                    (Err(f), _) | (_, Err(f)) => return self.handle_fault(state, f, loc),
+                };
+                if state.thread(cur).cond_resume == Some(mp) {
+                    if state.sync.holder_of(mp).is_none() {
+                        state.sync.mutex_mut(mp).holder = Some(cur);
+                        state.thread_mut(cur).held_locks.push(mp);
+                        state.thread_mut(cur).cond_resume = None;
+                        self.advance(state);
+                        return StepEffect::Continue;
+                    }
+                    state.sync.mutex_mut(mp).waiters.push(cur);
+                    state.thread_mut(cur).status = ThreadStatus::BlockedOnMutex(mp);
+                    return self.block_and_switch(state);
+                }
+                if state.sync.holder_of(mp) != Some(cur) {
+                    return self.handle_fault(
+                        state,
+                        FaultKind::SyncMisuse {
+                            what: "cond_wait without holding the mutex".into(),
+                        },
+                        loc,
+                    );
+                }
+                state.sync.mutex_mut(mp).holder = None;
+                state.thread_mut(cur).held_locks.retain(|h| *h != mp);
+                state.drop_snapshot(mp);
+                self.scrub_pending_snapshot(mp);
+                let waiters = std::mem::take(&mut state.sync.mutex_mut(mp).waiters);
+                for w in waiters {
+                    if state.threads[w.0 as usize].status == ThreadStatus::BlockedOnMutex(mp) {
+                        state.threads[w.0 as usize].status = ThreadStatus::Runnable;
+                    }
+                }
+                state.sync.cond_mut(cp).waiters.push((cur, mp));
+                state.thread_mut(cur).status = ThreadStatus::BlockedOnCond(cp);
+                self.block_and_switch(state)
+            }
+            Inst::CondSignal { cond } | Inst::CondBroadcast { cond } => {
+                let broadcast = matches!(inst, Inst::CondBroadcast { .. });
+                self.count_step(state);
+                let cv = self.eval(state, cond);
+                let cp = match self.as_address(state, &cv) {
+                    Ok(p) => p,
+                    Err(f) => return self.handle_fault(state, f, loc),
+                };
+                let waiters = {
+                    let c = state.sync.cond_mut(cp);
+                    if broadcast {
+                        std::mem::take(&mut c.waiters)
+                    } else if c.waiters.is_empty() {
+                        vec![]
+                    } else {
+                        vec![c.waiters.remove(0)]
+                    }
+                };
+                for (w, m) in waiters {
+                    state.threads[w.0 as usize].cond_resume = Some(m);
+                    state.threads[w.0 as usize].status = ThreadStatus::Runnable;
+                }
+                self.advance(state);
+                StepEffect::Continue
+            }
+            Inst::ThreadSpawn { dst, func, arg } => {
+                self.count_step(state);
+                let target = match self.resolve_callee(state, &func) {
+                    Ok(t) => t,
+                    Err(f) => return self.handle_fault(state, f, loc),
+                };
+                let av = self.eval(state, arg);
+                let new_tid = ThreadId(state.threads.len() as u32);
+                let callee = self.program.func(target);
+                let mut locals = Vec::with_capacity(callee.local_sizes.len());
+                for size in &callee.local_sizes {
+                    locals.push(state.mem.alloc(ObjKind::Local(new_tid), *size as usize));
+                }
+                let frame = SymFrame::new(target, callee.num_regs, &[av], locals, None);
+                state.threads.push(SymThread::new(new_tid, frame));
+                self.set_reg(state, dst, SymValue::int(new_tid.0 as i64));
+                self.advance(state);
+                StepEffect::Continue
+            }
+            Inst::ThreadJoin { thread } => {
+                self.count_step(state);
+                let tv = self.eval(state, thread);
+                let idx = self.concretize(state, &tv).unwrap_or(-1);
+                if idx < 0 || idx as usize >= state.threads.len() {
+                    return self.handle_fault(
+                        state,
+                        FaultKind::SyncMisuse { what: format!("join of invalid thread id {idx}") },
+                        loc,
+                    );
+                }
+                let target = ThreadId(idx as u32);
+                if state.threads[target.0 as usize].is_finished() {
+                    self.advance(state);
+                    return StepEffect::Continue;
+                }
+                state.thread_mut(cur).status = ThreadStatus::BlockedOnJoin(target);
+                self.block_and_switch(state)
+            }
+            Inst::Yield => {
+                self.count_step(state);
+                self.advance(state);
+                // A yield is an explicit preemption point. In race-directed
+                // mode (§4.2) fork the schedule in which another thread runs
+                // from here, so interleavings that split a load from its
+                // store are reachable; the default search keeps treating
+                // yield as a no-op (the bounded searches and BPF workloads
+                // rely on that).
+                if self.config.race_preemptions {
+                    if let Some(next) = self.other_runnable(state) {
+                        self.fork_preempted(state, next);
+                    }
+                }
+                StepEffect::Continue
+            }
+            Inst::Nop => {
+                self.count_step(state);
+                self.advance(state);
+                StepEffect::Continue
+            }
+        }
+    }
+
+    fn value_as_int(v: Value) -> i64 {
+        match v {
+            Value::Int(i) => i,
+            Value::Ptr(p) => 0x4000_0000_0000 + (p.obj.0 as i64) * 4096 + p.off,
+        }
+    }
+
+    fn eval_bin(
+        &mut self,
+        state: &mut ExecState,
+        _loc: Loc,
+        op: BinOp,
+        a: SymValue,
+        b: SymValue,
+    ) -> Result<SymValue, FaultKind> {
+        // Pointer arithmetic stays concrete.
+        if let Some(Value::Ptr(p)) = a.as_concrete() {
+            if matches!(op, BinOp::Add | BinOp::Sub) {
+                let delta = self.concretize(state, &b).unwrap_or(0);
+                let delta = if op == BinOp::Sub { -delta } else { delta };
+                return Ok(SymValue::Concrete(Value::Ptr(p.add(delta))));
+            }
+        }
+        match (a.as_concrete(), b.as_concrete()) {
+            (Some(x), Some(y)) => {
+                let xi = Self::value_as_int(x);
+                let yi = Self::value_as_int(y);
+                if matches!(op, BinOp::Div | BinOp::Rem) && yi == 0 {
+                    return Err(FaultKind::DivByZero);
+                }
+                Ok(SymValue::int(crate::expr::eval_bin(op, xi, yi).unwrap_or(0)))
+            }
+            _ => {
+                let ea = a.as_expr();
+                let eb = b.as_expr();
+                match (ea, eb) {
+                    (Some(ea), Some(eb)) => {
+                        if matches!(op, BinOp::Div | BinOp::Rem) {
+                            // Require a non-zero divisor on this path.
+                            state.add_constraint(SymExpr::cmp(
+                                CmpOp::Ne,
+                                eb.clone(),
+                                SymExpr::constant(0),
+                            ));
+                        }
+                        Ok(SymValue::Symbolic(SymExpr::bin(op, ea, eb)))
+                    }
+                    _ => Ok(SymValue::int(0)),
+                }
+            }
+        }
+    }
+
+    fn resolve_callee(
+        &mut self,
+        state: &mut ExecState,
+        callee: &Callee,
+    ) -> Result<FuncId, FaultKind> {
+        match callee {
+            Callee::Direct(f) => Ok(*f),
+            Callee::Indirect(op) => {
+                let v = self.eval(state, *op);
+                let raw = self.concretize(state, &v).unwrap_or(0);
+                let idx = raw - esd_ir::interp::FUNC_ADDR_BASE;
+                if idx >= 0 && (idx as usize) < self.program.functions.len() {
+                    Ok(FuncId(idx as u32))
+                } else {
+                    Err(FaultKind::BadIndirectCall { target: Value::Int(raw) })
+                }
+            }
+        }
+    }
+
+    fn push_frame(
+        &mut self,
+        state: &mut ExecState,
+        target: FuncId,
+        args: &[SymValue],
+        ret_dst: Option<Reg>,
+    ) {
+        let cur = state.current;
+        let callee = self.program.func(target);
+        let mut locals = Vec::with_capacity(callee.local_sizes.len());
+        for size in &callee.local_sizes {
+            locals.push(state.mem.alloc(ObjKind::Local(cur), *size as usize));
+        }
+        let frame = SymFrame::new(target, callee.num_regs, args, locals, ret_dst);
+        state.thread_mut(cur).frames.push(frame);
+    }
+
+    /// Ends the current segment because the scheduled thread blocked, and
+    /// switches to another runnable thread (or detects a stall).
+    fn block_and_switch(&mut self, state: &mut ExecState) -> StepEffect {
+        if let Some(e) = self.check_deadlock(state) {
+            return e;
+        }
+        if let Some(next) = self.other_runnable(state) {
+            self.switch_to(state, next, SegmentStop::Blocked);
+            StepEffect::Continue
+        } else {
+            self.check_deadlock(state).unwrap_or(StepEffect::Dead)
+        }
+    }
+
+    /// Lockset-based race preemption points (§4.2): on a flagged access, fork
+    /// a state in which the access is delayed and another thread runs first.
+    fn maybe_race_preempt(
+        &mut self,
+        state: &mut ExecState,
+        p: Ptr,
+        loc: Loc,
+        is_write: bool,
+    ) -> Option<StepEffect> {
+        if !self.config.race_preemptions {
+            return None;
+        }
+        // Only consider globals and heap objects (locals are thread-private).
+        let shared =
+            state.mem.object(p.obj).map(|o| !matches!(o.kind, ObjKind::Local(_))).unwrap_or(false);
+        if !shared {
+            return None;
+        }
+        let cur = state.current;
+        let held: Vec<(u64, i64)> =
+            state.thread(cur).held_locks.iter().map(|h| (h.obj.0, h.off)).collect();
+        // Per-interleaving analysis: the detector lives on the state, so a
+        // race reported here is reported again (and forks a preemption) in
+        // every sibling interleaving that reaches the same pair.
+        let race = state.race_detector.access((p.obj.0, p.off), cur.0, loc, is_write, &held);
+        if race.is_some() {
+            self.races_flagged += 1;
+            if let Some(next) = self.other_runnable(state) {
+                self.fork_preempted(state, next);
+            }
+        }
+        None
+    }
+
+    /// `mutex_lock`, with the deadlock schedule-synthesis heuristics of §4.1.
+    fn exec_lock(&mut self, state: &mut ExecState, loc: Loc, mutex: Operand) -> StepEffect {
+        let cur = state.current;
+        let av = self.eval(state, mutex);
+        let p = match self.as_address(state, &av) {
+            Ok(p) => p,
+            Err(f) => {
+                self.count_step(state);
+                return self.handle_fault(state, f, loc);
+            }
+        };
+        let holder = state.sync.holder_of(p);
+        match holder {
+            None => {
+                // Fork the "preempted before acquiring" alternative; if the
+                // fork survives admission at merge time, the engine records
+                // the assigned id in this state's `K_S` map.
+                if let Some(next) = self.other_runnable(state) {
+                    if self.fork_preempted(state, next) {
+                        self.forks.last_mut().expect("fork just recorded").lock_snapshot = Some(p);
+                    }
+                }
+                // Acquire in this state.
+                self.count_step(state);
+                state.sync.mutex_mut(p).holder = Some(cur);
+                state.thread_mut(cur).held_locks.push(p);
+                self.advance(state);
+                // Inner-lock heuristic: if this acquisition happened at one of
+                // the reported blocked-lock locations, remember it and
+                // preempt, so another thread can come and request this mutex.
+                if self.config.schedule_bias {
+                    if let GoalSpec::Deadlock { thread_locs } = self.goal {
+                        if thread_locs.contains(&loc) {
+                            state.thread_mut(cur).inner_lock_held = Some(p);
+                            state.sched_distance = SchedDistance::Near;
+                            if let Some(next) = self.other_runnable(state) {
+                                self.switch_to(state, next, SegmentStop::Steps(0));
+                            }
+                        }
+                    }
+                }
+                StepEffect::Continue
+            }
+            Some(owner) => {
+                // The mutex is held (possibly by this very thread: self
+                // deadlock). Apply the roll-back heuristic, then block.
+                if self.config.schedule_bias
+                    && owner != cur
+                    && state.threads[owner.0 as usize].inner_lock_held == Some(p)
+                {
+                    // M is the owner's inner lock, so it may be our outer
+                    // lock: prioritize the snapshots in which the owner
+                    // was preempted before acquiring, deprioritize us. The
+                    // `K_S` map covers snapshots registered in earlier
+                    // rounds; snapshots forked earlier in *this* burst have
+                    // no id yet and are promoted by fork index.
+                    self.promotions.extend(
+                        state.lock_snapshots.iter().map(|(_, s)| Promotion::Registered(*s)),
+                    );
+                    self.promotions.extend(
+                        self.forks
+                            .iter()
+                            .enumerate()
+                            .filter(|(_, f)| f.lock_snapshot.is_some())
+                            .map(|(i, _)| Promotion::Pending(i)),
+                    );
+                    state.sched_distance = SchedDistance::Far;
+                }
+                self.count_step(state);
+                state.sync.mutex_mut(p).waiters.push(cur);
+                state.thread_mut(cur).status = ThreadStatus::BlockedOnMutex(p);
+                self.block_and_switch(state)
+            }
+        }
+    }
+}

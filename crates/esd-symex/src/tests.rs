@@ -383,3 +383,95 @@ fn budget_exhaustion_is_reported() {
         SearchOutcome::Found(_) => panic!("cannot find an unreachable goal"),
     }
 }
+
+/// Regression test for the dedup fingerprint. It used to hash the path
+/// constraint *count*, so two forks parked at the same location with
+/// equal-length but incompatible path conditions collided, and the later one
+/// was pruned as a "duplicate". Here the search forks twice into the shared
+/// join blocks: the else-fork of the second branch on the `x == 1` path
+/// (`[x == 1, y != 2]`) is registered first, and the else-fork on the
+/// `x != 1` path (`[x != 1, y != 2]`) — the only state that can reach the
+/// goal — used to collide with it and be wrongly pruned, exhausting the
+/// search.
+#[test]
+fn dedup_fingerprint_distinguishes_equal_length_constraint_sets() {
+    let mut pb = ProgramBuilder::new("fp_collision");
+    let mut bug_loc = None;
+    pb.function("main", 0, |f| {
+        let x = f.getchar();
+        let y = f.getchar();
+        let a = f.new_block("a");
+        let b = f.new_block("b");
+        let m = f.new_block("m");
+        let n = f.new_block("n");
+        let p = f.new_block("p");
+        let q = f.new_block("q");
+        let r = f.new_block("r");
+        let bug = f.new_block("bug");
+        let ok = f.new_block("ok");
+        let c1 = f.cmp(CmpOp::Eq, x, 1);
+        f.cond_br(c1, a, b);
+        f.switch_to(a);
+        f.br(m);
+        f.switch_to(b);
+        f.br(m);
+        f.switch_to(m);
+        let c2 = f.cmp(CmpOp::Eq, y, 2);
+        f.cond_br(c2, n, p);
+        f.switch_to(n);
+        f.br(q);
+        f.switch_to(p);
+        f.br(q);
+        f.switch_to(q);
+        let c3 = f.cmp(CmpOp::Ne, x, 1);
+        f.cond_br(c3, r, ok);
+        f.switch_to(r);
+        let c4 = f.cmp(CmpOp::Ne, y, 2);
+        f.cond_br(c4, bug, ok);
+        f.switch_to(bug);
+        let null = f.konst(0);
+        bug_loc = Some(Loc::new(esd_ir::FuncId(0), bug, f.next_inst_idx()));
+        let v = f.load(null);
+        f.output(v);
+        f.ret_void();
+        f.switch_to(ok);
+        f.ret_void();
+    });
+    let p = pb.finish("main");
+    // DFS makes the registration order deterministic: the x == 1 path's
+    // else-fork reaches the colliding position first.
+    let config = EngineConfig { search: SearchConfig::dfs(), ..EngineConfig::default() };
+    let outcome = run_engine(&p, GoalSpec::Crash { loc: bug_loc.unwrap() }, config);
+    let synth = outcome.found().expect(
+        "the only goal-reaching state has the same constraint count as an \
+         already-registered sibling; the content-aware fingerprint must keep it",
+    );
+    assert_ne!(synth.inputs[0].1, 1, "x must take the second fork's side");
+    assert_ne!(synth.inputs[1].1, 2, "y must take the second fork's side");
+}
+
+/// The batched beam frontier must also synthesize the Listing-1 deadlock —
+/// this exercises the burst path end to end, including the in-burst deadlock
+/// roll-back promotions (a lock-snapshot fork and the conflicting lock
+/// attempt can share one 32-step turn) — and the worker pool must be
+/// unobservable: threads=4 produces the identical schedule and inputs.
+#[test]
+fn listing1_deadlock_is_synthesized_by_beam_search_at_any_thread_count() {
+    let (p, thread_locs) = listing1_program();
+    let config = |threads: usize| EngineConfig {
+        search: SearchConfig::beam(8),
+        max_steps: 400_000,
+        threads,
+        ..EngineConfig::default()
+    };
+    let goal = GoalSpec::Deadlock { thread_locs };
+    let solo = run_engine(&p, goal.clone(), config(1))
+        .found()
+        .expect("beam search must synthesize the deadlock");
+    assert!(matches!(solo.fault, FaultKind::Deadlock));
+    let parallel = run_engine(&p, goal, config(4)).found().expect("threads=4 finds it too");
+    assert_eq!(solo.schedule, parallel.schedule, "thread count must not change the schedule");
+    assert_eq!(solo.inputs, parallel.inputs);
+    assert_eq!(solo.stats.steps, parallel.stats.steps);
+    assert_eq!(solo.stats.states_created, parallel.stats.states_created);
+}

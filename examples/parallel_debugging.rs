@@ -1,0 +1,87 @@
+//! The multi-threaded beam engine: same execution, less wall-clock.
+//!
+//! A `FrontierKind::Beam` frontier selects the `width` states closest to the
+//! reported failure and commits to advancing all of them before re-ranking —
+//! which makes the beam a natural unit of parallelism: the engine hands the
+//! batch to a pool of worker steppers (each with its own solver) and merges
+//! the results back in deterministic batch order. The thread count is
+//! therefore *unobservable*: this example runs the same synthesis job
+//! single-threaded and multi-threaded, checks the two execution files are
+//! byte-identical, and reports the wall-clock difference.
+//!
+//! Run with: `cargo run --release --example parallel_debugging`
+//! (`ESD_THREADS=<n>` picks the parallel thread count, default all cores;
+//! `ESD_BPF_BRANCHES=<n>` sizes the workload, default 512)
+
+use esd::playback::play;
+use esd::workloads::{generate_bpf, BpfConfig};
+use esd::{EsdOptions, FrontierKind};
+use std::time::Instant;
+
+fn main() {
+    // A beam workload heavy enough for threading to matter: a BPF program
+    // with hundreds of input-dependent branches (Figure 3's x-axis), whose
+    // feasibility checks dominate each micro-step.
+    let branches =
+        std::env::var("ESD_BPF_BRANCHES").ok().and_then(|s| s.parse().ok()).unwrap_or(512u32);
+    let workload = generate_bpf(&BpfConfig { branches, ..Default::default() });
+    println!("program under debug: {} ({} branches)", workload.program.name, branches);
+    println!("goal (from the bug report): {:?}\n", workload.goal());
+
+    let threads = std::env::var("ESD_THREADS").ok().and_then(|s| s.parse().ok()).unwrap_or(0usize); // 0 = all available cores
+    let parallelism = if threads == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    } else {
+        threads
+    };
+
+    let options = |threads: usize| {
+        EsdOptions::builder()
+            .max_steps(20_000_000)
+            .frontier(FrontierKind::Beam { width: 16 })
+            .threads(threads)
+            .synthesizer()
+    };
+
+    let start = Instant::now();
+    let solo = options(1)
+        .synthesize_goal(&workload.program, workload.goal(), false)
+        .expect("single-threaded beam synthesis succeeds");
+    let solo_time = start.elapsed();
+
+    let start = Instant::now();
+    let parallel = options(threads)
+        .synthesize_goal(&workload.program, workload.goal(), false)
+        .expect("multi-threaded beam synthesis succeeds");
+    let parallel_time = start.elapsed();
+
+    println!("{:<22} {:>12} {:>12} {:>14}", "run", "time [s]", "steps", "solver calls");
+    for (label, time, report) in [
+        ("threads=1", solo_time, &solo),
+        (&format!("threads={parallelism}"), parallel_time, &parallel),
+    ] {
+        println!(
+            "{:<22} {:>12.2} {:>12} {:>14}",
+            label,
+            time.as_secs_f64(),
+            report.stats.steps,
+            report.stats.solver_queries
+        );
+    }
+
+    assert_eq!(
+        solo.execution.to_json(),
+        parallel.execution.to_json(),
+        "the thread count must not change the synthesized execution"
+    );
+    println!("\nexecution files byte-identical: yes");
+    println!(
+        "speedup: {:.2}x on {} workers",
+        solo_time.as_secs_f64() / parallel_time.as_secs_f64().max(1e-9),
+        parallelism
+    );
+
+    let replay = play(&workload.program, &parallel.execution);
+    println!("synthesized execution replays the failure: {}", replay.reproduced);
+    assert!(replay.reproduced);
+}

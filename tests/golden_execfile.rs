@@ -17,19 +17,44 @@
 use esd::core::SynthesizedExecution;
 use esd::playback::play;
 use esd::workloads::real_bugs::paste_invalid_free;
-use esd::EsdOptions;
+use esd::{EsdOptions, FrontierKind};
 
 const FIXTURE: &str = include_str!("fixtures/paste_execution.json");
+const BEAM_FIXTURE: &str = include_str!("fixtures/paste_execution_beam.json");
 
 fn fixture_path() -> std::path::PathBuf {
     std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/paste_execution.json")
+}
+
+fn beam_fixture_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures/paste_execution_beam.json")
 }
 
 fn regen_requested() -> bool {
     std::env::var("ESD_REGEN_GOLDEN").ok().as_deref() == Some("1")
 }
 
-/// Regenerates the fixture (only when `ESD_REGEN_GOLDEN=1`); run this before
+/// The engine thread count under test (the CI determinism matrix sets
+/// `ESD_THREADS` to 1, 2 and 8; the local default exercises 4 workers).
+fn env_threads() -> usize {
+    std::env::var("ESD_THREADS").ok().and_then(|s| s.parse().ok()).unwrap_or(4)
+}
+
+fn synthesize_beam(threads: usize) -> String {
+    let w = paste_invalid_free();
+    let esd = EsdOptions::builder()
+        .max_steps(2_000_000)
+        .frontier(FrontierKind::Beam { width: 16 })
+        .threads(threads)
+        .synthesizer();
+    let report = esd.synthesize_goal(&w.program, w.goal(), false).expect("synthesis succeeds");
+    let mut json = report.execution.to_json();
+    json.push('\n');
+    json
+}
+
+/// Regenerates the fixtures (only when `ESD_REGEN_GOLDEN=1`); run this before
 /// the read-only golden tests in the same invocation.
 #[test]
 fn a_regenerate_fixture_when_requested() {
@@ -42,6 +67,27 @@ fn a_regenerate_fixture_when_requested() {
     let mut json = report.execution.to_json();
     json.push('\n');
     std::fs::write(fixture_path(), json).expect("fixture written");
+    // The beam fixture is regenerated single-threaded — the matrix test
+    // below proves every other thread count reproduces it.
+    std::fs::write(beam_fixture_path(), synthesize_beam(1)).expect("beam fixture written");
+}
+
+/// Golden determinism of the multi-threaded beam engine: a fresh beam
+/// synthesis at the matrix thread count (`ESD_THREADS`) must reproduce the
+/// checked-in beam execution file byte for byte.
+#[test]
+fn golden_beam_execution_file_matches_fresh_synthesis_at_env_threads() {
+    if regen_requested() {
+        return;
+    }
+    let threads = env_threads();
+    assert_eq!(
+        synthesize_beam(threads),
+        BEAM_FIXTURE,
+        "a beam run at threads={threads} must reproduce the checked-in \
+         execution file byte for byte (regenerate intentionally with \
+         ESD_REGEN_GOLDEN=1 cargo test --test golden_execfile)"
+    );
 }
 
 #[test]

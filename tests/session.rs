@@ -7,6 +7,41 @@ use esd::playback::play;
 use esd::workloads::{listing1, real_bugs::paste_invalid_free};
 use esd::{Esd, EsdOptions, FrontierKind, Portfolio, SessionStatus};
 
+/// The engine thread count under test: the CI determinism matrix sets
+/// `ESD_THREADS` to 1, 2 and 8; locally the default exercises 4 workers.
+fn env_threads() -> usize {
+    std::env::var("ESD_THREADS").ok().and_then(|s| s.parse().ok()).unwrap_or(4)
+}
+
+/// Golden determinism test of the multi-threaded beam engine: a `threads=N`
+/// beam run must emit the byte-identical execution file of a `threads=1`
+/// run, with identical search statistics — batches are merged in
+/// deterministic batch order, so the thread count is unobservable.
+#[test]
+fn parallel_beam_matches_single_threaded_run() {
+    let w = paste_invalid_free();
+    let base =
+        || EsdOptions::builder().max_steps(4_000_000).frontier(FrontierKind::Beam { width: 16 });
+    let solo = Esd::new(base().threads(1).build())
+        .synthesize_goal(&w.program, w.goal(), false)
+        .expect("single-threaded beam synthesis succeeds");
+    let threads = env_threads().max(2);
+    let parallel = Esd::new(base().threads(threads).build())
+        .synthesize_goal(&w.program, w.goal(), false)
+        .expect("multi-threaded beam synthesis succeeds");
+
+    assert_eq!(
+        parallel.execution.to_json(),
+        solo.execution.to_json(),
+        "threads={threads} must emit the byte-identical execution file of threads=1"
+    );
+    assert_eq!(parallel.stats.steps, solo.stats.steps);
+    assert_eq!(parallel.stats.states_created, solo.stats.states_created);
+    assert_eq!(parallel.stats.states_pruned, solo.stats.states_pruned);
+    assert_eq!(parallel.stats.solver_queries, solo.stats.solver_queries);
+    assert!(play(&w.program, &parallel.execution).reproduced);
+}
+
 /// Determinism invariant of the tentpole: for a fixed seed, a session
 /// advanced via `run_for(1)` slices yields byte-identical execution-file
 /// JSON to the one-shot `Esd::synthesize_goal` — because the one-shot *is* a
@@ -14,13 +49,16 @@ use esd::{Esd, EsdOptions, FrontierKind, Portfolio, SessionStatus};
 #[test]
 fn session_slicing_is_deterministic() {
     let w = paste_invalid_free();
-    let options = EsdOptions::builder().max_steps(2_000_000).build();
+    let options = EsdOptions::builder().max_steps(2_000_000).threads(env_threads()).build();
 
     let one_shot = Esd::new(options.clone())
         .synthesize_goal(&w.program, w.goal(), false)
         .expect("one-shot synthesis succeeds");
 
-    let mut session = EsdOptions::builder().max_steps(2_000_000).session(&w.program, w.goal());
+    let mut session = EsdOptions::builder()
+        .max_steps(2_000_000)
+        .threads(env_threads())
+        .session(&w.program, w.goal());
     while session.poll().is_running() {
         session.run_for(1);
     }
@@ -59,7 +97,7 @@ fn cancel_surfaces_partial_stats() {
 #[test]
 fn portfolio_winner_matches_the_solo_run() {
     let w = listing1();
-    let base = EsdOptions::builder().max_steps(2_000_000).build();
+    let base = EsdOptions::builder().max_steps(2_000_000).threads(env_threads()).build();
     let result = Portfolio::new(base.clone())
         .frontiers([
             FrontierKind::Proximity,
