@@ -1,0 +1,53 @@
+//! Multi-job executor throughput benchmark (`BENCH_executor.json`).
+//!
+//! Submits a mixed batch of ≥ 4 workload bugs (deadlocks and crashes) to a
+//! round-robin [`esd_core::JobExecutor`], drains it, and reports per-job
+//! wall time plus total batch throughput — human-readable on stdout and
+//! machine-readable as JSON.
+//!
+//! * Default mode is the *reduced-budget* smoke configuration CI runs
+//!   (`bench-smoke` job); `ESD_BENCH_FULL=1` raises the budget and extends
+//!   the batch with BPF jobs.
+//! * The JSON lands in `BENCH_executor.json`, or in the first CLI argument
+//!   ending in `.json`, or in `$ESD_BENCH_OUT`.
+//! * `threads:<n>` / `ESD_THREADS` select the engine thread count per job.
+//! * Exits non-zero when any job of the batch fails to synthesize — the CI
+//!   gate on the throughput trajectory.
+
+use esd_bench::{executor_throughput, full_mode, print_executor_throughput, threads_from_args};
+
+/// Reduced-budget (smoke) instruction budget per job.
+const SMOKE_BUDGET: u64 = 4_000_000;
+/// Full-mode instruction budget per job.
+const FULL_BUDGET: u64 = 16_000_000;
+/// Base slice length in rounds — small enough that the batch genuinely
+/// interleaves (every job advances before any job finishes its search).
+const SLICE_ROUNDS: u64 = 128;
+
+fn out_path() -> String {
+    std::env::args()
+        .skip(1)
+        .find(|a| a.ends_with(".json"))
+        .or_else(|| std::env::var("ESD_BENCH_OUT").ok())
+        .unwrap_or_else(|| "BENCH_executor.json".into())
+}
+
+fn main() {
+    let budget = if full_mode() { FULL_BUDGET } else { SMOKE_BUDGET };
+    let report = executor_throughput(budget, SLICE_ROUNDS, threads_from_args());
+    print_executor_throughput(&report);
+
+    let path = out_path();
+    let json = serde_json::to_string_pretty(&report).expect("the report serializes");
+    std::fs::write(&path, json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    println!("wrote {path}");
+
+    if !report.all_synthesized() {
+        eprintln!("FAIL: {}/{} jobs synthesized", report.jobs_synthesized, report.jobs_total);
+        std::process::exit(2);
+    }
+    if report.jobs.iter().any(|j| j.synthesized && !j.replays) {
+        eprintln!("FAIL: a synthesized execution did not replay");
+        std::process::exit(3);
+    }
+}

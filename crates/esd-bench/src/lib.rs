@@ -9,10 +9,15 @@
 //! time grows with BPF branch count, stress testing finds nothing — is the
 //! reproduction target (see EXPERIMENTS.md).
 
-use esd_core::{kc_synthesize, stress_test, Esd, EsdOptions, KcStrategy, StressConfig};
+use esd_core::{
+    kc_synthesize, stress_test, Esd, EsdOptions, JobExecutor, JobSpec, JobVerdict, KcStrategy,
+    StressConfig,
+};
 use esd_playback::play;
 use esd_symex::{FrontierKind, GoalSpec};
-use esd_workloads::{all_real_bugs, generate_bpf, BpfConfig, Workload, WorkloadKind};
+use esd_workloads::real_bugs::{ghttpd_log_overflow, paste_invalid_free, sqlite_recursive_lock};
+use esd_workloads::{all_real_bugs, generate_bpf, listing1, BpfConfig, Workload, WorkloadKind};
+use serde::Serialize;
 use std::time::{Duration, Instant};
 
 /// Default instruction budget for ESD runs.
@@ -418,6 +423,180 @@ pub fn playback_check(esd_budget: u64, repetitions: u32) -> Vec<(String, bool)> 
         out.push((w.name.clone(), ok));
     }
     out
+}
+
+/// One job of the multi-job executor throughput benchmark
+/// (`BENCH_executor.json`).
+#[derive(Debug, Clone, Serialize)]
+pub struct ExecutorJobRow {
+    /// The workload/job label.
+    pub label: String,
+    /// Whether the job synthesized an execution within its budget.
+    pub synthesized: bool,
+    /// Whether the synthesized execution replayed to the same failure.
+    pub replays: bool,
+    /// Wall-clock time from the job's admission to its terminal state,
+    /// in seconds — this includes the slices spent on the *other* jobs of
+    /// the batch, which is the latency a service user observes.
+    pub wall_secs: f64,
+    /// Executor slices dispatched to the job.
+    pub slices: u64,
+    /// Search rounds the job advanced.
+    pub rounds: u64,
+    /// Instructions the job's search executed.
+    pub steps: u64,
+}
+
+/// The machine-readable result of [`executor_throughput`], serialized to
+/// `BENCH_executor.json` by the `executor_throughput` binary and gated in CI
+/// (the `bench-smoke` job fails when any batch job fails to synthesize).
+#[derive(Debug, Clone, Serialize)]
+pub struct ExecutorBenchReport {
+    /// The fairness policy the batch ran under.
+    pub policy: String,
+    /// The executor's base slice length in rounds.
+    pub slice_rounds: u64,
+    /// Engine worker threads per job.
+    pub threads: usize,
+    /// Instruction budget per job.
+    pub esd_budget: u64,
+    /// `"reduced"` (the default / CI smoke mode) or `"full"`
+    /// (`ESD_BENCH_FULL=1`).
+    pub mode: &'static str,
+    /// Per-job measurements, in submission order.
+    pub jobs: Vec<ExecutorJobRow>,
+    /// Number of jobs in the batch.
+    pub jobs_total: usize,
+    /// Number of jobs that synthesized their failure.
+    pub jobs_synthesized: usize,
+    /// Wall-clock time to drain the whole batch, in seconds.
+    pub total_wall_secs: f64,
+    /// Batch throughput: synthesized jobs per second of batch wall time.
+    pub throughput_jobs_per_sec: f64,
+}
+
+impl ExecutorBenchReport {
+    /// True when every job of the batch synthesized its failure — the CI
+    /// gate of the `bench-smoke` job.
+    pub fn all_synthesized(&self) -> bool {
+        self.jobs_synthesized == self.jobs_total
+    }
+}
+
+/// The throughput batch: a mixed bag of deadlocks and crashes, ≥ 4 jobs
+/// (the `bench-smoke` acceptance floor), extended with BPF jobs in full
+/// mode.
+fn executor_batch() -> Vec<Workload> {
+    let mut batch =
+        vec![sqlite_recursive_lock(), paste_invalid_free(), ghttpd_log_overflow(), listing1()];
+    batch.extend(all_real_bugs().into_iter().filter(|w| w.name == "mkfifo" || w.name == "tac"));
+    if full_mode() {
+        batch.push(generate_bpf(&BpfConfig { branches: 128, ..Default::default() }));
+        batch.push(generate_bpf(&BpfConfig { branches: 256, seed: 9, ..Default::default() }));
+    }
+    batch
+}
+
+/// The multi-job throughput benchmark: submits the batch (a mixed bag of
+/// deadlocks and crashes, ≥ 4 jobs; BPF jobs added in full mode) to a
+/// round-robin [`JobExecutor`], drains it, replays every synthesized
+/// execution, and reports per-job wall time plus total batch throughput.
+pub fn executor_throughput(
+    esd_budget: u64,
+    slice_rounds: u64,
+    threads: usize,
+) -> ExecutorBenchReport {
+    let batch = executor_batch();
+    let mut executor = JobExecutor::round_robin().slice_rounds(slice_rounds);
+    let started = Instant::now();
+    let handles: Vec<_> = batch
+        .iter()
+        .map(|w| {
+            executor.submit(
+                JobSpec::new(&w.name, &w.program, w.goal())
+                    .options(EsdOptions::builder().max_steps(esd_budget).threads(threads).build()),
+            )
+        })
+        .collect();
+    executor.run_until_idle();
+    let total_wall = started.elapsed();
+
+    let mut jobs = Vec::with_capacity(batch.len());
+    for (w, handle) in batch.iter().zip(handles) {
+        let outcome = executor.take(handle).expect("an idle executor finished every job");
+        let synthesized = outcome.verdict == JobVerdict::Found;
+        let (replays, steps) = match outcome.report() {
+            Some(report) => (play(&w.program, &report.execution).reproduced, report.stats.steps),
+            None => (false, outcome.result.members.iter().map(|m| m.stats.steps).sum()),
+        };
+        jobs.push(ExecutorJobRow {
+            label: outcome.label,
+            synthesized,
+            replays,
+            wall_secs: secs(outcome.wall),
+            slices: outcome.slices,
+            rounds: outcome.rounds,
+            steps,
+        });
+    }
+    let jobs_synthesized = jobs.iter().filter(|j| j.synthesized).count();
+    ExecutorBenchReport {
+        policy: "round-robin".into(),
+        slice_rounds,
+        threads,
+        esd_budget,
+        mode: if full_mode() { "full" } else { "reduced" },
+        jobs_total: jobs.len(),
+        jobs_synthesized,
+        total_wall_secs: secs(total_wall),
+        throughput_jobs_per_sec: if total_wall.is_zero() {
+            0.0
+        } else {
+            jobs_synthesized as f64 / secs(total_wall)
+        },
+        jobs,
+    }
+}
+
+/// Renders the executor throughput report as a table.
+pub fn print_executor_throughput(report: &ExecutorBenchReport) {
+    println!(
+        "Executor throughput: {} jobs under {} (slice={} rounds, threads={}, budget={}, {})",
+        report.jobs_total,
+        report.policy,
+        report.slice_rounds,
+        report.threads,
+        report.esd_budget,
+        report.mode,
+    );
+    println!(
+        "{:<10} {:>12} {:>10} {:>10} {:>12} {:>10}",
+        "job", "wall [s]", "slices", "rounds", "steps", "replays"
+    );
+    for j in &report.jobs {
+        println!(
+            "{:<10} {:>12.3} {:>10} {:>10} {:>12} {:>10}",
+            j.label,
+            j.wall_secs,
+            j.slices,
+            j.rounds,
+            j.steps,
+            if !j.synthesized {
+                "FAILED"
+            } else if j.replays {
+                "yes"
+            } else {
+                "NO"
+            },
+        );
+    }
+    println!(
+        "batch: {}/{} synthesized in {:.3}s — {:.2} jobs/s",
+        report.jobs_synthesized,
+        report.jobs_total,
+        report.total_wall_secs,
+        report.throughput_jobs_per_sec
+    );
 }
 
 /// Convenience used by tests and the quick bench targets: synthesize one

@@ -1,0 +1,955 @@
+//! The multi-job executor: many synthesis jobs, one machine.
+//!
+//! The paper's end state is a debugging *service*: developers submit bug
+//! reports and ESD synthesizes a failing execution for each one. A
+//! [`SynthesisSession`] is one resumable job; a
+//! [`Portfolio`](crate::Portfolio) races N configurations over *one* job.
+//! The [`JobExecutor`] is the layer above both: it holds N independent jobs
+//! at once — each a session, or a per-job portfolio of member sessions — and
+//! time-slices them under a pluggable [`FairnessPolicy`]:
+//!
+//! * [`RoundRobin`] — every runnable job gets an equal slice in submit
+//!   order;
+//! * [`WeightedByPriority`] — round-robin turns, but a job's slice scales
+//!   with its [`JobSpec::priority`];
+//! * [`DeadlineFirst`] — the runnable job with the earliest scheduling
+//!   deadline is served first and receives enlarged slices; jobs without a
+//!   deadline only run when no deadline-bearing job is runnable.
+//!
+//! The caller drives the executor explicitly — [`JobExecutor::submit`],
+//! [`JobExecutor::run_slice`] / [`JobExecutor::run_until_idle`],
+//! [`JobExecutor::poll`], [`JobExecutor::cancel`],
+//! [`JobExecutor::take`] — and can observe every job through a per-job
+//! [`Observer`] fan-out plus aggregate [`ExecutorStats`].
+//!
+//! **Determinism contract.** Jobs are independent engines: slicing happens
+//! only at [`Engine::step_round`](esd_symex::Engine::step_round) boundaries
+//! and the executor shares nothing between jobs, so a job's synthesized
+//! execution file is byte-identical whether the job ran solo or interleaved
+//! with any number of other jobs, at any engine thread count (pinned by the
+//! `tests/executor.rs` integration suite and the CI determinism matrix).
+//!
+//! **Admission control.** [`JobExecutor::max_running`] bounds how many jobs
+//! hold live sessions at once; excess submissions wait in a FIFO queue and
+//! are admitted (paying their static phase then) as running jobs finish.
+//!
+//! There is exactly one time-slicing loop in the codebase:
+//! [`Portfolio::run`](crate::Portfolio::run) is a thin wrapper that submits
+//! a single job whose members are the portfolio members.
+
+use crate::portfolio::{MemberOutcome, MemberReport, PortfolioResult, PortfolioWinner};
+use crate::session::{Observer, SessionStatus, SynthesisSession};
+use crate::synth::EsdOptions;
+use esd_analysis::StaticAnalysis;
+use esd_ir::Program;
+use esd_symex::GoalSpec;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How many search rounds one dispatched slice advances by default
+/// (overridable via [`JobExecutor::slice_rounds`]; policies may scale it).
+pub const DEFAULT_SLICE_ROUNDS: u64 = 1024;
+
+/// The slice enlargement [`DeadlineFirst`] grants deadline-bearing jobs.
+pub const DEADLINE_SLICE_BOOST: u64 = 4;
+
+/// An opaque ticket identifying a submitted job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct JobHandle(u64);
+
+impl JobHandle {
+    /// The handle's numeric id (handles are assigned densely in submit
+    /// order, so ids double as FIFO positions).
+    pub fn id(&self) -> u64 {
+        self.0
+    }
+}
+
+/// One job submitted to a [`JobExecutor`]: a program, a goal, and one or
+/// more member configurations (several members make the job a per-job
+/// portfolio — the first member to synthesize wins the job).
+pub struct JobSpec {
+    label: String,
+    program: Arc<Program>,
+    goal: GoalSpec,
+    members: Vec<(String, EsdOptions)>,
+    priority: u32,
+    deadline: Option<Duration>,
+    observer: Option<Box<dyn Observer>>,
+}
+
+impl JobSpec {
+    /// A job for one bug: `label` names it in stats and logs. Without
+    /// further configuration the job runs a single member with default
+    /// [`EsdOptions`].
+    pub fn new(label: impl Into<String>, program: &Program, goal: GoalSpec) -> Self {
+        JobSpec {
+            label: label.into(),
+            program: Arc::new(program.clone()),
+            goal,
+            members: Vec::new(),
+            priority: 1,
+            deadline: None,
+            observer: None,
+        }
+    }
+
+    /// Replaces the member set with a single member running `options`.
+    pub fn options(mut self, options: EsdOptions) -> Self {
+        let label = options.frontier.to_string();
+        self.members = vec![(label, options)];
+        self
+    }
+
+    /// Adds a member configuration (several members race portfolio-style
+    /// within the job; the first `Found` wins and the rest are cancelled
+    /// immediately).
+    pub fn member(mut self, label: impl Into<String>, options: EsdOptions) -> Self {
+        self.members.push((label.into(), options));
+        self
+    }
+
+    /// Scheduling weight for [`WeightedByPriority`] (default 1; larger
+    /// means proportionally larger slices).
+    pub fn priority(mut self, priority: u32) -> Self {
+        self.priority = priority.max(1);
+        self
+    }
+
+    /// Scheduling deadline for [`DeadlineFirst`], measured from submission.
+    ///
+    /// This is a *fairness hint* — it orders jobs and enlarges their slices;
+    /// it does not expire the job. To kill a job at a wall-clock limit, set
+    /// [`EsdOptions::deadline`] on its member options.
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Attaches a per-job [`Observer`]: it receives an
+    /// [`Observer::on_progress`] snapshot of the advanced member after every
+    /// dispatched slice that leaves the job running (matching the session
+    /// observer's running-only progress cadence — a job that goes terminal
+    /// on its very first slice emits no progress events), and exactly one
+    /// [`Observer::on_finish`] with the job's terminal [`SessionStatus`]
+    /// (the winner's `Found`, or the first member's terminal status when no
+    /// member won).
+    pub fn observer(mut self, observer: Box<dyn Observer>) -> Self {
+        self.observer = Some(observer);
+        self
+    }
+}
+
+/// Where a job currently is in its lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobPhase {
+    /// Submitted, waiting for admission (no sessions exist yet).
+    Queued,
+    /// Admitted: the job holds live sessions and receives slices.
+    Running,
+    /// Terminal: an outcome is available via [`JobExecutor::outcome`] /
+    /// [`JobExecutor::take`].
+    Finished,
+}
+
+/// How a job ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobVerdict {
+    /// A member synthesized the execution.
+    Found,
+    /// Every member went terminal without reaching the goal (exhausted,
+    /// budget, or deadline-expired).
+    Unsatisfied,
+    /// [`JobExecutor::cancel`] stopped the job.
+    Cancelled,
+}
+
+/// The terminal result of one job.
+#[derive(Debug, Clone)]
+pub struct JobOutcome {
+    /// The handle the job was submitted under.
+    pub handle: JobHandle,
+    /// The job's label.
+    pub label: String,
+    /// How the job ended.
+    pub verdict: JobVerdict,
+    /// The portfolio-shaped detail: the winning member (if any) with its
+    /// synthesized execution, plus every member's outcome and statistics.
+    /// Single-member jobs have exactly one member entry.
+    pub result: PortfolioResult,
+    /// Executor slices dispatched to this job.
+    pub slices: u64,
+    /// Search rounds the job actually advanced, summed over members.
+    pub rounds: u64,
+    /// Wall-clock time from admission (start of the job's static phase) to
+    /// the terminal state. Zero for jobs cancelled while still queued.
+    pub wall: Duration,
+}
+
+impl JobOutcome {
+    /// The winning member's synthesis report, if the job was satisfied.
+    pub fn report(&self) -> Option<&crate::synth::SynthesisReport> {
+        self.result.report()
+    }
+}
+
+/// A scheduling view of one runnable job, handed to the
+/// [`FairnessPolicy`]. Views are listed in submit order.
+#[derive(Debug, Clone)]
+pub struct JobView {
+    /// The job's handle (dense ids; submit order).
+    pub handle: JobHandle,
+    /// Scheduling weight ([`JobSpec::priority`], ≥ 1).
+    pub priority: u32,
+    /// Absolute scheduling deadline, if the job has one
+    /// (submission instant + [`JobSpec::deadline`]).
+    pub deadline_at: Option<Instant>,
+    /// Executor slices already dispatched to this job.
+    pub slices: u64,
+}
+
+/// Picks which runnable job receives the next slice, and how large the
+/// slice is.
+///
+/// `jobs` is non-empty and listed in submit order; the returned index must
+/// be within it. Policies are deterministic functions of the views and
+/// their own state — the executor never consults wall-clock time to
+/// schedule, so a test can rely on the dispatch order.
+pub trait FairnessPolicy {
+    /// Returns `(index into jobs, slice length in rounds)` for the next
+    /// dispatch; `base_rounds` is the executor's configured slice length.
+    fn next_slice(&mut self, jobs: &[JobView], base_rounds: u64) -> (usize, u64);
+
+    /// The policy's display name (stats, bench output).
+    fn name(&self) -> &'static str;
+}
+
+/// Equal slices, submit order, cycling over the runnable jobs.
+#[derive(Debug, Default)]
+pub struct RoundRobin {
+    last: Option<JobHandle>,
+}
+
+/// The next runnable job strictly after `last` in handle order, wrapping to
+/// the front — the rotation survives jobs finishing or being admitted
+/// mid-cycle because it keys on handles, not indices.
+fn next_after(jobs: &[JobView], last: Option<JobHandle>) -> usize {
+    match last {
+        Some(last) => jobs.iter().position(|j| j.handle > last).unwrap_or(0),
+        None => 0,
+    }
+}
+
+impl FairnessPolicy for RoundRobin {
+    fn next_slice(&mut self, jobs: &[JobView], base_rounds: u64) -> (usize, u64) {
+        let idx = next_after(jobs, self.last);
+        self.last = Some(jobs[idx].handle);
+        (idx, base_rounds)
+    }
+
+    fn name(&self) -> &'static str {
+        "round-robin"
+    }
+}
+
+/// Round-robin turn order, but a job's slice length is
+/// `base_rounds × priority` — a priority-8 job advances eight times as many
+/// rounds per turn as a priority-1 job.
+#[derive(Debug, Default)]
+pub struct WeightedByPriority {
+    last: Option<JobHandle>,
+}
+
+impl FairnessPolicy for WeightedByPriority {
+    fn next_slice(&mut self, jobs: &[JobView], base_rounds: u64) -> (usize, u64) {
+        let idx = next_after(jobs, self.last);
+        self.last = Some(jobs[idx].handle);
+        (idx, base_rounds.saturating_mul(u64::from(jobs[idx].priority)))
+    }
+
+    fn name(&self) -> &'static str {
+        "weighted-by-priority"
+    }
+}
+
+/// Earliest-deadline-first: the runnable job with the earliest
+/// [`JobView::deadline_at`] is always served next, with its slice enlarged
+/// [`DEADLINE_SLICE_BOOST`]-fold; jobs without a deadline share leftover
+/// capacity round-robin (they run only when no deadline job is runnable).
+#[derive(Debug, Default)]
+pub struct DeadlineFirst {
+    last: Option<JobHandle>,
+}
+
+impl FairnessPolicy for DeadlineFirst {
+    fn next_slice(&mut self, jobs: &[JobView], base_rounds: u64) -> (usize, u64) {
+        let urgent = jobs
+            .iter()
+            .enumerate()
+            .filter_map(|(i, j)| j.deadline_at.map(|d| (d, j.handle, i)))
+            .min();
+        match urgent {
+            Some((_, _, idx)) => (idx, base_rounds.saturating_mul(DEADLINE_SLICE_BOOST)),
+            None => {
+                let idx = next_after(jobs, self.last);
+                self.last = Some(jobs[idx].handle);
+                (idx, base_rounds)
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "deadline-first"
+    }
+}
+
+/// A point-in-time summary of one job, part of [`ExecutorStats`].
+#[derive(Debug, Clone)]
+pub struct JobStat {
+    /// The job's handle.
+    pub handle: JobHandle,
+    /// The job's label.
+    pub label: String,
+    /// Where the job is in its lifecycle.
+    pub phase: JobPhase,
+    /// Executor slices dispatched to the job so far.
+    pub slices: u64,
+    /// Search rounds advanced so far, summed over the job's members.
+    pub rounds: u64,
+    /// Wall-clock time the job has been live (admission → now, or
+    /// admission → finish once terminal; zero while queued).
+    pub wall: Duration,
+}
+
+/// Aggregate statistics of a [`JobExecutor`].
+#[derive(Debug, Clone)]
+pub struct ExecutorStats {
+    /// Jobs submitted over the executor's lifetime.
+    pub submitted: u64,
+    /// Jobs currently waiting for admission.
+    pub queued: usize,
+    /// Jobs currently holding live sessions.
+    pub running: usize,
+    /// Jobs that reached a terminal state (including cancellations).
+    pub finished: u64,
+    /// Terminal jobs that were cancelled.
+    pub cancelled: u64,
+    /// Slices dispatched over the executor's lifetime.
+    pub slices_dispatched: u64,
+    /// Search rounds actually advanced over the executor's lifetime.
+    pub rounds_dispatched: u64,
+    /// Per-job detail (every job ever submitted, in submit order),
+    /// including the wall time of each running or finished job.
+    pub jobs: Vec<JobStat>,
+}
+
+/// One admitted member: its configuration plus its live session.
+struct MemberSlot {
+    label: String,
+    options: EsdOptions,
+    session: SynthesisSession,
+}
+
+/// A queued job's not-yet-admitted ingredients: program, goal, member
+/// configurations.
+type PendingJob = (Arc<Program>, GoalSpec, Vec<(String, EsdOptions)>);
+
+/// Internal per-job bookkeeping.
+struct JobSlot {
+    label: String,
+    /// `Some` while the job is queued; taken at admission.
+    pending: Option<PendingJob>,
+    members: Vec<MemberSlot>,
+    observer: Option<Box<dyn Observer>>,
+    priority: u32,
+    deadline_at: Option<Instant>,
+    admitted_at: Option<Instant>,
+    next_member: usize,
+    slices: u64,
+    phase: JobPhase,
+    outcome: Option<JobOutcome>,
+    /// Terminal totals, frozen at finalize so [`JobExecutor::stats`] stays
+    /// exact after the outcome has been [`take`](JobExecutor::take)n.
+    finished_rounds: u64,
+    finished_wall: Duration,
+}
+
+impl JobSlot {
+    fn rounds(&self) -> u64 {
+        match self.phase {
+            JobPhase::Finished => self.finished_rounds,
+            _ => self.members.iter().map(|m| m.session.rounds()).sum(),
+        }
+    }
+
+    fn wall(&self) -> Duration {
+        match self.phase {
+            JobPhase::Finished => self.finished_wall,
+            _ => self.admitted_at.map(|t| t.elapsed()).unwrap_or_default(),
+        }
+    }
+}
+
+/// Holds N independent synthesis jobs and time-slices them under a
+/// [`FairnessPolicy`] — the multi-job debugging service of the module docs.
+pub struct JobExecutor {
+    policy: Box<dyn FairnessPolicy>,
+    base_slice: u64,
+    max_running: usize,
+    slots: Vec<JobSlot>,
+    slices_dispatched: u64,
+    rounds_dispatched: u64,
+    cancelled: u64,
+}
+
+impl JobExecutor {
+    /// An executor scheduling with the given policy.
+    pub fn new(policy: Box<dyn FairnessPolicy>) -> Self {
+        JobExecutor {
+            policy,
+            base_slice: DEFAULT_SLICE_ROUNDS,
+            max_running: usize::MAX,
+            slots: Vec::new(),
+            slices_dispatched: 0,
+            rounds_dispatched: 0,
+            cancelled: 0,
+        }
+    }
+
+    /// A [`RoundRobin`] executor.
+    pub fn round_robin() -> Self {
+        JobExecutor::new(Box::<RoundRobin>::default())
+    }
+
+    /// A [`WeightedByPriority`] executor.
+    pub fn weighted_by_priority() -> Self {
+        JobExecutor::new(Box::<WeightedByPriority>::default())
+    }
+
+    /// A [`DeadlineFirst`] executor.
+    pub fn deadline_first() -> Self {
+        JobExecutor::new(Box::<DeadlineFirst>::default())
+    }
+
+    /// Sets the base slice length in search rounds (policies may scale it;
+    /// clamped to ≥ 1).
+    pub fn slice_rounds(mut self, rounds: u64) -> Self {
+        self.base_slice = rounds.max(1);
+        self
+    }
+
+    /// Admission control: at most `n` jobs hold live sessions at once;
+    /// excess submissions wait in FIFO order (clamped to ≥ 1).
+    ///
+    /// Admission order is FIFO regardless of the fairness policy — policies
+    /// only arbitrate between *admitted* jobs, so under a tight cap even a
+    /// [`DeadlineFirst`] executor makes a deadline-bearing job wait behind
+    /// earlier running jobs. Size the cap for the urgency mix you expect.
+    pub fn max_running(mut self, n: usize) -> Self {
+        self.max_running = n.max(1);
+        self
+    }
+
+    /// Submits a job; it becomes runnable at the next
+    /// [`run_slice`](JobExecutor::run_slice) (admission permitting). The
+    /// static phase is deferred to admission, so queued jobs cost nothing.
+    pub fn submit(&mut self, spec: JobSpec) -> JobHandle {
+        let handle = JobHandle(self.slots.len() as u64);
+        let members = if spec.members.is_empty() {
+            let options = EsdOptions::default();
+            vec![(options.frontier.to_string(), options)]
+        } else {
+            spec.members
+        };
+        self.slots.push(JobSlot {
+            label: spec.label,
+            pending: Some((spec.program, spec.goal, members)),
+            members: Vec::new(),
+            observer: spec.observer,
+            priority: spec.priority,
+            deadline_at: spec.deadline.map(|d| Instant::now() + d),
+            admitted_at: None,
+            next_member: 0,
+            slices: 0,
+            phase: JobPhase::Queued,
+            outcome: None,
+            finished_rounds: 0,
+            finished_wall: Duration::ZERO,
+        });
+        handle
+    }
+
+    /// The job's current lifecycle phase.
+    ///
+    /// # Panics
+    /// On a handle from a different executor.
+    pub fn poll(&self, handle: JobHandle) -> JobPhase {
+        self.slots[handle.0 as usize].phase
+    }
+
+    /// The job's terminal outcome, once finished.
+    pub fn outcome(&self, handle: JobHandle) -> Option<&JobOutcome> {
+        self.slots[handle.0 as usize].outcome.as_ref()
+    }
+
+    /// Removes and returns the job's terminal outcome (subsequent calls
+    /// return `None`).
+    pub fn take(&mut self, handle: JobHandle) -> Option<JobOutcome> {
+        self.slots[handle.0 as usize].outcome.take()
+    }
+
+    /// Stops a job: queued jobs are dropped, running jobs have every member
+    /// session cancelled (their partial statistics are kept in the
+    /// outcome). Returns `true` if the job was still pending or running.
+    pub fn cancel(&mut self, handle: JobHandle) -> bool {
+        let idx = handle.0 as usize;
+        match self.slots[idx].phase {
+            JobPhase::Finished => false,
+            JobPhase::Queued | JobPhase::Running => {
+                self.slots[idx].pending = None;
+                self.cancelled += 1;
+                self.finalize(idx, JobVerdict::Cancelled);
+                true
+            }
+        }
+    }
+
+    /// True while any job is queued or running.
+    pub fn has_work(&self) -> bool {
+        self.slots.iter().any(|s| s.phase != JobPhase::Finished)
+    }
+
+    /// Dispatches one slice: admits queued jobs up to the admission cap,
+    /// asks the policy for the next `(job, slice)`, advances that job's
+    /// next runnable member by the slice, and finalizes the job if it
+    /// reached a terminal state. Returns `false` when no job is runnable
+    /// (the executor is idle).
+    pub fn run_slice(&mut self) -> bool {
+        self.admit();
+        let views: Vec<JobView> = self
+            .slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.phase == JobPhase::Running)
+            .map(|(i, s)| JobView {
+                handle: JobHandle(i as u64),
+                priority: s.priority,
+                deadline_at: s.deadline_at,
+                slices: s.slices,
+            })
+            .collect();
+        if views.is_empty() {
+            return false;
+        }
+        let (choice, rounds) = self.policy.next_slice(&views, self.base_slice);
+        let idx = views[choice.min(views.len() - 1)].handle.0 as usize;
+        self.advance(idx, rounds.max(1));
+        true
+    }
+
+    /// Runs slices until every submitted job is finished.
+    pub fn run_until_idle(&mut self) {
+        while self.run_slice() {}
+    }
+
+    /// A point-in-time aggregate of the executor (see [`ExecutorStats`]).
+    pub fn stats(&self) -> ExecutorStats {
+        let mut stats = ExecutorStats {
+            submitted: self.slots.len() as u64,
+            queued: 0,
+            running: 0,
+            finished: 0,
+            cancelled: self.cancelled,
+            slices_dispatched: self.slices_dispatched,
+            rounds_dispatched: self.rounds_dispatched,
+            jobs: Vec::with_capacity(self.slots.len()),
+        };
+        for (i, slot) in self.slots.iter().enumerate() {
+            match slot.phase {
+                JobPhase::Queued => stats.queued += 1,
+                JobPhase::Running => stats.running += 1,
+                JobPhase::Finished => stats.finished += 1,
+            }
+            stats.jobs.push(JobStat {
+                handle: JobHandle(i as u64),
+                label: slot.label.clone(),
+                phase: slot.phase,
+                slices: slot.slices,
+                rounds: slot.rounds(),
+                wall: slot.wall(),
+            });
+        }
+        stats
+    }
+
+    /// Admits queued jobs (FIFO) while the running count is below the cap.
+    /// Admission runs the job's static phase — shared across its members —
+    /// and starts its wall clock.
+    fn admit(&mut self) {
+        let mut running = self.slots.iter().filter(|s| s.phase == JobPhase::Running).count();
+        for idx in 0..self.slots.len() {
+            if running >= self.max_running {
+                break;
+            }
+            if self.slots[idx].phase != JobPhase::Queued {
+                continue;
+            }
+            let (program, goal, members) =
+                self.slots[idx].pending.take().expect("queued jobs keep their spec");
+            let admitted_at = Instant::now();
+            // One static phase per job, over every goal location, shared by
+            // all members — exactly what Portfolio::run always did.
+            let analysis = Arc::new(StaticAnalysis::compute_multi(&program, &goal.primary_locs()));
+            let slot = &mut self.slots[idx];
+            slot.members = members
+                .into_iter()
+                .map(|(label, options)| {
+                    let mut session = SynthesisSession::from_parts(
+                        program.clone(),
+                        analysis.clone(),
+                        goal.clone(),
+                        options.clone(),
+                        None,
+                        0,
+                    );
+                    // Each member's clock (elapsed, EsdOptions::deadline)
+                    // covers the shared static phase, like a solo run's.
+                    session.started_at = admitted_at;
+                    MemberSlot { label, options, session }
+                })
+                .collect();
+            slot.admitted_at = Some(admitted_at);
+            slot.phase = JobPhase::Running;
+            running += 1;
+        }
+    }
+
+    /// Advances the job's next runnable member by `rounds`.
+    fn advance(&mut self, idx: usize, rounds: u64) {
+        let slot = &mut self.slots[idx];
+        let n = slot.members.len();
+        let Some(offset) = (0..n)
+            .map(|o| (slot.next_member + o) % n)
+            .find(|&m| slot.members[m].session.poll().is_running())
+        else {
+            // Every member already terminal (can only happen via external
+            // session manipulation); close the job out.
+            self.finalize(idx, JobVerdict::Unsatisfied);
+            return;
+        };
+        let member = &mut slot.members[offset];
+        let before = member.session.rounds();
+        let won = member.session.run_for(rounds).found().is_some();
+        let advanced = member.session.rounds() - before;
+        slot.slices += 1;
+        slot.next_member = (offset + 1) % n;
+        self.slices_dispatched += 1;
+        self.rounds_dispatched += advanced;
+
+        if won {
+            // The satellite fix the regression tests pin: the moment a
+            // member reports Found, the job is finalized and every other
+            // member is cancelled — members later in the same scheduling
+            // round never receive another slice, so per-member `rounds`
+            // statistics stay exactly what each member actually ran.
+            self.finalize(idx, JobVerdict::Found);
+            return;
+        }
+        let slot = &mut self.slots[idx];
+        if slot.members.iter().all(|m| !m.session.poll().is_running()) {
+            self.finalize(idx, JobVerdict::Unsatisfied);
+            return;
+        }
+        // Per-job observer fan-out: a progress snapshot of the member that
+        // just advanced, once per dispatched slice.
+        let slot = &mut self.slots[idx];
+        if let Some(observer) = &mut slot.observer {
+            observer.on_progress(&slot.members[offset].session.progress_event());
+        }
+    }
+
+    /// Moves a job to [`JobPhase::Finished`]: cancels still-running member
+    /// sessions, assembles the portfolio-shaped [`JobOutcome`], and fires
+    /// the job observer's `on_finish`.
+    fn finalize(&mut self, idx: usize, verdict: JobVerdict) {
+        let slot = &mut self.slots[idx];
+        for member in &mut slot.members {
+            member.session.cancel(); // no-op on members already terminal
+        }
+        let mut result = PortfolioResult { winner: None, members: Vec::new() };
+        // The terminal status handed to the job observer (the winner's
+        // `Found`, or the first member's terminal status) — only tracked
+        // when an observer exists, because the clone copies the full
+        // synthesized execution.
+        let has_observer = slot.observer.is_some();
+        let mut finish_status: Option<SessionStatus> = None;
+        let mut rounds_total = 0;
+        for member in slot.members.drain(..) {
+            let MemberSlot { label, options, session } = member;
+            let rounds = session.rounds();
+            rounds_total += rounds;
+            let status = session.into_status();
+            if has_observer && (finish_status.is_none() || status.found().is_some()) {
+                finish_status = Some(status.clone());
+            }
+            let (outcome, stats) = match status {
+                SessionStatus::Found(report) => {
+                    let stats = report.stats.clone();
+                    result.winner = Some(PortfolioWinner {
+                        member: result.members.len(),
+                        label: label.clone(),
+                        report: *report,
+                    });
+                    (MemberOutcome::Won, stats)
+                }
+                SessionStatus::Cancelled(stats) => (MemberOutcome::Preempted, stats),
+                SessionStatus::Exhausted(stats) => (MemberOutcome::Exhausted, stats),
+                SessionStatus::BudgetExceeded(stats) => (MemberOutcome::BudgetExceeded, stats),
+                SessionStatus::DeadlineExpired(stats) => (MemberOutcome::DeadlineExpired, stats),
+                SessionStatus::Running => unreachable!("members were cancelled above"),
+            };
+            result.members.push(MemberReport {
+                label,
+                frontier: options.frontier,
+                seed: options.seed,
+                rounds,
+                outcome,
+                stats,
+            });
+        }
+        let verdict = if result.winner.is_some() { JobVerdict::Found } else { verdict };
+        let wall = slot.admitted_at.map(|t| t.elapsed()).unwrap_or_default();
+        let outcome = JobOutcome {
+            handle: JobHandle(idx as u64),
+            label: slot.label.clone(),
+            verdict,
+            result,
+            slices: slot.slices,
+            rounds: rounds_total,
+            wall,
+        };
+        slot.finished_rounds = rounds_total;
+        slot.finished_wall = wall;
+        slot.phase = JobPhase::Finished;
+        if let Some(observer) = &mut slot.observer {
+            let status = finish_status
+                .unwrap_or_else(|| SessionStatus::Cancelled(esd_symex::SearchStats::default()));
+            observer.on_finish(&status);
+        }
+        slot.outcome = Some(outcome);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::ProgressEvent;
+    use esd_ir::{CmpOp, Loc, ProgramBuilder};
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    fn crashy(name: &str, trigger: i64) -> (esd_ir::Program, Loc) {
+        let mut pb = ProgramBuilder::new(name);
+        let mut loc = None;
+        pb.function("main", 0, |f| {
+            let x = f.getchar();
+            let c = f.cmp(CmpOp::Eq, x, trigger);
+            let bug = f.new_block("bug");
+            let ok = f.new_block("ok");
+            f.cond_br(c, bug, ok);
+            f.switch_to(bug);
+            let z = f.konst(0);
+            loc = Some(Loc::new(esd_ir::FuncId(0), bug, f.next_inst_idx()));
+            let v = f.load(z);
+            f.output(v);
+            f.ret_void();
+            f.switch_to(ok);
+            f.ret_void();
+        });
+        (pb.finish("main"), loc.unwrap())
+    }
+
+    fn view(id: u64, priority: u32, deadline_at: Option<Instant>) -> JobView {
+        JobView { handle: JobHandle(id), priority, deadline_at, slices: 0 }
+    }
+
+    #[test]
+    fn round_robin_cycles_in_handle_order_across_membership_changes() {
+        let mut rr = RoundRobin::default();
+        let jobs = [view(0, 1, None), view(1, 1, None), view(2, 1, None)];
+        assert_eq!(rr.next_slice(&jobs, 8), (0, 8));
+        assert_eq!(rr.next_slice(&jobs, 8), (1, 8));
+        // Job 2 finishes; the rotation keys on handles, so after serving
+        // job 1 the next runnable handle wraps to 0.
+        let jobs = [view(0, 1, None), view(1, 1, None)];
+        assert_eq!(rr.next_slice(&jobs, 8), (0, 8));
+        // A new job 3 arrives mid-cycle and gets its turn after 1.
+        let jobs = [view(0, 1, None), view(1, 1, None), view(3, 1, None)];
+        assert_eq!(rr.next_slice(&jobs, 8), (1, 8));
+        assert_eq!(rr.next_slice(&jobs, 8), (2, 8));
+        assert_eq!(rr.next_slice(&jobs, 8), (0, 8));
+    }
+
+    #[test]
+    fn weighted_policy_scales_slices_by_priority() {
+        let mut wp = WeightedByPriority::default();
+        let jobs = [view(0, 1, None), view(1, 4, None)];
+        assert_eq!(wp.next_slice(&jobs, 100), (0, 100));
+        assert_eq!(wp.next_slice(&jobs, 100), (1, 400));
+        assert_eq!(wp.next_slice(&jobs, 100), (0, 100));
+    }
+
+    #[test]
+    fn deadline_first_serves_the_earliest_deadline_with_a_boost() {
+        let mut df = DeadlineFirst::default();
+        let now = Instant::now();
+        let soon = now + Duration::from_secs(10);
+        let late = now + Duration::from_secs(1000);
+        let jobs = [view(0, 1, None), view(1, 1, Some(late)), view(2, 1, Some(soon))];
+        assert_eq!(df.next_slice(&jobs, 100), (2, 100 * DEADLINE_SLICE_BOOST));
+        // Deadline jobs are served exclusively while any remain.
+        assert_eq!(df.next_slice(&jobs, 100), (2, 100 * DEADLINE_SLICE_BOOST));
+        // Without deadline jobs, the policy degrades to round-robin.
+        let jobs = [view(0, 1, None), view(3, 1, None)];
+        assert_eq!(df.next_slice(&jobs, 100), (0, 100));
+        assert_eq!(df.next_slice(&jobs, 100), (1, 100));
+    }
+
+    #[test]
+    fn submit_poll_take_lifecycle() {
+        let (p, loc) = crashy("exec_lifecycle", 9);
+        let mut exec = JobExecutor::round_robin();
+        let h = exec.submit(JobSpec::new("job", &p, GoalSpec::Crash { loc }));
+        assert_eq!(exec.poll(h), JobPhase::Queued);
+        assert!(exec.has_work());
+        exec.run_until_idle();
+        assert_eq!(exec.poll(h), JobPhase::Finished);
+        assert!(!exec.has_work());
+        let outcome = exec.take(h).expect("finished jobs expose an outcome");
+        assert_eq!(outcome.verdict, JobVerdict::Found);
+        assert_eq!(outcome.label, "job");
+        assert_eq!(outcome.report().unwrap().execution.inputs[0].value, 9);
+        assert_eq!(outcome.result.members.len(), 1, "default spec runs one member");
+        assert!(outcome.slices > 0 && outcome.rounds > 0);
+        assert!(exec.take(h).is_none(), "take() consumes the outcome");
+    }
+
+    #[test]
+    fn admission_control_queues_beyond_the_cap_and_backfills() {
+        let (p, loc) = crashy("exec_admission", 3);
+        let mut exec = JobExecutor::round_robin().max_running(1).slice_rounds(1);
+        let a = exec.submit(JobSpec::new("a", &p, GoalSpec::Crash { loc }));
+        let b = exec.submit(JobSpec::new("b", &p, GoalSpec::Crash { loc }));
+        assert!(exec.run_slice());
+        assert_eq!(exec.poll(a), JobPhase::Running);
+        assert_eq!(exec.poll(b), JobPhase::Queued, "the cap keeps b queued");
+        let stats = exec.stats();
+        assert_eq!((stats.queued, stats.running), (1, 1));
+        exec.run_until_idle();
+        assert_eq!(exec.poll(a), JobPhase::Finished);
+        assert_eq!(exec.poll(b), JobPhase::Finished, "b is admitted once a finishes");
+        assert_eq!(exec.outcome(b).unwrap().verdict, JobVerdict::Found);
+    }
+
+    #[test]
+    fn cancel_drops_queued_jobs_and_stops_running_ones() {
+        let (p, loc) = crashy("exec_cancel", 5);
+        let mut exec = JobExecutor::round_robin().max_running(1).slice_rounds(1);
+        let a = exec.submit(JobSpec::new("a", &p, GoalSpec::Crash { loc }));
+        let b = exec.submit(JobSpec::new("b", &p, GoalSpec::Crash { loc }));
+        // Cancel b while it is still queued: no sessions ever exist for it.
+        assert!(exec.cancel(b));
+        let outcome = exec.outcome(b).unwrap();
+        assert_eq!(outcome.verdict, JobVerdict::Cancelled);
+        assert!(outcome.result.members.is_empty());
+        assert_eq!(outcome.wall, Duration::ZERO);
+        // Cancel a mid-run: partial member stats survive.
+        assert!(exec.run_slice());
+        assert!(exec.cancel(a));
+        let outcome = exec.outcome(a).unwrap();
+        assert_eq!(outcome.verdict, JobVerdict::Cancelled);
+        assert_eq!(outcome.result.members.len(), 1);
+        assert_eq!(outcome.result.members[0].outcome, MemberOutcome::Preempted);
+        assert!(!exec.cancel(a), "cancel on a finished job is a no-op");
+        assert_eq!(exec.stats().cancelled, 2);
+        assert!(!exec.run_slice(), "nothing left to run");
+    }
+
+    /// An observer shared with the test through `Rc<RefCell<_>>`.
+    #[derive(Default)]
+    struct Recording {
+        progress: Vec<ProgressEvent>,
+        finished: Vec<&'static str>,
+    }
+
+    struct RecordingObserver(Rc<RefCell<Recording>>);
+
+    impl Observer for RecordingObserver {
+        fn on_progress(&mut self, event: &ProgressEvent) {
+            self.0.borrow_mut().progress.push(event.clone());
+        }
+
+        fn on_finish(&mut self, status: &SessionStatus) {
+            self.0.borrow_mut().finished.push(match status {
+                SessionStatus::Found(_) => "found",
+                _ => "other",
+            });
+        }
+    }
+
+    #[test]
+    fn job_observer_receives_slice_progress_and_one_finish() {
+        let (p, loc) = crashy("exec_observer", 2);
+        let recording = Rc::new(RefCell::new(Recording::default()));
+        let mut exec = JobExecutor::round_robin().slice_rounds(2);
+        let h = exec.submit(
+            JobSpec::new("watched", &p, GoalSpec::Crash { loc })
+                .observer(Box::new(RecordingObserver(recording.clone()))),
+        );
+        exec.run_until_idle();
+        assert_eq!(exec.outcome(h).unwrap().verdict, JobVerdict::Found);
+        let recording = recording.borrow();
+        assert_eq!(recording.finished, vec!["found"], "exactly one terminal callback");
+        assert!(
+            !recording.progress.is_empty(),
+            "2-round slices must produce intermediate progress events"
+        );
+        assert!(recording.progress.iter().all(|e| e.rounds > 0));
+    }
+
+    #[test]
+    fn executor_stats_account_for_every_job() {
+        let (p, loc) = crashy("exec_stats", 4);
+        let mut exec = JobExecutor::weighted_by_priority();
+        let a = exec.submit(JobSpec::new("a", &p, GoalSpec::Crash { loc }).priority(3));
+        let b = exec.submit(JobSpec::new("b", &p, GoalSpec::Crash { loc }));
+        exec.run_until_idle();
+        let stats = exec.stats();
+        assert_eq!(stats.submitted, 2);
+        assert_eq!(stats.finished, 2);
+        assert_eq!(stats.queued + stats.running, 0);
+        assert_eq!(stats.jobs.len(), 2);
+        assert_eq!(stats.jobs[a.id() as usize].label, "a");
+        assert_eq!(stats.jobs[b.id() as usize].label, "b");
+        assert!(stats.slices_dispatched >= 2);
+        assert_eq!(
+            stats.rounds_dispatched,
+            stats.jobs.iter().map(|j| j.rounds).sum::<u64>(),
+            "dispatched rounds equal the sum of per-job rounds"
+        );
+
+        // Terminal totals are frozen at finalize: taking the outcomes must
+        // not zero a job's rounds or let its wall clock keep growing.
+        let wall_before: Vec<Duration> = stats.jobs.iter().map(|j| j.wall).collect();
+        exec.take(a);
+        exec.take(b);
+        let stats = exec.stats();
+        assert_eq!(
+            stats.rounds_dispatched,
+            stats.jobs.iter().map(|j| j.rounds).sum::<u64>(),
+            "per-job rounds must survive take()"
+        );
+        let wall_after: Vec<Duration> = stats.jobs.iter().map(|j| j.wall).collect();
+        assert_eq!(wall_before, wall_after, "finished wall times must not drift");
+    }
+}

@@ -15,6 +15,10 @@
 //!   cancellation, configured via the builder-style [`EsdOptionsBuilder`].
 //! * [`portfolio`] — N sessions with different search frontiers time-sliced
 //!   round-robin over the same job; first winner takes it.
+//! * [`executor`] — the multi-job layer: a [`JobExecutor`] holds N
+//!   independent jobs (each a session or a per-job portfolio) and
+//!   time-slices them under a pluggable [`FairnessPolicy`], with per-job
+//!   observer fan-out and aggregate [`ExecutorStats`].
 //! * [`kc`] — the KC baseline (Klee searchers + Chess preemption bounding).
 //! * [`stress`] — the brute-force stress/random-testing baseline (§7.2),
 //!   which doubles as the way workload failures "happen in production" and
@@ -28,6 +32,7 @@
 #![deny(missing_docs)]
 
 pub mod execfile;
+pub mod executor;
 pub mod kc;
 pub mod portfolio;
 pub mod report;
@@ -37,6 +42,10 @@ pub mod synth;
 pub mod triage;
 
 pub use execfile::{InputEntry, SynthesizedExecution};
+pub use executor::{
+    DeadlineFirst, ExecutorStats, FairnessPolicy, JobExecutor, JobHandle, JobOutcome, JobPhase,
+    JobSpec, JobStat, JobVerdict, JobView, RoundRobin, WeightedByPriority,
+};
 pub use kc::{kc_synthesize, KcStrategy};
 pub use portfolio::{MemberOutcome, MemberReport, Portfolio, PortfolioResult, PortfolioWinner};
 pub use report::{extract_goal, BugKind, BugReport};

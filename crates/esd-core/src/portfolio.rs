@@ -4,7 +4,7 @@
 //! Which search frontier wins on a given workload is an empirical question —
 //! the whole point of the paper's Figure 2/3 comparison — and answering it
 //! used to cost N sequential full runs. A [`Portfolio`] instead creates one
-//! [`SynthesisSession`] per member (same program, same goal, one shared
+//! [`SynthesisSession`](crate::session::SynthesisSession) per member (same program, same goal, one shared
 //! static phase) and advances them in fixed-size round-robin slices until
 //! the first member synthesizes an execution. The remaining members are
 //! cancelled, and every member reports its partial [`SearchStats`] so the
@@ -14,16 +14,20 @@
 //! trajectory is unaffected by the others: the winner's execution is exactly
 //! what a solo run of that member would have synthesized (asserted by the
 //! `portfolio_winner_matches_the_solo_run` integration test).
+//!
+//! A portfolio is the single-job special case of the multi-job
+//! [`JobExecutor`]: [`Portfolio::run`] submits
+//! one job whose members are the portfolio members to a round-robin executor,
+//! so there is exactly one time-slicing loop in the codebase.
 
-use crate::session::{SessionStatus, SynthesisSession};
+use crate::executor::{JobExecutor, JobSpec};
 use crate::synth::{EsdOptions, SynthesisReport};
-use esd_analysis::StaticAnalysis;
 use esd_ir::Program;
 use esd_symex::{FrontierKind, GoalSpec, SearchStats};
-use std::sync::Arc;
 
-/// How many rounds each member advances per portfolio turn by default.
-pub const DEFAULT_SLICE_ROUNDS: u64 = 1024;
+/// How many rounds each member advances per portfolio turn by default —
+/// the executor's base slice length (one loop, one default).
+pub use crate::executor::DEFAULT_SLICE_ROUNDS;
 
 /// The frontier set [`Portfolio::run`] uses when no members were added: the
 /// paper's proximity strategy, the three undirected baselines, and the
@@ -153,8 +157,17 @@ impl Portfolio {
 
     /// Races the members on one job: every member gets a session over a
     /// shared static phase, sessions advance round-robin `slice_rounds` at a
-    /// time, and the first [`SessionStatus::Found`] wins. Members still
-    /// running when a winner emerges are cancelled with partial stats.
+    /// time, and the first
+    /// [`SessionStatus::Found`](crate::session::SessionStatus::Found) wins.
+    /// The pending
+    /// members are cancelled the moment the winner is observed — members
+    /// later in the winning round never receive another slice — and keep
+    /// their partial stats.
+    ///
+    /// Since the multi-job [`JobExecutor`] landed there is exactly one
+    /// time-slicing loop in the codebase: this method submits a single job
+    /// whose members are the portfolio members to a round-robin executor
+    /// and unwraps its portfolio-shaped outcome.
     pub fn run(&self, program: &Program, goal: GoalSpec) -> PortfolioResult {
         let members: Vec<(String, EsdOptions)> = if self.members.is_empty() {
             DEFAULT_FRONTIERS
@@ -164,84 +177,24 @@ impl Portfolio {
         } else {
             self.members.clone()
         };
-        let started_at = std::time::Instant::now();
-        let program = Arc::new(program.clone());
-        // One shared static phase, computed over every goal location (all of
-        // a deadlock's blocked-lock sites, not just the first).
-        let analysis = Arc::new(StaticAnalysis::compute_multi(&program, &goal.primary_locs()));
-        let mut sessions: Vec<SynthesisSession> = members
-            .iter()
-            .map(|(_, options)| {
-                let mut session = SynthesisSession::from_parts(
-                    program.clone(),
-                    analysis.clone(),
-                    goal.clone(),
-                    options.clone(),
-                    None,
-                    0,
-                );
-                // Every member's clock (elapsed, deadline) covers the shared
-                // static phase, like a solo run's would.
-                session.started_at = started_at;
-                session
-            })
-            .collect();
-
-        let mut winner: Option<usize> = None;
-        'race: loop {
-            let mut any_running = false;
-            for (i, session) in sessions.iter_mut().enumerate() {
-                if !session.poll().is_running() {
-                    continue;
-                }
-                if session.run_for(self.slice_rounds).found().is_some() {
-                    winner = Some(i);
-                    break 'race;
-                }
-                any_running |= session.poll().is_running();
-            }
-            if !any_running {
-                break;
-            }
+        let mut spec = JobSpec::new("portfolio", program, goal);
+        for (label, options) in members {
+            spec = spec.member(label, options);
         }
-
-        // Cancel the losers that were still searching, then assemble the
-        // per-member reports.
-        for (i, session) in sessions.iter_mut().enumerate() {
-            if winner != Some(i) {
-                session.cancel();
-            }
-        }
-        let mut result = PortfolioResult { winner: None, members: Vec::new() };
-        for ((label, options), session) in members.into_iter().zip(sessions) {
-            let rounds = session.rounds();
-            let (frontier, seed) = (options.frontier, options.seed);
-            let (outcome, stats) = match session.into_status() {
-                SessionStatus::Found(report) => {
-                    let stats = report.stats.clone();
-                    result.winner = Some(PortfolioWinner {
-                        member: result.members.len(),
-                        label: label.clone(),
-                        report: *report,
-                    });
-                    (MemberOutcome::Won, stats)
-                }
-                SessionStatus::Cancelled(stats) => (MemberOutcome::Preempted, stats),
-                SessionStatus::Exhausted(stats) => (MemberOutcome::Exhausted, stats),
-                SessionStatus::BudgetExceeded(stats) => (MemberOutcome::BudgetExceeded, stats),
-                SessionStatus::DeadlineExpired(stats) => (MemberOutcome::DeadlineExpired, stats),
-                SessionStatus::Running => unreachable!("all sessions finished or were cancelled"),
-            };
-            result.members.push(MemberReport { label, frontier, seed, rounds, outcome, stats });
-        }
-        result
+        let mut executor = JobExecutor::round_robin().slice_rounds(self.slice_rounds);
+        let handle = executor.submit(spec);
+        executor.run_until_idle();
+        executor.take(handle).expect("an idle executor has finished every job").result
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::session::SynthesisSession;
+    use esd_analysis::StaticAnalysis;
     use esd_ir::{CmpOp, Loc, ProgramBuilder};
+    use std::sync::Arc;
 
     fn crashy() -> (esd_ir::Program, Loc) {
         let mut pb = ProgramBuilder::new("portfolio_crashy");

@@ -22,9 +22,12 @@
 //! produces, because the facade *is* a loop over the same rounds.
 //!
 //! Sessions are configured with the builder-style [`EsdOptionsBuilder`]
-//! (`EsdOptions::builder()`), and composed by the
-//! [`Portfolio`](crate::portfolio::Portfolio) runner, which time-slices
-//! several sessions with different search frontiers over the same job.
+//! (`EsdOptions::builder()`), and composed by the layers above: the
+//! [`Portfolio`](crate::portfolio::Portfolio) runner races several sessions
+//! with different search frontiers over the same job, and the multi-job
+//! [`JobExecutor`](crate::executor::JobExecutor) holds many independent
+//! jobs' sessions and time-slices them under a fairness policy — both share
+//! the executor's single time-slicing loop.
 
 use crate::execfile::SynthesizedExecution;
 use crate::synth::{Esd, EsdOptions, SynthesisReport};

@@ -157,52 +157,162 @@ pub enum InputSource {
 #[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Inst {
     /// `dst = imm`.
-    Const { dst: Reg, value: i64 },
+    Const {
+        /// Destination register.
+        dst: Reg,
+        /// The immediate value.
+        value: i64,
+    },
     /// `dst = a <op> b` on integers.
-    Bin { dst: Reg, op: BinOp, a: Operand, b: Operand },
+    Bin {
+        /// Destination register.
+        dst: Reg,
+        /// The arithmetic/bitwise operator.
+        op: BinOp,
+        /// Left operand.
+        a: Operand,
+        /// Right operand.
+        b: Operand,
+    },
     /// `dst = (a <op> b) ? 1 : 0`.
-    Cmp { dst: Reg, op: CmpOp, a: Operand, b: Operand },
+    Cmp {
+        /// Destination register.
+        dst: Reg,
+        /// The comparison operator.
+        op: CmpOp,
+        /// Left operand.
+        a: Operand,
+        /// Right operand.
+        b: Operand,
+    },
     /// `dst = &local`.
-    AddrLocal { dst: Reg, local: LocalId },
+    AddrLocal {
+        /// Destination register.
+        dst: Reg,
+        /// The function-local slot whose address is taken.
+        local: LocalId,
+    },
     /// `dst = &global`.
-    AddrGlobal { dst: Reg, global: GlobalId },
+    AddrGlobal {
+        /// Destination register.
+        dst: Reg,
+        /// The global whose address is taken.
+        global: GlobalId,
+    },
     /// `dst = (integer "address" of function f)`, for indirect calls.
-    FuncAddr { dst: Reg, func: FuncId },
+    FuncAddr {
+        /// Destination register.
+        dst: Reg,
+        /// The function whose "address" is materialized.
+        func: FuncId,
+    },
     /// `dst = malloc(size)` — allocates a fresh heap object of `size` words.
-    Alloc { dst: Reg, size: Operand },
+    Alloc {
+        /// Destination register (receives the new pointer).
+        dst: Reg,
+        /// Object size in words.
+        size: Operand,
+    },
     /// `free(ptr)` — frees a heap object; freeing anything else faults.
-    Free { ptr: Operand },
+    Free {
+        /// The pointer being freed.
+        ptr: Operand,
+    },
     /// `dst = *(addr)` — word load.
-    Load { dst: Reg, addr: Operand },
+    Load {
+        /// Destination register.
+        dst: Reg,
+        /// The address read from.
+        addr: Operand,
+    },
     /// `*(addr) = value` — word store.
-    Store { addr: Operand, value: Operand },
+    Store {
+        /// The address written to.
+        addr: Operand,
+        /// The word stored.
+        value: Operand,
+    },
     /// `dst = base + offset` pointer arithmetic (offset in words).
-    Gep { dst: Reg, base: Operand, offset: Operand },
+    Gep {
+        /// Destination register.
+        dst: Reg,
+        /// Base pointer.
+        base: Operand,
+        /// Offset in words.
+        offset: Operand,
+    },
     /// Call a function with arguments; the return value (if any) is written
     /// to `dst`.
-    Call { dst: Option<Reg>, callee: Callee, args: Vec<Operand> },
+    Call {
+        /// Destination register for the return value, if used.
+        dst: Option<Reg>,
+        /// The called function (direct or computed).
+        callee: Callee,
+        /// Actual arguments.
+        args: Vec<Operand>,
+    },
     /// `dst = <one fresh word from the environment>`.
-    Input { dst: Reg, source: InputSource },
+    Input {
+        /// Destination register.
+        dst: Reg,
+        /// Which environment source serves the word.
+        source: InputSource,
+    },
     /// Emit a word to the program's output stream.
-    Output { value: Operand },
+    Output {
+        /// The word emitted.
+        value: Operand,
+    },
     /// Abort with an assertion failure if `cond` is false.
-    Assert { cond: Operand, msg: String },
+    Assert {
+        /// The asserted condition (non-zero = pass).
+        cond: Operand,
+        /// Message reported when the assertion fails.
+        msg: String,
+    },
     /// `mutex_lock(mutex)` where `mutex` is the address of a mutex word.
-    MutexLock { mutex: Operand },
+    MutexLock {
+        /// Address of the mutex word.
+        mutex: Operand,
+    },
     /// `mutex_unlock(mutex)`.
-    MutexUnlock { mutex: Operand },
+    MutexUnlock {
+        /// Address of the mutex word.
+        mutex: Operand,
+    },
     /// `cond_wait(cond, mutex)` — atomically release `mutex` and block on
     /// `cond`; re-acquire `mutex` before returning.
-    CondWait { cond: Operand, mutex: Operand },
+    CondWait {
+        /// Address of the condition-variable word.
+        cond: Operand,
+        /// Address of the released-and-reacquired mutex word.
+        mutex: Operand,
+    },
     /// `cond_signal(cond)` — wake one waiter.
-    CondSignal { cond: Operand },
+    CondSignal {
+        /// Address of the condition-variable word.
+        cond: Operand,
+    },
     /// `cond_broadcast(cond)` — wake all waiters.
-    CondBroadcast { cond: Operand },
+    CondBroadcast {
+        /// Address of the condition-variable word.
+        cond: Operand,
+    },
     /// `dst = spawn(func, arg)` — create a thread running `func(arg)`;
     /// returns the new thread's id.
-    ThreadSpawn { dst: Reg, func: Callee, arg: Operand },
+    ThreadSpawn {
+        /// Destination register (receives the thread id).
+        dst: Reg,
+        /// The spawned thread's entry function.
+        func: Callee,
+        /// The single argument passed to the entry function.
+        arg: Operand,
+    },
     /// `join(thread)` — block until the given thread id terminates.
-    ThreadJoin { thread: Operand },
+    ThreadJoin {
+        /// The joined thread's id.
+        thread: Operand,
+    },
     /// Voluntarily yield the processor (a scheduling point with no effect).
     Yield,
     /// No operation (used as padding by the BPF generator).
@@ -302,11 +412,24 @@ impl Inst {
 #[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Terminator {
     /// Unconditional jump.
-    Br { target: BlockId },
+    Br {
+        /// The jump target.
+        target: BlockId,
+    },
     /// Two-way conditional branch on a (possibly symbolic) condition.
-    CondBr { cond: Operand, then_bb: BlockId, else_bb: BlockId },
+    CondBr {
+        /// The branched-on condition (non-zero = then).
+        cond: Operand,
+        /// Target when the condition is non-zero.
+        then_bb: BlockId,
+        /// Target when the condition is zero.
+        else_bb: BlockId,
+    },
     /// Return from the current function.
-    Ret { value: Option<Operand> },
+    Ret {
+        /// The returned word, if the function returns one.
+        value: Option<Operand>,
+    },
     /// Marks statically unreachable code; executing it is a fault.
     Unreachable,
 }

@@ -44,7 +44,14 @@ pub enum MemError {
     /// Access to an object that has been freed.
     UseAfterFree(ObjId),
     /// Offset outside the object bounds.
-    OutOfBounds { obj: ObjId, off: i64, size: usize },
+    OutOfBounds {
+        /// The accessed object.
+        obj: ObjId,
+        /// The out-of-range word offset.
+        off: i64,
+        /// The object's size in words.
+        size: usize,
+    },
     /// `free` on something that is not a heap pointer to offset 0.
     InvalidFree(Value),
     /// `free` on an already-freed heap object.

@@ -22,6 +22,10 @@
 //!   that detects memory-safety violations, assertion failures and deadlocks
 //!   and captures a [`interp::CoreDump`] when a failure occurs.
 
+// Documentation enforcement (see ARCHITECTURE.md, "Documentation policy"):
+// every public item must carry rustdoc.
+#![deny(missing_docs)]
+
 pub mod builder;
 pub mod inst;
 pub mod interp;

@@ -8,6 +8,10 @@
 //! re-run synthesis to confirm the bug is no longer reachable
 //! ([`verify_patch`]).
 
+// Documentation enforcement (see ARCHITECTURE.md, "Documentation policy"):
+// every public item must carry rustdoc.
+#![deny(missing_docs)]
+
 pub mod debugger;
 pub mod player;
 

@@ -13,7 +13,7 @@
 //!   search frontiers (the dynamic phase).
 //! * [`concurrency`] — deadlock / data-race detection and schedules.
 //! * [`core`] — the `esdsynth` facade, bug reports, execution files,
-//!   baselines and triage.
+//!   sessions, the multi-job [`JobExecutor`], baselines and triage.
 //! * [`playback`] — the `esdplay` facade: deterministic replay, the debugger
 //!   façade and patch verification.
 //! * [`workloads`] — the evaluation workloads (real-bug analogs and BPF).
@@ -88,9 +88,14 @@ pub use esd_core::session;
 /// [`Portfolio`].
 pub use esd_core::portfolio;
 
+/// The multi-job executor service (re-exported from [`esd_core`]), home of
+/// [`JobExecutor`] and the [`FairnessPolicy`] implementations.
+pub use esd_core::executor;
+
 pub use esd_core::{
-    BugKind, BugReport, Esd, EsdOptions, EsdOptionsBuilder, Observer, Portfolio, PortfolioResult,
-    ProgressEvent, SessionStatus, SynthesisSession, SynthesizedExecution,
+    BugKind, BugReport, Esd, EsdOptions, EsdOptionsBuilder, ExecutorStats, FairnessPolicy,
+    JobExecutor, JobHandle, JobOutcome, JobPhase, JobSpec, JobVerdict, Observer, Portfolio,
+    PortfolioResult, ProgressEvent, SessionStatus, SynthesisSession, SynthesizedExecution,
 };
 pub use esd_playback::{play, Debugger};
 pub use esd_symex::{FrontierKind, GoalSpec, SearchConfig, StepOutcome};
