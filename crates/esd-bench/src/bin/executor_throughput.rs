@@ -42,12 +42,33 @@ fn main() {
     std::fs::write(&path, json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
     println!("wrote {path}");
 
-    if !report.all_synthesized() {
+    // Collect every failure before exiting, so a multi-job breakage is
+    // debuggable from one CI log instead of one failure per re-run.
+    let unsynthesized: Vec<&esd_bench::ExecutorJobRow> =
+        report.jobs.iter().filter(|j| !j.synthesized).collect();
+    let unreplayed: Vec<&esd_bench::ExecutorJobRow> =
+        report.jobs.iter().filter(|j| j.synthesized && !j.replays).collect();
+    if !unsynthesized.is_empty() {
         eprintln!("FAIL: {}/{} jobs synthesized", report.jobs_synthesized, report.jobs_total);
+        for j in &unsynthesized {
+            eprintln!(
+                "  {}: no execution within budget={} ({} slices, {} rounds, {} steps, {:.3}s)",
+                j.label, budget, j.slices, j.rounds, j.steps, j.wall_secs
+            );
+        }
+        for j in &unreplayed {
+            eprintln!("  {}: synthesized but did not replay", j.label);
+        }
         std::process::exit(2);
     }
-    if report.jobs.iter().any(|j| j.synthesized && !j.replays) {
-        eprintln!("FAIL: a synthesized execution did not replay");
+    if !unreplayed.is_empty() {
+        eprintln!("FAIL: {} synthesized execution(s) did not replay", unreplayed.len());
+        for j in &unreplayed {
+            eprintln!(
+                "  {}: playback diverged ({} slices, {} rounds, {} steps, {:.3}s)",
+                j.label, j.slices, j.rounds, j.steps, j.wall_secs
+            );
+        }
         std::process::exit(3);
     }
 }

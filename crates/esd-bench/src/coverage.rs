@@ -1,0 +1,439 @@
+//! Differential search-coverage harness over the generated bug corpus.
+//!
+//! [`coverage_matrix`] takes a corpus of `(seed, bug kind)` scenarios from
+//! the `esd-workloads` genbug generator and runs every search frontier
+//! (proximity, DFS, BFS, random, beam) against each scenario's ground truth,
+//! then pushes the whole corpus through the [`JobExecutor`] under every
+//! fairness policy. The report answers three questions CI gates on:
+//!
+//! 1. **Coverage** — is every injected bug found by at least one frontier
+//!    within the per-run budget? ([`CoverageReport::all_found`])
+//! 2. **Soundness** — does every *reported* goal match the injected ground
+//!    truth (fault tag, fault location, arming inputs)? A mismatch is a
+//!    false positive. ([`CoverageReport::false_positives`])
+//! 3. **Determinism** — does each scenario's winning configuration produce a
+//!    byte-identical execution file at 1, 2 and 8 engine threads, and do all
+//!    fairness policies agree on every job's outcome?
+//!    ([`ScenarioRow::winner_deterministic`],
+//!    [`CoverageReport::policies_agree`])
+//!
+//! The `coverage_matrix` binary wraps this into `BENCH_coverage.json` for
+//! the CI `coverage-smoke` job; `tests/differential.rs` asserts the same
+//! properties as a regular test over the checked-in smoke corpus.
+
+use crate::secs;
+use esd_core::{EsdOptions, JobExecutor, JobSpec, JobVerdict};
+use esd_symex::FrontierKind;
+use esd_workloads::genbug::{generate, GenConfig, GenSize, GeneratedWorkload, InjectedBugKind};
+use serde::Serialize;
+use std::time::Instant;
+
+/// The engine thread counts the winner-determinism check re-runs at — the
+/// same 1/2/8 matrix the CI determinism job pins for the test suite.
+pub const DETERMINISM_THREADS: [usize; 3] = [1, 2, 8];
+
+/// The frontier lineup of the matrix: every [`FrontierKind`] the engine
+/// offers, with the beam at the executor tests' width.
+pub fn coverage_frontiers() -> Vec<FrontierKind> {
+    vec![
+        FrontierKind::Proximity,
+        FrontierKind::Dfs,
+        FrontierKind::Bfs,
+        FrontierKind::Random,
+        FrontierKind::Beam { width: 16 },
+    ]
+}
+
+/// The checked-in smoke corpus seeds (reduced mode / CI); ≥ 4 seeds so the
+/// smoke matrix is at least 4 seeds × 4 kinds as the acceptance criteria
+/// require.
+pub fn smoke_seeds() -> Vec<u64> {
+    vec![2, 11, 23, 47]
+}
+
+/// The full-mode corpus seeds (`ESD_BENCH_FULL=1`).
+pub fn full_seeds() -> Vec<u64> {
+    (0..12).map(|i| 2 + 9 * i).collect()
+}
+
+/// Configuration of one coverage-matrix run.
+#[derive(Debug, Clone)]
+pub struct CoverageConfig {
+    /// The corpus seeds (each crossed with every bug kind).
+    pub seeds: Vec<u64>,
+    /// Instruction budget per synthesis run.
+    pub budget: u64,
+    /// Structural size of the generated programs.
+    pub size: GenSize,
+}
+
+impl CoverageConfig {
+    /// The reduced (smoke) configuration CI runs.
+    pub fn smoke(budget: u64) -> Self {
+        CoverageConfig { seeds: smoke_seeds(), budget, size: GenSize::small() }
+    }
+
+    /// The full configuration behind `ESD_BENCH_FULL=1`.
+    pub fn full(budget: u64) -> Self {
+        CoverageConfig { seeds: full_seeds(), budget, size: GenSize::medium() }
+    }
+}
+
+/// One `(scenario, frontier)` cell of the matrix.
+#[derive(Debug, Clone, Serialize)]
+pub struct CoverageCell {
+    /// The frontier's display name.
+    pub frontier: String,
+    /// Whether this frontier synthesized an execution within the budget.
+    pub found: bool,
+    /// Whether the synthesized execution matched the injected ground truth
+    /// (`false` while `found` is a **false positive**; `true` when nothing
+    /// was found, vacuously).
+    pub truth_ok: bool,
+    /// The mismatch description when `found && !truth_ok`.
+    pub mismatch: Option<String>,
+    /// Search steps the run executed.
+    pub steps: u64,
+    /// Wall-clock seconds of the run.
+    pub secs: f64,
+}
+
+/// One corpus scenario: a `(seed, kind)` pair, its generated program, and
+/// the per-frontier cells.
+#[derive(Debug, Clone, Serialize)]
+pub struct ScenarioRow {
+    /// The generated workload's name.
+    pub name: String,
+    /// The generator seed.
+    pub seed: u64,
+    /// The injected bug kind's slug.
+    pub kind: String,
+    /// One cell per frontier, in [`coverage_frontiers`] order.
+    pub cells: Vec<CoverageCell>,
+    /// How many frontiers found the bug.
+    pub found_by: usize,
+    /// The fastest (by steps) frontier that found the bug with correct
+    /// ground truth.
+    pub winner: Option<String>,
+    /// Whether the winner's execution file is byte-identical when
+    /// re-synthesized at every [`DETERMINISM_THREADS`] engine thread count
+    /// (`true` vacuously when no frontier won).
+    pub winner_deterministic: bool,
+}
+
+/// The per-policy outcome of one corpus job in the policy differential.
+#[derive(Debug, Clone, Serialize)]
+pub struct PolicyJobRow {
+    /// The job's label (the generated workload name).
+    pub label: String,
+    /// Per-policy `(policy name, verdict, execution JSON)` — the differential
+    /// asserts every policy's verdict and execution agree.
+    pub agree: bool,
+    /// The verdict under the first policy (they all must match it).
+    pub verdict: String,
+}
+
+/// The machine-readable result of [`coverage_matrix`], serialized to
+/// `BENCH_coverage.json` by the `coverage_matrix` binary and gated in CI.
+#[derive(Debug, Clone, Serialize)]
+pub struct CoverageReport {
+    /// `"reduced"` (smoke / CI) or `"full"` (`ESD_BENCH_FULL=1`).
+    pub mode: &'static str,
+    /// Instruction budget per synthesis run.
+    pub budget: u64,
+    /// The corpus seeds.
+    pub seeds: Vec<u64>,
+    /// The frontier lineup, by display name.
+    pub frontiers: Vec<String>,
+    /// The fairness policies of the executor differential.
+    pub policies: Vec<String>,
+    /// One row per `(seed, kind)` scenario.
+    pub scenarios: Vec<ScenarioRow>,
+    /// Scenario count (`seeds × kinds`).
+    pub scenarios_total: usize,
+    /// Scenarios found by at least one frontier.
+    pub scenarios_found: usize,
+    /// Per-job policy agreement over the corpus.
+    pub policy_jobs: Vec<PolicyJobRow>,
+    /// Wall-clock seconds for the whole matrix.
+    pub total_wall_secs: f64,
+}
+
+impl CoverageReport {
+    /// Coverage gate: every injected bug was found by ≥ 1 frontier.
+    pub fn all_found(&self) -> bool {
+        self.scenarios_found == self.scenarios_total
+    }
+
+    /// Soundness gate: the `(scenario, frontier)` cells that reported a goal
+    /// not matching the injected ground truth.
+    pub fn false_positives(&self) -> Vec<(&str, &CoverageCell)> {
+        self.scenarios
+            .iter()
+            .flat_map(|s| s.cells.iter().map(move |c| (s.name.as_str(), c)))
+            .filter(|(_, c)| c.found && !c.truth_ok)
+            .collect()
+    }
+
+    /// Determinism gate (engine half): every winner replays byte-identical
+    /// across the thread matrix.
+    pub fn winners_deterministic(&self) -> bool {
+        self.scenarios.iter().all(|s| s.winner_deterministic)
+    }
+
+    /// Determinism gate (executor half): every fairness policy produced the
+    /// identical outcome for every corpus job.
+    pub fn policies_agree(&self) -> bool {
+        self.policy_jobs.iter().all(|j| j.agree)
+    }
+}
+
+/// The corpus of a config: every seed crossed with every bug kind, in
+/// stable (seed-major, [`InjectedBugKind::ALL`]-minor) order.
+pub fn corpus(config: &CoverageConfig) -> Vec<GeneratedWorkload> {
+    config
+        .seeds
+        .iter()
+        .flat_map(|&seed| {
+            InjectedBugKind::ALL
+                .iter()
+                .map(move |&kind| generate(&GenConfig { seed, kind, size: config.size }))
+        })
+        .collect()
+}
+
+/// The synthesis options one matrix cell runs with. Race-directed
+/// preemptions follow the scenario's ground truth (they are part of what a
+/// race bug *needs*, not a per-frontier variable).
+fn cell_options(w: &GeneratedWorkload, frontier: FrontierKind, budget: u64) -> EsdOptions {
+    EsdOptions::builder()
+        .max_steps(budget)
+        .frontier(frontier)
+        .with_race_detection(w.truth.needs_race_preemptions)
+        .build()
+}
+
+/// Runs the full differential matrix for a config: every scenario × every
+/// frontier, the winner-determinism re-runs, and the fairness-policy
+/// differential over the whole corpus.
+pub fn coverage_matrix(config: &CoverageConfig) -> CoverageReport {
+    let started = Instant::now();
+    let frontiers = coverage_frontiers();
+    let corpus = corpus(config);
+
+    let mut scenarios = Vec::with_capacity(corpus.len());
+    for (idx, w) in corpus.iter().enumerate() {
+        let mut cells = Vec::with_capacity(frontiers.len());
+        for &frontier in &frontiers {
+            let esd = esd_core::Esd::new(cell_options(w, frontier, config.budget));
+            let run_started = Instant::now();
+            let result = esd.synthesize_goal(
+                &w.program,
+                w.truth.goal.clone(),
+                w.truth.needs_race_preemptions,
+            );
+            let elapsed = secs(run_started.elapsed());
+            let cell = match result {
+                Ok(report) => {
+                    let mismatch = w.truth.matches(&report.execution).err();
+                    CoverageCell {
+                        frontier: frontier.to_string(),
+                        found: true,
+                        truth_ok: mismatch.is_none(),
+                        mismatch,
+                        steps: report.stats.steps,
+                        secs: elapsed,
+                    }
+                }
+                Err(_) => CoverageCell {
+                    frontier: frontier.to_string(),
+                    found: false,
+                    truth_ok: true,
+                    mismatch: None,
+                    steps: 0,
+                    secs: elapsed,
+                },
+            };
+            cells.push(cell);
+        }
+        let winner = cells
+            .iter()
+            .zip(&frontiers)
+            .filter(|(c, _)| c.found && c.truth_ok)
+            .min_by_key(|(c, _)| c.steps)
+            .map(|(c, f)| (c.frontier.clone(), *f));
+        let winner_deterministic = match &winner {
+            Some((_, frontier)) => winner_is_deterministic(w, *frontier, config.budget),
+            None => true,
+        };
+        let row = ScenarioRow {
+            name: w.name.clone(),
+            // Corpus order is seed-major over the kinds.
+            seed: config.seeds[idx / InjectedBugKind::ALL.len()],
+            kind: w.truth.kind.slug().to_string(),
+            found_by: cells.iter().filter(|c| c.found && c.truth_ok).count(),
+            winner: winner.map(|(name, _)| name),
+            winner_deterministic,
+            cells,
+        };
+        // Full-mode sweeps run for many minutes per scenario; stderr progress
+        // keeps long runs observable without touching the report on stdout.
+        eprintln!(
+            "[{}/{}] {}: found by {}/{} frontiers, winner {} ({:.1}s)",
+            idx + 1,
+            corpus.len(),
+            row.name,
+            row.found_by,
+            frontiers.len(),
+            row.winner.as_deref().unwrap_or("NONE"),
+            secs(started.elapsed()),
+        );
+        scenarios.push(row);
+    }
+
+    let policies = vec![
+        "round-robin".to_string(),
+        "weighted-by-priority".to_string(),
+        "deadline-first".to_string(),
+    ];
+    let policy_jobs = policy_differential(&corpus, config.budget);
+
+    let scenarios_found = scenarios.iter().filter(|s| s.found_by > 0).count();
+    CoverageReport {
+        mode: if crate::full_mode() { "full" } else { "reduced" },
+        budget: config.budget,
+        seeds: config.seeds.clone(),
+        frontiers: frontiers.iter().map(|f| f.to_string()).collect(),
+        policies,
+        scenarios_total: scenarios.len(),
+        scenarios_found,
+        scenarios,
+        policy_jobs,
+        total_wall_secs: secs(started.elapsed()),
+    }
+}
+
+/// Re-synthesizes a scenario's winning configuration at every
+/// [`DETERMINISM_THREADS`] count and checks the execution files are
+/// byte-identical.
+fn winner_is_deterministic(w: &GeneratedWorkload, frontier: FrontierKind, budget: u64) -> bool {
+    let mut baseline: Option<String> = None;
+    for threads in DETERMINISM_THREADS {
+        let options = EsdOptions::builder()
+            .max_steps(budget)
+            .frontier(frontier)
+            .with_race_detection(w.truth.needs_race_preemptions)
+            .threads(threads)
+            .build();
+        let result = esd_core::Esd::new(options).synthesize_goal(
+            &w.program,
+            w.truth.goal.clone(),
+            w.truth.needs_race_preemptions,
+        );
+        let json = match result {
+            Ok(report) => report.execution.to_json(),
+            Err(_) => return false,
+        };
+        match &baseline {
+            None => baseline = Some(json),
+            Some(expected) if *expected == json => {}
+            Some(_) => return false,
+        }
+    }
+    true
+}
+
+/// Runs the corpus through the [`JobExecutor`] under each fairness policy
+/// and reports, per job, whether every policy produced the identical
+/// verdict and execution file — the service-layer half of the determinism
+/// contract (scheduling arbitration must never leak into results).
+pub fn policy_differential(corpus: &[GeneratedWorkload], budget: u64) -> Vec<PolicyJobRow> {
+    let specs = |threads: usize| -> Vec<JobSpec> {
+        corpus
+            .iter()
+            .map(|w| {
+                JobSpec::new(&w.name, &w.program, w.truth.goal.clone()).options(
+                    EsdOptions::builder()
+                        .max_steps(budget)
+                        .with_race_detection(w.truth.needs_race_preemptions)
+                        .threads(threads)
+                        .build(),
+                )
+            })
+            .collect()
+    };
+    let executors = [
+        JobExecutor::round_robin(),
+        JobExecutor::weighted_by_priority(),
+        JobExecutor::deadline_first(),
+    ];
+    let mut per_policy: Vec<Vec<(JobVerdict, Option<String>)>> = Vec::new();
+    for executor in executors {
+        let outcomes = executor.slice_rounds(256).run_batch(specs(1));
+        per_policy.push(
+            outcomes
+                .into_iter()
+                .map(|o| {
+                    let json = o.report().map(|r| r.execution.to_json());
+                    (o.verdict, json)
+                })
+                .collect(),
+        );
+    }
+    corpus
+        .iter()
+        .enumerate()
+        .map(|(i, w)| {
+            let first = &per_policy[0][i];
+            let agree = per_policy.iter().all(|p| p[i] == *first);
+            PolicyJobRow { label: w.name.clone(), agree, verdict: format!("{:?}", first.0) }
+        })
+        .collect()
+}
+
+/// Renders the coverage report as tables.
+pub fn print_coverage(report: &CoverageReport) {
+    println!(
+        "Coverage matrix: {} scenarios ({} seeds × {} kinds) × {} frontiers, \
+         budget={} ({})",
+        report.scenarios_total,
+        report.seeds.len(),
+        InjectedBugKind::ALL.len(),
+        report.frontiers.len(),
+        report.budget,
+        report.mode,
+    );
+    let mut header = format!("{:<24}", "scenario");
+    for f in &report.frontiers {
+        header.push_str(&format!(" {f:>10}"));
+    }
+    println!("{header} {:>12} {:>6}", "winner", "det");
+    for s in &report.scenarios {
+        let mut row = format!("{:<24}", s.name);
+        for c in &s.cells {
+            let mark = if c.found && c.truth_ok {
+                format!("{}k", c.steps / 1000)
+            } else if c.found {
+                "FALSE+".into()
+            } else {
+                "-".into()
+            };
+            row.push_str(&format!(" {mark:>10}"));
+        }
+        println!(
+            "{row} {:>12} {:>6}",
+            s.winner.as_deref().unwrap_or("NONE"),
+            if s.winner_deterministic { "yes" } else { "NO" },
+        );
+    }
+    println!(
+        "coverage: {}/{} found · {} false positives · winners deterministic: {} · \
+         policies agree: {} · {:.1}s",
+        report.scenarios_found,
+        report.scenarios_total,
+        report.false_positives().len(),
+        if report.winners_deterministic() { "yes" } else { "NO" },
+        if report.policies_agree() { "yes" } else { "NO" },
+        report.total_wall_secs,
+    );
+}

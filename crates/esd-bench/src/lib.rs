@@ -8,6 +8,16 @@
 //! seconds-to-minutes, KC hits its cap on the real-bug analogs, synthesis
 //! time grows with BPF branch count, stress testing finds nothing — is the
 //! reproduction target (see EXPERIMENTS.md).
+//!
+//! Beyond the paper's figures, the [`coverage`] module runs the generated
+//! bug corpus (seeded programs with injected bugs of known kind) through
+//! every search frontier and executor fairness policy against ground truth
+//! — the differential harness behind the `coverage_matrix` binary and the
+//! CI `coverage-smoke` job.
+
+#![deny(missing_docs)]
+
+pub mod coverage;
 
 use esd_core::{
     kc_synthesize, stress_test, Esd, EsdOptions, JobExecutor, JobSpec, JobVerdict, KcStrategy,
@@ -85,7 +95,7 @@ pub fn threads_from_args() -> usize {
     from_cli.or_else(|| std::env::var("ESD_THREADS").ok().map(|s| parse(&s))).unwrap_or(1)
 }
 
-fn secs(d: Duration) -> f64 {
+pub(crate) fn secs(d: Duration) -> f64 {
     d.as_secs_f64()
 }
 

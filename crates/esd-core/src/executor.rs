@@ -479,6 +479,31 @@ impl JobExecutor {
         handle
     }
 
+    /// Submits a whole corpus at once, returning one handle per spec in
+    /// submission order. Equivalent to calling
+    /// [`submit`](JobExecutor::submit) in a loop; the convenience exists so
+    /// corpus producers (the generated-workload harnesses) hand an entire
+    /// batch to the policy in one statement.
+    pub fn submit_batch(&mut self, specs: Vec<JobSpec>) -> Vec<JobHandle> {
+        specs.into_iter().map(|spec| self.submit(spec)).collect()
+    }
+
+    /// Submits a corpus, runs the executor to idle, and returns every
+    /// outcome in submission order. The executor stays usable afterwards
+    /// (statistics accumulate across batches).
+    ///
+    /// # Panics
+    /// If any outcome was already taken — impossible for jobs submitted by
+    /// this call, since it takes each exactly once.
+    pub fn run_batch(&mut self, specs: Vec<JobSpec>) -> Vec<JobOutcome> {
+        let handles = self.submit_batch(specs);
+        self.run_until_idle();
+        handles
+            .into_iter()
+            .map(|h| self.take(h).expect("run_until_idle finished every submitted job"))
+            .collect()
+    }
+
     /// The job's current lifecycle phase.
     ///
     /// # Panics

@@ -9,7 +9,7 @@
 
 use crate::inst::{BinOp, Callee, CmpOp, InputSource, Inst, Operand, Terminator};
 use crate::program::{BasicBlock, Function, Global, Program};
-use crate::types::{BlockId, FuncId, GlobalId, LocalId, Reg};
+use crate::types::{BlockId, FuncId, GlobalId, Loc, LocalId, Reg};
 
 /// Builds a whole [`Program`].
 pub struct ProgramBuilder {
@@ -52,6 +52,7 @@ impl ProgramBuilder {
             self.func_names[id.0 as usize]
         );
         let mut fb = FunctionBuilder::new(
+            id,
             self.func_names[id.0 as usize].clone(),
             self.func_params[id.0 as usize],
         );
@@ -118,6 +119,7 @@ impl ProgramBuilder {
 
 /// Builds a single [`Function`], block by block.
 pub struct FunctionBuilder {
+    func: FuncId,
     name: String,
     num_params: u32,
     next_reg: u32,
@@ -128,9 +130,10 @@ pub struct FunctionBuilder {
 }
 
 impl FunctionBuilder {
-    fn new(name: String, num_params: u32) -> Self {
+    fn new(func: FuncId, name: String, num_params: u32) -> Self {
         let entry = BasicBlock::new(Some("entry".to_string()));
         FunctionBuilder {
+            func,
             name,
             num_params,
             next_reg: num_params,
@@ -139,6 +142,11 @@ impl FunctionBuilder {
             sealed: vec![false],
             current: BlockId(0),
         }
+    }
+
+    /// The id of the function being built (the one `declare` returned).
+    pub fn func_id(&self) -> FuncId {
+        self.func
     }
 
     /// Returns the register holding the `i`-th parameter.
@@ -185,6 +193,44 @@ impl FunctionBuilder {
     /// current block (useful to compute a [`crate::Loc`] while building).
     pub fn next_inst_idx(&self) -> u32 {
         self.blocks[self.current.0 as usize].insts.len() as u32
+    }
+
+    /// The [`Loc`] the next emitted instruction will occupy — the
+    /// builder-time form of "the goal is the instruction I am about to
+    /// emit". Shorthand for
+    /// `Loc::new(f.func_id(), f.current_block(), f.next_inst_idx())`.
+    pub fn here(&self) -> Loc {
+        Loc::new(self.func, self.current, self.next_inst_idx())
+    }
+
+    /// Emits a conditional diamond: branches on `cond` into fresh
+    /// `{label}_t` / `{label}_e` blocks filled by the two closures, joins
+    /// both into a fresh `{label}_j` block, and leaves the builder at the
+    /// join. Returns the join block id.
+    ///
+    /// # Panics
+    ///
+    /// Panics (via [`FunctionBuilder::br`]) if either body terminates its
+    /// block — the diamond owns both terminators.
+    pub fn diamond(
+        &mut self,
+        label: &str,
+        cond: impl Into<Operand>,
+        then_body: impl FnOnce(&mut Self),
+        else_body: impl FnOnce(&mut Self),
+    ) -> BlockId {
+        let then_bb = self.new_block(&format!("{label}_t"));
+        let else_bb = self.new_block(&format!("{label}_e"));
+        let join_bb = self.new_block(&format!("{label}_j"));
+        self.cond_br(cond, then_bb, else_bb);
+        self.switch_to(then_bb);
+        then_body(self);
+        self.br(join_bb);
+        self.switch_to(else_bb);
+        else_body(self);
+        self.br(join_bb);
+        self.switch_to(join_bb);
+        join_bb
     }
 
     fn emit(&mut self, inst: Inst) {
@@ -548,6 +594,35 @@ mod tests {
             f.ret_void();
             f.ret_void();
         });
+    }
+
+    #[test]
+    fn here_names_the_next_instruction() {
+        let mut pb = ProgramBuilder::new("p");
+        pb.function("main", 0, |f| {
+            let entry_start = f.here();
+            assert_eq!(entry_start, Loc::new(f.func_id(), f.current_block(), 0));
+            let x = f.konst(1);
+            assert_eq!(f.here().idx, 1, "here() advances with each emission");
+            f.output(x);
+            f.ret_void();
+        });
+        pb.finish("main");
+    }
+
+    #[test]
+    fn diamond_joins_both_arms_and_leaves_the_builder_at_the_join() {
+        let mut pb = ProgramBuilder::new("p");
+        pb.function("main", 0, |f| {
+            let x = f.getchar();
+            let c = f.eq(x, 7);
+            let join = f.diamond("d", c, |t| t.output(1), |e| e.output(0));
+            assert_eq!(f.current_block(), join);
+            f.ret_void();
+        });
+        let p = pb.finish("main");
+        assert_eq!(p.func(p.entry).blocks.len(), 4, "entry + then + else + join");
+        assert!(validate(&p).is_ok());
     }
 
     #[test]

@@ -9,16 +9,23 @@
 //! * [`bpf`] — the BPF microbenchmark generator (§7.3): parameterized
 //!   synthetic programs with input-dependent branches, threads and locks, and
 //!   one injected deadlock.
+//! * [`genbug`] — the seeded bug-injection generator: random well-formed
+//!   programs with exactly one injected bug of a requested kind and a
+//!   [`GroundTruth`] record for differential testing.
 //!
 //! Every workload carries its program, the goal ESD must reach (derived from
 //! the structure of the injected bug) and, when applicable, a concrete
 //! failing input vector that makes the failure reproducible at the simulated
 //! end-user site so a genuine coredump can be captured.
 
+#![deny(missing_docs)]
+
 pub mod bpf;
+pub mod genbug;
 pub mod real_bugs;
 
 pub use bpf::{generate_bpf, BpfConfig};
+pub use genbug::{generate, GenConfig, GenSize, GeneratedWorkload, GroundTruth, InjectedBugKind};
 pub use real_bugs::{all_real_bugs, listing1, Workload, WorkloadKind};
 
 use esd_core::{stress_test, StressConfig};

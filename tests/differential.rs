@@ -1,0 +1,151 @@
+//! Differential coverage tests over the generated bug corpus.
+//!
+//! The genbug generator (`esd-workloads`) injects exactly one bug of a known
+//! kind into each seeded random program and returns its ground truth; the
+//! coverage harness (`esd-bench`) runs every search frontier and executor
+//! fairness policy against that truth. These tests pin the acceptance
+//! criteria for the checked-in smoke corpus (4 seeds × 4 bug kinds):
+//!
+//! * every injected bug is found by at least one frontier within budget;
+//! * every reported goal matches the injected ground truth — zero false
+//!   positives;
+//! * each scenario's winning configuration synthesizes a byte-identical
+//!   execution file at 1, 2 and 8 engine threads, and the winner's
+//!   execution replays;
+//! * a generated 12-job corpus pushed through the [`JobExecutor`] yields
+//!   identical per-job outcomes under every fairness policy.
+
+use esd::playback::play;
+use esd::workloads::genbug::{generate, GenConfig, GenSize, InjectedBugKind};
+use esd::{EsdOptions, JobExecutor, JobSpec, JobVerdict};
+use esd_bench::coverage::{corpus, coverage_matrix, smoke_seeds, CoverageConfig};
+
+/// Per-run instruction budget: the smoke-corpus winners need well under
+/// 10 k steps, so this is two orders of magnitude of headroom.
+const BUDGET: u64 = 1_000_000;
+
+fn smoke_config() -> CoverageConfig {
+    CoverageConfig { seeds: smoke_seeds(), budget: BUDGET, size: GenSize::small() }
+}
+
+/// The tentpole assertion set, via the same harness CI's `coverage-smoke`
+/// job gates on: full coverage, soundness against ground truth, and both
+/// halves of the determinism contract (engine threads and fairness
+/// policies).
+#[test]
+fn smoke_corpus_is_covered_soundly_and_deterministically() {
+    let config = smoke_config();
+    assert!(config.seeds.len() >= 4, "the smoke corpus is at least 4 seeds");
+    let report = coverage_matrix(&config);
+    assert_eq!(
+        report.scenarios_total,
+        config.seeds.len() * InjectedBugKind::ALL.len(),
+        "every seed × kind pair is a scenario"
+    );
+
+    let missed: Vec<&str> =
+        report.scenarios.iter().filter(|s| s.found_by == 0).map(|s| s.name.as_str()).collect();
+    assert!(missed.is_empty(), "bugs missed by every frontier within {BUDGET} steps: {missed:?}");
+
+    let false_positives: Vec<String> = report
+        .false_positives()
+        .iter()
+        .map(|(name, cell)| {
+            format!("{name} [{}]: {}", cell.frontier, cell.mismatch.as_deref().unwrap_or("?"))
+        })
+        .collect();
+    assert!(false_positives.is_empty(), "false-positive goal reports: {false_positives:?}");
+
+    let nondeterministic: Vec<String> = report
+        .scenarios
+        .iter()
+        .filter(|s| !s.winner_deterministic)
+        .map(|s| format!("{} (winner {})", s.name, s.winner.as_deref().unwrap_or("?")))
+        .collect();
+    assert!(
+        nondeterministic.is_empty(),
+        "winners must emit byte-identical execution files at 1, 2 and 8 \
+         engine threads: {nondeterministic:?}"
+    );
+
+    let policy_disagreements: Vec<&str> =
+        report.policy_jobs.iter().filter(|j| !j.agree).map(|j| j.label.as_str()).collect();
+    assert!(
+        policy_disagreements.is_empty(),
+        "fairness policies must agree on every job outcome: {policy_disagreements:?}"
+    );
+}
+
+/// Every scenario's winner not only reaches the goal — its synthesized
+/// execution replays to the same failure, and the replayed fault carries a
+/// tag the ground truth allows.
+#[test]
+fn smoke_corpus_winners_replay_to_the_injected_failure() {
+    for w in corpus(&smoke_config()) {
+        let esd = EsdOptions::builder()
+            .max_steps(BUDGET)
+            .with_race_detection(w.truth.needs_race_preemptions)
+            .synthesizer();
+        let report = esd
+            .synthesize_goal(&w.program, w.truth.goal.clone(), w.truth.needs_race_preemptions)
+            .unwrap_or_else(|e| panic!("{}: proximity synthesis failed: {e:?}", w.name));
+        w.truth
+            .matches(&report.execution)
+            .unwrap_or_else(|e| panic!("{}: ground truth mismatch: {e}", w.name));
+        let replay = play(&w.program, &report.execution);
+        assert!(replay.reproduced, "{}: the synthesized execution must replay", w.name);
+    }
+}
+
+/// Satellite: a generated 12-job corpus (3 seeds × 4 kinds) submitted as a
+/// batch yields identical per-job outcomes under every fairness policy —
+/// the order-insensitivity regression on top of the executor's
+/// solo-vs-interleaved guarantee. Exercises the batch submission API
+/// (`run_batch`) end to end.
+#[test]
+fn twelve_job_corpus_outcomes_are_policy_invariant() {
+    let corpus: Vec<_> = [3u64, 5, 8]
+        .iter()
+        .flat_map(|&seed| {
+            InjectedBugKind::ALL.iter().map(move |&kind| generate(&GenConfig::new(seed, kind)))
+        })
+        .collect();
+    assert_eq!(corpus.len(), 12);
+
+    let specs = || -> Vec<JobSpec> {
+        corpus
+            .iter()
+            .map(|w| {
+                JobSpec::new(&w.name, &w.program, w.truth.goal.clone()).options(
+                    EsdOptions::builder()
+                        .max_steps(BUDGET)
+                        .with_race_detection(w.truth.needs_race_preemptions)
+                        .build(),
+                )
+            })
+            .collect()
+    };
+
+    let baseline: Vec<(JobVerdict, Option<String>)> = JobExecutor::round_robin()
+        .slice_rounds(128)
+        .run_batch(specs())
+        .into_iter()
+        .map(|o| (o.verdict, o.report().map(|r| r.execution.to_json())))
+        .collect();
+    for (w, (verdict, json)) in corpus.iter().zip(&baseline) {
+        assert_eq!(*verdict, JobVerdict::Found, "{}", w.name);
+        assert!(json.is_some(), "{}", w.name);
+    }
+
+    for executor in [JobExecutor::weighted_by_priority(), JobExecutor::deadline_first()] {
+        let outcomes = executor.slice_rounds(128).run_batch(specs());
+        for ((w, outcome), expected) in corpus.iter().zip(outcomes).zip(&baseline) {
+            let got = (outcome.verdict, outcome.report().map(|r| r.execution.to_json()));
+            assert_eq!(
+                got, *expected,
+                "{}: outcome must not depend on the fairness policy",
+                w.name
+            );
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! Golden test pinning the bug generator's output across releases.
+//!
+//! `tests/properties.rs` proves the generator is deterministic *within* a
+//! build; this fixture pins the concrete bytes *across* builds, so an
+//! accidental change to the generator (a reordered RNG draw, a renamed
+//! block, a new instruction in the skeleton) is caught as a diff instead of
+//! silently invalidating every seed-addressed corpus reference — the whole
+//! point of describing a corpus by its seeds.
+//!
+//! If the generator changes *intentionally*, regenerate with
+//!
+//! ```text
+//! ESD_REGEN_GOLDEN=1 cargo test --test golden_genbug
+//! ```
+//!
+//! and commit the new fixture together with the generator change.
+
+use esd::ir::printer::print_program;
+use esd::workloads::genbug::{generate, GenConfig, InjectedBugKind};
+
+const FIXTURE: &str = include_str!("fixtures/genbug_seed2.ir");
+
+/// The fixture seed. Seed 2 is also the first smoke-corpus seed, so the
+/// frozen programs are exactly the ones the differential harness exercises.
+const SEED: u64 = 2;
+
+fn fixture_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/genbug_seed2.ir")
+}
+
+fn regen_requested() -> bool {
+    std::env::var("ESD_REGEN_GOLDEN").ok().as_deref() == Some("1")
+}
+
+/// All four kinds at the fixture seed, concatenated in `ALL` order with a
+/// header line per program.
+fn render_corpus() -> String {
+    let mut out = String::new();
+    for kind in InjectedBugKind::ALL {
+        let w = generate(&GenConfig::new(SEED, kind));
+        out.push_str(&format!("=== {} ===\n", w.name));
+        out.push_str(&print_program(&w.program));
+        out.push('\n');
+    }
+    out
+}
+
+/// Regenerates the fixture (only when `ESD_REGEN_GOLDEN=1`); alphabetically
+/// first so a regeneration run rewrites before the read-only checks.
+#[test]
+fn a_regenerate_fixture_when_requested() {
+    if !regen_requested() {
+        return;
+    }
+    std::fs::write(fixture_path(), render_corpus()).expect("fixture written");
+}
+
+/// The generator reproduces the checked-in serialization byte for byte, for
+/// every bug kind at the fixture seed.
+#[test]
+fn generated_programs_match_the_checked_in_fixture() {
+    if regen_requested() {
+        // The in-memory FIXTURE constant is stale during a regeneration run.
+        return;
+    }
+    assert_eq!(
+        render_corpus(),
+        FIXTURE,
+        "the generator's output for seed {SEED} drifted from the checked-in \
+         fixture; if the change is intentional, regenerate with \
+         ESD_REGEN_GOLDEN=1 cargo test --test golden_genbug"
+    );
+}
+
+/// The fixture carries all four kinds (guards against a truncated
+/// regeneration).
+#[test]
+fn fixture_covers_every_bug_kind() {
+    if regen_requested() {
+        return;
+    }
+    for kind in InjectedBugKind::ALL {
+        let header = format!("=== genbug_{}_s{SEED}_", kind.slug());
+        assert!(FIXTURE.contains(&header), "fixture is missing the {kind} program");
+    }
+}
