@@ -483,6 +483,15 @@ pub struct ExecutorBenchReport {
     pub total_wall_secs: f64,
     /// Batch throughput: synthesized jobs per second of batch wall time.
     pub throughput_jobs_per_sec: f64,
+    /// Checkpoint cadence (in slices) of the durable re-run.
+    pub checkpoint_every: u64,
+    /// Wall-clock time to drain the identical batch under a *durable*
+    /// executor (write-ahead journal + periodic checkpoints), in seconds.
+    pub durable_total_wall_secs: f64,
+    /// The durability tax: `(durable - plain) / plain`, as a percentage of
+    /// the plain batch wall time. Can be slightly negative on a noisy
+    /// machine when the true overhead is below the timing jitter.
+    pub checkpoint_overhead_pct: f64,
 }
 
 impl ExecutorBenchReport {
@@ -531,6 +540,28 @@ pub fn executor_throughput(
     executor.run_until_idle();
     let total_wall = started.elapsed();
 
+    // The identical batch again under a durable executor — measures the
+    // checkpoint/journal tax a service pays for crash recoverability.
+    let checkpoint_every = 8;
+    let durable_dir = std::env::temp_dir().join("esd-bench-durable");
+    let _ = std::fs::remove_dir_all(&durable_dir);
+    let mut durable = JobExecutor::round_robin()
+        .slice_rounds(slice_rounds)
+        .checkpoint_every(checkpoint_every)
+        .durable_dir(&durable_dir)
+        .expect("the durable bench directory is writable");
+    let durable_started = Instant::now();
+    for w in &batch {
+        durable.submit(
+            JobSpec::new(&w.name, &w.program, w.goal())
+                .options(EsdOptions::builder().max_steps(esd_budget).threads(threads).build()),
+        );
+    }
+    durable.run_until_idle();
+    let durable_wall = durable_started.elapsed();
+    drop(durable);
+    let _ = std::fs::remove_dir_all(&durable_dir);
+
     let mut jobs = Vec::with_capacity(batch.len());
     for (w, handle) in batch.iter().zip(handles) {
         let outcome = executor.take(handle).expect("an idle executor finished every job");
@@ -563,6 +594,13 @@ pub fn executor_throughput(
             0.0
         } else {
             jobs_synthesized as f64 / secs(total_wall)
+        },
+        checkpoint_every,
+        durable_total_wall_secs: secs(durable_wall),
+        checkpoint_overhead_pct: if total_wall.is_zero() {
+            0.0
+        } else {
+            (secs(durable_wall) - secs(total_wall)) / secs(total_wall) * 100.0
         },
         jobs,
     }
@@ -606,6 +644,10 @@ pub fn print_executor_throughput(report: &ExecutorBenchReport) {
         report.jobs_total,
         report.total_wall_secs,
         report.throughput_jobs_per_sec
+    );
+    println!(
+        "durable re-run (checkpoint every {} slices): {:.3}s — {:+.1}% checkpoint overhead",
+        report.checkpoint_every, report.durable_total_wall_secs, report.checkpoint_overhead_pct
     );
 }
 

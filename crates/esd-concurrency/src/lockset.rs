@@ -55,6 +55,36 @@ impl<T: PartialEq, L: Eq + Hash, A: PartialEq> PartialEq for WordInfo<T, L, A> {
     }
 }
 
+// Manual serde impls (the derives can't add the `Eq + Hash` bounds the
+// `HashSet` lockset needs on `L`). The `HashSet` serializes in the shim's
+// canonical sorted order, so output is deterministic.
+impl<T: Serialize, L: Serialize, A: Serialize> Serialize for WordInfo<T, L, A> {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("state".to_string(), self.state.to_value()),
+            ("first_thread".to_string(), self.first_thread.to_value()),
+            ("lockset".to_string(), self.lockset.to_value()),
+            ("last_write".to_string(), self.last_write.to_value()),
+            ("accesses".to_string(), self.accesses.to_value()),
+        ])
+    }
+}
+
+impl<T: Deserialize, L: Deserialize + Eq + Hash, A: Deserialize> Deserialize for WordInfo<T, L, A> {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        let field = |k: &str| {
+            v.get(k).ok_or_else(|| serde::DeError(format!("missing WordInfo field `{k}`")))
+        };
+        Ok(WordInfo {
+            state: Deserialize::from_value(field("state")?)?,
+            first_thread: Deserialize::from_value(field("first_thread")?)?,
+            lockset: Deserialize::from_value(field("lockset")?)?,
+            last_write: Deserialize::from_value(field("last_write")?)?,
+            accesses: Deserialize::from_value(field("accesses")?)?,
+        })
+    }
+}
+
 /// A potential (harmful) data race between two accesses.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct RaceReport<T, A> {
@@ -205,6 +235,38 @@ where
     }
 }
 
+/// Snapshot support: the detector serializes its two persistent maps in
+/// canonical order, so content-equal detectors render byte-identically no
+/// matter what fork history produced them.
+impl<V: Serialize, T: Serialize, L: Serialize, A: Serialize> Serialize
+    for LocksetDetector<V, T, L, A>
+{
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("words".to_string(), self.words.to_value()),
+            ("reported".to_string(), self.reported.to_value()),
+        ])
+    }
+}
+
+impl<V, T, L, A> Deserialize for LocksetDetector<V, T, L, A>
+where
+    V: Deserialize + Eq + Hash + Clone,
+    T: Deserialize + Clone,
+    L: Deserialize + Eq + Hash + Clone,
+    A: Deserialize + Eq + Hash + Clone,
+{
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        let field = |k: &str| {
+            v.get(k).ok_or_else(|| serde::DeError(format!("missing LocksetDetector field `{k}`")))
+        };
+        Ok(LocksetDetector {
+            words: Deserialize::from_value(field("words")?)?,
+            reported: Deserialize::from_value(field("reported")?)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -296,6 +358,27 @@ mod tests {
         assert_eq!(race.first, (1, 102, true), "paired with t1's latest conflicting write");
         // The same pair is not reported twice on replay of the tail.
         assert!(d.access(COUNTER, 2, 202, true, &[]).is_none());
+    }
+
+    /// Snapshot support: a detector serializes canonically and the restored
+    /// copy behaves identically (same dedup suppression, same pending state)
+    /// and re-serializes to the same bytes.
+    #[test]
+    fn detector_roundtrips_through_json_preserving_behavior() {
+        let mut d = Det::new();
+        d.access(100, 1, 10, true, &[7]);
+        d.access(100, 2, 20, true, &[8]);
+        d.access(200, 1, 30, true, &[]);
+        d.access(200, 2, 40, true, &[]).expect("race on word 200");
+        let json = serde_json::to_string(&d).unwrap();
+        let mut back: Det = serde_json::from_str(&json).unwrap();
+        assert!(back == d, "restored detector is content-equal");
+        assert_eq!(serde_json::to_string(&back).unwrap(), json, "round trip is byte-identical");
+        // Already-reported pair stays suppressed; the pending lockset
+        // refinement on word 100 still fires exactly as it would have.
+        assert!(back.access(200, 2, 40, true, &[]).is_none());
+        let mut live = d.clone();
+        assert_eq!(back.access(100, 1, 50, true, &[7]), live.access(100, 1, 50, true, &[7]));
     }
 
     #[test]

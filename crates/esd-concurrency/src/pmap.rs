@@ -20,6 +20,7 @@
 //! needed (analysis state only grows along a path) and is omitted to keep
 //! the structure small.
 
+use serde::{DeError, Deserialize, Serialize, Value};
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
 use std::sync::Arc;
@@ -215,6 +216,37 @@ impl<K: Eq + Hash + Clone, V: Clone> PMap<K, V> {
     }
 }
 
+/// Serializes like the shim's `HashMap`: an array of `[key, value]` pairs in
+/// canonical (compact-rendered) order, so the output is deterministic no
+/// matter what trie shape or iteration order produced it.
+impl<K: Serialize, V: Serialize> Serialize for PMap<K, V> {
+    fn to_value(&self) -> Value {
+        let mut pairs: Vec<Value> =
+            self.iter().map(|(k, v)| Value::Array(vec![k.to_value(), v.to_value()])).collect();
+        serde::sort_values(&mut pairs);
+        Value::Array(pairs)
+    }
+}
+
+/// Rebuilds by insertion; the result is content-equal to the serialized map
+/// (trie shape may differ, which no operation observes).
+impl<K: Deserialize + Eq + Hash + Clone, V: Deserialize + Clone> Deserialize for PMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let items =
+            v.as_array().ok_or_else(|| DeError::expected("array of [key, value] pairs", v))?;
+        let mut map = PMap::new();
+        for pair in items {
+            match pair.as_array() {
+                Some([k, val]) => {
+                    map.insert(K::from_value(k)?, V::from_value(val)?);
+                }
+                _ => return Err(DeError::expected("[key, value] pair", pair)),
+            }
+        }
+        Ok(map)
+    }
+}
+
 impl<K: Eq + Hash, V: PartialEq> PartialEq for PMap<K, V> {
     fn eq(&self, other: &Self) -> bool {
         self.len == other.len && self.iter().all(|(k, v)| other.get(k) == Some(v))
@@ -348,6 +380,24 @@ mod tests {
         }
         assert_eq!(m.insert(Colliding(7), 700), Some(7));
         assert_eq!(m.len(), 20);
+    }
+
+    #[test]
+    fn serialization_is_canonical_and_roundtrips() {
+        let mut a: PMap<u64, u64> = PMap::new();
+        let mut b: PMap<u64, u64> = PMap::new();
+        for i in 0..64 {
+            a.insert(i, i * 3);
+        }
+        for i in (0..64).rev() {
+            b.insert(i, i * 3);
+        }
+        // Same content, different insertion order ⇒ byte-identical output.
+        let ja = serde_json::to_string(&a).unwrap();
+        assert_eq!(ja, serde_json::to_string(&b).unwrap());
+        let back: PMap<u64, u64> = serde_json::from_str(&ja).unwrap();
+        assert_eq!(back, a);
+        assert_eq!(serde_json::to_string(&back).unwrap(), ja);
     }
 
     #[test]

@@ -37,12 +37,15 @@
 //! [`Portfolio::run`](crate::Portfolio::run) is a thin wrapper that submits
 //! a single job whose members are the portfolio members.
 
+use crate::journal::{self, JournalRecord, JournalWriter, RecoveryError};
 use crate::portfolio::{MemberOutcome, MemberReport, PortfolioResult, PortfolioWinner};
-use crate::session::{Observer, SessionStatus, SynthesisSession};
+use crate::session::{Observer, SessionSnapshot, SessionStatus, SynthesisSession};
+use crate::snapshot::{load_snapshot, save_snapshot, SnapshotError};
 use crate::synth::EsdOptions;
 use esd_analysis::StaticAnalysis;
 use esd_ir::Program;
 use esd_symex::GoalSpec;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -53,8 +56,14 @@ pub const DEFAULT_SLICE_ROUNDS: u64 = 1024;
 /// The slice enlargement [`DeadlineFirst`] grants deadline-bearing jobs.
 pub const DEADLINE_SLICE_BOOST: u64 = 4;
 
+/// How many dispatched slices a durable executor runs between checkpoints
+/// by default (overridable via [`JobExecutor::checkpoint_every`]).
+pub const DEFAULT_CHECKPOINT_EVERY: u64 = 32;
+
 /// An opaque ticket identifying a submitted job.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub struct JobHandle(u64);
 
 impl JobHandle {
@@ -141,7 +150,7 @@ impl JobSpec {
 }
 
 /// Where a job currently is in its lifecycle.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub enum JobPhase {
     /// Submitted, waiting for admission (no sessions exist yet).
     Queued,
@@ -153,7 +162,7 @@ pub enum JobPhase {
 }
 
 /// How a job ended.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub enum JobVerdict {
     /// A member synthesized the execution.
     Found,
@@ -165,7 +174,7 @@ pub enum JobVerdict {
 }
 
 /// The terminal result of one job.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct JobOutcome {
     /// The handle the job was submitted under.
     pub handle: JobHandle,
@@ -220,8 +229,22 @@ pub trait FairnessPolicy {
     /// dispatch; `base_rounds` is the executor's configured slice length.
     fn next_slice(&mut self, jobs: &[JobView], base_rounds: u64) -> (usize, u64);
 
-    /// The policy's display name (stats, bench output).
+    /// The policy's display name (stats, bench output). Also the key a
+    /// durable executor's snapshot stores to rebuild the policy at
+    /// [`JobExecutor::recover`] time (recovery supports the three built-in
+    /// policies).
     fn name(&self) -> &'static str;
+
+    /// The rotation cursor of round-robin-style policies — the handle most
+    /// recently served — captured into [`ExecutorSnapshot`]s. Policies
+    /// without rotation state return `None` (the default).
+    fn rotation(&self) -> Option<JobHandle> {
+        None
+    }
+
+    /// Restores a cursor captured by [`FairnessPolicy::rotation`] (default:
+    /// no-op, for policies without rotation state).
+    fn set_rotation(&mut self, _last: Option<JobHandle>) {}
 }
 
 /// Equal slices, submit order, cycling over the runnable jobs.
@@ -250,6 +273,14 @@ impl FairnessPolicy for RoundRobin {
     fn name(&self) -> &'static str {
         "round-robin"
     }
+
+    fn rotation(&self) -> Option<JobHandle> {
+        self.last
+    }
+
+    fn set_rotation(&mut self, last: Option<JobHandle>) {
+        self.last = last;
+    }
 }
 
 /// Round-robin turn order, but a job's slice length is
@@ -269,6 +300,14 @@ impl FairnessPolicy for WeightedByPriority {
 
     fn name(&self) -> &'static str {
         "weighted-by-priority"
+    }
+
+    fn rotation(&self) -> Option<JobHandle> {
+        self.last
+    }
+
+    fn set_rotation(&mut self, last: Option<JobHandle>) {
+        self.last = last;
     }
 }
 
@@ -300,6 +339,14 @@ impl FairnessPolicy for DeadlineFirst {
 
     fn name(&self) -> &'static str {
         "deadline-first"
+    }
+
+    fn rotation(&self) -> Option<JobHandle> {
+        self.last
+    }
+
+    fn set_rotation(&mut self, last: Option<JobHandle>) {
+        self.last = last;
     }
 }
 
@@ -390,16 +437,108 @@ impl JobSlot {
     }
 }
 
+/// The not-yet-admitted ingredients of a queued job as serialized in a
+/// snapshot: its program, goal and member configurations (see
+/// [`JobSnapshot::pending`]).
+pub type PendingJobSnapshot = (Program, GoalSpec, Vec<(String, EsdOptions)>);
+
+/// The durable state of one job slot, part of an [`ExecutorSnapshot`].
+///
+/// Wall-clock anchors are stored relative to the checkpoint instant
+/// (`deadline_rel_nanos`, `admitted_elapsed`) and rebased to a common *now*
+/// at restore, so the relative ordering [`DeadlineFirst`] depends on — and
+/// every session's deadline accounting — survives the crash.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct JobSnapshot {
+    /// The job's label.
+    pub label: String,
+    /// Queued jobs: the not-yet-admitted ingredients (program, goal,
+    /// member configurations).
+    pub pending: Option<PendingJobSnapshot>,
+    /// Running jobs: each member's label and complete session snapshot
+    /// (which embeds the program, options and engine state).
+    pub members: Vec<(String, SessionSnapshot)>,
+    /// The job's scheduling priority.
+    pub priority: u32,
+    /// The scheduling deadline relative to the checkpoint instant, in
+    /// nanoseconds (negative once the deadline has passed).
+    pub deadline_rel_nanos: Option<i64>,
+    /// How long the job had been admitted when the checkpoint was taken.
+    pub admitted_elapsed: Option<Duration>,
+    /// The member the next slice goes to.
+    pub next_member: usize,
+    /// Executor slices dispatched to the job.
+    pub slices: u64,
+    /// The job's lifecycle phase.
+    pub phase: JobPhase,
+    /// The terminal outcome, if finished and not yet taken.
+    pub outcome: Option<JobOutcome>,
+    /// Terminal round totals frozen when the job was finalized.
+    pub finished_rounds: u64,
+    /// Terminal wall-clock total frozen at finalize.
+    pub finished_wall: Duration,
+}
+
+/// The complete durable state of a [`JobExecutor`], written at every
+/// checkpoint and consumed by [`JobExecutor::recover`] /
+/// [`Recovery::replay`](crate::journal::Recovery::replay).
+///
+/// Observers are deliberately absent: they are live callbacks, not state.
+/// A recovered executor runs without them.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct ExecutorSnapshot {
+    /// The fairness policy's [`name`](FairnessPolicy::name).
+    pub policy: String,
+    /// The policy's rotation cursor ([`FairnessPolicy::rotation`]).
+    pub rotation: Option<u64>,
+    /// The configured base slice length in rounds.
+    pub base_slice: u64,
+    /// The admission cap.
+    pub max_running: usize,
+    /// The checkpoint cadence in dispatched slices.
+    pub checkpoint_every: u64,
+    /// The journal epoch this snapshot pairs with: recovery replays
+    /// `journal-<epoch>.log` and ignores journals of other epochs.
+    pub epoch: u64,
+    /// Slices dispatched over the executor's lifetime.
+    pub slices_dispatched: u64,
+    /// Search rounds advanced over the executor's lifetime.
+    pub rounds_dispatched: u64,
+    /// Jobs cancelled over the executor's lifetime.
+    pub cancelled: u64,
+    /// Every job slot, in handle order.
+    pub jobs: Vec<JobSnapshot>,
+}
+
+/// The live half of a durable executor: where the snapshot and journal go,
+/// the open journal writer, and the checkpoint countdown.
+struct Durability {
+    dir: PathBuf,
+    journal: JournalWriter,
+    epoch: u64,
+    slices_since_checkpoint: u64,
+}
+
+/// The snapshot file name inside a durable directory.
+const SNAPSHOT_FILE: &str = "snapshot.json";
+
+/// The journal file name for a given epoch.
+fn journal_file(epoch: u64) -> String {
+    format!("journal-{epoch}.log")
+}
+
 /// Holds N independent synthesis jobs and time-slices them under a
 /// [`FairnessPolicy`] — the multi-job debugging service of the module docs.
 pub struct JobExecutor {
     policy: Box<dyn FairnessPolicy>,
     base_slice: u64,
     max_running: usize,
+    checkpoint_every: u64,
     slots: Vec<JobSlot>,
     slices_dispatched: u64,
     rounds_dispatched: u64,
     cancelled: u64,
+    durable: Option<Durability>,
 }
 
 impl JobExecutor {
@@ -409,10 +548,12 @@ impl JobExecutor {
             policy,
             base_slice: DEFAULT_SLICE_ROUNDS,
             max_running: usize::MAX,
+            checkpoint_every: DEFAULT_CHECKPOINT_EVERY,
             slots: Vec::new(),
             slices_dispatched: 0,
             rounds_dispatched: 0,
             cancelled: 0,
+            durable: None,
         }
     }
 
@@ -450,6 +591,65 @@ impl JobExecutor {
         self
     }
 
+    /// Checkpoint cadence for durable executors: a fresh
+    /// [`ExecutorSnapshot`] is written (and the journal truncated) every `n`
+    /// dispatched slices (clamped to ≥ 1; default
+    /// [`DEFAULT_CHECKPOINT_EVERY`]). A smaller `n` bounds replay work after
+    /// a crash at the price of more snapshot I/O — the trade-off the
+    /// executor bench quantifies.
+    pub fn checkpoint_every(mut self, n: u64) -> Self {
+        self.checkpoint_every = n.max(1);
+        self
+    }
+
+    /// Makes the executor durable: every state-changing decision is
+    /// journaled to `dir` (write-ahead, length+checksum framed) and a full
+    /// checkpoint is written every [`checkpoint_every`](Self::checkpoint_every)
+    /// slices, so [`JobExecutor::recover`] can rebuild the executor after a
+    /// crash. The directory is created if absent; an initial checkpoint is
+    /// written immediately so the executor is recoverable from the moment
+    /// this returns.
+    pub fn durable_dir(mut self, dir: impl AsRef<Path>) -> Result<Self, SnapshotError> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir).map_err(|e| SnapshotError::Io(e.to_string()))?;
+        let journal = JournalWriter::create(&dir.join(journal_file(0)))
+            .map_err(|e| SnapshotError::Io(e.to_string()))?;
+        self.durable = Some(Durability { dir, journal, epoch: 0, slices_since_checkpoint: 0 });
+        self.checkpoint()?;
+        Ok(self)
+    }
+
+    /// Recovers a crashed durable executor from `dir`: loads the latest
+    /// checkpoint, replays the journal's valid prefix (tolerating a torn
+    /// final record), truncates any damaged tail, and re-attaches the
+    /// durable directory so the recovered executor keeps journaling where
+    /// the crashed one stopped. See [`crate::journal`] for the
+    /// `reduce(snapshot, journal)` invariant this relies on.
+    pub fn recover(dir: impl AsRef<Path>) -> Result<Self, RecoveryError> {
+        let dir = dir.as_ref();
+        let snapshot: ExecutorSnapshot = load_snapshot(&dir.join(SNAPSHOT_FILE))?;
+        let journal_path = dir.join(journal_file(snapshot.epoch));
+        let scanned = journal::load(&journal_path)?;
+        let mut exec = replay_records(&snapshot, &scanned.records)?;
+        if scanned.damage.is_some() {
+            // Drop the torn/corrupt tail so appends resume from the last
+            // valid frame.
+            let bytes =
+                std::fs::read(&journal_path).map_err(|e| RecoveryError::Io(e.to_string()))?;
+            std::fs::write(&journal_path, &bytes[..scanned.valid_len.min(bytes.len())])
+                .map_err(|e| RecoveryError::Io(e.to_string()))?;
+        }
+        let journal = JournalWriter::open_append(&journal_path)
+            .map_err(|e| RecoveryError::Io(e.to_string()))?;
+        exec.durable = Some(Durability {
+            dir: dir.to_path_buf(),
+            journal,
+            epoch: snapshot.epoch,
+            slices_since_checkpoint: 0,
+        });
+        Ok(exec)
+    }
+
     /// Submits a job; it becomes runnable at the next
     /// [`run_slice`](JobExecutor::run_slice) (admission permitting). The
     /// static phase is deferred to admission, so queued jobs cost nothing.
@@ -461,6 +661,17 @@ impl JobExecutor {
         } else {
             spec.members
         };
+        if self.durable.is_some() {
+            self.journal_append(&JournalRecord::Submit {
+                handle: handle.0,
+                label: spec.label.clone(),
+                program: Program::clone(&spec.program),
+                goal: spec.goal.clone(),
+                members: members.clone(),
+                priority: spec.priority,
+                deadline: spec.deadline,
+            });
+        }
         self.slots.push(JobSlot {
             label: spec.label,
             pending: Some((spec.program, spec.goal, members)),
@@ -531,6 +742,9 @@ impl JobExecutor {
         match self.slots[idx].phase {
             JobPhase::Finished => false,
             JobPhase::Queued | JobPhase::Running => {
+                if self.durable.is_some() {
+                    self.journal_append(&JournalRecord::Cancel { handle: handle.0 });
+                }
                 self.slots[idx].pending = None;
                 self.cancelled += 1;
                 self.finalize(idx, JobVerdict::Cancelled);
@@ -551,8 +765,35 @@ impl JobExecutor {
     /// (the executor is idle).
     pub fn run_slice(&mut self) -> bool {
         self.admit();
-        let views: Vec<JobView> = self
-            .slots
+        let views = self.runnable_views();
+        if views.is_empty() {
+            return false;
+        }
+        let (choice, rounds) = self.policy.next_slice(&views, self.base_slice);
+        let idx = views[choice.min(views.len() - 1)].handle.0 as usize;
+        let rounds = rounds.max(1);
+        if self.durable.is_some() {
+            // Write-ahead: the grant is durable before the slice runs, so a
+            // crash mid-slice replays it instead of losing it.
+            self.journal_append(&JournalRecord::SliceGrant { handle: idx as u64, rounds });
+        }
+        self.advance(idx, rounds);
+        if let Some(durable) = &mut self.durable {
+            durable.slices_since_checkpoint += 1;
+        }
+        let checkpoint_due = self
+            .durable
+            .as_ref()
+            .is_some_and(|d| d.slices_since_checkpoint >= self.checkpoint_every);
+        if checkpoint_due {
+            self.checkpoint().expect("durable executor failed to write its checkpoint");
+        }
+        true
+    }
+
+    /// The scheduling views of every running job, in submit order.
+    fn runnable_views(&self) -> Vec<JobView> {
+        self.slots
             .iter()
             .enumerate()
             .filter(|(_, s)| s.phase == JobPhase::Running)
@@ -562,14 +803,7 @@ impl JobExecutor {
                 deadline_at: s.deadline_at,
                 slices: s.slices,
             })
-            .collect();
-        if views.is_empty() {
-            return false;
-        }
-        let (choice, rounds) = self.policy.next_slice(&views, self.base_slice);
-        let idx = views[choice.min(views.len() - 1)].handle.0 as usize;
-        self.advance(idx, rounds.max(1));
-        true
+            .collect()
     }
 
     /// Runs slices until every submitted job is finished.
@@ -762,7 +996,245 @@ impl JobExecutor {
             observer.on_finish(&status);
         }
         slot.outcome = Some(outcome);
+        if self.durable.is_some() {
+            self.journal_append(&JournalRecord::Finalize { handle: idx as u64, verdict });
+        }
     }
+
+    /// Appends one record to the durable journal. Durability I/O failures
+    /// are hard errors: a debugging service that silently loses its commit
+    /// log cannot honor its recovery contract.
+    fn journal_append(&mut self, record: &JournalRecord) {
+        if let Some(durable) = &mut self.durable {
+            durable.journal.append(record).expect("durable executor failed to append its journal");
+        }
+    }
+
+    /// Writes a fresh checkpoint: the next-epoch journal is created first,
+    /// then the snapshot naming that epoch is written atomically, then the
+    /// old journal is deleted. A crash between any two of those steps leaves
+    /// a consistent (snapshot, journal) pair for [`JobExecutor::recover`] —
+    /// either the old pair (snapshot not yet renamed) or the new one.
+    /// No-op on non-durable executors.
+    pub fn checkpoint(&mut self) -> Result<(), SnapshotError> {
+        if self.durable.is_none() {
+            return Ok(());
+        }
+        let (dir, old_epoch) = {
+            let durable = self.durable.as_ref().expect("checked above");
+            (durable.dir.clone(), durable.epoch)
+        };
+        let new_epoch = old_epoch + 1;
+        let journal = JournalWriter::create(&dir.join(journal_file(new_epoch)))
+            .map_err(|e| SnapshotError::Io(e.to_string()))?;
+        let snapshot = self.snapshot_with_epoch(new_epoch);
+        save_snapshot(&dir.join(SNAPSHOT_FILE), &snapshot)?;
+        let durable = self.durable.as_mut().expect("checked above");
+        durable.journal = journal;
+        durable.epoch = new_epoch;
+        durable.slices_since_checkpoint = 0;
+        let _ = std::fs::remove_file(dir.join(journal_file(old_epoch)));
+        Ok(())
+    }
+
+    /// Captures the executor's complete durable state (see
+    /// [`ExecutorSnapshot`]). Job observers are not captured.
+    pub fn snapshot(&self) -> ExecutorSnapshot {
+        let epoch = self.durable.as_ref().map(|d| d.epoch).unwrap_or(0);
+        self.snapshot_with_epoch(epoch)
+    }
+
+    fn snapshot_with_epoch(&self, epoch: u64) -> ExecutorSnapshot {
+        let now = Instant::now();
+        let jobs = self
+            .slots
+            .iter()
+            .map(|slot| JobSnapshot {
+                label: slot.label.clone(),
+                pending: slot
+                    .pending
+                    .as_ref()
+                    .map(|(p, g, m)| (Program::clone(p), g.clone(), m.clone())),
+                members: slot
+                    .members
+                    .iter()
+                    .map(|m| (m.label.clone(), m.session.snapshot()))
+                    .collect(),
+                priority: slot.priority,
+                deadline_rel_nanos: slot.deadline_at.map(|d| match d.checked_duration_since(now) {
+                    Some(ahead) => ahead.as_nanos() as i64,
+                    None => -(now.duration_since(d).as_nanos() as i64),
+                }),
+                admitted_elapsed: slot.admitted_at.map(|t| t.elapsed()),
+                next_member: slot.next_member,
+                slices: slot.slices,
+                phase: slot.phase,
+                outcome: slot.outcome.clone(),
+                finished_rounds: slot.finished_rounds,
+                finished_wall: slot.finished_wall,
+            })
+            .collect();
+        ExecutorSnapshot {
+            policy: self.policy.name().to_string(),
+            rotation: self.policy.rotation().map(|h| h.0),
+            base_slice: self.base_slice,
+            max_running: self.max_running,
+            checkpoint_every: self.checkpoint_every,
+            epoch,
+            slices_dispatched: self.slices_dispatched,
+            rounds_dispatched: self.rounds_dispatched,
+            cancelled: self.cancelled,
+            jobs,
+        }
+    }
+}
+
+/// Rebuilds the three built-in policies by [`FairnessPolicy::name`].
+fn policy_by_name(name: &str) -> Option<Box<dyn FairnessPolicy>> {
+    match name {
+        "round-robin" => Some(Box::<RoundRobin>::default()),
+        "weighted-by-priority" => Some(Box::<WeightedByPriority>::default()),
+        "deadline-first" => Some(Box::<DeadlineFirst>::default()),
+        _ => None,
+    }
+}
+
+/// Restores an executor from a snapshot (no journal replay, no durability).
+fn restore_snapshot(snapshot: &ExecutorSnapshot) -> Result<JobExecutor, RecoveryError> {
+    let mut policy = policy_by_name(&snapshot.policy)
+        .ok_or_else(|| RecoveryError::UnknownPolicy(snapshot.policy.clone()))?;
+    policy.set_rotation(snapshot.rotation.map(JobHandle));
+    let now = Instant::now();
+    let slots = snapshot
+        .jobs
+        .iter()
+        .map(|job| JobSlot {
+            label: job.label.clone(),
+            pending: job
+                .pending
+                .as_ref()
+                .map(|(p, g, m)| (Arc::new(p.clone()), g.clone(), m.clone())),
+            members: job
+                .members
+                .iter()
+                .map(|(label, session)| MemberSlot {
+                    label: label.clone(),
+                    options: session.options.clone(),
+                    session: SynthesisSession::restore(session),
+                })
+                .collect(),
+            observer: None,
+            priority: job.priority,
+            deadline_at: job.deadline_rel_nanos.map(|nanos| {
+                if nanos >= 0 {
+                    now + Duration::from_nanos(nanos as u64)
+                } else {
+                    now.checked_sub(Duration::from_nanos(nanos.unsigned_abs())).unwrap_or(now)
+                }
+            }),
+            admitted_at: job
+                .admitted_elapsed
+                .map(|elapsed| now.checked_sub(elapsed).unwrap_or(now)),
+            next_member: job.next_member,
+            slices: job.slices,
+            phase: job.phase,
+            outcome: job.outcome.clone(),
+            finished_rounds: job.finished_rounds,
+            finished_wall: job.finished_wall,
+        })
+        .collect();
+    Ok(JobExecutor {
+        policy,
+        base_slice: snapshot.base_slice,
+        max_running: snapshot.max_running,
+        checkpoint_every: snapshot.checkpoint_every,
+        slots,
+        slices_dispatched: snapshot.slices_dispatched,
+        rounds_dispatched: snapshot.rounds_dispatched,
+        cancelled: snapshot.cancelled,
+        durable: None,
+    })
+}
+
+/// Replays a journal's valid prefix of records on top of a restored
+/// snapshot — the implementation behind
+/// [`Recovery::replay`](crate::journal::Recovery::replay). Slice grants
+/// re-drive the restored fairness policy and every re-taken decision is
+/// verified against the journaled one; any mismatch is a
+/// [`RecoveryError::Divergence`], never a panic.
+pub(crate) fn replay_records(
+    snapshot: &ExecutorSnapshot,
+    records: &[JournalRecord],
+) -> Result<JobExecutor, RecoveryError> {
+    let mut exec = restore_snapshot(snapshot)?;
+    for record in records {
+        match record {
+            JournalRecord::Submit { handle, label, program, goal, members, priority, deadline } => {
+                let expected = exec.slots.len() as u64;
+                if *handle != expected {
+                    return Err(RecoveryError::Divergence(format!(
+                        "journaled submit assigns handle {handle}, executor would assign \
+                         {expected}"
+                    )));
+                }
+                let mut spec =
+                    JobSpec::new(label.clone(), program, goal.clone()).priority(*priority);
+                if let Some(deadline) = deadline {
+                    spec = spec.deadline(*deadline);
+                }
+                for (member_label, options) in members {
+                    spec = spec.member(member_label.clone(), options.clone());
+                }
+                exec.submit(spec);
+            }
+            JournalRecord::SliceGrant { handle, rounds } => {
+                exec.admit();
+                let views = exec.runnable_views();
+                if views.is_empty() {
+                    return Err(RecoveryError::Divergence(format!(
+                        "journaled grant to job {handle} but no job is runnable"
+                    )));
+                }
+                let (choice, granted) = exec.policy.next_slice(&views, exec.base_slice);
+                let granted = granted.max(1);
+                let chosen = views[choice.min(views.len() - 1)].handle;
+                if chosen.0 != *handle || granted != *rounds {
+                    return Err(RecoveryError::Divergence(format!(
+                        "journal grants {rounds} rounds to job {handle}, replayed policy \
+                         grants {granted} to job {}",
+                        chosen.0
+                    )));
+                }
+                exec.advance(chosen.0 as usize, granted);
+            }
+            JournalRecord::Cancel { handle } => {
+                if exec.slots.get(*handle as usize).is_none() {
+                    return Err(RecoveryError::Divergence(format!(
+                        "journaled cancel of unknown job {handle}"
+                    )));
+                }
+                exec.cancel(JobHandle(*handle));
+            }
+            JournalRecord::Finalize { handle, verdict } => {
+                let Some(slot) = exec.slots.get(*handle as usize) else {
+                    return Err(RecoveryError::Divergence(format!(
+                        "journaled finalize of unknown job {handle}"
+                    )));
+                };
+                let actual = match slot.phase {
+                    JobPhase::Finished => slot.outcome.as_ref().map(|o| o.verdict),
+                    _ => None,
+                };
+                if actual != Some(*verdict) {
+                    return Err(RecoveryError::Divergence(format!(
+                        "journal finalizes job {handle} as {verdict:?}, replay reached \
+                         {actual:?}"
+                    )));
+                }
+            }
+        }
+    }
+    Ok(exec)
 }
 
 #[cfg(test)]

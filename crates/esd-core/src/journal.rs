@@ -1,0 +1,318 @@
+//! The append-only commit log of executor decisions, and crash recovery.
+//!
+//! A durable [`JobExecutor`] persists itself
+//! as `reduce(snapshot, journal)`: a periodic [`ExecutorSnapshot`]
+//! (see [`crate::snapshot`] for the envelope) plus an append-only journal of
+//! every scheduling decision taken since that snapshot. Because the executor
+//! is deterministic — policies are pure functions of their views and the
+//! engines are deterministic in their seeds — replaying the journal against
+//! the restored snapshot rebuilds the exact pre-crash state.
+//!
+//! ## Frame format
+//!
+//! Each record is one length-prefixed, checksummed frame:
+//!
+//! ```text
+//! [len: u32 LE] [checksum: u64 LE = FNV-1a(payload)] [payload: compact JSON]
+//! ```
+//!
+//! The writer appends a whole frame and flushes before the decision it
+//! records takes effect (write-ahead), so a crash can tear at most the final
+//! frame. The [`scan`] reader stops at the first torn or corrupt frame and
+//! reports what it found; recovery replays the longest valid prefix and
+//! never panics on damaged input (pinned by the `properties` suite).
+//!
+//! [`ExecutorSnapshot`]: crate::executor::ExecutorSnapshot
+
+use crate::executor::{JobExecutor, JobVerdict};
+use crate::snapshot::{fnv1a64, SnapshotError};
+use crate::synth::EsdOptions;
+use esd_ir::Program;
+use esd_symex::GoalSpec;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::Path;
+use std::time::Duration;
+
+/// Bytes of frame header preceding each payload (length + checksum).
+const FRAME_HEADER: usize = 4 + 8;
+
+/// One durable executor decision.
+///
+/// The four variants cover everything that changes executor state between
+/// checkpoints; everything else (engine progress) is a deterministic
+/// consequence of replaying them in order.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum JournalRecord {
+    /// A job was submitted. Carries the full ingredients (program, goal,
+    /// member configurations) so recovery can resubmit it verbatim.
+    Submit {
+        /// The handle the executor assigned (dense submit order; replay
+        /// verifies it assigns the same one).
+        handle: u64,
+        /// The job's label.
+        label: String,
+        /// The program under synthesis.
+        program: Program,
+        /// The goal the job searches for.
+        goal: GoalSpec,
+        /// The member configurations (label, options), portfolio-style.
+        members: Vec<(String, EsdOptions)>,
+        /// The job's scheduling priority.
+        priority: u32,
+        /// The job's scheduling-deadline hint, measured from submission.
+        /// Replay re-anchors it at recovery time — it orders fairness, it
+        /// is not part of the synthesized result.
+        deadline: Option<Duration>,
+    },
+    /// The fairness policy granted a slice to a job. Written *before* the
+    /// slice runs (write-ahead); replay re-drives the policy and verifies
+    /// it makes the identical grant.
+    SliceGrant {
+        /// The chosen job's handle.
+        handle: u64,
+        /// The granted slice length in search rounds.
+        rounds: u64,
+    },
+    /// A job was cancelled.
+    Cancel {
+        /// The cancelled job's handle.
+        handle: u64,
+    },
+    /// A job reached a terminal state. Purely a consistency check for
+    /// replay: the finalization itself is a deterministic consequence of
+    /// the preceding grant or cancellation.
+    Finalize {
+        /// The finished job's handle.
+        handle: u64,
+        /// How the job ended.
+        verdict: JobVerdict,
+    },
+}
+
+/// What stopped a [`scan`] before the end of the journal bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JournalDamage {
+    /// The final frame is incomplete — a crash tore the last append.
+    Torn {
+        /// Byte offset of the torn frame's header.
+        offset: usize,
+    },
+    /// A complete frame failed its checksum or did not decode — the file
+    /// was corrupted at rest.
+    Corrupt {
+        /// Byte offset of the corrupt frame's header.
+        offset: usize,
+    },
+}
+
+/// The result of [`scan`]ning journal bytes: the longest valid prefix of
+/// records, how many bytes it covers, and what (if anything) stopped the
+/// scan.
+#[derive(Debug)]
+pub struct JournalScan {
+    /// Every record of the longest valid prefix, in append order.
+    pub records: Vec<JournalRecord>,
+    /// Bytes covered by the valid prefix (a writer reopening the journal
+    /// after damage can truncate to this length).
+    pub valid_len: usize,
+    /// `None` for a clean journal; otherwise why the scan stopped early.
+    pub damage: Option<JournalDamage>,
+}
+
+/// Encodes one record as a framed byte sequence.
+pub fn encode_frame(record: &JournalRecord) -> Vec<u8> {
+    let payload = serde_json::to_string(record).expect("journal record serializes");
+    let payload = payload.as_bytes();
+    let mut frame = Vec::with_capacity(FRAME_HEADER + payload.len());
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&fnv1a64(payload).to_le_bytes());
+    frame.extend_from_slice(payload);
+    frame
+}
+
+/// Decodes a journal byte stream into the longest valid prefix of records.
+/// Never panics: torn tails and corrupt frames stop the scan and are
+/// reported in [`JournalScan::damage`].
+pub fn scan(bytes: &[u8]) -> JournalScan {
+    let mut records = Vec::new();
+    let mut offset = 0usize;
+    let mut damage = None;
+    while offset < bytes.len() {
+        let remaining = bytes.len() - offset;
+        if remaining < FRAME_HEADER {
+            damage = Some(JournalDamage::Torn { offset });
+            break;
+        }
+        let len =
+            u32::from_le_bytes(bytes[offset..offset + 4].try_into().expect("4 bytes")) as usize;
+        let checksum =
+            u64::from_le_bytes(bytes[offset + 4..offset + 12].try_into().expect("8 bytes"));
+        if remaining - FRAME_HEADER < len {
+            damage = Some(JournalDamage::Torn { offset });
+            break;
+        }
+        let payload = &bytes[offset + FRAME_HEADER..offset + FRAME_HEADER + len];
+        if fnv1a64(payload) != checksum {
+            damage = Some(JournalDamage::Corrupt { offset });
+            break;
+        }
+        let Ok(text) = std::str::from_utf8(payload) else {
+            damage = Some(JournalDamage::Corrupt { offset });
+            break;
+        };
+        let Ok(record) = serde_json::from_str::<JournalRecord>(text) else {
+            damage = Some(JournalDamage::Corrupt { offset });
+            break;
+        };
+        records.push(record);
+        offset += FRAME_HEADER + len;
+    }
+    JournalScan { records, valid_len: offset, damage }
+}
+
+/// Reads and [`scan`]s a journal file. A missing file is an empty, clean
+/// journal (the executor may crash before its first append).
+pub fn load(path: &Path) -> Result<JournalScan, RecoveryError> {
+    match std::fs::read(path) {
+        Ok(bytes) => Ok(scan(&bytes)),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            Ok(JournalScan { records: Vec::new(), valid_len: 0, damage: None })
+        }
+        Err(e) => Err(RecoveryError::Io(e.to_string())),
+    }
+}
+
+/// Appends framed [`JournalRecord`]s to a journal file, flushing each frame
+/// so at most the in-flight frame can be lost to a crash.
+#[derive(Debug)]
+pub struct JournalWriter {
+    file: File,
+}
+
+impl JournalWriter {
+    /// Creates (truncating) a journal at `path`.
+    pub fn create(path: &Path) -> std::io::Result<Self> {
+        Ok(JournalWriter { file: File::create(path)? })
+    }
+
+    /// Opens a journal for appending, creating it if absent.
+    pub fn open_append(path: &Path) -> std::io::Result<Self> {
+        Ok(JournalWriter { file: OpenOptions::new().create(true).append(true).open(path)? })
+    }
+
+    /// Appends one framed record and flushes it to the OS.
+    pub fn append(&mut self, record: &JournalRecord) -> std::io::Result<()> {
+        self.file.write_all(&encode_frame(record))?;
+        self.file.flush()
+    }
+}
+
+/// Why a crashed executor could not be recovered.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecoveryError {
+    /// The snapshot envelope failed to load or verify.
+    Snapshot(SnapshotError),
+    /// Reading durable state failed.
+    Io(String),
+    /// The snapshot names a fairness policy this build cannot rebuild
+    /// (recovery supports the built-in policies).
+    UnknownPolicy(String),
+    /// Replay re-drove the restored policy and it made a different decision
+    /// than the journal records — the durable state is inconsistent with
+    /// this build.
+    Divergence(String),
+}
+
+impl fmt::Display for RecoveryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecoveryError::Snapshot(e) => write!(f, "recovery snapshot error: {e}"),
+            RecoveryError::Io(e) => write!(f, "recovery io error: {e}"),
+            RecoveryError::UnknownPolicy(name) => {
+                write!(f, "cannot rebuild unknown fairness policy {name:?}")
+            }
+            RecoveryError::Divergence(e) => write!(f, "journal replay diverged: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RecoveryError {}
+
+impl From<SnapshotError> for RecoveryError {
+    fn from(e: SnapshotError) -> Self {
+        RecoveryError::Snapshot(e)
+    }
+}
+
+/// Rebuilds a crashed [`JobExecutor`] from its durable state — the
+/// `reduce(snapshot, journal)` of the module docs.
+pub struct Recovery;
+
+impl Recovery {
+    /// Restores the snapshot and replays the journal's valid prefix on top
+    /// of it, returning an executor equal to the pre-crash one (minus
+    /// observers, which are live callbacks and not durable state). The
+    /// returned executor is not yet durable; [`JobExecutor::recover`]
+    /// re-attaches the durable directory.
+    pub fn replay(
+        snapshot: &crate::executor::ExecutorSnapshot,
+        records: &[JournalRecord],
+    ) -> Result<JobExecutor, RecoveryError> {
+        crate::executor::replay_records(snapshot, records)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grant(handle: u64, rounds: u64) -> JournalRecord {
+        JournalRecord::SliceGrant { handle, rounds }
+    }
+
+    #[test]
+    fn scan_round_trips_clean_journals() {
+        let mut bytes = Vec::new();
+        for i in 0..5 {
+            bytes.extend_from_slice(&encode_frame(&grant(i, 100 + i)));
+        }
+        let scan = scan(&bytes);
+        assert!(scan.damage.is_none());
+        assert_eq!(scan.valid_len, bytes.len());
+        assert_eq!(scan.records.len(), 5);
+        match &scan.records[3] {
+            JournalRecord::SliceGrant { handle, rounds } => {
+                assert_eq!((*handle, *rounds), (3, 103))
+            }
+            other => panic!("unexpected record {other:?}"),
+        }
+    }
+
+    #[test]
+    fn scan_stops_at_a_torn_tail() {
+        let mut bytes = encode_frame(&grant(0, 1));
+        let full = encode_frame(&grant(1, 2));
+        let keep = bytes.len();
+        bytes.extend_from_slice(&full[..full.len() - 3]);
+        let scan = scan(&bytes);
+        assert_eq!(scan.records.len(), 1);
+        assert_eq!(scan.valid_len, keep);
+        assert_eq!(scan.damage, Some(JournalDamage::Torn { offset: keep }));
+    }
+
+    #[test]
+    fn scan_stops_at_a_corrupt_frame() {
+        let mut bytes = encode_frame(&grant(0, 1));
+        let keep = bytes.len();
+        bytes.extend_from_slice(&encode_frame(&grant(1, 2)));
+        let flip = keep + FRAME_HEADER + 2;
+        bytes[flip] ^= 0x40;
+        let scan = scan(&bytes);
+        assert_eq!(scan.records.len(), 1);
+        assert_eq!(scan.valid_len, keep);
+        assert_eq!(scan.damage, Some(JournalDamage::Corrupt { offset: keep }));
+    }
+}

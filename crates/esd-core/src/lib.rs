@@ -19,6 +19,12 @@
 //!   independent jobs (each a session or a per-job portfolio) and
 //!   time-slices them under a pluggable [`FairnessPolicy`], with per-job
 //!   observer fan-out and aggregate [`ExecutorStats`].
+//! * [`snapshot`] — versioned, checksummed snapshot envelopes for durable
+//!   sessions (see [`session::SessionSnapshot`] /
+//!   [`executor::ExecutorSnapshot`]).
+//! * [`journal`] — the append-only commit log of executor decisions and the
+//!   `reduce(snapshot, journal)` crash recovery behind
+//!   [`JobExecutor::recover`](executor::JobExecutor::recover).
 //! * [`kc`] — the KC baseline (Klee searchers + Chess preemption bounding).
 //! * [`stress`] — the brute-force stress/random-testing baseline (§7.2),
 //!   which doubles as the way workload failures "happen in production" and
@@ -33,23 +39,32 @@
 
 pub mod execfile;
 pub mod executor;
+pub mod journal;
 pub mod kc;
 pub mod portfolio;
 pub mod report;
 pub mod session;
+pub mod snapshot;
 pub mod stress;
 pub mod synth;
 pub mod triage;
 
 pub use execfile::{InputEntry, SynthesizedExecution};
 pub use executor::{
-    DeadlineFirst, ExecutorStats, FairnessPolicy, JobExecutor, JobHandle, JobOutcome, JobPhase,
-    JobSpec, JobStat, JobVerdict, JobView, RoundRobin, WeightedByPriority,
+    DeadlineFirst, ExecutorSnapshot, ExecutorStats, FairnessPolicy, JobExecutor, JobHandle,
+    JobOutcome, JobPhase, JobSnapshot, JobSpec, JobStat, JobVerdict, JobView, RoundRobin,
+    WeightedByPriority,
+};
+pub use journal::{
+    JournalDamage, JournalRecord, JournalScan, JournalWriter, Recovery, RecoveryError,
 };
 pub use kc::{kc_synthesize, KcStrategy};
 pub use portfolio::{MemberOutcome, MemberReport, Portfolio, PortfolioResult, PortfolioWinner};
 pub use report::{extract_goal, BugKind, BugReport};
-pub use session::{EsdOptionsBuilder, Observer, ProgressEvent, SessionStatus, SynthesisSession};
+pub use session::{
+    EsdOptionsBuilder, Observer, ProgressEvent, SessionSnapshot, SessionStatus, SynthesisSession,
+};
+pub use snapshot::{SnapshotError, SNAPSHOT_FORMAT_VERSION};
 pub use stress::{stress_test, StressConfig, StressOutcome};
 pub use synth::{Esd, EsdOptions, SynthesisError, SynthesisReport};
 pub use triage::{same_bug, TriageResult};

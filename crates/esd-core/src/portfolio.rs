@@ -49,7 +49,7 @@ pub struct Portfolio {
 }
 
 /// Why a portfolio member stopped.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub enum MemberOutcome {
     /// This member synthesized the execution first.
     Won,
@@ -64,7 +64,7 @@ pub enum MemberOutcome {
 }
 
 /// Per-member statistics of a portfolio run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct MemberReport {
     /// The member's label (the frontier spelling unless given explicitly).
     pub label: String,
@@ -81,7 +81,7 @@ pub struct MemberReport {
 }
 
 /// The winning member of a portfolio run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct PortfolioWinner {
     /// Index into [`PortfolioResult::members`].
     pub member: usize,
@@ -93,7 +93,7 @@ pub struct PortfolioWinner {
 }
 
 /// The result of [`Portfolio::run`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct PortfolioResult {
     /// The first member to synthesize an execution, if any did.
     pub winner: Option<PortfolioWinner>,

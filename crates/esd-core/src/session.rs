@@ -34,8 +34,8 @@ use crate::synth::{Esd, EsdOptions, SynthesisReport};
 use esd_analysis::StaticAnalysis;
 use esd_ir::Program;
 use esd_symex::{
-    Engine, EngineConfig, FrontierKind, GoalSpec, SearchConfig, SearchStats, StepOutcome,
-    Synthesized,
+    Engine, EngineConfig, EngineSnapshot, FrontierKind, GoalSpec, SearchConfig, SearchStats,
+    StepOutcome, Synthesized,
 };
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -90,7 +90,7 @@ pub trait Observer {
 }
 
 /// The state of a [`SynthesisSession`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub enum SessionStatus {
     /// The search has not reached a verdict; keep calling
     /// [`SynthesisSession::run_for`].
@@ -134,6 +134,37 @@ impl SessionStatus {
             | SessionStatus::Cancelled(s) => Some(s),
         }
     }
+}
+
+/// The complete durable state of a [`SynthesisSession`], produced by
+/// [`SynthesisSession::snapshot`] and consumed by
+/// [`SynthesisSession::restore`].
+///
+/// The snapshot is self-contained: it embeds the program, the options and
+/// the exact engine state (frontier contents, dedup fingerprints, RNG
+/// stream, statistics), so `restore` needs nothing but the snapshot. The
+/// static analysis is deliberately *not* stored — it is recomputed on
+/// restore, which is deterministic. Serialization is canonical: taking a
+/// snapshot of a restored session yields byte-identical JSON (pinned by the
+/// `properties` suite).
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct SessionSnapshot {
+    /// The program under synthesis.
+    pub program: Program,
+    /// The options the session was created with.
+    pub options: EsdOptions,
+    /// The engine's durable state (states, frontier, stats, RNG).
+    pub engine: EngineSnapshot,
+    /// Search rounds advanced so far.
+    pub rounds: u64,
+    /// The session status at snapshot time.
+    pub status: SessionStatus,
+    /// Wall-clock time the session had been running when the snapshot was
+    /// taken; `restore` rebases the session clock by this much so deadlines
+    /// keep covering the pre-snapshot work.
+    pub elapsed: Duration,
+    /// The progress cadence ([`EsdOptionsBuilder::progress_every`]).
+    pub progress_every: u64,
 }
 
 /// Builder-style configuration for [`EsdOptions`], sessions and synthesizers
@@ -267,6 +298,9 @@ impl EsdOptionsBuilder {
 pub struct SynthesisSession {
     engine: Engine,
     observer: Option<Box<dyn Observer>>,
+    /// The options the session was created with, retained so a
+    /// [`SessionSnapshot`] can rebuild an equivalent session.
+    options: EsdOptions,
     deadline: Option<Duration>,
     progress_every: u64,
     /// When this job's clock started. Constructors that run the static
@@ -323,10 +357,54 @@ impl SynthesisSession {
             engine,
             observer,
             deadline: options.deadline,
+            options,
             progress_every,
             started_at: Instant::now(),
             rounds: 0,
             status: SessionStatus::Running,
+        }
+    }
+
+    /// Captures the session's complete durable state (see
+    /// [`SessionSnapshot`]). The attached [`Observer`], if any, is not part
+    /// of the snapshot — observers are live callbacks, not state.
+    pub fn snapshot(&self) -> SessionSnapshot {
+        SessionSnapshot {
+            program: Program::clone(self.engine.program()),
+            options: self.options.clone(),
+            engine: self.engine.snapshot(),
+            rounds: self.rounds,
+            status: self.status.clone(),
+            elapsed: self.started_at.elapsed(),
+            progress_every: self.progress_every,
+        }
+    }
+
+    /// Rebuilds a session from a [`SessionSnapshot`]. The static analysis is
+    /// recomputed (it is a deterministic function of the program and the
+    /// goal), the engine is restored exactly, and the session clock is
+    /// rebased so `elapsed()` continues from the snapshot's value. The
+    /// restored session carries no observer; attach state reporting anew if
+    /// needed.
+    ///
+    /// Determinism invariant: continuing a restored session produces the
+    /// byte-identical synthesized execution an uninterrupted run produces
+    /// (pinned by the crash-recovery test matrix).
+    pub fn restore(snapshot: &SessionSnapshot) -> Self {
+        let program = Arc::new(snapshot.program.clone());
+        let analysis =
+            Arc::new(StaticAnalysis::compute_multi(&program, &snapshot.engine.goal.primary_locs()));
+        let engine = Engine::restore(program, analysis, &snapshot.engine);
+        let started_at = Instant::now().checked_sub(snapshot.elapsed).unwrap_or_else(Instant::now);
+        SynthesisSession {
+            engine,
+            observer: None,
+            deadline: snapshot.options.deadline,
+            options: snapshot.options.clone(),
+            progress_every: snapshot.progress_every,
+            started_at,
+            rounds: snapshot.rounds,
+            status: snapshot.status.clone(),
         }
     }
 

@@ -28,7 +28,7 @@ use std::time::Duration;
 ///     .build();
 /// assert_eq!(options.max_steps, 1_000_000);
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct EsdOptions {
     /// Total instruction budget for the dynamic phase.
     pub max_steps: u64,
@@ -102,7 +102,7 @@ pub enum SynthesisError {
 }
 
 /// The result of a successful synthesis run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct SynthesisReport {
     /// The synthesized execution (inputs + schedule), ready for playback.
     pub execution: SynthesizedExecution,

@@ -2,6 +2,7 @@
 
 use crate::types::{BlockId, FuncId, Reg, ThreadId};
 use crate::value::{ObjId, Ptr, Value};
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// One activation record.
@@ -41,7 +42,7 @@ impl Frame {
 }
 
 /// Why a thread is not currently runnable.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum ThreadStatus {
     /// Ready to execute.
     Runnable,
@@ -113,7 +114,7 @@ impl Thread {
 }
 
 /// State of a single mutex word.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct MutexState {
     /// The thread currently holding the mutex, if any.
     pub holder: Option<ThreadId>,
@@ -122,7 +123,7 @@ pub struct MutexState {
 }
 
 /// State of a single condition-variable word.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CondState {
     /// Threads blocked in `cond_wait`, with the mutex each must re-acquire.
     pub waiters: Vec<(ThreadId, Ptr)>,
@@ -131,7 +132,7 @@ pub struct CondState {
 /// All synchronization-object state, keyed by the address of the mutex /
 /// condition-variable word (mirroring pthreads, where the synchronization
 /// object is identified by its address).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct SyncState {
     /// Mutexes that have been touched so far.
     pub mutexes: HashMap<Ptr, MutexState>,

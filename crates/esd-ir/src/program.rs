@@ -92,6 +92,20 @@ pub struct Program {
     pub entry: FuncId,
 }
 
+// A compact summary, not the full listing — use the pretty printer for
+// that. Exists so snapshot and journal types embedding a `Program` can
+// derive `Debug`.
+impl std::fmt::Debug for Program {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Program")
+            .field("name", &self.name)
+            .field("functions", &self.functions.len())
+            .field("globals", &self.globals.len())
+            .field("entry", &self.entry)
+            .finish()
+    }
+}
+
 impl Program {
     /// Returns the function with the given id.
     pub fn func(&self, id: FuncId) -> &Function {

@@ -36,7 +36,7 @@
 //! execution file of a `threads = 1` run (pinned by the
 //! `parallel_beam_matches_single_threaded_run` golden test).
 
-use crate::frontier::{SearchConfig, SearchFrontier, StatePriority};
+use crate::frontier::{FrontierSnapshot, SearchConfig, SearchFrontier, StatePriority};
 use crate::solver::SolverConfig;
 use crate::state::{ExecState, SchedDistance};
 use crate::stepper::{PendingFork, Promotion, Solution, Stepper, TurnResult, TurnVerdict};
@@ -44,13 +44,14 @@ use esd_analysis::{DistanceOracle, StaticAnalysis, INF};
 use esd_concurrency::Schedule;
 use esd_ir::interp::ThreadStatus;
 use esd_ir::{FaultKind, Loc, Program};
+use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
 pub use crate::expr::SymVarInfo;
 
 /// What the synthesizer is looking for.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum GoalSpec {
     /// Reach a failure whose faulting instruction is at `loc` (crashes,
     /// failed assertions, invalid frees, …).
@@ -79,7 +80,7 @@ impl GoalSpec {
 }
 
 /// Engine configuration.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct EngineConfig {
     /// Which search frontier orders the exploration, and its seed.
     pub search: SearchConfig,
@@ -162,7 +163,7 @@ impl EngineConfig {
 }
 
 /// Search statistics.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SearchStats {
     /// Instructions executed across all states.
     pub steps: u64,
@@ -249,6 +250,43 @@ impl SearchOutcome {
 
 const SCHED_WEIGHT: u64 = 1_000_000_000;
 
+/// A complete, serializable image of an [`Engine`] mid-search, captured by
+/// [`Engine::snapshot`] and rebuilt by [`Engine::restore`].
+///
+/// The snapshot holds everything the search trajectory depends on — the goal,
+/// the configuration, every live state, the frontier's exact ordering state,
+/// the dedup fingerprints and the statistics — but *not* the program or the
+/// static analysis, which are cheap to recompute (or already loaded) on the
+/// restoring side and are passed back into [`Engine::restore`]. The derived
+/// oracle, queue targets and resolved thread count are recomputed exactly as
+/// [`Engine::new`] computes them, so a restored engine's continued search is
+/// step-for-step identical to the captured engine's.
+///
+/// Serialization is canonical: states are sorted by id and fingerprints
+/// ascending, so snapshotting an engine, restoring it and snapshotting again
+/// yields byte-identical serialized forms.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EngineSnapshot {
+    /// The goal the engine searches for.
+    pub goal: GoalSpec,
+    /// The full engine configuration.
+    pub config: EngineConfig,
+    /// Every live execution state, sorted by state id.
+    pub states: Vec<ExecState>,
+    /// The next state id the pool will assign.
+    pub next_state_id: u64,
+    /// Whether the initial state has been seeded.
+    pub started: bool,
+    /// The frontier's complete ordering state.
+    pub frontier: FrontierSnapshot,
+    /// Search statistics so far.
+    pub stats: SearchStats,
+    /// Structural fingerprints of every state ever admitted, ascending.
+    pub seen_fingerprints: Vec<u64>,
+    /// Faults found that did not match the goal.
+    pub other_bugs: Vec<(FaultKind, Option<Loc>)>,
+}
+
 /// The search engine: the shared search pool and the round loop.
 ///
 /// The engine owns its program and static analysis (shared via [`Arc`]), so
@@ -324,6 +362,46 @@ impl Engine {
             seen_fingerprints: std::collections::HashSet::new(),
             other_bugs: Vec::new(),
         }
+    }
+
+    /// Captures the engine's complete search state as a serializable
+    /// [`EngineSnapshot`]; see there for what is (and is not) included.
+    pub fn snapshot(&self) -> EngineSnapshot {
+        let mut states: Vec<ExecState> = self.states.values().cloned().collect();
+        states.sort_by_key(|s| s.id);
+        let mut seen_fingerprints: Vec<u64> = self.seen_fingerprints.iter().copied().collect();
+        seen_fingerprints.sort_unstable();
+        EngineSnapshot {
+            goal: self.goal.clone(),
+            config: self.config.clone(),
+            states,
+            next_state_id: self.next_state_id,
+            started: self.started,
+            frontier: self.frontier.snapshot(),
+            stats: self.stats.clone(),
+            seen_fingerprints,
+            other_bugs: self.other_bugs.clone(),
+        }
+    }
+
+    /// Rebuilds an engine from a snapshot. `program` and `analysis` must be
+    /// the ones the captured engine was created with (they are not part of
+    /// the snapshot — see [`EngineSnapshot`]). The restored engine's
+    /// continued search is step-for-step identical to the captured one's.
+    pub fn restore(
+        program: Arc<Program>,
+        analysis: Arc<StaticAnalysis>,
+        snap: &EngineSnapshot,
+    ) -> Self {
+        let mut engine = Engine::new(program, analysis, snap.goal.clone(), snap.config.clone());
+        engine.states = snap.states.iter().map(|s| (s.id, s.clone())).collect();
+        engine.next_state_id = snap.next_state_id;
+        engine.started = snap.started;
+        engine.frontier = snap.frontier.restore();
+        engine.stats = snap.stats.clone();
+        engine.seen_fingerprints = snap.seen_fingerprints.iter().copied().collect();
+        engine.other_bugs = snap.other_bugs.clone();
+        engine
     }
 
     /// Advances the search by one round: one frontier batch selection plus a

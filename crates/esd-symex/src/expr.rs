@@ -36,7 +36,7 @@ pub struct SymVarInfo {
 }
 
 /// A symbolic expression over 64-bit integers.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum SymExpr {
     /// A constant.
     Const(i64),
@@ -183,7 +183,7 @@ pub fn eval_bin(op: BinOp, a: i64, b: i64) -> Option<i64> {
 
 /// A value during symbolic execution: either a concrete machine value (an
 /// integer or a pointer) or a symbolic integer expression.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum SymValue {
     /// A concrete value.
     Concrete(Value),

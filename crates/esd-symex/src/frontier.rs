@@ -37,6 +37,7 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
 
@@ -45,7 +46,7 @@ use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
 pub const DEFAULT_BEAM_WIDTH: usize = 8;
 
 /// Which [`SearchFrontier`] implementation the engine uses.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub enum FrontierKind {
     /// Depth-first search ([`DfsFrontier`]).
     Dfs,
@@ -114,7 +115,7 @@ impl std::fmt::Display for FrontierKind {
 
 /// How the engine orders its exploration: a frontier implementation plus the
 /// seed for the stochastic ones.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SearchConfig {
     /// The frontier implementation to use.
     pub kind: FrontierKind,
@@ -234,6 +235,127 @@ pub trait SearchFrontier {
     fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Captures the frontier's complete ordering state (including lazy
+    /// invalidation stamps and any PRNG position) as a serializable value;
+    /// [`FrontierSnapshot::restore`] rebuilds a frontier that pops exactly
+    /// the sequence of states this one would have popped.
+    fn snapshot(&self) -> FrontierSnapshot;
+}
+
+/// Serializable image of a [`SearchFrontier`]'s internal state, captured by
+/// [`SearchFrontier::snapshot`] and rebuilt by [`FrontierSnapshot::restore`].
+///
+/// Ordered containers (the DFS stack, the BFS queue, a committed beam, the
+/// random frontier's id vector) are stored verbatim — their order *is* the
+/// search order. Heaps are stored as their entry sets sorted ascending: the
+/// entries are distinct totally-ordered tuples, so a heap rebuilt from them
+/// pops identically, and sorting makes the serialized form canonical.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FrontierSnapshot {
+    /// Image of a [`DfsFrontier`].
+    Dfs {
+        /// The LIFO stack of `(stamp, id)` entries, bottom first.
+        stack: Vec<(u64, u64)>,
+        /// The lazy-invalidation table.
+        live: LivenessSnapshot,
+    },
+    /// Image of a [`BfsFrontier`].
+    Bfs {
+        /// The FIFO queue of `(stamp, id)` entries, front first.
+        queue: Vec<(u64, u64)>,
+        /// The lazy-invalidation table.
+        live: LivenessSnapshot,
+    },
+    /// Image of a [`RandomFrontier`].
+    Random {
+        /// Live state ids in their internal (swap-remove) order.
+        ids: Vec<u64>,
+        /// The PRNG's exact position, as its four state words.
+        rng: (u64, u64, u64, u64),
+    },
+    /// Image of a [`ProximityFrontier`].
+    Proximity {
+        /// Per-virtual-queue heap entries `(key, inverted depth, stamp, id)`,
+        /// each queue sorted ascending.
+        queues: Vec<Vec<(u64, u64, u64, u64)>>,
+        /// The lazy-invalidation table.
+        live: LivenessSnapshot,
+        /// The PRNG's exact position, as its four state words.
+        rng: (u64, u64, u64, u64),
+    },
+    /// Image of a [`BeamFrontier`].
+    Beam {
+        /// States advanced per selection.
+        width: u64,
+        /// Heap entries `(key, inverted depth, stamp, id)`, sorted ascending.
+        heap: Vec<(u64, u64, u64, u64)>,
+        /// The committed, partially drained beam of `(stamp, id)` entries,
+        /// front first.
+        beam: Vec<(u64, u64)>,
+        /// The lazy-invalidation table.
+        live: LivenessSnapshot,
+    },
+}
+
+impl FrontierSnapshot {
+    /// Rebuilds the frontier this snapshot was captured from; the restored
+    /// frontier's pop sequence is identical to the captured one's.
+    pub fn restore(&self) -> Box<dyn SearchFrontier> {
+        match self {
+            FrontierSnapshot::Dfs { stack, live } => {
+                Box::new(DfsFrontier { stack: stack.clone(), live: Liveness::restore(live) })
+            }
+            FrontierSnapshot::Bfs { queue, live } => Box::new(BfsFrontier {
+                queue: queue.iter().copied().collect(),
+                live: Liveness::restore(live),
+            }),
+            FrontierSnapshot::Random { ids, rng } => Box::new(RandomFrontier {
+                ids: ids.clone(),
+                present: ids.iter().copied().collect(),
+                rng: StdRng::from_state([rng.0, rng.1, rng.2, rng.3]),
+            }),
+            FrontierSnapshot::Proximity { queues, live, rng } => Box::new(ProximityFrontier {
+                queues: queues
+                    .iter()
+                    .map(|entries| entries.iter().map(|e| Reverse(*e)).collect())
+                    .collect(),
+                live: Liveness::restore(live),
+                rng: StdRng::from_state([rng.0, rng.1, rng.2, rng.3]),
+            }),
+            FrontierSnapshot::Beam { width, heap, beam, live } => Box::new(BeamFrontier {
+                width: (*width as usize).max(1),
+                heap: heap.iter().map(|e| Reverse(*e)).collect(),
+                beam: beam.iter().copied().collect(),
+                live: Liveness::restore(live),
+            }),
+        }
+    }
+}
+
+/// Serializable image of a frontier's lazy-invalidation table (the private
+/// `Liveness` bookkeeping shared by the frontier implementations).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LivenessSnapshot {
+    /// Live `(state id, valid stamp)` entries, sorted by id (canonical form —
+    /// the underlying table is an unordered map).
+    pub current: Vec<(u64, u64)>,
+    /// The next stamp the table will hand out.
+    pub next_stamp: u64,
+}
+
+/// Captures a [`StateQueue`]'s entries, sorted ascending (canonical form; the
+/// entries are distinct, so rebuild order is irrelevant to pop order).
+fn heap_entries(heap: &StateQueue) -> Vec<(u64, u64, u64, u64)> {
+    let mut entries: Vec<(u64, u64, u64, u64)> = heap.iter().map(|Reverse(e)| *e).collect();
+    entries.sort_unstable();
+    entries
+}
+
+/// Captures an [`StdRng`]'s state words as a serializable tuple.
+fn rng_state(rng: &StdRng) -> (u64, u64, u64, u64) {
+    let s = rng.state();
+    (s[0], s[1], s[2], s[3])
 }
 
 /// Lazy-invalidation bookkeeping shared by the frontier implementations:
@@ -284,6 +406,18 @@ impl Liveness {
     fn len(&self) -> usize {
         self.current.len()
     }
+
+    /// Captures the table for a frontier snapshot (entries sorted by id).
+    fn snapshot(&self) -> LivenessSnapshot {
+        let mut current: Vec<(u64, u64)> = self.current.iter().map(|(k, v)| (*k, *v)).collect();
+        current.sort_unstable();
+        LivenessSnapshot { current, next_stamp: self.next_stamp }
+    }
+
+    /// Rebuilds the table from a snapshot.
+    fn restore(snap: &LivenessSnapshot) -> Self {
+        Liveness { current: snap.current.iter().copied().collect(), next_stamp: snap.next_stamp }
+    }
 }
 
 /// Depth-first frontier: a LIFO stack, so the search always extends the most
@@ -319,6 +453,10 @@ impl SearchFrontier for DfsFrontier {
     fn len(&self) -> usize {
         self.live.len()
     }
+
+    fn snapshot(&self) -> FrontierSnapshot {
+        FrontierSnapshot::Dfs { stack: self.stack.clone(), live: self.live.snapshot() }
+    }
 }
 
 /// Breadth-first frontier: a FIFO queue, so states are advanced in the order
@@ -353,6 +491,13 @@ impl SearchFrontier for BfsFrontier {
 
     fn len(&self) -> usize {
         self.live.len()
+    }
+
+    fn snapshot(&self) -> FrontierSnapshot {
+        FrontierSnapshot::Bfs {
+            queue: self.queue.iter().copied().collect(),
+            live: self.live.snapshot(),
+        }
     }
 }
 
@@ -395,6 +540,12 @@ impl SearchFrontier for RandomFrontier {
 
     fn len(&self) -> usize {
         self.ids.len()
+    }
+
+    fn snapshot(&self) -> FrontierSnapshot {
+        // The id vector's order is load-bearing (`pop` indexes into it), so
+        // it is captured verbatim, not sorted.
+        FrontierSnapshot::Random { ids: self.ids.clone(), rng: rng_state(&self.rng) }
     }
 }
 
@@ -458,6 +609,14 @@ impl SearchFrontier for ProximityFrontier {
 
     fn len(&self) -> usize {
         self.live.len()
+    }
+
+    fn snapshot(&self) -> FrontierSnapshot {
+        FrontierSnapshot::Proximity {
+            queues: self.queues.iter().map(heap_entries).collect(),
+            live: self.live.snapshot(),
+            rng: rng_state(&self.rng),
+        }
     }
 }
 
@@ -580,6 +739,15 @@ impl SearchFrontier for BeamFrontier {
 
     fn len(&self) -> usize {
         self.live.len()
+    }
+
+    fn snapshot(&self) -> FrontierSnapshot {
+        FrontierSnapshot::Beam {
+            width: self.width as u64,
+            heap: heap_entries(&self.heap),
+            beam: self.beam.iter().copied().collect(),
+            live: self.live.snapshot(),
+        }
     }
 }
 

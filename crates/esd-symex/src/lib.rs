@@ -35,12 +35,14 @@ mod stepper;
 mod tests;
 
 pub use engine::{
-    Engine, EngineConfig, GoalSpec, SearchOutcome, SearchStats, StepOutcome, Synthesized,
+    Engine, EngineConfig, EngineSnapshot, GoalSpec, SearchOutcome, SearchStats, StepOutcome,
+    Synthesized,
 };
 pub use expr::{SymExpr, SymValue, SymVar, SymVarInfo};
 pub use frontier::{
-    BeamFrontier, BfsFrontier, DfsFrontier, FrontierKind, ProximityFrontier, RandomFrontier,
-    SearchConfig, SearchFrontier, StatePriority, DEFAULT_BEAM_WIDTH,
+    BeamFrontier, BfsFrontier, DfsFrontier, FrontierKind, FrontierSnapshot, LivenessSnapshot,
+    ProximityFrontier, RandomFrontier, SearchConfig, SearchFrontier, StatePriority,
+    DEFAULT_BEAM_WIDTH,
 };
 pub use solver::{Solver, SolverConfig, SolverResult};
 pub use state::{ExecState, RaceDetector, SchedDistance, SymMemory, SymThread};

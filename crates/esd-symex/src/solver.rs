@@ -50,7 +50,7 @@ impl SolverResult {
 }
 
 /// Solver configuration.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, serde::Serialize, serde::Deserialize)]
 pub struct SolverConfig {
     /// Randomized repair iterations before giving up.
     pub repair_iterations: u32,

@@ -18,11 +18,12 @@ use crate::expr::{SymExpr, SymValue, SymVar, SymVarInfo};
 use esd_concurrency::{LocksetDetector, Schedule};
 use esd_ir::interp::{ObjKind, SyncState, ThreadStatus};
 use esd_ir::{BlockId, FuncId, Loc, ObjId, Program, Ptr, Reg, ThreadId, Value};
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::sync::Arc;
 
 /// One activation record of a symbolically executed thread.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SymFrame {
     /// Function this frame executes.
     pub func: FuncId,
@@ -61,7 +62,7 @@ impl SymFrame {
 }
 
 /// One thread within an execution state.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SymThread {
     /// Thread id (0 = main).
     pub id: ThreadId,
@@ -122,7 +123,7 @@ impl SymThread {
 }
 
 /// A symbolic memory object.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SymObject {
     /// The object's words.
     pub data: Vec<SymValue>,
@@ -156,7 +157,11 @@ pub enum SymMemError {
 
 /// Copy-on-write symbolic memory: objects are shared between forked states
 /// through `Arc` and cloned lazily on first write.
-#[derive(Debug, Clone, Default)]
+///
+/// Serialization is canonical (objects sorted by id) and restoring loses the
+/// `Arc` sharing between states — each restored state owns its objects — but
+/// sharing is a space optimization, not observable behaviour.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct SymMemory {
     objects: HashMap<ObjId, Arc<SymObject>>,
     next_id: u64,
@@ -251,7 +256,7 @@ impl SymMemory {
 
 /// How promising a state looks for the deadlock schedule heuristic (§4.1):
 /// `Near` states are strongly preferred, `Far` states strongly deprioritized.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum SchedDistance {
     /// The state just created conditions believed to be close to the
     /// reported deadlock.
@@ -268,7 +273,7 @@ pub enum SchedDistance {
 pub type RaceDetector = LocksetDetector<(u64, i64), u32, (u64, i64), Loc>;
 
 /// A complete execution state.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ExecState {
     /// Unique state id (stable across the whole search).
     pub id: u64,

@@ -361,6 +361,62 @@ fn sibling_forks_flag_the_same_race_independently() {
     );
 }
 
+/// Snapshot/restore mid-search must be unobservable: an engine restored from
+/// a (serialized and re-parsed) snapshot continues to the identical outcome —
+/// same schedule, same inputs, same statistics — as the uninterrupted engine,
+/// for every frontier kind. Re-snapshotting the restored engine must also be
+/// byte-identical, pinning the canonical serialized form.
+#[test]
+fn snapshot_restore_resumes_identically_for_every_frontier() {
+    let (p, thread_locs) = listing1_program();
+    let program = Arc::new(p);
+    let goal = GoalSpec::Deadlock { thread_locs };
+    let primary = goal.primary_locs()[0];
+    let analysis = Arc::new(StaticAnalysis::compute(&program, primary));
+    for search in [
+        SearchConfig::dfs(),
+        SearchConfig::bfs(),
+        SearchConfig::random(7),
+        SearchConfig::proximity(1),
+        SearchConfig::beam(8),
+    ] {
+        let config = EngineConfig { search, max_steps: 400_000, ..EngineConfig::default() };
+        let mut uninterrupted =
+            Engine::new(program.clone(), analysis.clone(), goal.clone(), config.clone());
+        // Advance partway (few enough rounds that even the fast beam search
+        // has not finished yet), snapshot, then run both to completion.
+        for _ in 0..3 {
+            match uninterrupted.step_round() {
+                crate::engine::StepOutcome::Running => {}
+                other => panic!("{search:?}: ended during warmup: {other:?}"),
+            }
+        }
+        let snap = uninterrupted.snapshot();
+        let json = serde_json::to_string(&snap).unwrap();
+        let parsed: crate::engine::EngineSnapshot = serde_json::from_str(&json).unwrap();
+        let mut restored = Engine::restore(program.clone(), analysis.clone(), &parsed);
+        assert_eq!(
+            serde_json::to_string(&restored.snapshot()).unwrap(),
+            json,
+            "{search:?}: re-snapshot of the restored engine must be byte-identical"
+        );
+        let a = uninterrupted.run();
+        let b = restored.run();
+        match (&a, &b) {
+            (SearchOutcome::Found(x), SearchOutcome::Found(y)) => {
+                assert_eq!(x.schedule, y.schedule, "{search:?}: schedules diverged");
+                assert_eq!(x.inputs, y.inputs, "{search:?}: inputs diverged");
+                assert_eq!(x.stats, y.stats, "{search:?}: stats diverged");
+            }
+            (SearchOutcome::Exhausted(x), SearchOutcome::Exhausted(y))
+            | (SearchOutcome::BudgetExceeded(x), SearchOutcome::BudgetExceeded(y)) => {
+                assert_eq!(x, y, "{search:?}: stats diverged");
+            }
+            _ => panic!("{search:?}: outcomes diverged: {a:?} vs {b:?}"),
+        }
+    }
+}
+
 #[test]
 fn budget_exhaustion_is_reported() {
     let mut pb = ProgramBuilder::new("spin");

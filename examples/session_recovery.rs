@@ -1,0 +1,86 @@
+//! Durable sessions: survive a debugging-service crash mid-synthesis.
+//!
+//! 1. Start a durable [`JobExecutor`]: every scheduling decision is
+//!    journaled write-ahead, and a full checkpoint is written every few
+//!    slices (`checkpoint_every`).
+//! 2. Submit two synthesis jobs and run part of the batch.
+//! 3. "Crash" — drop the live executor cold, exactly what `kill -9` leaves
+//!    behind: the last checkpoint plus the journal tail.
+//! 4. Recover with [`JobExecutor::recover`]: the checkpoint is loaded, the
+//!    journaled decisions are replayed through the same fairness policy,
+//!    and the batch finishes as if the crash never happened — same
+//!    execution files, same statistics.
+//!
+//! Run with: `cargo run --example session_recovery`
+
+use esd::workloads::genbug::{generate, GenConfig, InjectedBugKind};
+use esd::workloads::real_bugs::paste_invalid_free;
+use esd::{EsdOptions, FrontierKind, JobExecutor, JobSpec};
+
+fn main() {
+    let dir = std::env::temp_dir().join("esd-session-recovery");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // A durable executor: journal + checkpoint live under `dir`.
+    let mut executor = JobExecutor::round_robin()
+        .slice_rounds(64)
+        .checkpoint_every(4)
+        .durable_dir(&dir)
+        .expect("durable directory is writable");
+
+    // Two jobs: the paper's `paste` invalid free on a beam frontier, and a
+    // generated corpus bug on the default proximity frontier.
+    let paste = paste_invalid_free();
+    executor.submit(
+        JobSpec::new(&paste.name, &paste.program, paste.goal()).options(
+            EsdOptions::builder()
+                .max_steps(2_000_000)
+                .frontier(FrontierKind::Beam { width: 16 })
+                .build(),
+        ),
+    );
+    let genbug = generate(&GenConfig::new(2, InjectedBugKind::CrashOnPath)).to_workload();
+    executor.submit(
+        JobSpec::new(&genbug.name, &genbug.program, genbug.goal())
+            .options(EsdOptions::builder().max_steps(2_000_000).build()),
+    );
+
+    // Run part of the batch, then crash.
+    for _ in 0..7 {
+        executor.run_slice();
+    }
+    let before = executor.stats();
+    println!(
+        "crashing after {} slices ({} search rounds dispatched)...",
+        before.slices_dispatched, before.rounds_dispatched
+    );
+    drop(executor); // the crash: only the durable directory survives
+
+    // Recovery: reduce(snapshot, journal) rebuilds the executor exactly.
+    let mut recovered = JobExecutor::recover(&dir).expect("recovery succeeds");
+    let after = recovered.stats();
+    println!(
+        "recovered at {} slices ({} search rounds) — resuming",
+        after.slices_dispatched, after.rounds_dispatched
+    );
+    recovered.run_until_idle();
+
+    for job in recovered.stats().jobs {
+        let outcome = recovered.take(job.handle).expect("finished job has an outcome");
+        match outcome.report() {
+            Some(report) => println!(
+                "{}: {:?} after {} rounds — {} inputs, {} context switches",
+                outcome.label,
+                outcome.verdict,
+                outcome.rounds,
+                report.execution.inputs.len(),
+                report.execution.schedule.context_switches()
+            ),
+            None => {
+                println!("{}: {:?} after {} rounds", outcome.label, outcome.verdict, outcome.rounds)
+            }
+        }
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -107,6 +107,22 @@ pub mod rngs {
         }
     }
 
+    impl StdRng {
+        /// The generator's full internal state, for exact capture in
+        /// snapshots: [`StdRng::from_state`] rebuilds a generator that
+        /// continues the identical stream.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from a previously captured
+        /// [`state`](StdRng::state); the restored generator produces exactly
+        /// the words the captured one would have produced next.
+        pub fn from_state(s: [u64; 4]) -> Self {
+            StdRng { s }
+        }
+    }
+
     impl RngCore for StdRng {
         fn next_u64(&mut self) -> u64 {
             let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
@@ -146,6 +162,18 @@ mod tests {
             assert!((10..=12).contains(&y));
             let z = rng.gen_range(0..3usize);
             assert!(z < 3);
+        }
+    }
+
+    #[test]
+    fn state_capture_resumes_the_exact_stream() {
+        let mut rng = StdRng::seed_from_u64(99);
+        for _ in 0..17 {
+            rng.gen_range(0..1_000_000u64);
+        }
+        let mut resumed = StdRng::from_state(rng.state());
+        for _ in 0..100 {
+            assert_eq!(rng.gen_range(0..1_000_000u64), resumed.gen_range(0..1_000_000u64));
         }
     }
 

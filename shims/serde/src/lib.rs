@@ -22,6 +22,7 @@ use std::fmt;
 use std::hash::Hash;
 use std::rc::Rc;
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Self-describing serialization tree (the analog of `serde_json::Value`).
 #[derive(Debug, Clone, PartialEq)]
@@ -261,6 +262,19 @@ impl Deserialize for () {
     }
 }
 
+impl Serialize for Duration {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![self.as_secs().to_value(), self.subsec_nanos().to_value()])
+    }
+}
+
+impl Deserialize for Duration {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let (secs, nanos) = <(u64, u32)>::from_value(v)?;
+        Ok(Duration::new(secs, nanos))
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Smart pointers and references
 // ---------------------------------------------------------------------------
@@ -354,6 +368,14 @@ impl<T: Serialize> Serialize for [T] {
 /// `HashMap` iteration order.
 fn value_sort_key(v: &Value) -> String {
     crate::to_compact_string(v)
+}
+
+/// Sorts serialized values into the canonical order this crate uses for
+/// unordered containers (by compact-rendered text). Public so manual
+/// `Serialize` impls over hash-ordered containers in other crates can emit
+/// the same deterministic output as the built-in map/set impls.
+pub fn sort_values(items: &mut [Value]) {
+    items.sort_by_key(value_sort_key);
 }
 
 /// Renders a `Value` compactly; used only for deterministic map ordering.

@@ -93,9 +93,10 @@ pub use esd_core::portfolio;
 pub use esd_core::executor;
 
 pub use esd_core::{
-    BugKind, BugReport, Esd, EsdOptions, EsdOptionsBuilder, ExecutorStats, FairnessPolicy,
-    JobExecutor, JobHandle, JobOutcome, JobPhase, JobSpec, JobVerdict, Observer, Portfolio,
-    PortfolioResult, ProgressEvent, SessionStatus, SynthesisSession, SynthesizedExecution,
+    BugKind, BugReport, Esd, EsdOptions, EsdOptionsBuilder, ExecutorSnapshot, ExecutorStats,
+    FairnessPolicy, JobExecutor, JobHandle, JobOutcome, JobPhase, JobSpec, JobVerdict, Observer,
+    Portfolio, PortfolioResult, ProgressEvent, Recovery, RecoveryError, SessionSnapshot,
+    SessionStatus, SnapshotError, SynthesisSession, SynthesizedExecution,
 };
 pub use esd_playback::{play, Debugger};
 pub use esd_symex::{FrontierKind, GoalSpec, SearchConfig, StepOutcome};

@@ -1,6 +1,7 @@
 //! Property-based tests over the core data structures and invariants.
 
 use esd::concurrency::{Schedule, SegmentStop, VectorClock};
+use esd::core::journal::{encode_frame, scan, JournalRecord};
 use esd::ir::interp::{InterpreterConfig, MapInputs, SchedulerKind};
 use esd::ir::printer::print_program;
 use esd::ir::validate::validate;
@@ -8,6 +9,7 @@ use esd::ir::{BinOp, BlockId, CmpOp, Loc, ProgramBuilder};
 use esd::ir::{Interpreter, ThreadId};
 use esd::symex::{ExecState, RaceDetector, Solver, SolverConfig, SymExpr, SymVar};
 use esd::workloads::genbug::{generate, GenConfig, GenSize, InjectedBugKind};
+use esd::{EsdOptions, SynthesisSession};
 use proptest::prelude::*;
 
 proptest! {
@@ -157,6 +159,80 @@ proptest! {
         prop_assert_eq!(a.truth.goal_locs, b.truth.goal_locs);
         prop_assert_eq!(a.truth.triggering_inputs, b.truth.triggering_inputs);
         prop_assert_eq!(a.name, b.name);
+    }
+
+    /// A restored session is indistinguishable from the one that wrote the
+    /// snapshot: snapshot → restore → snapshot reproduces byte-identical
+    /// serialized state for arbitrary workloads and interruption points.
+    /// Only the wall-clock `elapsed` field is excluded — it keeps advancing
+    /// between the two snapshot calls by construction.
+    #[test]
+    fn session_snapshot_round_trip_is_byte_identical(
+        seed in 0u64..1_000_000,
+        kind_idx in 0usize..4,
+        rounds in 0u64..60,
+    ) {
+        let w = generate(&GenConfig::new(seed, InjectedBugKind::ALL[kind_idx])).to_workload();
+        let mut session =
+            EsdOptions::builder().max_steps(100_000).session(&w.program, w.goal());
+        session.run_for(rounds);
+        let snap = session.snapshot();
+        let mut again = SynthesisSession::restore(&snap).snapshot();
+        again.elapsed = snap.elapsed;
+        prop_assert_eq!(
+            serde_json::to_string(&snap).unwrap(),
+            serde_json::to_string(&again).unwrap()
+        );
+    }
+
+    /// Journal scanning is total: truncating a valid journal at any byte
+    /// offset, or flipping any single bit, yields the longest valid prefix
+    /// of the original records — and never panics.
+    #[test]
+    fn journal_scan_survives_arbitrary_corruption(
+        grants in proptest::collection::vec((0u64..8, 1u64..512), 1..20),
+        cut in 0usize..100_000,
+        flip_at in 0usize..100_000,
+        flip_bit in 0u32..8,
+    ) {
+        let records: Vec<JournalRecord> = grants
+            .iter()
+            .map(|(h, r)| JournalRecord::SliceGrant { handle: *h, rounds: *r })
+            .collect();
+        let frames: Vec<Vec<u8>> = records.iter().map(encode_frame).collect();
+        let bytes: Vec<u8> = frames.concat();
+
+        // A clean journal reads back completely.
+        let clean = scan(&bytes);
+        prop_assert_eq!(clean.records.len(), records.len());
+        prop_assert!(clean.damage.is_none());
+        prop_assert_eq!(clean.valid_len, bytes.len());
+
+        // Truncation at an arbitrary offset: exactly the fully-framed
+        // prefix survives, and valid_len points at its end.
+        let cut = cut % (bytes.len() + 1);
+        let truncated = scan(&bytes[..cut]);
+        let mut consumed = 0usize;
+        for (r, orig) in truncated.records.iter().zip(&frames) {
+            prop_assert_eq!(&encode_frame(r), orig);
+            consumed += orig.len();
+        }
+        prop_assert_eq!(truncated.valid_len, consumed);
+        prop_assert!(consumed <= cut);
+
+        // A single flipped bit: still a valid prefix of the originals.
+        let mut mangled = bytes.clone();
+        let at = flip_at % mangled.len();
+        mangled[at] ^= 1 << flip_bit;
+        let scanned = scan(&mangled);
+        for (r, orig) in scanned.records.iter().zip(&frames) {
+            prop_assert_eq!(&encode_frame(r), orig);
+        }
+        // Re-scanning the reported valid prefix is clean — recovery can
+        // truncate to valid_len and trust what remains.
+        let again = scan(&mangled[..scanned.valid_len]);
+        prop_assert!(again.damage.is_none());
+        prop_assert_eq!(again.records.len(), scanned.records.len());
     }
 
     /// The concrete interpreter is deterministic: same program, same inputs,

@@ -1,0 +1,249 @@
+//! The crash-recovery test matrix: durable executors must survive a hard
+//! crash at *every* slice boundary and still synthesize byte-identical
+//! execution files.
+//!
+//! For each fairness policy, the harness first runs an uninterrupted
+//! two-job batch (the `paste` invalid free on the multi-threaded `beam:16`
+//! engine, plus a generated `genbug` corpus program) and records every
+//! job's winner execution bytes and search statistics. It then replays the
+//! same batch under a durable executor, crashing after `k` dispatched
+//! slices for every crash point `k` — the executor is dropped cold, exactly
+//! what a process kill leaves behind: the last checkpoint plus the journal
+//! tail — recovers with [`JobExecutor::recover`], finishes the batch, and
+//! asserts the outcomes are identical to the uninterrupted run.
+//!
+//! The checkpoint cadences differ per policy so the matrix covers both
+//! pure-snapshot recovery (`checkpoint_every(1)`: the journal is empty at
+//! every boundary) and genuine journal replay (cadences 3 and 4: most crash
+//! points land mid-interval and recovery must re-drive journaled grants).
+//!
+//! `ESD_RECOVERY_REDUCED=1` subsamples the crash points (CI smoke mode);
+//! the default exercises every boundary. `ESD_THREADS` sets the engine
+//! thread count, as in the rest of the determinism matrix.
+
+use esd::symex::SearchStats;
+use esd::workloads::genbug::{generate, GenConfig, InjectedBugKind};
+use esd::workloads::real_bugs::paste_invalid_free;
+use esd::workloads::Workload;
+use esd::{EsdOptions, FrontierKind, JobExecutor, JobSpec, JobVerdict};
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// The engine thread count under test (the CI determinism matrix sets
+/// `ESD_THREADS` to 1, 2 and 8; the local default exercises 4 workers).
+fn env_threads() -> usize {
+    std::env::var("ESD_THREADS").ok().and_then(|s| s.parse().ok()).unwrap_or(4)
+}
+
+fn reduced() -> bool {
+    std::env::var("ESD_RECOVERY_REDUCED").ok().as_deref() == Some("1")
+}
+
+/// Durable state lives under the repo-root `recovery_tmp/` (gitignored;
+/// uploaded as a CI artifact when the matrix fails).
+fn durable_dir(tag: &str) -> PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("recovery_tmp").join(tag)
+}
+
+/// The matrix jobs: the real `paste` bug on the batched multi-threaded beam
+/// engine, and a generated corpus bug on the paper's proximity default.
+fn matrix_jobs(threads: usize) -> Vec<(Workload, EsdOptions)> {
+    let beam = EsdOptions::builder()
+        .max_steps(2_000_000)
+        .frontier(FrontierKind::Beam { width: 16 })
+        .threads(threads)
+        .build();
+    let proximity = EsdOptions::builder().max_steps(2_000_000).threads(threads).build();
+    vec![
+        (paste_invalid_free(), beam),
+        (generate(&GenConfig::new(2, InjectedBugKind::CrashOnPath)).to_workload(), proximity),
+    ]
+}
+
+fn submit_jobs(executor: &mut JobExecutor, threads: usize) -> Vec<esd::JobHandle> {
+    matrix_jobs(threads)
+        .into_iter()
+        .enumerate()
+        .map(|(i, (w, options))| {
+            executor.submit(
+                JobSpec::new(&w.name, &w.program, w.goal())
+                    .options(options)
+                    // Distinct priorities and deadline hints so the
+                    // weighted and deadline-first policies actually
+                    // differentiate the jobs.
+                    .priority(1 + i as u32)
+                    .deadline(Duration::from_secs(100 * (i as u64 + 1))),
+            )
+        })
+        .collect()
+}
+
+/// What the uninterrupted run produced for one job, minus wall-clock times.
+struct Expected {
+    label: String,
+    verdict: JobVerdict,
+    execution_json: Option<String>,
+    member_stats: Vec<SearchStats>,
+    member_rounds: Vec<u64>,
+    rounds: u64,
+}
+
+fn collect(executor: &mut JobExecutor, handles: &[esd::JobHandle]) -> Vec<Expected> {
+    handles
+        .iter()
+        .map(|h| {
+            let outcome = executor.take(*h).expect("finished executors expose every outcome");
+            Expected {
+                label: outcome.label.clone(),
+                verdict: outcome.verdict,
+                execution_json: outcome.report().map(|r| r.execution.to_json()),
+                member_stats: outcome.result.members.iter().map(|m| m.stats.clone()).collect(),
+                member_rounds: outcome.result.members.iter().map(|m| m.rounds).collect(),
+                rounds: outcome.rounds,
+            }
+        })
+        .collect()
+}
+
+fn assert_matches(actual: &[Expected], expected: &[Expected], context: &str) {
+    assert_eq!(actual.len(), expected.len(), "{context}: job count");
+    for (a, e) in actual.iter().zip(expected) {
+        assert_eq!(a.label, e.label, "{context}");
+        assert_eq!(a.verdict, e.verdict, "{context}: {} verdict", e.label);
+        assert_eq!(
+            a.execution_json, e.execution_json,
+            "{context}: {} must synthesize the byte-identical execution file",
+            e.label
+        );
+        assert_eq!(
+            a.member_stats, e.member_stats,
+            "{context}: {} member search statistics must be equal",
+            e.label
+        );
+        assert_eq!(a.member_rounds, e.member_rounds, "{context}: {} member rounds", e.label);
+        assert_eq!(a.rounds, e.rounds, "{context}: {} total rounds", e.label);
+    }
+}
+
+/// Which crash points to exercise: every slice boundary by default, a
+/// deterministic subsample (always including the first boundaries, one per
+/// checkpoint phase, and the last) in reduced mode.
+fn crash_points(total: u64, cadence: u64) -> Vec<u64> {
+    if !reduced() {
+        return (0..=total).collect();
+    }
+    let mut points = vec![0, 1, 2, cadence, cadence + 1, total / 2, total.saturating_sub(1)];
+    points.retain(|k| *k <= total);
+    points.sort_unstable();
+    points.dedup();
+    points
+}
+
+/// Runs the full crash matrix for one policy. `make` builds the executor
+/// (the policy under test), `cadence` its checkpoint interval.
+fn run_matrix(name: &str, make: fn() -> JobExecutor, cadence: u64) {
+    let threads = env_threads();
+    // Small slices so the batch crosses many slice boundaries (~28 for this
+    // two-job batch) — each boundary is a crash point in the matrix.
+    let slice_rounds = 32;
+
+    // The uninterrupted baseline, and the total slice count it needed.
+    let mut baseline = make().slice_rounds(slice_rounds);
+    let handles = submit_jobs(&mut baseline, threads);
+    baseline.run_until_idle();
+    let total = baseline.stats().slices_dispatched;
+    let expected = collect(&mut baseline, &handles);
+    assert!(
+        expected.iter().all(|e| e.verdict == JobVerdict::Found),
+        "{name}: both matrix jobs must be synthesizable uninterrupted"
+    );
+
+    for k in crash_points(total, cadence) {
+        let tag = format!("{name}-t{threads}-crash{k}");
+        let dir = durable_dir(&tag);
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let mut executor = make()
+            .slice_rounds(slice_rounds)
+            .checkpoint_every(cadence)
+            .durable_dir(&dir)
+            .expect("durable directory is writable");
+        let _ = submit_jobs(&mut executor, threads);
+        for _ in 0..k {
+            assert!(executor.run_slice(), "{tag}: work must remain before the crash point");
+        }
+        // The crash: the live executor vanishes; only the durable directory
+        // survives.
+        drop(executor);
+
+        let mut recovered = JobExecutor::recover(&dir)
+            .unwrap_or_else(|e| panic!("{tag}: recovery must succeed: {e}"));
+        recovered.run_until_idle();
+        // Handles survive recovery: they are dense submit-order ids, listed
+        // by the recovered executor's own stats.
+        let handles: Vec<esd::JobHandle> =
+            recovered.stats().jobs.iter().map(|j| j.handle).collect();
+        let actual = collect(&mut recovered, &handles);
+        assert_matches(&actual, &expected, &tag);
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn crash_recovery_matrix_round_robin() {
+    run_matrix("round-robin", JobExecutor::round_robin, 1);
+}
+
+#[test]
+fn crash_recovery_matrix_weighted_by_priority() {
+    run_matrix("weighted", JobExecutor::weighted_by_priority, 3);
+}
+
+#[test]
+fn crash_recovery_matrix_deadline_first() {
+    run_matrix("deadline", JobExecutor::deadline_first, 4);
+}
+
+/// A journal torn mid-frame (the tail a `kill -9` can leave) must not stop
+/// recovery: the valid prefix replays and the batch still finishes with the
+/// byte-identical outcome.
+#[test]
+fn recovery_tolerates_a_torn_journal_tail() {
+    let threads = env_threads();
+    let dir = durable_dir(&format!("torn-t{threads}"));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Uninterrupted baseline.
+    let mut baseline = JobExecutor::round_robin().slice_rounds(32);
+    let handles = submit_jobs(&mut baseline, threads);
+    baseline.run_until_idle();
+    let expected = collect(&mut baseline, &handles);
+
+    // Durable run crashed mid-batch, with a wide cadence so the journal
+    // holds several grants to tear.
+    let mut executor = JobExecutor::round_robin()
+        .slice_rounds(32)
+        .checkpoint_every(1000)
+        .durable_dir(&dir)
+        .expect("durable directory is writable");
+    let _ = submit_jobs(&mut executor, threads);
+    for _ in 0..5 {
+        assert!(executor.run_slice());
+    }
+    drop(executor);
+
+    // Tear the final frame: chop bytes off the journal tail.
+    let journal_path = dir.join("journal-1.log");
+    let bytes = std::fs::read(&journal_path).expect("journal exists");
+    assert!(bytes.len() > 8, "five grants must have been journaled");
+    std::fs::write(&journal_path, &bytes[..bytes.len() - 7]).expect("journal truncated");
+
+    let mut recovered = JobExecutor::recover(&dir).expect("torn journals must recover");
+    recovered.run_until_idle();
+    let handles: Vec<esd::JobHandle> = recovered.stats().jobs.iter().map(|j| j.handle).collect();
+    let actual = collect(&mut recovered, &handles);
+    assert_matches(&actual, &expected, "torn-journal");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
