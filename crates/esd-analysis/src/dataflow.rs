@@ -1,0 +1,222 @@
+//! A generic forward worklist dataflow solver over per-function [`Cfg`]s.
+//!
+//! The paper's static phase (§3.2) prunes the dynamic search space before any
+//! symbolic execution happens. The concrete analyses built on this solver —
+//! interval propagation ([`crate::interval`]) and the static lockset walk
+//! ([`crate::lockorder`]) — share the classic shape: a join-semilattice of
+//! facts, a transfer function per instruction, and a worklist iteration to a
+//! fixpoint with widening on high-join blocks so loops terminate quickly.
+//!
+//! The solver is intraprocedural; interprocedural analyses drive it once per
+//! function and exchange summaries at call boundaries (see
+//! [`crate::interval::BranchFeasibility`] for the two-phase summary scheme).
+
+use crate::cfg::Cfg;
+use esd_ir::{BlockId, Function, Inst, Loc, Terminator};
+use std::collections::VecDeque;
+
+/// Number of times a block's entry fact may change before the solver widens
+/// it (ascending chains longer than this are cut to the lattice top by
+/// [`ForwardAnalysis::widen`]). Small on purpose: precision inside loops is
+/// not worth slow convergence — an undecided branch merely falls back to the
+/// solver, exactly as before the static phase existed.
+pub const WIDEN_AFTER_JOINS: u32 = 8;
+
+/// A join-semilattice of dataflow facts.
+pub trait JoinSemiLattice: Clone {
+    /// Joins `other` into `self` (least upper bound). Returns `true` iff
+    /// `self` changed — the solver's fixpoint detection.
+    fn join(&mut self, other: &Self) -> bool;
+}
+
+/// A forward dataflow analysis: facts flow from a block's entry through its
+/// instructions to its successors.
+pub trait ForwardAnalysis {
+    /// The fact attached to each block entry.
+    type Fact: JoinSemiLattice;
+
+    /// The fact holding at the function's entry block.
+    fn entry_fact(&self) -> Self::Fact;
+
+    /// Applies one instruction's effect to the fact.
+    fn transfer_inst(&self, fact: &mut Self::Fact, inst: &Inst, loc: Loc);
+
+    /// Applies the terminator's effect on the edge `from → to`. The default
+    /// is the identity; branch-sensitive analyses can refine facts per edge.
+    fn transfer_edge(
+        &self,
+        _fact: &mut Self::Fact,
+        _term: &Terminator,
+        _from: BlockId,
+        _to: BlockId,
+    ) {
+    }
+
+    /// Widens a fact whose block joined more than [`WIDEN_AFTER_JOINS`]
+    /// times; must move the fact far enough up the lattice that the
+    /// ascending chain terminates (typically: straight to top).
+    fn widen(&self, fact: &mut Self::Fact);
+}
+
+/// The solver's result: one fact per block entry (`None` = the block is
+/// unreachable from the function entry, so no fact ever flowed into it).
+pub struct BlockFacts<F> {
+    /// `entry[b]` is the fact at the entry of `BlockId(b)`.
+    pub entry: Vec<Option<F>>,
+}
+
+impl<F: JoinSemiLattice> BlockFacts<F> {
+    /// The fact at the entry of `block`, if the block is reachable.
+    pub fn at(&self, block: BlockId) -> Option<&F> {
+        self.entry.get(block.0 as usize).and_then(|f| f.as_ref())
+    }
+}
+
+/// Runs `analysis` over one function to a fixpoint and returns the per-block
+/// entry facts. `func` is the function's id (only used to build the [`Loc`]s
+/// handed to the transfer function).
+pub fn solve_function<A: ForwardAnalysis>(
+    analysis: &A,
+    function: &Function,
+    cfg: &Cfg,
+    func: esd_ir::FuncId,
+) -> BlockFacts<A::Fact> {
+    let n = function.blocks.len();
+    let mut entry: Vec<Option<A::Fact>> = vec![None; n];
+    let mut join_count = vec![0u32; n];
+    let mut queued = vec![false; n];
+    let mut worklist = VecDeque::new();
+
+    entry[0] = Some(analysis.entry_fact());
+    worklist.push_back(BlockId(0));
+    queued[0] = true;
+
+    while let Some(b) = worklist.pop_front() {
+        queued[b.0 as usize] = false;
+        // Flow the entry fact through the block body.
+        let mut fact = entry[b.0 as usize].clone().expect("queued blocks have a fact");
+        let block = function.block(b);
+        for (i, inst) in block.insts.iter().enumerate() {
+            analysis.transfer_inst(&mut fact, inst, Loc::new(func, b, i as u32));
+        }
+        // Propagate along each out-edge.
+        for succ in cfg.succs(b) {
+            let mut edge_fact = fact.clone();
+            analysis.transfer_edge(&mut edge_fact, &block.term, b, *succ);
+            let slot = &mut entry[succ.0 as usize];
+            let changed = match slot {
+                Some(existing) => existing.join(&edge_fact),
+                None => {
+                    *slot = Some(edge_fact);
+                    true
+                }
+            };
+            if changed {
+                let count = &mut join_count[succ.0 as usize];
+                *count += 1;
+                if *count > WIDEN_AFTER_JOINS {
+                    analysis.widen(slot.as_mut().expect("just set"));
+                }
+                if !queued[succ.0 as usize] {
+                    queued[succ.0 as usize] = true;
+                    worklist.push_back(*succ);
+                }
+            }
+        }
+    }
+    BlockFacts { entry }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esd_ir::{CmpOp, ProgramBuilder};
+
+    /// A toy "reachable instruction count" analysis: the fact is the maximum
+    /// number of instructions executed on any path to the block entry,
+    /// saturating at a cap (the widening).
+    struct MaxSteps;
+
+    #[derive(Clone, PartialEq, Debug)]
+    struct Steps(u64);
+
+    impl JoinSemiLattice for Steps {
+        fn join(&mut self, other: &Self) -> bool {
+            if other.0 > self.0 {
+                self.0 = other.0;
+                true
+            } else {
+                false
+            }
+        }
+    }
+
+    impl ForwardAnalysis for MaxSteps {
+        type Fact = Steps;
+        fn entry_fact(&self) -> Steps {
+            Steps(0)
+        }
+        fn transfer_inst(&self, fact: &mut Steps, _inst: &Inst, _loc: Loc) {
+            fact.0 = fact.0.saturating_add(1);
+        }
+        fn widen(&self, fact: &mut Steps) {
+            fact.0 = u64::MAX;
+        }
+    }
+
+    #[test]
+    fn straight_line_facts_accumulate_and_unreachable_blocks_get_none() {
+        let mut pb = ProgramBuilder::new("p");
+        pb.function("main", 0, |f| {
+            let x = f.getchar();
+            let c = f.cmp(CmpOp::Eq, x, 1);
+            let t = f.new_block("t");
+            let e = f.new_block("e");
+            let dead = f.new_block("dead");
+            f.cond_br(c, t, e);
+            f.switch_to(t);
+            f.ret_void();
+            f.switch_to(e);
+            f.ret_void();
+            f.switch_to(dead);
+            f.ret_void();
+        });
+        let p = pb.finish("main");
+        let f = p.func(p.entry);
+        let cfg = Cfg::build(f, p.entry);
+        let facts = solve_function(&MaxSteps, f, &cfg, p.entry);
+        assert_eq!(facts.at(BlockId(0)), Some(&Steps(0)));
+        // Both arms see the two entry instructions.
+        assert_eq!(facts.at(BlockId(1)), Some(&Steps(2)));
+        assert_eq!(facts.at(BlockId(2)), Some(&Steps(2)));
+        // The dead block never receives a fact.
+        assert_eq!(facts.at(BlockId(3)), None);
+    }
+
+    #[test]
+    fn loops_reach_a_fixpoint_via_widening() {
+        // An unbounded counting loop would grow the max-steps fact forever;
+        // widening must cut it to the top value instead of diverging.
+        let mut pb = ProgramBuilder::new("p");
+        pb.function("main", 0, |f| {
+            let header = f.new_block("header");
+            let body = f.new_block("body");
+            let exit = f.new_block("exit");
+            f.br(header);
+            f.switch_to(header);
+            let x = f.getchar();
+            f.cond_br(x, body, exit);
+            f.switch_to(body);
+            f.nop();
+            f.br(header);
+            f.switch_to(exit);
+            f.ret_void();
+        });
+        let p = pb.finish("main");
+        let f = p.func(p.entry);
+        let cfg = Cfg::build(f, p.entry);
+        let facts = solve_function(&MaxSteps, f, &cfg, p.entry);
+        assert_eq!(facts.at(BlockId(1)), Some(&Steps(u64::MAX)));
+        assert_eq!(facts.at(BlockId(3)), Some(&Steps(u64::MAX)));
+    }
+}

@@ -13,7 +13,14 @@
 //!   ([`goaldist`]),
 //! * register use-def chains and reaching definitions of memory variables
 //!   ([`reachdef`]),
-//! * critical edges and intermediate goals ([`critical`]).
+//! * critical edges and intermediate goals ([`critical`]),
+//! * a generic forward dataflow solver ([`dataflow`]) with interprocedural
+//!   constant/interval propagation on top ([`interval`]) — the static
+//!   branch-feasibility verdicts the symbolic engine consults to skip
+//!   provably one-sided forks without a solver query,
+//! * a static lockset / lock-order-graph analysis detecting potential ABBA
+//!   deadlock cycles ([`lockorder`]),
+//! * an IR lint framework with severity-ranked diagnostics ([`lint`]).
 //!
 //! [`StaticAnalysis`] bundles everything the dynamic phase needs for one
 //! goal — or, for multi-threaded goals such as deadlocks, for the whole set
@@ -28,16 +35,24 @@ pub mod callgraph;
 pub mod cfg;
 pub mod costs;
 pub mod critical;
+pub mod dataflow;
 pub mod goaldist;
+pub mod interval;
+pub mod lint;
+pub mod lockorder;
 pub mod reachdef;
 
 pub use callgraph::CallGraph;
 pub use cfg::Cfg;
 pub use costs::{CostModel, INF, RECURSION_COST};
 pub use critical::{CriticalEdge, IntermediateGoal, StaticGoalInfo};
+pub use dataflow::{ForwardAnalysis, JoinSemiLattice};
 pub use goaldist::DistanceOracle;
+pub use interval::{BranchFeasibility, Feasibility, Interval};
+pub use lint::{Diagnostic, LintContext, LintPass, LintRegistry, Severity};
+pub use lockorder::{LockCycle, LockEdge, LockOrderInfo};
 
-use esd_ir::{Loc, Program};
+use esd_ir::{Inst, Loc, Program};
 use std::sync::Arc;
 
 /// The complete static-analysis bundle for one synthesis goal.
@@ -55,6 +70,12 @@ pub struct StaticAnalysis {
     pub costs: CostModel,
     /// Per-goal critical edges and intermediate goals.
     pub goal_info: StaticGoalInfo,
+    /// Interval-analysis verdicts for conditional branches: which branches
+    /// are statically one-sided for *all* inputs. The symbolic engine's
+    /// stepper consults these before forking to skip solver queries.
+    pub branch_feasibility: BranchFeasibility,
+    /// The static lock-order graph and its potential ABBA deadlock cycles.
+    pub lock_order: LockOrderInfo,
     /// The goal this analysis was computed for.
     pub goal: Loc,
 }
@@ -82,8 +103,38 @@ impl StaticAnalysis {
         let costs = CostModel::new(program, &cfgs, &callgraph);
         let infos =
             goals.iter().map(|g| StaticGoalInfo::compute(program, &cfgs, &callgraph, *g)).collect();
-        let goal_info = StaticGoalInfo::merge(infos);
-        StaticAnalysis { cfgs, callgraph, costs, goal_info, goal: goals[0] }
+        let mut goal_info = StaticGoalInfo::merge(infos);
+        let branch_feasibility = BranchFeasibility::compute(program, &cfgs, &callgraph);
+        let lock_order = lockorder::analyze(program, &cfgs, &callgraph);
+        // Deadlock goals (a goal at a blocked MutexLock) get the lock-order
+        // cycles' acquisition sites as extra intermediate goals: the ranked
+        // candidate deadlock sites the paper's static phase promises (§4.1).
+        // Pure guidance — a wrong candidate only costs search priority.
+        let deadlockish =
+            goals.iter().any(|g| matches!(program.inst_at(*g), Some(Inst::MutexLock { .. })));
+        if deadlockish {
+            for cycle in &lock_order.cycles {
+                let goal = IntermediateGoal {
+                    alternatives: cycle.sites.clone(),
+                    // Cycles are keyed on the lower mutex of the pair; the
+                    // sentinel value distinguishes them from store-derived
+                    // goals, which always carry a concrete stored value.
+                    variable: (cycle.pair.0, -1),
+                };
+                if !goal_info.intermediate_goals.contains(&goal) {
+                    goal_info.intermediate_goals.push(goal);
+                }
+            }
+        }
+        StaticAnalysis {
+            cfgs,
+            callgraph,
+            costs,
+            goal_info,
+            branch_feasibility,
+            lock_order,
+            goal: goals[0],
+        }
     }
 
     /// Creates the distance oracle (Algorithm 1) for this program. The oracle

@@ -1,0 +1,692 @@
+//! An IR lint framework: pluggable static checks with ranked diagnostics.
+//!
+//! Lints are the user-facing face of the static phase: the same analyses
+//! that prune the symbolic search ([`crate::interval`], [`crate::lockorder`],
+//! the CFG walks) double as bug-pattern detectors over workload IR. Each
+//! check implements [`LintPass`] against a shared read-only [`LintContext`];
+//! [`LintRegistry`] runs a pass list and returns [`Diagnostic`]s in a
+//! deterministic order, so lint output is goldenable.
+//!
+//! The registry also implements [`esd_ir::validate::Preflight`], which lets
+//! `esd_ir::validate::validate_with` reject programs with `Error`-severity
+//! diagnostics at load time; warnings and notes stay advisory. The CI
+//! `lint-gate` runs the default registry over every checked-in IR fixture
+//! and a genbug corpus with exactly that policy.
+//!
+//! Default passes: `unreachable-block`, `dead-store`, `constant-condition`,
+//! `lock-never-released`, `read-of-never-written`.
+
+use crate::callgraph::CallGraph;
+use crate::cfg::Cfg;
+use crate::interval::{BranchFeasibility, Feasibility};
+use crate::lockorder::{self, LockOrderInfo};
+use crate::reachdef::{trace_operand, CondExpr};
+use esd_ir::validate::{Preflight, ValidationError};
+use esd_ir::{BlockId, GlobalId, Inst, Loc, Operand, Program, Terminator};
+use std::fmt;
+
+/// How serious a diagnostic is. `Error` fails the validation preflight and
+/// the CI lint gate; the rest are advisory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Informational.
+    Note,
+    /// Suspicious but possibly intentional.
+    Warning,
+    /// Definitely wrong; rejected by the validation preflight.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Note => "note",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// One finding of one lint pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// The reporting pass's [`LintPass::name`].
+    pub lint: &'static str,
+    /// How serious the finding is.
+    pub severity: Severity,
+    /// Where the finding is anchored (`idx == insts.len()` = the terminator).
+    pub loc: Loc,
+    /// Human-readable description.
+    pub message: String,
+}
+
+/// The shared read-only inputs every lint pass sees: the program plus the
+/// static-phase analyses, computed once per [`LintRegistry::run`].
+pub struct LintContext<'a> {
+    /// The program under lint.
+    pub program: &'a Program,
+    /// One CFG per function, indexed by function id.
+    pub cfgs: &'a [Cfg],
+    /// The program's call graph.
+    pub callgraph: &'a CallGraph,
+    /// Interval-analysis branch verdicts.
+    pub feasibility: &'a BranchFeasibility,
+    /// The lock-order graph and its ABBA cycles.
+    pub lockorder: &'a LockOrderInfo,
+}
+
+/// One static check. Implementations push any number of [`Diagnostic`]s;
+/// ordering does not matter (the registry sorts).
+pub trait LintPass {
+    /// The stable kebab-case name reported in diagnostics.
+    fn name(&self) -> &'static str;
+    /// Runs the check over the whole program.
+    fn run(&self, ctx: &LintContext<'_>, out: &mut Vec<Diagnostic>);
+}
+
+/// An ordered collection of lint passes.
+#[derive(Default)]
+pub struct LintRegistry {
+    passes: Vec<Box<dyn LintPass>>,
+}
+
+impl LintRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The default pass list (all five built-in lints).
+    pub fn with_default_lints() -> Self {
+        let mut r = Self::new();
+        r.register(Box::new(UnreachableBlock));
+        r.register(Box::new(DeadStore));
+        r.register(Box::new(ConstantCondition));
+        r.register(Box::new(LockNeverReleased));
+        r.register(Box::new(ReadOfNeverWritten));
+        r
+    }
+
+    /// Adds a pass to the registry.
+    pub fn register(&mut self, pass: Box<dyn LintPass>) {
+        self.passes.push(pass);
+    }
+
+    /// Runs every registered pass and returns the diagnostics, sorted by
+    /// location (then severity, pass name, message) and deduplicated.
+    pub fn run(&self, program: &Program) -> Vec<Diagnostic> {
+        let cfgs: Vec<Cfg> = program.func_ids().map(|f| Cfg::build(program.func(f), f)).collect();
+        let callgraph = CallGraph::build(program);
+        let feasibility = BranchFeasibility::compute(program, &cfgs, &callgraph);
+        let lockorder = lockorder::analyze(program, &cfgs, &callgraph);
+        let ctx = LintContext {
+            program,
+            cfgs: &cfgs,
+            callgraph: &callgraph,
+            feasibility: &feasibility,
+            lockorder: &lockorder,
+        };
+        let mut out = Vec::new();
+        for pass in &self.passes {
+            pass.run(&ctx, &mut out);
+        }
+        out.sort_by(|a, b| {
+            (a.loc, std::cmp::Reverse(a.severity), a.lint, &a.message).cmp(&(
+                b.loc,
+                std::cmp::Reverse(b.severity),
+                b.lint,
+                &b.message,
+            ))
+        });
+        out.dedup();
+        out
+    }
+}
+
+impl Preflight for LintRegistry {
+    fn run(&self, program: &Program) -> Vec<ValidationError> {
+        LintRegistry::run(self, program)
+            .into_iter()
+            .filter(|d| d.severity == Severity::Error)
+            .map(|d| ValidationError {
+                func: Some(d.loc.func),
+                block: Some(d.loc.block),
+                message: format!("[{}] {}", d.lint, d.message),
+            })
+            .collect()
+    }
+}
+
+/// Renders diagnostics as stable human-readable text (one line each plus a
+/// summary line) — the format the `irlint` bin prints and the golden lint
+/// fixture pins.
+pub fn render(program: &Program, diags: &[Diagnostic]) -> String {
+    let mut s = String::new();
+    let mut errors = 0usize;
+    let mut warnings = 0usize;
+    let mut notes = 0usize;
+    for d in diags {
+        match d.severity {
+            Severity::Error => errors += 1,
+            Severity::Warning => warnings += 1,
+            Severity::Note => notes += 1,
+        }
+        let fname = &program.func(d.loc.func).name;
+        s.push_str(&format!(
+            "{}[{}] {}:bb{}:{}: {}\n",
+            d.severity, d.lint, fname, d.loc.block.0, d.loc.idx, d.message
+        ));
+    }
+    s.push_str(&format!("{errors} error(s), {warnings} warning(s), {notes} note(s)\n"));
+    s
+}
+
+// ---------------------------------------------------------------------------
+// Shared global-access scan (dead-store & read-of-never-written).
+
+/// What the program does with each global, tracked only through statically
+/// traceable addresses: once a global's address escapes (flows anywhere we
+/// cannot follow — a call argument, a stored value, a non-constant `Gep`, a
+/// sync primitive), the scan gives up on that global entirely.
+struct GlobalAccess {
+    /// Every store whose address traces to the global, in program order.
+    stores: Vec<Vec<Loc>>,
+    /// Every load whose address traces to the global: `(loc, word offset)`.
+    loads: Vec<Vec<(Loc, i64)>>,
+    /// The global's address escaped static tracking.
+    escaped: Vec<bool>,
+}
+
+fn scan_globals(program: &Program) -> GlobalAccess {
+    let n = program.globals.len();
+    let mut acc = GlobalAccess {
+        stores: vec![Vec::new(); n],
+        loads: vec![Vec::new(); n],
+        escaped: vec![false; n],
+    };
+    let escape = |acc: &mut GlobalAccess, function, op: Operand| {
+        if let CondExpr::GlobalAddr(g, _) = trace_operand(function, op) {
+            acc.escaped[g.0 as usize] = true;
+        }
+    };
+    for fid in program.func_ids() {
+        let function = program.func(fid);
+        for (bi, block) in function.blocks.iter().enumerate() {
+            for (ii, inst) in block.insts.iter().enumerate() {
+                let loc = Loc::new(fid, BlockId(bi as u32), ii as u32);
+                match inst {
+                    Inst::Store { addr, value } => {
+                        if let CondExpr::GlobalAddr(g, _) = trace_operand(function, *addr) {
+                            acc.stores[g.0 as usize].push(loc);
+                        }
+                        escape(&mut acc, function, *value);
+                    }
+                    Inst::Load { addr, .. } => {
+                        if let CondExpr::GlobalAddr(g, off) = trace_operand(function, *addr) {
+                            acc.loads[g.0 as usize].push((loc, off));
+                        }
+                    }
+                    // A Gep the tracer can fold (constant offset) surfaces
+                    // at the eventual load/store; a non-constant offset
+                    // makes the derived pointer untrackable.
+                    Inst::Gep { base, offset, .. } => {
+                        let folds = matches!(trace_operand(function, *offset), CondExpr::Const(_));
+                        if !folds {
+                            escape(&mut acc, function, *base);
+                        }
+                    }
+                    // AddrGlobal only materializes the address; what the
+                    // register is used for decides everything.
+                    Inst::AddrGlobal { .. } => {}
+                    // Every other use of a global address leaves our sight:
+                    // call arguments, sync primitives, output, arithmetic.
+                    _ => {
+                        for op in inst.uses() {
+                            escape(&mut acc, function, op);
+                        }
+                    }
+                }
+            }
+            match &block.term {
+                Terminator::CondBr { cond, .. } => escape(&mut acc, function, *cond),
+                Terminator::Ret { value: Some(v) } => escape(&mut acc, function, *v),
+                _ => {}
+            }
+        }
+    }
+    acc
+}
+
+// ---------------------------------------------------------------------------
+// The built-in passes.
+
+/// Flags blocks with no CFG path from the function entry.
+pub struct UnreachableBlock;
+
+impl LintPass for UnreachableBlock {
+    fn name(&self) -> &'static str {
+        "unreachable-block"
+    }
+
+    fn run(&self, ctx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        for fid in ctx.program.func_ids() {
+            let function = ctx.program.func(fid);
+            let reachable = ctx.cfgs[fid.0 as usize].reachable_from_entry();
+            for (bi, block) in function.blocks.iter().enumerate() {
+                if reachable[bi] {
+                    continue;
+                }
+                let label = block.label.as_deref().map(|l| format!(" (`{l}`)")).unwrap_or_default();
+                out.push(Diagnostic {
+                    lint: self.name(),
+                    severity: Severity::Warning,
+                    loc: Loc::new(fid, BlockId(bi as u32), 0),
+                    message: format!("block bb{bi}{label} is unreachable from function entry"),
+                });
+            }
+        }
+    }
+}
+
+/// Flags stores that cannot be observed: a same-block overwrite with no
+/// possible intervening reader, and globals that are written but never read
+/// (address never escaping static tracking).
+pub struct DeadStore;
+
+impl LintPass for DeadStore {
+    fn name(&self) -> &'static str {
+        "dead-store"
+    }
+
+    fn run(&self, ctx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        use std::collections::HashMap;
+        // Same-block overwrites.
+        for fid in ctx.program.func_ids() {
+            let function = ctx.program.func(fid);
+            for (bi, block) in function.blocks.iter().enumerate() {
+                // (global, word offset) → index of the last unread store.
+                let mut pending: HashMap<(GlobalId, i64), usize> = HashMap::new();
+                for (ii, inst) in block.insts.iter().enumerate() {
+                    match inst {
+                        Inst::Store { addr, .. } => {
+                            if let CondExpr::GlobalAddr(g, off) = trace_operand(function, *addr) {
+                                if let Some(prev) = pending.insert((g, off), ii) {
+                                    let name = &ctx.program.global(g).name;
+                                    out.push(Diagnostic {
+                                        lint: self.name(),
+                                        severity: Severity::Warning,
+                                        loc: Loc::new(fid, BlockId(bi as u32), prev as u32),
+                                        message: format!(
+                                            "store to `{name}`[{off}] is overwritten at \
+                                             instruction {ii} before any possible read"
+                                        ),
+                                    });
+                                }
+                            } else {
+                                // An untracked store may alias anything.
+                                pending.clear();
+                            }
+                        }
+                        // Anything that reads memory, calls out, or lets
+                        // another thread run can observe the store.
+                        Inst::Load { .. } | Inst::Call { .. } | Inst::Free { .. } => {
+                            pending.clear()
+                        }
+                        _ if inst.is_sync() => pending.clear(),
+                        _ => {}
+                    }
+                }
+            }
+        }
+        // Write-only globals.
+        let acc = scan_globals(ctx.program);
+        for (gi, stores) in acc.stores.iter().enumerate() {
+            if stores.is_empty() || acc.escaped[gi] || !acc.loads[gi].is_empty() {
+                continue;
+            }
+            let name = &ctx.program.globals[gi].name;
+            out.push(Diagnostic {
+                lint: self.name(),
+                severity: Severity::Warning,
+                loc: stores[0],
+                message: format!(
+                    "global `{name}` is written ({} store(s)) but never read",
+                    stores.len()
+                ),
+            });
+        }
+    }
+}
+
+/// Flags conditional branches whose condition is statically decided: a
+/// literal constant is an error (one edge is textually dead); an
+/// interval-analysis verdict is a warning (the dead edge may be a deliberate
+/// defensive check).
+pub struct ConstantCondition;
+
+impl LintPass for ConstantCondition {
+    fn name(&self) -> &'static str {
+        "constant-condition"
+    }
+
+    fn run(&self, ctx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        for fid in ctx.program.func_ids() {
+            let function = ctx.program.func(fid);
+            for (bi, block) in function.blocks.iter().enumerate() {
+                let Terminator::CondBr { cond, .. } = block.term else { continue };
+                let b = BlockId(bi as u32);
+                let loc = Loc::new(fid, b, block.insts.len() as u32);
+                if let CondExpr::Const(v) = trace_operand(function, cond) {
+                    let (taken, dead) = if v != 0 { ("then", "else") } else { ("else", "then") };
+                    out.push(Diagnostic {
+                        lint: self.name(),
+                        severity: Severity::Error,
+                        loc,
+                        message: format!(
+                            "branch condition is the constant {v}: the {taken} edge is \
+                             always taken and the {dead} edge is dead"
+                        ),
+                    });
+                    continue;
+                }
+                let verdict = ctx.feasibility.verdict(fid, b);
+                if verdict != Feasibility::Unknown {
+                    let way = match verdict {
+                        Feasibility::AlwaysTrue => "always true",
+                        Feasibility::AlwaysFalse => "always false",
+                        Feasibility::Unknown => unreachable!(),
+                    };
+                    out.push(Diagnostic {
+                        lint: self.name(),
+                        severity: Severity::Warning,
+                        loc,
+                        message: format!(
+                            "branch condition is {way} by interval analysis; \
+                             the other edge is statically infeasible"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Flags functions that may return while still holding a mutex they
+/// themselves acquired. Lock-helper functions legitimately do this, hence a
+/// warning; it also catches the classic leaked-lock bug shape.
+pub struct LockNeverReleased;
+
+impl LintPass for LockNeverReleased {
+    fn name(&self) -> &'static str {
+        "lock-never-released"
+    }
+
+    fn run(&self, ctx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        for fid in ctx.program.func_ids() {
+            let function = ctx.program.func(fid);
+            let cfg = &ctx.cfgs[fid.0 as usize];
+            for (loc, g) in lockorder::unreleased_at_return(function, cfg, fid) {
+                let name = &ctx.program.global(g).name;
+                out.push(Diagnostic {
+                    lint: self.name(),
+                    severity: Severity::Warning,
+                    loc,
+                    message: format!(
+                        "mutex `{name}` acquired in this function may still be held at return"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Flags loads from global words that no instruction ever writes and the
+/// initializer leaves implicitly zero — the value can only ever be 0, which
+/// usually means a missing initialization or a vestigial flag.
+pub struct ReadOfNeverWritten;
+
+impl LintPass for ReadOfNeverWritten {
+    fn name(&self) -> &'static str {
+        "read-of-never-written"
+    }
+
+    fn run(&self, ctx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        let acc = scan_globals(ctx.program);
+        for (gi, loads) in acc.loads.iter().enumerate() {
+            if acc.escaped[gi] || !acc.stores[gi].is_empty() {
+                continue;
+            }
+            let global = &ctx.program.globals[gi];
+            for (loc, off) in loads {
+                let initialized = (0..global.init.len() as i64).contains(off);
+                if initialized {
+                    continue;
+                }
+                out.push(Diagnostic {
+                    lint: self.name(),
+                    severity: Severity::Warning,
+                    loc: *loc,
+                    message: format!(
+                        "load from `{}`[{off}] reads memory that is never written and not \
+                         initialized: the value is always 0",
+                        global.name
+                    ),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esd_ir::{CmpOp, ProgramBuilder};
+
+    fn lint(program: &Program) -> Vec<Diagnostic> {
+        LintRegistry::with_default_lints().run(program)
+    }
+
+    fn names(diags: &[Diagnostic]) -> Vec<&'static str> {
+        diags.iter().map(|d| d.lint).collect()
+    }
+
+    #[test]
+    fn unreachable_block_is_flagged() {
+        let mut pb = ProgramBuilder::new("p");
+        pb.function("main", 0, |f| {
+            let dead = f.new_block("orphan");
+            f.ret_void();
+            f.switch_to(dead);
+            f.ret_void();
+        });
+        let p = pb.finish("main");
+        let diags = lint(&p);
+        assert_eq!(names(&diags), vec!["unreachable-block"]);
+        assert!(diags[0].message.contains("orphan"));
+        assert_eq!(diags[0].severity, Severity::Warning);
+    }
+
+    #[test]
+    fn overwritten_store_is_flagged_and_intervening_load_suppresses() {
+        let mut pb = ProgramBuilder::new("p");
+        let g = pb.global("g", 1);
+        let h = pb.global("h", 1);
+        pb.function("main", 0, |f| {
+            let gp = f.addr_global(g);
+            f.store(gp, 1);
+            f.store(gp, 2); // overwrites the first store
+            let hp = f.addr_global(h);
+            f.store(hp, 1);
+            let v = f.load(hp); // observes it
+            f.store(hp, 2);
+            let s = f.add(v, 0);
+            f.output(s);
+            let v2 = f.load(gp);
+            f.output(v2);
+            let v3 = f.load(hp);
+            f.output(v3);
+            f.ret_void();
+        });
+        let p = pb.finish("main");
+        let diags = lint(&p);
+        assert_eq!(names(&diags), vec!["dead-store"]);
+        assert!(diags[0].message.contains("`g`"));
+    }
+
+    #[test]
+    fn write_only_global_is_flagged() {
+        let mut pb = ProgramBuilder::new("p");
+        let g = pb.global("scratch", 1);
+        pb.function("main", 0, |f| {
+            let gp = f.addr_global(g);
+            let x = f.getchar();
+            f.store(gp, x);
+            f.ret_void();
+        });
+        let p = pb.finish("main");
+        let diags = lint(&p);
+        assert_eq!(names(&diags), vec!["dead-store"]);
+        assert!(diags[0].message.contains("never read"));
+    }
+
+    #[test]
+    fn escaped_global_is_not_write_only() {
+        // The address is passed to a callee, so the scan must give up.
+        let mut pb = ProgramBuilder::new("p");
+        let g = pb.global("shared", 1);
+        let sink = pb.declare("sink", 1);
+        pb.define(sink, |f| {
+            let v = f.load(f.param(0));
+            f.output(v);
+            f.ret_void();
+        });
+        pb.function("main", 0, |f| {
+            let gp = f.addr_global(g);
+            f.store(gp, 7);
+            f.call_void(sink, vec![gp.into()]);
+            f.ret_void();
+        });
+        let p = pb.finish("main");
+        assert!(lint(&p).is_empty());
+    }
+
+    #[test]
+    fn literal_constant_condition_is_an_error() {
+        let mut pb = ProgramBuilder::new("p");
+        pb.function("main", 0, |f| {
+            let c = f.konst(1);
+            f.diamond("dbg", c, |t| t.nop(), |e| e.nop());
+            f.ret_void();
+        });
+        let p = pb.finish("main");
+        let diags = lint(&p);
+        // The dead else-arm also trips unreachable-block? No: both arms are
+        // CFG-reachable — only the constant-condition error fires.
+        assert_eq!(names(&diags), vec!["constant-condition"]);
+        assert_eq!(diags[0].severity, Severity::Error);
+        assert!(diags[0].message.contains("constant 1"));
+    }
+
+    #[test]
+    fn interval_decided_condition_is_a_warning() {
+        // x & 63 <= 63 is not a literal constant but the interval analysis
+        // decides it — the defensive-check shape must stay sub-error.
+        let mut pb = ProgramBuilder::new("p");
+        pb.function("main", 0, |f| {
+            let x = f.getchar();
+            let masked = f.bin(esd_ir::BinOp::And, x, 63);
+            let c = f.cmp(CmpOp::Le, masked, 63);
+            f.diamond("defensive", c, |t| t.nop(), |e| e.nop());
+            f.ret_void();
+        });
+        let p = pb.finish("main");
+        let diags = lint(&p);
+        assert_eq!(names(&diags), vec!["constant-condition"]);
+        assert_eq!(diags[0].severity, Severity::Warning);
+        assert!(diags[0].message.contains("always true"));
+    }
+
+    #[test]
+    fn lock_held_at_return_is_flagged() {
+        let mut pb = ProgramBuilder::new("p");
+        let m = pb.global("m", 1);
+        pb.function("main", 0, |f| {
+            let mp = f.addr_global(m);
+            f.lock(mp);
+            f.ret_void();
+        });
+        let p = pb.finish("main");
+        let diags = lint(&p);
+        assert_eq!(names(&diags), vec!["lock-never-released"]);
+        assert!(diags[0].message.contains("`m`"));
+    }
+
+    #[test]
+    fn read_of_never_written_uninitialized_global_is_flagged() {
+        let mut pb = ProgramBuilder::new("p");
+        let g = pb.global("ghost", 2);
+        let init = pb.global_init("seeded", 1, vec![5]);
+        pb.function("main", 0, |f| {
+            let gp = f.addr_global(g);
+            let v = f.load(gp);
+            f.output(v);
+            // An explicitly initialized global read-only is fine.
+            let ip = f.addr_global(init);
+            let w = f.load(ip);
+            f.output(w);
+            f.ret_void();
+        });
+        let p = pb.finish("main");
+        let diags = lint(&p);
+        assert_eq!(names(&diags), vec!["read-of-never-written"]);
+        assert!(diags[0].message.contains("`ghost`"));
+    }
+
+    #[test]
+    fn preflight_rejects_only_errors() {
+        let mut pb = ProgramBuilder::new("p");
+        pb.function("main", 0, |f| {
+            let c = f.konst(0);
+            f.diamond("dead", c, |t| t.nop(), |e| e.nop());
+            f.ret_void();
+        });
+        let p = pb.finish("main");
+        let registry = LintRegistry::with_default_lints();
+        let preflights: [&dyn Preflight; 1] = [&registry];
+        let err = esd_ir::validate::validate_with(&p, &preflights)
+            .expect_err("the constant branch must fail the preflight");
+        assert_eq!(err.len(), 1);
+        assert!(err[0].message.contains("constant-condition"));
+
+        // A warning-only program passes.
+        let mut pb = ProgramBuilder::new("q");
+        let m = pb.global("m", 1);
+        pb.function("main", 0, |f| {
+            let mp = f.addr_global(m);
+            f.lock(mp);
+            f.ret_void();
+        });
+        let q = pb.finish("main");
+        esd_ir::validate::validate_with(&q, &preflights)
+            .expect("warnings must not fail validation");
+    }
+
+    #[test]
+    fn render_is_stable_and_counts_severities() {
+        let mut pb = ProgramBuilder::new("p");
+        let m = pb.global("m", 1);
+        pb.function("main", 0, |f| {
+            let mp = f.addr_global(m);
+            f.lock(mp);
+            let c = f.konst(1);
+            f.diamond("dbg", c, |t| t.nop(), |e| e.nop());
+            f.ret_void();
+        });
+        let p = pb.finish("main");
+        let diags = lint(&p);
+        let text = render(&p, &diags);
+        assert!(text.contains("error[constant-condition] main:"));
+        assert!(text.contains("warning[lock-never-released] main:"));
+        assert!(text.ends_with("1 error(s), 1 warning(s), 0 note(s)\n"));
+    }
+}

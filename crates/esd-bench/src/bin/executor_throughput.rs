@@ -10,9 +10,12 @@
 //!   the batch with BPF jobs.
 //! * The JSON lands in `BENCH_executor.json`, or in the first CLI argument
 //!   ending in `.json`, or in `$ESD_BENCH_OUT`.
-//! * `threads:<n>` / `ESD_THREADS` select the engine thread count per job.
+//! * `threads:<n>` / `ESD_THREADS` select the engine thread count per job;
+//!   `ESD_STATIC_PRUNING=0` switches the static feasibility pass off.
 //! * Exits non-zero when any job of the batch fails to synthesize — the CI
-//!   gate on the throughput trajectory.
+//!   gate on the throughput trajectory — and (exit 4) when static pruning is
+//!   on but the batch reports zero pruned branches or zero saved solver
+//!   queries.
 
 use esd_bench::{executor_throughput, full_mode, print_executor_throughput, threads_from_args};
 
@@ -70,5 +73,18 @@ fn main() {
             );
         }
         std::process::exit(3);
+    }
+    // When the static phase is on, the standard batch carries branches the
+    // interval analysis can decide — both counters sitting at zero means the
+    // pruning plumbing silently fell out, which CI must notice.
+    if report.static_pruning
+        && (report.branches_pruned_static == 0 || report.solver_queries_saved == 0)
+    {
+        eprintln!(
+            "FAIL: static pruning is on but the batch reports {} branches pruned \
+             and {} solver queries saved",
+            report.branches_pruned_static, report.solver_queries_saved
+        );
+        std::process::exit(4);
     }
 }

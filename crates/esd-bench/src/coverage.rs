@@ -94,6 +94,11 @@ pub struct CoverageCell {
     pub mismatch: Option<String>,
     /// Search steps the run executed.
     pub steps: u64,
+    /// Branches the static feasibility pass pruned from this run's search.
+    pub branches_pruned_static: u64,
+    /// Solver queries the static feasibility pass answered without calling
+    /// the solver.
+    pub solver_queries_saved: u64,
     /// Wall-clock seconds of the run.
     pub secs: f64,
 }
@@ -139,6 +144,14 @@ pub struct PolicyJobRow {
 pub struct CoverageReport {
     /// `"reduced"` (smoke / CI) or `"full"` (`ESD_BENCH_FULL=1`).
     pub mode: &'static str,
+    /// Whether static branch-feasibility pruning was on for the matrix
+    /// (`ESD_STATIC_PRUNING`, default on).
+    pub static_pruning: bool,
+    /// Branches the static feasibility pass pruned, summed over every cell.
+    pub branches_pruned_static: u64,
+    /// Solver queries the static feasibility pass saved, summed over every
+    /// cell.
+    pub solver_queries_saved: u64,
     /// Instruction budget per synthesis run.
     pub budget: u64,
     /// The corpus seeds.
@@ -210,6 +223,7 @@ fn cell_options(w: &GeneratedWorkload, frontier: FrontierKind, budget: u64) -> E
         .max_steps(budget)
         .frontier(frontier)
         .with_race_detection(w.truth.needs_race_preemptions)
+        .static_pruning(crate::static_pruning_from_env())
         .build()
 }
 
@@ -242,6 +256,8 @@ pub fn coverage_matrix(config: &CoverageConfig) -> CoverageReport {
                         truth_ok: mismatch.is_none(),
                         mismatch,
                         steps: report.stats.steps,
+                        branches_pruned_static: report.stats.branches_pruned_static,
+                        solver_queries_saved: report.stats.solver_queries_saved,
                         secs: elapsed,
                     }
                 }
@@ -251,6 +267,8 @@ pub fn coverage_matrix(config: &CoverageConfig) -> CoverageReport {
                     truth_ok: true,
                     mismatch: None,
                     steps: 0,
+                    branches_pruned_static: 0,
+                    solver_queries_saved: 0,
                     secs: elapsed,
                 },
             };
@@ -301,6 +319,17 @@ pub fn coverage_matrix(config: &CoverageConfig) -> CoverageReport {
     let scenarios_found = scenarios.iter().filter(|s| s.found_by > 0).count();
     CoverageReport {
         mode: if crate::full_mode() { "full" } else { "reduced" },
+        static_pruning: crate::static_pruning_from_env(),
+        branches_pruned_static: scenarios
+            .iter()
+            .flat_map(|s| &s.cells)
+            .map(|c| c.branches_pruned_static)
+            .sum(),
+        solver_queries_saved: scenarios
+            .iter()
+            .flat_map(|s| &s.cells)
+            .map(|c| c.solver_queries_saved)
+            .sum(),
         budget: config.budget,
         seeds: config.seeds.clone(),
         frontiers: frontiers.iter().map(|f| f.to_string()).collect(),
@@ -324,6 +353,7 @@ fn winner_is_deterministic(w: &GeneratedWorkload, frontier: FrontierKind, budget
             .frontier(frontier)
             .with_race_detection(w.truth.needs_race_preemptions)
             .threads(threads)
+            .static_pruning(crate::static_pruning_from_env())
             .build();
         let result = esd_core::Esd::new(options).synthesize_goal(
             &w.program,
@@ -357,6 +387,7 @@ pub fn policy_differential(corpus: &[GeneratedWorkload], budget: u64) -> Vec<Pol
                         .max_steps(budget)
                         .with_race_detection(w.truth.needs_race_preemptions)
                         .threads(threads)
+                        .static_pruning(crate::static_pruning_from_env())
                         .build(),
                 )
             })
@@ -435,5 +466,11 @@ pub fn print_coverage(report: &CoverageReport) {
         if report.winners_deterministic() { "yes" } else { "NO" },
         if report.policies_agree() { "yes" } else { "NO" },
         report.total_wall_secs,
+    );
+    println!(
+        "static pruning {}: {} branches pruned, {} solver queries saved",
+        if report.static_pruning { "on" } else { "off" },
+        report.branches_pruned_static,
+        report.solver_queries_saved,
     );
 }

@@ -95,6 +95,20 @@ pub fn threads_from_args() -> usize {
     from_cli.or_else(|| std::env::var("ESD_THREADS").ok().map(|s| parse(&s))).unwrap_or(1)
 }
 
+/// Whether the static branch-feasibility pruning pass (the ESD §3.2 static
+/// phase) should run ahead of the searches the benchmarks launch: the
+/// `ESD_STATIC_PRUNING` environment variable, where `0`, `off`, `false` or
+/// `no` disables it and anything else — including the variable being unset —
+/// leaves it on, matching the engine default. The CI determinism matrix pins
+/// one leg to `ESD_STATIC_PRUNING=0` to prove pruning never changes *what*
+/// is synthesized, only how much solver work it costs.
+pub fn static_pruning_from_env() -> bool {
+    match std::env::var("ESD_STATIC_PRUNING") {
+        Ok(v) => !matches!(v.trim(), "0" | "off" | "false" | "no"),
+        Err(_) => true,
+    }
+}
+
 pub(crate) fn secs(d: Duration) -> f64 {
     d.as_secs_f64()
 }
@@ -131,7 +145,10 @@ pub fn table1(esd_budget: u64) -> Vec<Table1Row> {
 
 /// Runs one Table-1 row (public so the quick bench targets can reuse it).
 pub fn run_table1_row(w: &Workload, esd_budget: u64) -> Table1Row {
-    let esd = EsdOptions::builder().max_steps(esd_budget).synthesizer();
+    let esd = EsdOptions::builder()
+        .max_steps(esd_budget)
+        .static_pruning(static_pruning_from_env())
+        .synthesizer();
     let start = Instant::now();
     let result = esd.synthesize_goal(&w.program, w.goal(), false);
     let elapsed = start.elapsed();
@@ -215,6 +232,7 @@ pub fn run_fig2_row(
         .max_steps(esd_budget)
         .frontier(frontier)
         .threads(threads)
+        .static_pruning(static_pruning_from_env())
         .synthesizer();
     let start = Instant::now();
     let esd_secs =
@@ -281,6 +299,7 @@ pub fn fig3(
             .max_steps(esd_budget)
             .frontier(frontier)
             .threads(threads)
+            .static_pruning(static_pruning_from_env())
             .synthesizer();
         let start = Instant::now();
         let esd_result = esd.synthesize_goal(&w.program, goal.clone(), false);
@@ -355,7 +374,8 @@ pub struct AblationRow {
 /// the other heuristics switched off one at a time.
 pub fn ablation(esd_budget: u64) -> Vec<AblationRow> {
     let w = esd_workloads::real_bugs::sqlite_recursive_lock();
-    let base = || EsdOptions::builder().max_steps(esd_budget);
+    let base =
+        || EsdOptions::builder().max_steps(esd_budget).static_pruning(static_pruning_from_env());
     let configs: Vec<(&'static str, EsdOptions)> = vec![
         ("full ESD", base().build()),
         ("no intermediate goals", base().use_intermediate_goals(false).build()),
@@ -425,7 +445,10 @@ pub fn stress_baseline(runs: u32) -> Vec<(String, bool, u64)> {
 pub fn playback_check(esd_budget: u64, repetitions: u32) -> Vec<(String, bool)> {
     let mut out = Vec::new();
     for w in all_real_bugs() {
-        let esd = EsdOptions::builder().max_steps(esd_budget).synthesizer();
+        let esd = EsdOptions::builder()
+            .max_steps(esd_budget)
+            .static_pruning(static_pruning_from_env())
+            .synthesizer();
         let ok = match esd.synthesize_goal(&w.program, w.goal(), false) {
             Ok(r) => (0..repetitions).all(|_| play(&w.program, &r.execution).reproduced),
             Err(_) => false,
@@ -455,6 +478,11 @@ pub struct ExecutorJobRow {
     pub rounds: u64,
     /// Instructions the job's search executed.
     pub steps: u64,
+    /// Branches the static feasibility pass pruned from the job's search.
+    pub branches_pruned_static: u64,
+    /// Solver queries the static feasibility pass answered without calling
+    /// the solver.
+    pub solver_queries_saved: u64,
 }
 
 /// The machine-readable result of [`executor_throughput`], serialized to
@@ -473,6 +501,14 @@ pub struct ExecutorBenchReport {
     /// `"reduced"` (the default / CI smoke mode) or `"full"`
     /// (`ESD_BENCH_FULL=1`).
     pub mode: &'static str,
+    /// Whether static branch-feasibility pruning was on for the batch
+    /// (`ESD_STATIC_PRUNING`, default on).
+    pub static_pruning: bool,
+    /// Branches the static feasibility pass pruned, summed over the batch.
+    pub branches_pruned_static: u64,
+    /// Solver queries the static feasibility pass saved, summed over the
+    /// batch.
+    pub solver_queries_saved: u64,
     /// Per-job measurements, in submission order.
     pub jobs: Vec<ExecutorJobRow>,
     /// Number of jobs in the batch.
@@ -526,15 +562,20 @@ pub fn executor_throughput(
     threads: usize,
 ) -> ExecutorBenchReport {
     let batch = executor_batch();
+    let static_pruning = static_pruning_from_env();
+    let job_options = || {
+        EsdOptions::builder()
+            .max_steps(esd_budget)
+            .threads(threads)
+            .static_pruning(static_pruning)
+            .build()
+    };
     let mut executor = JobExecutor::round_robin().slice_rounds(slice_rounds);
     let started = Instant::now();
     let handles: Vec<_> = batch
         .iter()
         .map(|w| {
-            executor.submit(
-                JobSpec::new(&w.name, &w.program, w.goal())
-                    .options(EsdOptions::builder().max_steps(esd_budget).threads(threads).build()),
-            )
+            executor.submit(JobSpec::new(&w.name, &w.program, w.goal()).options(job_options()))
         })
         .collect();
     executor.run_until_idle();
@@ -552,10 +593,7 @@ pub fn executor_throughput(
         .expect("the durable bench directory is writable");
     let durable_started = Instant::now();
     for w in &batch {
-        durable.submit(
-            JobSpec::new(&w.name, &w.program, w.goal())
-                .options(EsdOptions::builder().max_steps(esd_budget).threads(threads).build()),
-        );
+        durable.submit(JobSpec::new(&w.name, &w.program, w.goal()).options(job_options()));
     }
     durable.run_until_idle();
     let durable_wall = durable_started.elapsed();
@@ -566,9 +604,20 @@ pub fn executor_throughput(
     for (w, handle) in batch.iter().zip(handles) {
         let outcome = executor.take(handle).expect("an idle executor finished every job");
         let synthesized = outcome.verdict == JobVerdict::Found;
-        let (replays, steps) = match outcome.report() {
-            Some(report) => (play(&w.program, &report.execution).reproduced, report.stats.steps),
-            None => (false, outcome.result.members.iter().map(|m| m.stats.steps).sum()),
+        let members = &outcome.result.members;
+        let (replays, steps, pruned, saved) = match outcome.report() {
+            Some(report) => (
+                play(&w.program, &report.execution).reproduced,
+                report.stats.steps,
+                report.stats.branches_pruned_static,
+                report.stats.solver_queries_saved,
+            ),
+            None => (
+                false,
+                members.iter().map(|m| m.stats.steps).sum(),
+                members.iter().map(|m| m.stats.branches_pruned_static).sum(),
+                members.iter().map(|m| m.stats.solver_queries_saved).sum(),
+            ),
         };
         jobs.push(ExecutorJobRow {
             label: outcome.label,
@@ -578,6 +627,8 @@ pub fn executor_throughput(
             slices: outcome.slices,
             rounds: outcome.rounds,
             steps,
+            branches_pruned_static: pruned,
+            solver_queries_saved: saved,
         });
     }
     let jobs_synthesized = jobs.iter().filter(|j| j.synthesized).count();
@@ -587,6 +638,9 @@ pub fn executor_throughput(
         threads,
         esd_budget,
         mode: if full_mode() { "full" } else { "reduced" },
+        static_pruning,
+        branches_pruned_static: jobs.iter().map(|j| j.branches_pruned_static).sum(),
+        solver_queries_saved: jobs.iter().map(|j| j.solver_queries_saved).sum(),
         jobs_total: jobs.len(),
         jobs_synthesized,
         total_wall_secs: secs(total_wall),
@@ -618,17 +672,19 @@ pub fn print_executor_throughput(report: &ExecutorBenchReport) {
         report.mode,
     );
     println!(
-        "{:<10} {:>12} {:>10} {:>10} {:>12} {:>10}",
-        "job", "wall [s]", "slices", "rounds", "steps", "replays"
+        "{:<10} {:>12} {:>10} {:>10} {:>12} {:>8} {:>8} {:>10}",
+        "job", "wall [s]", "slices", "rounds", "steps", "pruned", "saved", "replays"
     );
     for j in &report.jobs {
         println!(
-            "{:<10} {:>12.3} {:>10} {:>10} {:>12} {:>10}",
+            "{:<10} {:>12.3} {:>10} {:>10} {:>12} {:>8} {:>8} {:>10}",
             j.label,
             j.wall_secs,
             j.slices,
             j.rounds,
             j.steps,
+            j.branches_pruned_static,
+            j.solver_queries_saved,
             if !j.synthesized {
                 "FAILED"
             } else if j.replays {
@@ -646,6 +702,12 @@ pub fn print_executor_throughput(report: &ExecutorBenchReport) {
         report.throughput_jobs_per_sec
     );
     println!(
+        "static pruning {}: {} branches pruned, {} solver queries saved",
+        if report.static_pruning { "on" } else { "off" },
+        report.branches_pruned_static,
+        report.solver_queries_saved,
+    );
+    println!(
         "durable re-run (checkpoint every {} slices): {:.3}s — {:+.1}% checkpoint overhead",
         report.checkpoint_every, report.durable_total_wall_secs, report.checkpoint_overhead_pct
     );
@@ -655,7 +717,10 @@ pub fn print_executor_throughput(report: &ExecutorBenchReport) {
 /// named workload and return the elapsed time if it succeeded.
 pub fn synthesize_one(name: &str, budget: u64) -> Option<Duration> {
     let w = all_real_bugs().into_iter().find(|w| w.name == name)?;
-    let esd = EsdOptions::builder().max_steps(budget).synthesizer();
+    let esd = EsdOptions::builder()
+        .max_steps(budget)
+        .static_pruning(static_pruning_from_env())
+        .synthesizer();
     let start = Instant::now();
     esd.synthesize_goal(&w.program, w.goal(), false).ok().map(|_| start.elapsed())
 }
@@ -663,6 +728,61 @@ pub fn synthesize_one(name: &str, budget: u64) -> Option<Duration> {
 /// A goal specification for an arbitrary workload, used by the binaries.
 pub fn goal_of(w: &Workload) -> GoalSpec {
     w.goal()
+}
+
+/// The result of one `irlint` sweep over the shipped program corpus.
+#[derive(Debug, Clone)]
+pub struct IrlintReport {
+    /// The rendered diagnostics: a `=== name ===` header per program
+    /// followed by `esd_analysis::lint::render` output, in corpus order.
+    pub text: String,
+    /// Programs linted.
+    pub programs: usize,
+    /// `Error`-severity diagnostics across the corpus — the CI `lint-gate`
+    /// job fails when this is non-zero.
+    pub errors: usize,
+    /// `Warning`-severity diagnostics across the corpus.
+    pub warnings: usize,
+    /// `Note`-severity diagnostics across the corpus.
+    pub notes: usize,
+}
+
+/// Runs the default lint lineup ([`esd_analysis::LintRegistry`]) over every
+/// program this repository ships — the real-bug analog workloads, the
+/// Listing-1 running example, and the smoke-corpus genbug programs (the
+/// same 4 seeds × 4 kinds the differential matrix exercises) — and renders
+/// the diagnostics in stable corpus order. The `irlint` binary prints the
+/// text and exits non-zero on any `Error`-severity diagnostic;
+/// `tests/irlint_golden.rs` pins the exact bytes.
+pub fn irlint_report() -> IrlintReport {
+    use esd_analysis::{lint, LintRegistry, Severity};
+    use esd_workloads::genbug::{generate, GenConfig, InjectedBugKind};
+
+    let mut corpus: Vec<Workload> = all_real_bugs();
+    corpus.push(listing1());
+    for seed in coverage::smoke_seeds() {
+        for kind in InjectedBugKind::ALL {
+            corpus.push(generate(&GenConfig::new(seed, kind)).to_workload());
+        }
+    }
+
+    let registry = LintRegistry::with_default_lints();
+    let mut report =
+        IrlintReport { text: String::new(), programs: 0, errors: 0, warnings: 0, notes: 0 };
+    for w in &corpus {
+        let diags = registry.run(&w.program);
+        report.programs += 1;
+        for d in &diags {
+            match d.severity {
+                Severity::Error => report.errors += 1,
+                Severity::Warning => report.warnings += 1,
+                Severity::Note => report.notes += 1,
+            }
+        }
+        report.text.push_str(&format!("=== {} ===\n", w.name));
+        report.text.push_str(&lint::render(&w.program, &diags));
+    }
+    report
 }
 
 #[cfg(test)]

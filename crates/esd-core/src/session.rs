@@ -66,6 +66,11 @@ pub struct ProgressEvent {
     pub races_flagged: usize,
     /// Bugs found that did not match the goal.
     pub other_bugs_found: usize,
+    /// Branch forks decided by the static interval analysis instead of the
+    /// solver.
+    pub branches_pruned_static: u64,
+    /// Solver queries the static verdicts made unnecessary.
+    pub solver_queries_saved: u64,
     /// The lowest final-goal priority key seen so far (`None` until a
     /// priority-driven frontier computes one) — how close the search has
     /// come to the reported failure.
@@ -232,6 +237,13 @@ impl EsdOptionsBuilder {
         self
     }
 
+    /// Consult the static interval-analysis branch verdicts to skip solver
+    /// queries on provably one-sided branches (on by default).
+    pub fn static_pruning(mut self, on: bool) -> Self {
+        self.options.static_pruning = on;
+        self
+    }
+
     /// Worker threads for multi-state frontier batches (the beam frontier);
     /// `1` stays on the calling thread, `0` uses all available parallelism.
     /// The thread count never changes the synthesized execution.
@@ -349,6 +361,7 @@ impl SynthesisSession {
             use_critical_edges: options.use_critical_edges,
             schedule_bias: options.schedule_bias,
             race_preemptions: options.with_race_detection,
+            static_pruning: options.static_pruning,
             threads: options.threads,
             ..EngineConfig::default()
         };
@@ -517,6 +530,8 @@ impl SynthesisSession {
             live_states: self.engine.live_states(),
             races_flagged: stats.races_flagged,
             other_bugs_found: stats.other_bugs_found,
+            branches_pruned_static: stats.branches_pruned_static,
+            solver_queries_saved: stats.solver_queries_saved,
             best_proximity: stats.best_proximity,
             elapsed: self.started_at.elapsed(),
         }

@@ -48,6 +48,11 @@ pub struct EsdOptions {
     pub schedule_bias: bool,
     /// Enable lockset-race-directed preemptions (`--with-race-det`).
     pub with_race_detection: bool,
+    /// Consult the static phase's interval-analysis branch verdicts to skip
+    /// solver queries on branches proven one-sided for all inputs (see
+    /// `esd_symex::EngineConfig::static_pruning`). On by default;
+    /// `ESD_STATIC_PRUNING=0` turns it off in the benches and CI.
+    pub static_pruning: bool,
     /// Optional wall-clock deadline for the search, measured from session
     /// creation.
     pub deadline: Option<Duration>,
@@ -70,6 +75,7 @@ impl Default for EsdOptions {
             use_critical_edges: true,
             schedule_bias: true,
             with_race_detection: false,
+            static_pruning: true,
             deadline: None,
             threads: 1,
         }

@@ -122,6 +122,12 @@ pub struct EngineConfig {
     /// bursts buy less scheduling overhead per instruction without changing
     /// the selection granularity in rounds.
     pub batch_burst: u32,
+    /// Consult the static phase's interval-analysis branch verdicts before
+    /// forking: branches proven one-sided for *all* inputs take that side
+    /// without a solver query (the taken side's constraint is still
+    /// recorded, so the search trajectory is unchanged — only the query is
+    /// skipped). Off in the KC baseline, which has no static phase.
+    pub static_pruning: bool,
     /// Solver configuration.
     pub solver: SolverConfig,
 }
@@ -140,6 +146,7 @@ impl Default for EngineConfig {
             dedup_states: true,
             threads: 1,
             batch_burst: 32,
+            static_pruning: true,
             solver: SolverConfig::default(),
         }
     }
@@ -157,6 +164,7 @@ impl EngineConfig {
             use_critical_edges: false,
             schedule_bias: false,
             dedup_states: false,
+            static_pruning: false,
             ..Default::default()
         }
     }
@@ -176,6 +184,12 @@ pub struct SearchStats {
     pub max_live_states: usize,
     /// Solver queries issued.
     pub solver_queries: u64,
+    /// Branch forks decided by the static phase's interval analysis instead
+    /// of the solver (the branch was provably one-sided for all inputs).
+    pub branches_pruned_static: u64,
+    /// Feasibility queries the static verdicts made unnecessary (two per
+    /// pruned two-sided fork, one per pruned critical-edge check).
+    pub solver_queries_saved: u64,
     /// Bugs found that did not match the goal (the paper: "ESD has
     /// discovered a different bug").
     pub other_bugs_found: usize,
@@ -548,6 +562,8 @@ impl Engine {
         while let Some(mut result) = pending.pop_front() {
             self.stats.steps += result.steps;
             self.stats.solver_queries += result.solver_queries;
+            self.stats.branches_pruned_static += result.branches_pruned_static;
+            self.stats.solver_queries_saved += result.solver_queries_saved;
             self.stats.races_flagged += result.races_flagged;
             self.stats.other_bugs_found += result.other_bugs.len();
             self.other_bugs.append(&mut result.other_bugs);

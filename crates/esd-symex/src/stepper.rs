@@ -17,7 +17,7 @@ use crate::engine::{EngineConfig, GoalSpec};
 use crate::expr::{SymExpr, SymValue, SymVarInfo};
 use crate::solver::{Solver, SolverResult};
 use crate::state::{ExecState, SchedDistance, SymFrame, SymMemError, SymThread};
-use esd_analysis::StaticAnalysis;
+use esd_analysis::{Feasibility, StaticAnalysis};
 use esd_concurrency::{find_mutex_deadlock, Schedule, SegmentStop};
 use esd_ir::interp::{ObjKind, ThreadStatus};
 use esd_ir::{
@@ -117,6 +117,10 @@ pub(crate) struct TurnResult {
     pub steps: u64,
     /// Solver queries issued during the turn.
     pub solver_queries: u64,
+    /// Branch forks decided by a static feasibility verdict this turn.
+    pub branches_pruned_static: u64,
+    /// Solver queries those verdicts made unnecessary this turn.
+    pub solver_queries_saved: u64,
 }
 
 /// A worker's stepper: immutable views of the search job plus a private
@@ -132,6 +136,8 @@ pub(crate) struct Stepper<'a> {
     other_bugs: Vec<(FaultKind, Option<Loc>)>,
     races_flagged: usize,
     steps: u64,
+    branches_pruned_static: u64,
+    solver_queries_saved: u64,
 }
 
 impl<'a> Stepper<'a> {
@@ -153,6 +159,8 @@ impl<'a> Stepper<'a> {
             other_bugs: Vec::new(),
             races_flagged: 0,
             steps: 0,
+            branches_pruned_static: 0,
+            solver_queries_saved: 0,
         }
     }
 
@@ -185,6 +193,8 @@ impl<'a> Stepper<'a> {
             races_flagged: std::mem::take(&mut self.races_flagged),
             steps: std::mem::take(&mut self.steps),
             solver_queries: self.solver.queries - queries_before,
+            branches_pruned_static: std::mem::take(&mut self.branches_pruned_static),
+            solver_queries_saved: std::mem::take(&mut self.solver_queries_saved),
         }
     }
 
@@ -524,6 +534,17 @@ impl<'a> Stepper<'a> {
         else_bb: esd_ir::BlockId,
     ) -> StepEffect {
         let cur = state.current;
+        // The static phase's interval analysis may have proven this branch
+        // one-sided for *all* inputs; consulting the verdict replaces the
+        // feasibility queries below. The taken side's constraint is still
+        // recorded exactly as the solver path would have recorded it, so a
+        // verdict that the solver would also have reached leaves the search
+        // trajectory untouched — only the query count drops.
+        let verdict = if self.config.static_pruning {
+            self.analysis.branch_feasibility.verdict(loc.func, loc.block)
+        } else {
+            Feasibility::Unknown
+        };
         // Critical edge: only one side can lead to the goal. Only applied for
         // single-location (crash) goals: for deadlocks the static info is
         // computed from one thread's blocked location and must not constrain
@@ -535,6 +556,24 @@ impl<'a> Stepper<'a> {
                 } else {
                     (else_bb, SymExpr::not(cond.clone()))
                 };
+                let statically_required = match verdict {
+                    Feasibility::AlwaysTrue => Some(edge.required_value),
+                    Feasibility::AlwaysFalse => Some(!edge.required_value),
+                    Feasibility::Unknown => None,
+                };
+                if let Some(takeable) = statically_required {
+                    self.branches_pruned_static += 1;
+                    self.solver_queries_saved += 1;
+                    if !takeable {
+                        // The branch always takes the side the goal forbids.
+                        return StepEffect::Dead;
+                    }
+                    state.add_constraint(expr);
+                    let top = state.thread_mut(cur).top_mut();
+                    top.block = take;
+                    top.idx = 0;
+                    return StepEffect::Continue;
+                }
                 state.add_constraint(expr);
                 if !self.solver.is_feasible(&state.constraints) {
                     return StepEffect::Dead;
@@ -544,6 +583,23 @@ impl<'a> Stepper<'a> {
                 top.idx = 0;
                 return StepEffect::Continue;
             }
+        }
+        match verdict {
+            Feasibility::AlwaysTrue | Feasibility::AlwaysFalse => {
+                self.branches_pruned_static += 1;
+                self.solver_queries_saved += 2;
+                let (bb, c) = if verdict == Feasibility::AlwaysTrue {
+                    (then_bb, cond)
+                } else {
+                    (else_bb, SymExpr::not(cond))
+                };
+                state.add_constraint(c);
+                let top = state.thread_mut(cur).top_mut();
+                top.block = bb;
+                top.idx = 0;
+                return StepEffect::Continue;
+            }
+            Feasibility::Unknown => {}
         }
         let mut then_constraints = state.constraints.clone();
         then_constraints.push(cond.clone());

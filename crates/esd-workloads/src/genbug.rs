@@ -423,6 +423,25 @@ pub fn generate(config: &GenConfig) -> GeneratedWorkload {
         }
         let sp = f.addr_global(scratch);
 
+        // 1b. A defensive masked range check, the shape real code guards
+        // buffer indices with: `in0 & 63` can never exceed 63, so the else
+        // edge is infeasible for every input. The condition stays symbolic
+        // at run time — without static pruning this fork costs two solver
+        // queries; with it, the interval analysis decides the branch. Fixed
+        // mask, no extra RNG draws, reuses an already-read input.
+        let masked0 = f.bin(BinOp::And, input_regs[0], 63);
+        let in_range = f.cmp(CmpOp::Le, masked0, 63);
+        f.diamond(
+            "defensive",
+            in_range,
+            |t| {
+                let cur = t.load(sp);
+                let inc = t.add(cur, 1);
+                t.store(sp, inc);
+            },
+            |e| e.nop(),
+        );
+
         // 2. Distractor branches: input-dependent diamonds over the inputs
         // that do NOT arm the bug, so the path space grows with the branch
         // count without making the arming assignment harder to satisfy.

@@ -424,6 +424,13 @@ pub fn ghttpd_log_overflow() -> Workload {
         f.cond_br(is_get, serve, reject);
         f.switch_to(serve);
         let len = f.input(InputSource::Net);
+        // A defensive range check on the length's low bits — `len & 1023`
+        // can never exceed the mask, so the static interval analysis proves
+        // the else edge infeasible and the engine forks here without a
+        // solver query (the condition stays symbolic at run time).
+        let low = f.bin(BinOp::And, len, 1023);
+        let sane = f.cmp(CmpOp::Le, low, 1023);
+        f.diamond("sanity", sane, |t| t.nop(), |e| e.output(500));
         // The original checks the URL against MAX_REQUEST but logs it first.
         f.call_void(log_request, vec![len.into()]);
         let ok = f.cmp(CmpOp::Le, len, 256);
@@ -521,6 +528,12 @@ fn coreutils_crash(
         distractor_options(f, extra_distractors);
         let mode_arg = f.arg(0);
         let name_arg = f.arg(1);
+        // A defensive range check on the mode byte: `mode & 127` can never
+        // exceed the mask, so the interval analysis decides this branch and
+        // the engine skips the solver on the fork.
+        let low = f.bin(BinOp::And, mode_arg, 127);
+        let in_range = f.cmp(CmpOp::Le, low, 127);
+        f.diamond("mode_range", in_range, |t| t.nop(), |e| e.output(2));
         // The utility validates its mode argument; the error path formats a
         // message using a context pointer that is null when the second
         // argument is missing (zero).

@@ -41,12 +41,21 @@ fn env_threads() -> usize {
     std::env::var("ESD_THREADS").ok().and_then(|s| s.parse().ok()).unwrap_or(4)
 }
 
+/// Whether the static feasibility pass is on for this run (the CI
+/// determinism matrix pins one leg to `ESD_STATIC_PRUNING=0`; pruning must
+/// never change what is synthesized, so every leg reproduces the same
+/// fixtures).
+fn env_static_pruning() -> bool {
+    std::env::var("ESD_STATIC_PRUNING").ok().as_deref() != Some("0")
+}
+
 fn synthesize_beam(threads: usize) -> String {
     let w = paste_invalid_free();
     let esd = EsdOptions::builder()
         .max_steps(2_000_000)
         .frontier(FrontierKind::Beam { width: 16 })
         .threads(threads)
+        .static_pruning(env_static_pruning())
         .synthesizer();
     let report = esd.synthesize_goal(&w.program, w.goal(), false).expect("synthesis succeeds");
     let mut json = report.execution.to_json();
@@ -122,6 +131,28 @@ fn golden_execution_file_replays() {
         replay.reproduced,
         "checked-in execution file must still reproduce the paste invalid free"
     );
+}
+
+/// The static feasibility pass never changes *what* is synthesized on the
+/// golden workload: with pruning explicitly on and explicitly off, a fresh
+/// proximity synthesis reproduces the checked-in execution file byte for
+/// byte — the soundness contract of `EsdOptions::builder().static_pruning`.
+#[test]
+fn golden_execution_file_is_invariant_to_static_pruning() {
+    if regen_requested() {
+        return;
+    }
+    let w = paste_invalid_free();
+    for pruning in [true, false] {
+        let esd = EsdOptions::builder().max_steps(2_000_000).static_pruning(pruning).synthesizer();
+        let report = esd.synthesize_goal(&w.program, w.goal(), false).expect("synthesis succeeds");
+        assert_eq!(
+            format!("{}\n", report.execution.to_json()),
+            FIXTURE,
+            "static_pruning({pruning}) must reproduce the checked-in execution \
+             file byte for byte"
+        );
+    }
 }
 
 /// Serialization is deterministic and stable: writing the parsed fixture back

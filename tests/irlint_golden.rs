@@ -1,0 +1,62 @@
+//! Golden test pinning the `irlint` corpus sweep's rendered output.
+//!
+//! The lint lineup, the diagnostic ordering and the rendered text are all
+//! part of the CI `lint-gate` contract: a reordered pass, a reworded
+//! message or a drifted workload program shows up here as a byte diff
+//! instead of silently changing what the gate enforces.
+//!
+//! If the lints or the corpus change *intentionally*, regenerate with
+//!
+//! ```text
+//! ESD_REGEN_GOLDEN=1 cargo test --test irlint_golden
+//! ```
+//!
+//! and commit the new fixture together with the change.
+
+use esd_bench::irlint_report;
+
+const FIXTURE: &str = include_str!("fixtures/irlint_golden.txt");
+
+fn fixture_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/irlint_golden.txt")
+}
+
+fn regen_requested() -> bool {
+    std::env::var("ESD_REGEN_GOLDEN").ok().as_deref() == Some("1")
+}
+
+/// Regenerates the fixture (only when `ESD_REGEN_GOLDEN=1`); alphabetically
+/// first so a regeneration run rewrites before the read-only checks.
+#[test]
+fn a_regenerate_fixture_when_requested() {
+    if !regen_requested() {
+        return;
+    }
+    std::fs::write(fixture_path(), irlint_report().text).expect("fixture written");
+}
+
+/// The sweep reproduces the checked-in rendering byte for byte.
+#[test]
+fn irlint_output_matches_the_checked_in_fixture() {
+    if regen_requested() {
+        // The in-memory FIXTURE constant is stale during a regeneration run.
+        return;
+    }
+    assert_eq!(
+        irlint_report().text,
+        FIXTURE,
+        "the irlint corpus sweep drifted from the checked-in fixture; if the \
+         change is intentional, regenerate with \
+         ESD_REGEN_GOLDEN=1 cargo test --test irlint_golden"
+    );
+}
+
+/// The shipped corpus is and stays free of `Error`-severity diagnostics —
+/// the same policy the CI `lint-gate` job enforces through the `irlint`
+/// bin's exit code.
+#[test]
+fn corpus_carries_no_error_diagnostics() {
+    let report = irlint_report();
+    assert_eq!(report.errors, 0, "Error-severity lint diagnostics in the shipped corpus");
+    assert!(report.programs >= 20, "the sweep covers the analogs and the smoke corpus");
+}

@@ -138,6 +138,66 @@ proptest! {
         prop_assert!(!w.truth.goal_locs.is_empty(), "{}: ground truth has a goal", w.name);
     }
 
+    /// The static phase is *sound* on the generated corpus: branch
+    /// feasibility verdicts only ever remove edges that are infeasible for
+    /// every input, so the blocks holding the injected bug stay reachable
+    /// when each function's CFG is restricted to the edges the verdicts
+    /// keep. An `AlwaysFalse` on the guard of the bug path would make the
+    /// injected failure unsynthesizable under pruning — exactly the outcome
+    /// the engine's `static_pruning` option must never produce.
+    #[test]
+    fn feasibility_verdicts_never_rule_out_the_injected_bug(
+        seed in 0u64..1_000_000_000,
+        kind_idx in 0usize..4,
+        dims in (0u32..12, 0u32..32, 0u32..12, 0u32..12, 0u32..12),
+    ) {
+        use esd::analysis::{BranchFeasibility, CallGraph, Cfg, Feasibility};
+        use esd::ir::inst::Terminator;
+
+        let (inputs, branches, loop_iters, threads, locks) = dims;
+        let config = GenConfig {
+            seed,
+            kind: InjectedBugKind::ALL[kind_idx],
+            size: GenSize { inputs, branches, loop_iters, threads, locks },
+        };
+        let w = generate(&config);
+        let program = &w.program;
+        let cfgs: Vec<Cfg> =
+            program.func_ids().map(|f| Cfg::build(program.func(f), f)).collect();
+        let callgraph = CallGraph::build(program);
+        let feasibility = BranchFeasibility::compute(program, &cfgs, &callgraph);
+
+        for goal in &w.truth.goal_locs {
+            // Reachability from the goal function's entry, walking only the
+            // CFG edges a pruning stepper would still take.
+            let func = program.func(goal.func);
+            let mut seen = vec![false; func.blocks.len()];
+            let mut stack = vec![BlockId(0)];
+            while let Some(b) = stack.pop() {
+                if std::mem::replace(&mut seen[b.0 as usize], true) {
+                    continue;
+                }
+                let next: Vec<BlockId> = match &func.blocks[b.0 as usize].term {
+                    Terminator::CondBr { then_bb, else_bb, .. } => {
+                        match feasibility.verdict(goal.func, b) {
+                            Feasibility::AlwaysTrue => vec![*then_bb],
+                            Feasibility::AlwaysFalse => vec![*else_bb],
+                            Feasibility::Unknown => vec![*then_bb, *else_bb],
+                        }
+                    }
+                    t => t.successors(),
+                };
+                stack.extend(next);
+            }
+            prop_assert!(
+                seen[goal.block.0 as usize],
+                "{}: the injected bug block {:?} was pruned away by the \
+                 feasibility verdicts (seed {seed})",
+                w.name, goal
+            );
+        }
+    }
+
     /// Generator determinism, as a property: the same `(seed, kind, size)`
     /// always produces a byte-identical serialized program and the same
     /// ground truth. (A checked-in golden fixture pins the concrete bytes

@@ -41,6 +41,18 @@ fn reduced() -> bool {
 
 /// Durable state lives under the repo-root `recovery_tmp/` (gitignored;
 /// uploaded as a CI artifact when the matrix fails).
+/// Success-path cleanup: removes a test's durable directory and then the
+/// shared `recovery_tmp/` parent if this was its last entry (the
+/// non-recursive `remove_dir` fails harmlessly while other matrix tests'
+/// directories are still present). Failure paths never reach this, so the
+/// CI upload-on-failure artifact keeps the evidence.
+fn remove_durable_dir(dir: &std::path::Path) {
+    let _ = std::fs::remove_dir_all(dir);
+    if let Some(parent) = dir.parent() {
+        let _ = std::fs::remove_dir(parent);
+    }
+}
+
 fn durable_dir(tag: &str) -> PathBuf {
     std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("recovery_tmp").join(tag)
 }
@@ -186,7 +198,7 @@ fn run_matrix(name: &str, make: fn() -> JobExecutor, cadence: u64) {
         let actual = collect(&mut recovered, &handles);
         assert_matches(&actual, &expected, &tag);
 
-        let _ = std::fs::remove_dir_all(&dir);
+        remove_durable_dir(&dir);
     }
 }
 
@@ -245,5 +257,5 @@ fn recovery_tolerates_a_torn_journal_tail() {
     let actual = collect(&mut recovered, &handles);
     assert_matches(&actual, &expected, "torn-journal");
 
-    let _ = std::fs::remove_dir_all(&dir);
+    remove_durable_dir(&dir);
 }

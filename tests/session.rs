@@ -74,6 +74,43 @@ fn session_slicing_is_deterministic() {
     assert!(play(&w.program, &stepped.execution).reproduced);
 }
 
+/// Satellite of the static-pruning tentpole: sessions surface the static
+/// phase's counters through [`esd::core::session::ProgressEvent`], the
+/// counters move on a workload with a statically decidable branch
+/// (`mkfifo`'s masked mode-range check), and switching pruning off zeroes
+/// them while still synthesizing an execution that replays.
+#[test]
+fn progress_events_surface_static_pruning_counters() {
+    let w = esd::workloads::all_real_bugs().into_iter().find(|w| w.name == "mkfifo").unwrap();
+    let run = |pruning: bool| {
+        let mut session = EsdOptions::builder()
+            .max_steps(2_000_000)
+            .static_pruning(pruning)
+            .session(&w.program, w.goal());
+        while session.poll().is_running() {
+            session.run_for(64);
+        }
+        let event = session.progress_event();
+        let report = session.poll().found().expect("mkfifo synthesizes").clone();
+        (event, report)
+    };
+
+    let (on, found_on) = run(true);
+    assert!(on.branches_pruned_static > 0, "mkfifo carries a statically decidable branch");
+    assert!(on.solver_queries_saved >= on.branches_pruned_static);
+    assert!(play(&w.program, &found_on.execution).reproduced);
+
+    let (off, found_off) = run(false);
+    assert_eq!(off.branches_pruned_static, 0, "pruning off must not prune");
+    assert_eq!(off.solver_queries_saved, 0);
+    assert!(play(&w.program, &found_off.execution).reproduced);
+    assert_eq!(
+        found_on.execution.to_json(),
+        found_off.execution.to_json(),
+        "static pruning must not change what is synthesized"
+    );
+}
+
 /// Cancelling a running session keeps the partial `SearchStats` of the work
 /// done so far.
 #[test]
