@@ -20,6 +20,12 @@
 //!   provably one-sided forks without a solver query,
 //! * a static lockset / lock-order-graph analysis detecting potential ABBA
 //!   deadlock cycles ([`lockorder`]),
+//! * a flow-insensitive Andersen-style points-to/escape analysis classifying
+//!   each memory access as thread-local or may-shared ([`pointsto`]),
+//! * may-happen-in-parallel + lockset race-pair candidates that bound the
+//!   dynamic phase's preemption forks in race mode ([`racecand`]),
+//! * a backward goal-directed relevance slice sharpening the proximity
+//!   heuristic's cost model ([`slice`](mod@slice)),
 //! * an IR lint framework with severity-ranked diagnostics ([`lint`]).
 //!
 //! [`StaticAnalysis`] bundles everything the dynamic phase needs for one
@@ -40,7 +46,10 @@ pub mod goaldist;
 pub mod interval;
 pub mod lint;
 pub mod lockorder;
+pub mod pointsto;
+pub mod racecand;
 pub mod reachdef;
+pub mod slice;
 
 pub use callgraph::CallGraph;
 pub use cfg::Cfg;
@@ -51,6 +60,9 @@ pub use goaldist::DistanceOracle;
 pub use interval::{BranchFeasibility, Feasibility, Interval};
 pub use lint::{Diagnostic, LintContext, LintPass, LintRegistry, Severity};
 pub use lockorder::{LockCycle, LockEdge, LockOrderInfo};
+pub use pointsto::{AbsLoc, MemAccess, PointsTo};
+pub use racecand::{RaceCandidates, RacePairCandidate};
+pub use slice::RelevanceSlice;
 
 use esd_ir::{Inst, Loc, Program};
 use std::sync::Arc;
@@ -76,6 +88,17 @@ pub struct StaticAnalysis {
     pub branch_feasibility: BranchFeasibility,
     /// The static lock-order graph and its potential ABBA deadlock cycles.
     pub lock_order: LockOrderInfo,
+    /// Andersen-style points-to/escape facts: which memory accesses may touch
+    /// shared state.
+    pub points_to: PointsTo,
+    /// The ranked set of statically identified race-pair candidates (§4.2):
+    /// pairs of may-shared accesses that may happen in parallel without a
+    /// common must-held lock. The stepper's race-preemption mode only forks
+    /// at accesses/yields this set marks relevant.
+    pub race_candidates: RaceCandidates,
+    /// The backward goal-directed relevance slice and its sliced cost model
+    /// ([`StaticAnalysis::costs_for_goal`]).
+    pub slice: RelevanceSlice,
     /// The goal this analysis was computed for.
     pub goal: Loc,
 }
@@ -106,6 +129,10 @@ impl StaticAnalysis {
         let mut goal_info = StaticGoalInfo::merge(infos);
         let branch_feasibility = BranchFeasibility::compute(program, &cfgs, &callgraph);
         let lock_order = lockorder::analyze(program, &cfgs, &callgraph);
+        let points_to = PointsTo::compute(program, &callgraph);
+        let race_candidates =
+            racecand::compute(program, &cfgs, &callgraph, &points_to, &lock_order);
+        let slice = slice::compute(program, &callgraph, &points_to, &costs, goals);
         // Deadlock goals (a goal at a blocked MutexLock) get the lock-order
         // cycles' acquisition sites as extra intermediate goals: the ranked
         // candidate deadlock sites the paper's static phase promises (§4.1).
@@ -133,7 +160,22 @@ impl StaticAnalysis {
             goal_info,
             branch_feasibility,
             lock_order,
+            points_to,
+            race_candidates,
+            slice,
             goal: goals[0],
+        }
+    }
+
+    /// The cost model to use when measuring distance toward `goal`: the
+    /// sliced model (irrelevant instructions cost zero) when `goal` belongs
+    /// to the goal set this analysis was computed for, the full model
+    /// otherwise (e.g. ad-hoc queries for other locations).
+    pub fn costs_for_goal(&self, goal: Loc) -> &CostModel {
+        if self.slice.goals.contains(&goal) {
+            &self.slice.costs
+        } else {
+            &self.costs
         }
     }
 

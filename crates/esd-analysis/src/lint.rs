@@ -14,12 +14,15 @@
 //! and a genbug corpus with exactly that policy.
 //!
 //! Default passes: `unreachable-block`, `dead-store`, `constant-condition`,
-//! `lock-never-released`, `read-of-never-written`.
+//! `lock-never-released`, `read-of-never-written`, `inconsistent-lock-guard`,
+//! `shared-unsynchronized-write`.
 
 use crate::callgraph::CallGraph;
 use crate::cfg::Cfg;
 use crate::interval::{BranchFeasibility, Feasibility};
 use crate::lockorder::{self, LockOrderInfo};
+use crate::pointsto::{AbsLoc, PointsTo};
+use crate::racecand::{self, RaceCandidates};
 use crate::reachdef::{trace_operand, CondExpr};
 use esd_ir::validate::{Preflight, ValidationError};
 use esd_ir::{BlockId, GlobalId, Inst, Loc, Operand, Program, Terminator};
@@ -73,6 +76,11 @@ pub struct LintContext<'a> {
     pub feasibility: &'a BranchFeasibility,
     /// The lock-order graph and its ABBA cycles.
     pub lockorder: &'a LockOrderInfo,
+    /// Andersen-style points-to/escape facts.
+    pub points_to: &'a PointsTo,
+    /// MHP + lockset race-pair candidates (with per-access may/must
+    /// locksets).
+    pub race_candidates: &'a RaceCandidates,
 }
 
 /// One static check. Implementations push any number of [`Diagnostic`]s;
@@ -96,7 +104,7 @@ impl LintRegistry {
         Self::default()
     }
 
-    /// The default pass list (all five built-in lints).
+    /// The default pass list (all seven built-in lints).
     pub fn with_default_lints() -> Self {
         let mut r = Self::new();
         r.register(Box::new(UnreachableBlock));
@@ -104,6 +112,8 @@ impl LintRegistry {
         r.register(Box::new(ConstantCondition));
         r.register(Box::new(LockNeverReleased));
         r.register(Box::new(ReadOfNeverWritten));
+        r.register(Box::new(InconsistentLockGuard));
+        r.register(Box::new(SharedUnsynchronizedWrite));
         r
     }
 
@@ -119,12 +129,16 @@ impl LintRegistry {
         let callgraph = CallGraph::build(program);
         let feasibility = BranchFeasibility::compute(program, &cfgs, &callgraph);
         let lockorder = lockorder::analyze(program, &cfgs, &callgraph);
+        let points_to = PointsTo::compute(program, &callgraph);
+        let race_candidates = racecand::compute(program, &cfgs, &callgraph, &points_to, &lockorder);
         let ctx = LintContext {
             program,
             cfgs: &cfgs,
             callgraph: &callgraph,
             feasibility: &feasibility,
             lockorder: &lockorder,
+            points_to: &points_to,
+            race_candidates: &race_candidates,
         };
         let mut out = Vec::new();
         for pass in &self.passes {
@@ -477,6 +491,124 @@ impl LintPass for ReadOfNeverWritten {
     }
 }
 
+/// Renders an abstract location for a diagnostic message.
+fn absloc_name(program: &Program, l: AbsLoc) -> String {
+    match l {
+        AbsLoc::Global(g) => format!("`{}`", program.global(g).name),
+        AbsLoc::Local(f, _) => format!("a stack slot of `{}`", program.func(f).name),
+        AbsLoc::Alloc(loc) => {
+            format!(
+                "the allocation at `{}`:bb{}:{}",
+                program.func(loc.func).name,
+                loc.block.0,
+                loc.idx
+            )
+        }
+    }
+}
+
+/// Flags may-shared locations accessed both under a mutex and (elsewhere)
+/// possibly without it: the classic "forgot the lock on one path" shape the
+/// lockset detectors hunt dynamically, caught statically via aliasing. A
+/// warning — the unguarded access may be ordered by spawn/join structure the
+/// lockset view cannot see.
+pub struct InconsistentLockGuard;
+
+impl LintPass for InconsistentLockGuard {
+    fn name(&self) -> &'static str {
+        "inconsistent-lock-guard"
+    }
+
+    fn run(&self, ctx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        use std::collections::BTreeMap;
+        let rc = ctx.race_candidates;
+        // Group the may-shared accesses by the abstract locations they touch.
+        let mut by_target: BTreeMap<AbsLoc, Vec<Loc>> = BTreeMap::new();
+        for a in &ctx.points_to.accesses {
+            if !a.may_shared {
+                continue;
+            }
+            for t in &a.targets {
+                by_target.entry(*t).or_default().push(a.loc);
+            }
+        }
+        let empty = std::collections::BTreeSet::new();
+        for (target, accesses) in &by_target {
+            // Mutexes some access of this location *must* hold.
+            let mut guards: Vec<(GlobalId, Loc)> = Vec::new();
+            for loc in accesses {
+                for g in rc.must_locksets.get(loc).unwrap_or(&empty) {
+                    if !guards.iter().any(|(have, _)| have == g) {
+                        guards.push((*g, *loc));
+                    }
+                }
+            }
+            for (g, guarded_at) in guards {
+                for loc in accesses {
+                    if rc.may_locksets.get(loc).unwrap_or(&empty).contains(&g) {
+                        continue;
+                    }
+                    let gname = &ctx.program.global(g).name;
+                    let gfn = &ctx.program.func(guarded_at.func).name;
+                    out.push(Diagnostic {
+                        lint: self.name(),
+                        severity: Severity::Warning,
+                        loc: *loc,
+                        message: format!(
+                            "{} is guarded by mutex `{gname}` at `{gfn}`:bb{}:{} but this \
+                             access may not hold it",
+                            absloc_name(ctx.program, *target),
+                            guarded_at.block.0,
+                            guarded_at.idx,
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Flags writes to may-shared memory performed with no lock possibly held at
+/// all while the write belongs to a race-pair candidate: nothing orders it
+/// against the other side of the pair. A warning — the race workloads in the
+/// corpus do this deliberately.
+pub struct SharedUnsynchronizedWrite;
+
+impl LintPass for SharedUnsynchronizedWrite {
+    fn name(&self) -> &'static str {
+        "shared-unsynchronized-write"
+    }
+
+    fn run(&self, ctx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        let rc = ctx.race_candidates;
+        let empty = std::collections::BTreeSet::new();
+        for a in &ctx.points_to.accesses {
+            if !a.is_write || !a.may_shared || !rc.is_candidate_access(a.loc) {
+                continue;
+            }
+            if !rc.may_locksets.get(&a.loc).unwrap_or(&empty).is_empty() {
+                continue;
+            }
+            let what = a
+                .targets
+                .iter()
+                .map(|t| absloc_name(ctx.program, *t))
+                .collect::<Vec<_>>()
+                .join(", ");
+            let what = if what.is_empty() { "an unresolved address".to_string() } else { what };
+            out.push(Diagnostic {
+                lint: self.name(),
+                severity: Severity::Warning,
+                loc: a.loc,
+                message: format!(
+                    "write to may-shared {what} holds no lock and races with another \
+                     access (static race-pair candidate)"
+                ),
+            });
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -669,6 +801,81 @@ mod tests {
         let q = pb.finish("main");
         esd_ir::validate::validate_with(&q, &preflights)
             .expect("warnings must not fail validation");
+    }
+
+    #[test]
+    fn inconsistently_guarded_shared_access_is_flagged() {
+        // worker1 writes `counter` under `m`; worker2 writes it with no lock.
+        let mut pb = ProgramBuilder::new("p");
+        let counter = pb.global("counter", 1);
+        let m = pb.global("m", 1);
+        let w1 = pb.declare("w1", 1);
+        pb.define(w1, |f| {
+            let mp = f.addr_global(m);
+            let cp = f.addr_global(counter);
+            f.lock(mp);
+            f.store(cp, 1);
+            f.unlock(mp);
+            f.ret_void();
+        });
+        let w2 = pb.declare("w2", 1);
+        let mut naked = None;
+        pb.define(w2, |f| {
+            let cp = f.addr_global(counter);
+            naked = Some(f.here());
+            f.store(cp, 2);
+            f.ret_void();
+        });
+        pb.function("main", 0, |f| {
+            let h1 = f.spawn(w1, 0);
+            let h2 = f.spawn(w2, 0);
+            f.join(h1);
+            f.join(h2);
+            f.ret_void();
+        });
+        let p = pb.finish("main");
+        let diags = lint(&p);
+        let guard: Vec<_> = diags.iter().filter(|d| d.lint == "inconsistent-lock-guard").collect();
+        assert!(!guard.is_empty(), "the unguarded access must be flagged: {diags:?}");
+        assert!(guard.iter().any(|d| d.loc == naked.unwrap()));
+        assert!(guard[0].message.contains("`m`"));
+        assert!(guard.iter().all(|d| d.severity == Severity::Warning));
+        // The naked shared write is also a race-candidate write with no lock.
+        assert!(diags.iter().any(|d| d.lint == "shared-unsynchronized-write"));
+    }
+
+    #[test]
+    fn consistently_guarded_accesses_stay_silent() {
+        let mut pb = ProgramBuilder::new("p");
+        let counter = pb.global("counter", 1);
+        let m = pb.global("m", 1);
+        let w = pb.declare("w", 1);
+        pb.define(w, |f| {
+            let mp = f.addr_global(m);
+            let cp = f.addr_global(counter);
+            f.lock(mp);
+            let v = f.load(cp);
+            let v1 = f.add(v, 1);
+            f.store(cp, v1);
+            f.unlock(mp);
+            f.ret_void();
+        });
+        pb.function("main", 0, |f| {
+            let h1 = f.spawn(w, 0);
+            let h2 = f.spawn(w, 0);
+            f.join(h1);
+            f.join(h2);
+            f.ret_void();
+        });
+        let p = pb.finish("main");
+        let diags = lint(&p);
+        assert!(
+            !diags.iter().any(|d| matches!(
+                d.lint,
+                "inconsistent-lock-guard" | "shared-unsynchronized-write"
+            )),
+            "consistently locked accesses must not trip the aliasing lints: {diags:?}"
+        );
     }
 
     #[test]

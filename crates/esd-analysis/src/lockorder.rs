@@ -7,8 +7,10 @@
 //! edges `A → B` recorded wherever `B` is acquired while `A` may be held,
 //! and ABBA cycle detection over the resulting graph. Entry locksets
 //! propagate through direct calls (a callee inherits what its callers may
-//! hold), while spawned threads start with an empty lockset — a new thread
-//! holds nothing.
+//! hold) *and* through thread spawns: a lock held across `ThreadSpawn` is
+//! visible to the child's analysis, because the child may run its entire
+//! body while the parent still holds it — exactly the window in which a
+//! parent-held/child-acquired ordering can participate in a deadlock.
 //!
 //! The output is *guidance only*: [`crate::StaticAnalysis::compute_multi`]
 //! turns cycle sites into extra intermediate goals for deadlock searches,
@@ -55,11 +57,17 @@ pub struct LockOrderInfo {
     /// Detected ABBA cycles, ranked: fewest candidate sites first (tighter
     /// cycles make better intermediate goals), then by mutex pair.
     pub cycles: Vec<LockCycle>,
+    /// Per-function *entry* may-hold locksets from the interprocedural
+    /// fixpoint (indexed by [`FuncId`]): what a function's callers — or, for
+    /// thread entry points, the spawning thread — may hold when the function
+    /// starts. Consumed by the race-candidate analysis and the
+    /// aliasing-dependent lints.
+    pub entry_locksets: Vec<BTreeSet<GlobalId>>,
 }
 
 /// The dataflow fact: the set of mutexes (as global ids) that may be held.
 #[derive(Clone, PartialEq, Eq, Debug, Default)]
-struct LockSet(BTreeSet<GlobalId>);
+pub(crate) struct LockSet(pub(crate) BTreeSet<GlobalId>);
 
 impl JoinSemiLattice for LockSet {
     fn join(&mut self, other: &Self) -> bool {
@@ -70,16 +78,16 @@ impl JoinSemiLattice for LockSet {
 }
 
 /// Resolves a mutex operand to its global identity, if statically visible.
-fn mutex_identity(function: &Function, op: Operand) -> Option<GlobalId> {
+pub(crate) fn mutex_identity(function: &Function, op: Operand) -> Option<GlobalId> {
     match trace_operand(function, op) {
         CondExpr::GlobalAddr(g, _) => Some(g),
         _ => None,
     }
 }
 
-struct LocksetAnalysis<'a> {
-    function: &'a Function,
-    entry: LockSet,
+pub(crate) struct LocksetAnalysis<'a> {
+    pub(crate) function: &'a Function,
+    pub(crate) entry: LockSet,
 }
 
 impl ForwardAnalysis for LocksetAnalysis<'_> {
@@ -120,7 +128,8 @@ impl ForwardAnalysis for LocksetAnalysis<'_> {
 pub fn analyze(program: &Program, cfgs: &[Cfg], _callgraph: &CallGraph) -> LockOrderInfo {
     let n = program.functions.len();
     // Entry locksets: what each function's callers may hold at the call
-    // site. Spawned threads hold nothing, so spawn sites contribute nothing.
+    // site. Spawn sites contribute too — a lock held across `ThreadSpawn`
+    // may still be held for the child's whole lifetime.
     let mut entry: Vec<LockSet> = vec![LockSet::default(); n];
     let mut queued = vec![true; n];
     let mut worklist: VecDeque<FuncId> = program.func_ids().collect();
@@ -135,10 +144,15 @@ pub fn analyze(program: &Program, cfgs: &[Cfg], _callgraph: &CallGraph) -> LockO
         for (bi, block) in function.blocks.iter().enumerate() {
             let Some(mut fact) = facts.at(esd_ir::BlockId(bi as u32)).cloned() else { continue };
             for (ii, inst) in block.insts.iter().enumerate() {
-                if let Inst::Call { callee: esd_ir::Callee::Direct(target), .. } = inst {
+                let flows_to = match inst {
+                    Inst::Call { callee: esd_ir::Callee::Direct(target), .. } => Some(*target),
+                    Inst::ThreadSpawn { func: esd_ir::Callee::Direct(target), .. } => Some(*target),
+                    _ => None,
+                };
+                if let Some(target) = flows_to {
                     if entry[target.0 as usize].join(&fact) && !queued[target.0 as usize] {
                         queued[target.0 as usize] = true;
-                        worklist.push_back(*target);
+                        worklist.push_back(target);
                     }
                 }
                 let loc = Loc::new(fid, esd_ir::BlockId(bi as u32), ii as u32);
@@ -200,7 +214,8 @@ pub fn analyze(program: &Program, cfgs: &[Cfg], _callgraph: &CallGraph) -> LockO
         })
         .collect();
     cycles.sort_by_key(|c| (c.sites.len(), c.pair));
-    LockOrderInfo { edges, cycles }
+    let entry_locksets = entry.into_iter().map(|s| s.0).collect();
+    LockOrderInfo { edges, cycles, entry_locksets }
 }
 
 /// Locks acquired *within* `function` (the analysis starts from an empty
@@ -368,6 +383,49 @@ mod tests {
         let info = run(&p);
         assert!(info.edges.is_empty());
         assert!(info.cycles.is_empty());
+    }
+
+    #[test]
+    fn locksets_propagate_into_spawned_thread_entry_points() {
+        // A lock held across `ThreadSpawn` must be visible to the child's
+        // analysis: the child may run while the parent still holds it. Here
+        // main holds `master` at the spawn of a worker that takes `btree`,
+        // and elsewhere takes the two in the opposite order — the worker's
+        // acquisition is one side of the ABBA cycle.
+        let mut pb = ProgramBuilder::new("p");
+        let master = pb.global("master", 1);
+        let btree = pb.global("btree", 1);
+        let worker = pb.function("worker", 1, |f| {
+            let bp = f.addr_global(btree);
+            f.lock(bp);
+            f.unlock(bp);
+            f.ret_void();
+        });
+        pb.function("main", 0, |f| {
+            let mp = f.addr_global(master);
+            let bp = f.addr_global(btree);
+            f.lock(mp);
+            let t = f.spawn(worker, 1);
+            f.unlock(mp);
+            f.join(t);
+            // Reverse order inline.
+            f.lock(bp);
+            f.lock(mp);
+            f.unlock(mp);
+            f.unlock(bp);
+            f.ret_void();
+        });
+        let p = pb.finish("main");
+        let info = run(&p);
+        assert!(
+            info.entry_locksets[worker.0 as usize].contains(&master),
+            "the spawn-time hold must flow into the worker's entry lockset"
+        );
+        assert_eq!(info.cycles.len(), 1);
+        assert!(
+            info.cycles[0].sites.iter().any(|l| l.func == worker),
+            "the worker's inner acquisition is a candidate deadlock site"
+        );
     }
 
     #[test]

@@ -1,0 +1,404 @@
+//! Backward goal-directed relevance slicing over the points-to facts.
+//!
+//! The proximity heuristic (Algorithm 1) counts *every* instruction along a
+//! path toward the goal, so a state wading through bookkeeping arithmetic
+//! looks exactly as far from the goal as one wading through goal-relevant
+//! computation of the same length. This module sharpens that: a demand-driven
+//! backward slice from the goal locations marks the instructions that can
+//! still *affect* whether and how the goal is reached, and a sliced copy of
+//! the [`CostModel`] charges everything else zero. Distances computed from
+//! the sliced model ([`crate::StaticAnalysis::costs_for_goal`]) then measure
+//! only relevant work — instructions that cannot affect the goal stop
+//! counting toward proximity.
+//!
+//! The slice is the classic demand set over three kinds of items, closed
+//! under the worklist below:
+//!
+//! * **registers** — demanded registers make their defining instructions
+//!   relevant, which in turn demand their operands;
+//! * **abstract memory locations** — a relevant `Load` demands the
+//!   [`AbsLoc`]s it may read (from [`crate::pointsto`]), which makes every
+//!   `Store` that may touch them relevant;
+//! * **control and schedule** — every branch condition is demanded (control
+//!   flow always decides reachability), and synchronization instructions
+//!   (locks, condition variables, spawn/join/yield, `Free`, `Assert`, and
+//!   calls) are unconditionally relevant: they shape the schedule space the
+//!   dynamic phase searches.
+//!
+//! Slicing only re-weights the search's *guidance*; it never removes states
+//! or forks, so a too-small slice can cost search time but not soundness.
+
+use crate::callgraph::CallGraph;
+use crate::costs::CostModel;
+use crate::pointsto::{AbsLoc, PointsTo};
+use esd_ir::{BlockId, Callee, FuncId, Inst, Loc, Operand, Program, Reg, Terminator};
+use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
+
+/// The relevance slice for one goal set, with the sliced cost model derived
+/// from it.
+#[derive(Debug, Clone)]
+pub struct RelevanceSlice {
+    /// The goal locations this slice was computed for.
+    pub goals: BTreeSet<Loc>,
+    /// `relevant[f][b][i]` — the `i`-th instruction of that block can still
+    /// affect a goal (terminators are always counted and not listed here).
+    pub relevant: Vec<Vec<Vec<bool>>>,
+    /// The full cost model with irrelevant instructions re-weighted to zero
+    /// (block costs recomputed accordingly; function costs, call costs and
+    /// distance-to-return keep their unsliced values).
+    pub costs: CostModel,
+}
+
+impl RelevanceSlice {
+    /// True when the instruction at `loc` is in the slice (terminator
+    /// positions answer `true`).
+    pub fn is_relevant(&self, loc: Loc) -> bool {
+        self.relevant
+            .get(loc.func.0 as usize)
+            .and_then(|f| f.get(loc.block.0 as usize))
+            .map(|b| loc.idx as usize >= b.len() || b[loc.idx as usize])
+            .unwrap_or(true)
+    }
+
+    /// Number of instructions sliced away (relevant = false) program-wide.
+    pub fn pruned_count(&self) -> usize {
+        self.relevant.iter().flat_map(|f| f.iter()).flat_map(|b| b.iter()).filter(|r| !**r).count()
+    }
+}
+
+/// Worklist items of the demand closure.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+enum Item {
+    Inst(Loc),
+    Reg(FuncId, Reg),
+    Mem(AbsLoc),
+    /// The return value of a function is demanded.
+    Ret(FuncId),
+}
+
+/// Computes the backward relevance slice from `goals` and derives the sliced
+/// cost model from `costs`.
+pub fn compute(
+    program: &Program,
+    callgraph: &CallGraph,
+    points_to: &PointsTo,
+    costs: &CostModel,
+    goals: &[Loc],
+) -> RelevanceSlice {
+    // ---- indices -----------------------------------------------------------
+    let mut defs: HashMap<(FuncId, Reg), Vec<Loc>> = HashMap::new();
+    let mut stores_touching: HashMap<AbsLoc, Vec<Loc>> = HashMap::new();
+    let mut unresolved_stores: Vec<Loc> = Vec::new();
+    let mut ret_uses: HashMap<FuncId, Vec<Reg>> = HashMap::new();
+    // Call-result registers → the callees whose return value they carry.
+    let mut call_results: HashMap<(FuncId, Reg), Vec<FuncId>> = HashMap::new();
+
+    for fid in program.func_ids() {
+        let function = program.func(fid);
+        for (bi, block) in function.blocks.iter().enumerate() {
+            for (ii, inst) in block.insts.iter().enumerate() {
+                let loc = Loc::new(fid, BlockId(bi as u32), ii as u32);
+                if let Some(dst) = inst.def() {
+                    defs.entry((fid, dst)).or_default().push(loc);
+                }
+                match inst {
+                    Inst::Store { .. } => match points_to.access_at(loc) {
+                        Some(a) if !a.targets.is_empty() => {
+                            for t in &a.targets {
+                                stores_touching.entry(*t).or_default().push(loc);
+                            }
+                        }
+                        _ => unresolved_stores.push(loc),
+                    },
+                    Inst::Call { dst: Some(d), callee, .. } => {
+                        let targets = match callee {
+                            Callee::Direct(t) => vec![*t],
+                            Callee::Indirect(_) => callgraph
+                                .sites_of(fid)
+                                .iter()
+                                .find(|s| s.loc == loc)
+                                .map(|s| s.targets.clone())
+                                .unwrap_or_default(),
+                        };
+                        call_results.entry((fid, *d)).or_default().extend(targets);
+                    }
+                    _ => {}
+                }
+            }
+            if let Terminator::Ret { value: Some(Operand::Reg(r)) } = &block.term {
+                ret_uses.entry(fid).or_default().push(*r);
+            }
+        }
+    }
+
+    // ---- demand closure ----------------------------------------------------
+    let mut relevant_insts: HashSet<Loc> = HashSet::new();
+    let mut demanded_regs: HashSet<(FuncId, Reg)> = HashSet::new();
+    let mut demanded_mem: HashSet<AbsLoc> = HashSet::new();
+    let mut demanded_rets: HashSet<FuncId> = HashSet::new();
+    let mut worklist: VecDeque<Item> = VecDeque::new();
+
+    // Seeds: the goals themselves, every schedule-shaping instruction, and
+    // every branch condition.
+    for g in goals {
+        worklist.push_back(Item::Inst(*g));
+    }
+    for fid in program.func_ids() {
+        let function = program.func(fid);
+        for (bi, block) in function.blocks.iter().enumerate() {
+            for (ii, inst) in block.insts.iter().enumerate() {
+                let always = matches!(
+                    inst,
+                    Inst::MutexLock { .. }
+                        | Inst::MutexUnlock { .. }
+                        | Inst::CondWait { .. }
+                        | Inst::CondSignal { .. }
+                        | Inst::CondBroadcast { .. }
+                        | Inst::ThreadSpawn { .. }
+                        | Inst::ThreadJoin { .. }
+                        | Inst::Yield
+                        | Inst::Free { .. }
+                        | Inst::Assert { .. }
+                        | Inst::Call { .. }
+                );
+                if always {
+                    worklist.push_back(Item::Inst(Loc::new(fid, BlockId(bi as u32), ii as u32)));
+                }
+            }
+            if let Terminator::CondBr { cond: Operand::Reg(r), .. } = &block.term {
+                worklist.push_back(Item::Reg(fid, *r));
+            }
+        }
+    }
+
+    while let Some(item) = worklist.pop_front() {
+        match item {
+            Item::Inst(loc) => {
+                if !relevant_insts.insert(loc) {
+                    continue;
+                }
+                let Some(inst) = program.inst_at(loc) else { continue };
+                for op in inst.uses() {
+                    if let Operand::Reg(r) = op {
+                        worklist.push_back(Item::Reg(loc.func, r));
+                    }
+                }
+                if matches!(inst, Inst::Load { .. }) {
+                    if let Some(a) = points_to.access_at(loc) {
+                        for t in &a.targets {
+                            worklist.push_back(Item::Mem(*t));
+                        }
+                        if a.targets.is_empty() {
+                            // Unresolved read: any store may feed it.
+                            for l in stores_touching.keys() {
+                                worklist.push_back(Item::Mem(*l));
+                            }
+                        }
+                    }
+                }
+            }
+            Item::Reg(f, r) => {
+                if !demanded_regs.insert((f, r)) {
+                    continue;
+                }
+                if let Some(ds) = defs.get(&(f, r)) {
+                    for d in ds {
+                        worklist.push_back(Item::Inst(*d));
+                    }
+                }
+                if let Some(callees) = call_results.get(&(f, r)) {
+                    for c in callees {
+                        worklist.push_back(Item::Ret(*c));
+                    }
+                }
+            }
+            Item::Mem(l) => {
+                if !demanded_mem.insert(l) {
+                    continue;
+                }
+                if let Some(ss) = stores_touching.get(&l) {
+                    for s in ss {
+                        worklist.push_back(Item::Inst(*s));
+                    }
+                }
+                for s in &unresolved_stores {
+                    worklist.push_back(Item::Inst(*s));
+                }
+            }
+            Item::Ret(f) => {
+                if !demanded_rets.insert(f) {
+                    continue;
+                }
+                if let Some(rs) = ret_uses.get(&f) {
+                    for r in rs {
+                        worklist.push_back(Item::Reg(f, *r));
+                    }
+                }
+            }
+        }
+    }
+
+    // ---- sliced cost model -------------------------------------------------
+    let mut relevant: Vec<Vec<Vec<bool>>> = Vec::with_capacity(program.functions.len());
+    let mut sliced = costs.clone();
+    for fid in program.func_ids() {
+        let function = program.func(fid);
+        let f = fid.0 as usize;
+        let mut per_func = Vec::with_capacity(function.blocks.len());
+        for (bi, block) in function.blocks.iter().enumerate() {
+            let mut bits = Vec::with_capacity(block.insts.len());
+            let mut total = 1u64; // terminator
+            for (ii, _) in block.insts.iter().enumerate() {
+                let loc = Loc::new(fid, BlockId(bi as u32), ii as u32);
+                let keep = relevant_insts.contains(&loc);
+                bits.push(keep);
+                if !keep {
+                    sliced.inst_cost[f][bi][ii] = 0;
+                }
+                total = total.saturating_add(sliced.inst_cost[f][bi][ii]);
+            }
+            sliced.block_cost[f][bi] = total.min(crate::costs::INF);
+            per_func.push(bits);
+        }
+        relevant.push(per_func);
+    }
+
+    RelevanceSlice { goals: goals.iter().copied().collect(), relevant, costs: sliced }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::Cfg;
+    use esd_ir::{CmpOp, ProgramBuilder};
+
+    fn run(program: &Program, goals: &[Loc]) -> RelevanceSlice {
+        let cfgs: Vec<Cfg> = program.func_ids().map(|f| Cfg::build(program.func(f), f)).collect();
+        let callgraph = CallGraph::build(program);
+        let points_to = PointsTo::compute(program, &callgraph);
+        let costs = CostModel::new(program, &cfgs, &callgraph);
+        compute(program, &callgraph, &points_to, &costs, goals)
+    }
+
+    #[test]
+    fn dead_arithmetic_is_sliced_away_and_costs_zero() {
+        let mut pb = ProgramBuilder::new("p");
+        let mut dead = None;
+        let mut goal = None;
+        pb.function("main", 0, |f| {
+            // Bookkeeping that feeds only an output — irrelevant to the goal.
+            dead = Some(f.here());
+            let a = f.konst(10);
+            let b = f.mul(a, 3);
+            f.output(b);
+            // The goal and what feeds it.
+            let x = f.getchar();
+            let c = f.eq(x, 7);
+            goal = Some(f.here());
+            f.assert(c, "x is 7");
+            f.ret_void();
+        });
+        let p = pb.finish("main");
+        let goal = goal.unwrap();
+        let slice = run(&p, &[goal]);
+        assert!(!slice.is_relevant(dead.unwrap()), "dead constant sliced away");
+        assert!(slice.is_relevant(goal), "the goal itself stays");
+        assert_eq!(slice.costs.inst_cost(dead.unwrap()), 0);
+        assert!(slice.costs.inst_cost(goal) >= 1);
+        assert!(slice.pruned_count() >= 2, "const + mul are both irrelevant");
+        // Output itself is sliced (pure observation), its feeder too.
+        let full = {
+            let cfgs: Vec<Cfg> = p.func_ids().map(|f| Cfg::build(p.func(f), f)).collect();
+            let cg = CallGraph::build(&p);
+            CostModel::new(&p, &cfgs, &cg)
+        };
+        assert!(
+            slice.costs.block_cost[0][0] < full.block_cost[0][0],
+            "the sliced block is cheaper than the full one"
+        );
+    }
+
+    #[test]
+    fn stores_feeding_a_goal_load_stay_relevant() {
+        let mut pb = ProgramBuilder::new("p");
+        let flag = pb.global("flag", 1);
+        let noise = pb.global("noise", 1);
+        let mut flag_store = None;
+        let mut noise_store = None;
+        let mut goal = None;
+        pb.function("main", 0, |f| {
+            let fp = f.addr_global(flag);
+            let np = f.addr_global(noise);
+            flag_store = Some(f.here());
+            f.store(fp, 1);
+            noise_store = Some(f.here());
+            f.store(np, 2);
+            let v = f.load(fp);
+            let c = f.cmp(CmpOp::Eq, v, 1);
+            goal = Some(f.here());
+            f.assert(c, "flag set");
+            f.ret_void();
+        });
+        let p = pb.finish("main");
+        let slice = run(&p, &[goal.unwrap()]);
+        assert!(
+            slice.is_relevant(flag_store.unwrap()),
+            "the store feeding the goal's load is in the slice"
+        );
+        assert!(
+            !slice.is_relevant(noise_store.unwrap()),
+            "a store to memory the goal never reads is sliced away"
+        );
+    }
+
+    #[test]
+    fn synchronization_is_always_relevant() {
+        let mut pb = ProgramBuilder::new("p");
+        let m = pb.global("m", 1);
+        let mut lock_loc = None;
+        let mut yield_loc = None;
+        let mut goal = None;
+        pb.function("main", 0, |f| {
+            let mp = f.addr_global(m);
+            lock_loc = Some(f.here());
+            f.lock(mp);
+            yield_loc = Some(f.here());
+            f.yield_now();
+            f.unlock(mp);
+            goal = Some(f.here());
+            f.output(1);
+            f.ret_void();
+        });
+        let p = pb.finish("main");
+        let slice = run(&p, &[goal.unwrap()]);
+        assert!(slice.is_relevant(lock_loc.unwrap()));
+        assert!(slice.is_relevant(yield_loc.unwrap()));
+    }
+
+    #[test]
+    fn demand_crosses_calls_through_return_values() {
+        let mut pb = ProgramBuilder::new("p");
+        let mut feeder = None;
+        let helper = pb.declare("helper", 1);
+        pb.define(helper, |f| {
+            feeder = Some(f.here());
+            let v = f.add(f.param(0), 5);
+            f.ret(v);
+        });
+        let mut goal = None;
+        pb.function("main", 0, |f| {
+            let x = f.getchar();
+            let r = f.call(helper, vec![x.into()]);
+            let c = f.eq(r, 9);
+            goal = Some(f.here());
+            f.assert(c, "r is 9");
+            f.ret_void();
+        });
+        let p = pb.finish("main");
+        let slice = run(&p, &[goal.unwrap()]);
+        assert!(
+            slice.is_relevant(feeder.unwrap()),
+            "the callee's add feeds the demanded return value"
+        );
+    }
+}

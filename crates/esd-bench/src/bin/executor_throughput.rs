@@ -11,11 +11,14 @@
 //! * The JSON lands in `BENCH_executor.json`, or in the first CLI argument
 //!   ending in `.json`, or in `$ESD_BENCH_OUT`.
 //! * `threads:<n>` / `ESD_THREADS` select the engine thread count per job;
-//!   `ESD_STATIC_PRUNING=0` switches the static feasibility pass off.
+//!   `ESD_STATIC_PRUNING=0` switches the static feasibility pass off and
+//!   `ESD_RACE_CANDIDATES=0` switches the static race-candidate preemption
+//!   gating off.
 //! * Exits non-zero when any job of the batch fails to synthesize — the CI
-//!   gate on the throughput trajectory — and (exit 4) when static pruning is
+//!   gate on the throughput trajectory — (exit 4) when static pruning is
 //!   on but the batch reports zero pruned branches or zero saved solver
-//!   queries.
+//!   queries, and (exit 5) when race-candidate pruning is on but the batch's
+//!   race-mode job reports zero pruned preemption forks.
 
 use esd_bench::{executor_throughput, full_mode, print_executor_throughput, threads_from_args};
 
@@ -86,5 +89,16 @@ fn main() {
             report.branches_pruned_static, report.solver_queries_saved
         );
         std::process::exit(4);
+    }
+    // The batch always carries a race-mode genbug DataRace job whose program
+    // is full of thread-local yields the candidate set should prune — zero
+    // pruned preemptions means the race-candidate plumbing silently fell out.
+    if report.race_candidate_pruning && report.preemptions_pruned_static == 0 {
+        eprintln!(
+            "FAIL: race-candidate pruning is on but the batch reports zero \
+             pruned preemption forks ({} states forked in race mode)",
+            report.race_states_created
+        );
+        std::process::exit(5);
     }
 }

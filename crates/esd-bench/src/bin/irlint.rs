@@ -9,16 +9,27 @@
 //! literal-constant branch) in a checked-in or generated workload is caught
 //! before the synthesis benchmarks ever execute it.
 //!
+//! `irlint --json` emits the same sweep as a single JSON object (the flat
+//! diagnostic list plus the severity counts) for editor and dashboard
+//! integration; the exit-code contract is identical in both modes.
+//!
 //! The rendered output is byte-stable; `tests/irlint_golden.rs` pins it as
 //! a golden fixture (`ESD_REGEN_GOLDEN=1` regenerates).
 
 fn main() {
+    let json = std::env::args().skip(1).any(|a| a == "--json");
     let report = esd_bench::irlint_report();
-    print!("{}", report.text);
-    println!(
-        "irlint: {} program(s), {} error(s), {} warning(s), {} note(s)",
-        report.programs, report.errors, report.warnings, report.notes
-    );
+    if json {
+        let payload =
+            serde_json::to_string_pretty(&report.json_report()).expect("the report serializes");
+        println!("{payload}");
+    } else {
+        print!("{}", report.text);
+        println!(
+            "irlint: {} program(s), {} error(s), {} warning(s), {} note(s)",
+            report.programs, report.errors, report.warnings, report.notes
+        );
+    }
     if report.errors > 0 {
         eprintln!("FAIL: {} Error-severity diagnostic(s) in the corpus", report.errors);
         std::process::exit(2);

@@ -99,6 +99,12 @@ pub struct CoverageCell {
     /// Solver queries the static feasibility pass answered without calling
     /// the solver.
     pub solver_queries_saved: u64,
+    /// Preemption forks the static race-pair candidate set pruned from this
+    /// run's search (always 0 outside race-preemption scenarios).
+    pub preemptions_pruned_static: u64,
+    /// States this run's search forked (including the initial state) — the
+    /// number the candidate gating shrinks on race scenarios.
+    pub states_created: u64,
     /// Wall-clock seconds of the run.
     pub secs: f64,
 }
@@ -152,6 +158,15 @@ pub struct CoverageReport {
     /// Solver queries the static feasibility pass saved, summed over every
     /// cell.
     pub solver_queries_saved: u64,
+    /// Whether race-preemption forks were bounded by the static race-pair
+    /// candidate set (`ESD_RACE_CANDIDATES`, default on).
+    pub race_candidate_pruning: bool,
+    /// Preemption forks the candidate set pruned, summed over every cell.
+    pub preemptions_pruned_static: u64,
+    /// States forked by the race-preemption scenarios' cells — the number
+    /// the candidate gating shrinks (compare across `ESD_RACE_CANDIDATES=0/1`
+    /// runs).
+    pub race_states_created: u64,
     /// Instruction budget per synthesis run.
     pub budget: u64,
     /// The corpus seeds.
@@ -224,6 +239,7 @@ fn cell_options(w: &GeneratedWorkload, frontier: FrontierKind, budget: u64) -> E
         .frontier(frontier)
         .with_race_detection(w.truth.needs_race_preemptions)
         .static_pruning(crate::static_pruning_from_env())
+        .race_candidate_pruning(crate::race_candidates_from_env())
         .build()
 }
 
@@ -258,6 +274,8 @@ pub fn coverage_matrix(config: &CoverageConfig) -> CoverageReport {
                         steps: report.stats.steps,
                         branches_pruned_static: report.stats.branches_pruned_static,
                         solver_queries_saved: report.stats.solver_queries_saved,
+                        preemptions_pruned_static: report.stats.preemptions_pruned_static,
+                        states_created: report.stats.states_created,
                         secs: elapsed,
                     }
                 }
@@ -269,6 +287,8 @@ pub fn coverage_matrix(config: &CoverageConfig) -> CoverageReport {
                     steps: 0,
                     branches_pruned_static: 0,
                     solver_queries_saved: 0,
+                    preemptions_pruned_static: 0,
+                    states_created: 0,
                     secs: elapsed,
                 },
             };
@@ -330,6 +350,19 @@ pub fn coverage_matrix(config: &CoverageConfig) -> CoverageReport {
             .flat_map(|s| &s.cells)
             .map(|c| c.solver_queries_saved)
             .sum(),
+        race_candidate_pruning: crate::race_candidates_from_env(),
+        preemptions_pruned_static: scenarios
+            .iter()
+            .flat_map(|s| &s.cells)
+            .map(|c| c.preemptions_pruned_static)
+            .sum(),
+        race_states_created: corpus
+            .iter()
+            .zip(&scenarios)
+            .filter(|(w, _)| w.truth.needs_race_preemptions)
+            .flat_map(|(_, s)| &s.cells)
+            .map(|c| c.states_created)
+            .sum(),
         budget: config.budget,
         seeds: config.seeds.clone(),
         frontiers: frontiers.iter().map(|f| f.to_string()).collect(),
@@ -354,6 +387,7 @@ fn winner_is_deterministic(w: &GeneratedWorkload, frontier: FrontierKind, budget
             .with_race_detection(w.truth.needs_race_preemptions)
             .threads(threads)
             .static_pruning(crate::static_pruning_from_env())
+            .race_candidate_pruning(crate::race_candidates_from_env())
             .build();
         let result = esd_core::Esd::new(options).synthesize_goal(
             &w.program,
@@ -388,6 +422,7 @@ pub fn policy_differential(corpus: &[GeneratedWorkload], budget: u64) -> Vec<Pol
                         .with_race_detection(w.truth.needs_race_preemptions)
                         .threads(threads)
                         .static_pruning(crate::static_pruning_from_env())
+                        .race_candidate_pruning(crate::race_candidates_from_env())
                         .build(),
                 )
             })
@@ -472,5 +507,11 @@ pub fn print_coverage(report: &CoverageReport) {
         if report.static_pruning { "on" } else { "off" },
         report.branches_pruned_static,
         report.solver_queries_saved,
+    );
+    println!(
+        "race candidates {}: {} preemption forks pruned, {} states forked on race scenarios",
+        if report.race_candidate_pruning { "on" } else { "off" },
+        report.preemptions_pruned_static,
+        report.race_states_created,
     );
 }

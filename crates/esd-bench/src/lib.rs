@@ -109,6 +109,20 @@ pub fn static_pruning_from_env() -> bool {
     }
 }
 
+/// Whether race-preemption forks should be bounded by the static race-pair
+/// candidate set (§4.2's static phase): the `ESD_RACE_CANDIDATES`
+/// environment variable, where `0`, `off`, `false` or `no` disables the
+/// gating and anything else — including the variable being unset — leaves it
+/// on, matching the engine default. The CI determinism matrix pins one leg
+/// to `ESD_RACE_CANDIDATES=0` to prove candidate gating never changes *what*
+/// is synthesized, only how many preemption forks the search pays for.
+pub fn race_candidates_from_env() -> bool {
+    match std::env::var("ESD_RACE_CANDIDATES") {
+        Ok(v) => !matches!(v.trim(), "0" | "off" | "false" | "no"),
+        Err(_) => true,
+    }
+}
+
 pub(crate) fn secs(d: Duration) -> f64 {
     d.as_secs_f64()
 }
@@ -483,6 +497,13 @@ pub struct ExecutorJobRow {
     /// Solver queries the static feasibility pass answered without calling
     /// the solver.
     pub solver_queries_saved: u64,
+    /// Whether the job ran with race-directed preemptions enabled.
+    pub race_mode: bool,
+    /// States the job's search forked (including the initial state).
+    pub states_created: u64,
+    /// Preemption forks the static race-candidate set pruned from the job's
+    /// search (always 0 outside race mode).
+    pub preemptions_pruned_static: u64,
 }
 
 /// The machine-readable result of [`executor_throughput`], serialized to
@@ -509,6 +530,15 @@ pub struct ExecutorBenchReport {
     /// Solver queries the static feasibility pass saved, summed over the
     /// batch.
     pub solver_queries_saved: u64,
+    /// Whether race-preemption forks were bounded by the static race-pair
+    /// candidate set (`ESD_RACE_CANDIDATES`, default on).
+    pub race_candidate_pruning: bool,
+    /// Preemption forks the candidate set pruned, summed over the batch.
+    pub preemptions_pruned_static: u64,
+    /// States forked by the race-mode jobs of the batch — the number the
+    /// candidate gating shrinks (compare across `ESD_RACE_CANDIDATES=0/1`
+    /// runs).
+    pub race_states_created: u64,
     /// Per-job measurements, in submission order.
     pub jobs: Vec<ExecutorJobRow>,
     /// Number of jobs in the batch.
@@ -539,15 +569,35 @@ impl ExecutorBenchReport {
 }
 
 /// The throughput batch: a mixed bag of deadlocks and crashes, ≥ 4 jobs
-/// (the `bench-smoke` acceptance floor), extended with BPF jobs in full
-/// mode.
-fn executor_batch() -> Vec<Workload> {
-    let mut batch =
-        vec![sqlite_recursive_lock(), paste_invalid_free(), ghttpd_log_overflow(), listing1()];
-    batch.extend(all_real_bugs().into_iter().filter(|w| w.name == "mkfifo" || w.name == "tac"));
+/// (the `bench-smoke` acceptance floor), plus a generated data-race job run
+/// with race-directed preemptions (the `bool` of each pair) so the batch
+/// always exercises — and the bin can gate on — the static race-candidate
+/// pruning counters. Extended with BPF jobs in full mode.
+fn executor_batch() -> Vec<(Workload, bool)> {
+    use esd_workloads::genbug::{generate, GenConfig, InjectedBugKind};
+    let mut batch: Vec<(Workload, bool)> = vec![
+        (sqlite_recursive_lock(), false),
+        (paste_invalid_free(), false),
+        (ghttpd_log_overflow(), false),
+        (listing1(), false),
+    ];
+    batch.extend(
+        all_real_bugs()
+            .into_iter()
+            .filter(|w| w.name == "mkfifo" || w.name == "tac")
+            .map(|w| (w, false)),
+    );
+    let race_seed = coverage::smoke_seeds()[0];
+    batch.push((
+        generate(&GenConfig::new(race_seed, InjectedBugKind::DataRace)).to_workload(),
+        true,
+    ));
     if full_mode() {
-        batch.push(generate_bpf(&BpfConfig { branches: 128, ..Default::default() }));
-        batch.push(generate_bpf(&BpfConfig { branches: 256, seed: 9, ..Default::default() }));
+        batch.push((generate_bpf(&BpfConfig { branches: 128, ..Default::default() }), false));
+        batch.push((
+            generate_bpf(&BpfConfig { branches: 256, seed: 9, ..Default::default() }),
+            false,
+        ));
     }
     batch
 }
@@ -563,19 +613,22 @@ pub fn executor_throughput(
 ) -> ExecutorBenchReport {
     let batch = executor_batch();
     let static_pruning = static_pruning_from_env();
-    let job_options = || {
+    let race_candidate_pruning = race_candidates_from_env();
+    let job_options = |race: bool| {
         EsdOptions::builder()
             .max_steps(esd_budget)
             .threads(threads)
             .static_pruning(static_pruning)
+            .race_candidate_pruning(race_candidate_pruning)
+            .with_race_detection(race)
             .build()
     };
     let mut executor = JobExecutor::round_robin().slice_rounds(slice_rounds);
     let started = Instant::now();
     let handles: Vec<_> = batch
         .iter()
-        .map(|w| {
-            executor.submit(JobSpec::new(&w.name, &w.program, w.goal()).options(job_options()))
+        .map(|(w, race)| {
+            executor.submit(JobSpec::new(&w.name, &w.program, w.goal()).options(job_options(*race)))
         })
         .collect();
     executor.run_until_idle();
@@ -592,8 +645,8 @@ pub fn executor_throughput(
         .durable_dir(&durable_dir)
         .expect("the durable bench directory is writable");
     let durable_started = Instant::now();
-    for w in &batch {
-        durable.submit(JobSpec::new(&w.name, &w.program, w.goal()).options(job_options()));
+    for (w, race) in &batch {
+        durable.submit(JobSpec::new(&w.name, &w.program, w.goal()).options(job_options(*race)));
     }
     durable.run_until_idle();
     let durable_wall = durable_started.elapsed();
@@ -601,22 +654,26 @@ pub fn executor_throughput(
     let _ = std::fs::remove_dir_all(&durable_dir);
 
     let mut jobs = Vec::with_capacity(batch.len());
-    for (w, handle) in batch.iter().zip(handles) {
+    for ((w, race), handle) in batch.iter().zip(handles) {
         let outcome = executor.take(handle).expect("an idle executor finished every job");
         let synthesized = outcome.verdict == JobVerdict::Found;
         let members = &outcome.result.members;
-        let (replays, steps, pruned, saved) = match outcome.report() {
+        let (replays, steps, pruned, saved, states, preempt_pruned) = match outcome.report() {
             Some(report) => (
                 play(&w.program, &report.execution).reproduced,
                 report.stats.steps,
                 report.stats.branches_pruned_static,
                 report.stats.solver_queries_saved,
+                report.stats.states_created,
+                report.stats.preemptions_pruned_static,
             ),
             None => (
                 false,
                 members.iter().map(|m| m.stats.steps).sum(),
                 members.iter().map(|m| m.stats.branches_pruned_static).sum(),
                 members.iter().map(|m| m.stats.solver_queries_saved).sum(),
+                members.iter().map(|m| m.stats.states_created).sum(),
+                members.iter().map(|m| m.stats.preemptions_pruned_static).sum(),
             ),
         };
         jobs.push(ExecutorJobRow {
@@ -629,6 +686,9 @@ pub fn executor_throughput(
             steps,
             branches_pruned_static: pruned,
             solver_queries_saved: saved,
+            race_mode: *race,
+            states_created: states,
+            preemptions_pruned_static: preempt_pruned,
         });
     }
     let jobs_synthesized = jobs.iter().filter(|j| j.synthesized).count();
@@ -641,6 +701,9 @@ pub fn executor_throughput(
         static_pruning,
         branches_pruned_static: jobs.iter().map(|j| j.branches_pruned_static).sum(),
         solver_queries_saved: jobs.iter().map(|j| j.solver_queries_saved).sum(),
+        race_candidate_pruning,
+        preemptions_pruned_static: jobs.iter().map(|j| j.preemptions_pruned_static).sum(),
+        race_states_created: jobs.iter().filter(|j| j.race_mode).map(|j| j.states_created).sum(),
         jobs_total: jobs.len(),
         jobs_synthesized,
         total_wall_secs: secs(total_wall),
@@ -708,6 +771,12 @@ pub fn print_executor_throughput(report: &ExecutorBenchReport) {
         report.solver_queries_saved,
     );
     println!(
+        "race candidates {}: {} preemption forks pruned, {} states forked in race mode",
+        if report.race_candidate_pruning { "on" } else { "off" },
+        report.preemptions_pruned_static,
+        report.race_states_created,
+    );
+    println!(
         "durable re-run (checkpoint every {} slices): {:.3}s — {:+.1}% checkpoint overhead",
         report.checkpoint_every, report.durable_total_wall_secs, report.checkpoint_overhead_pct
     );
@@ -730,12 +799,37 @@ pub fn goal_of(w: &Workload) -> GoalSpec {
     w.goal()
 }
 
+/// One diagnostic of an `irlint` sweep, flattened into plain serializable
+/// fields for the binary's `--json` mode (the lint crate itself carries no
+/// serde dependency, so the mirror lives here).
+#[derive(Debug, Clone, Serialize)]
+pub struct IrlintDiagnostic {
+    /// The corpus program the diagnostic was reported on.
+    pub program: String,
+    /// The reporting pass's name (e.g. `shared-unsynchronized-write`).
+    pub lint: &'static str,
+    /// `"error"`, `"warning"` or `"note"`.
+    pub severity: &'static str,
+    /// The function the diagnostic is anchored in.
+    pub function: String,
+    /// The basic block within the function.
+    pub block: u32,
+    /// The instruction index within the block (`== insts.len()` = the
+    /// block's terminator).
+    pub idx: u32,
+    /// Human-readable description.
+    pub message: String,
+}
+
 /// The result of one `irlint` sweep over the shipped program corpus.
 #[derive(Debug, Clone)]
 pub struct IrlintReport {
     /// The rendered diagnostics: a `=== name ===` header per program
     /// followed by `esd_analysis::lint::render` output, in corpus order.
     pub text: String,
+    /// Every diagnostic across the corpus, in stable corpus order — the
+    /// machine-readable half behind `irlint --json`.
+    pub diagnostics: Vec<IrlintDiagnostic>,
     /// Programs linted.
     pub programs: usize,
     /// `Error`-severity diagnostics across the corpus — the CI `lint-gate`
@@ -745,6 +839,36 @@ pub struct IrlintReport {
     pub warnings: usize,
     /// `Note`-severity diagnostics across the corpus.
     pub notes: usize,
+}
+
+/// The serializable shape behind `irlint --json`: everything of
+/// [`IrlintReport`] except the rendered text (which the golden fixture
+/// already pins byte-for-byte in the default mode).
+#[derive(Debug, Clone, Serialize)]
+pub struct IrlintJsonReport {
+    /// Every diagnostic across the corpus, in stable corpus order.
+    pub diagnostics: Vec<IrlintDiagnostic>,
+    /// Programs linted.
+    pub programs: usize,
+    /// `Error`-severity diagnostics across the corpus.
+    pub errors: usize,
+    /// `Warning`-severity diagnostics across the corpus.
+    pub warnings: usize,
+    /// `Note`-severity diagnostics across the corpus.
+    pub notes: usize,
+}
+
+impl IrlintReport {
+    /// The machine-readable projection printed by `irlint --json`.
+    pub fn json_report(&self) -> IrlintJsonReport {
+        IrlintJsonReport {
+            diagnostics: self.diagnostics.clone(),
+            programs: self.programs,
+            errors: self.errors,
+            warnings: self.warnings,
+            notes: self.notes,
+        }
+    }
 }
 
 /// Runs the default lint lineup ([`esd_analysis::LintRegistry`]) over every
@@ -767,8 +891,14 @@ pub fn irlint_report() -> IrlintReport {
     }
 
     let registry = LintRegistry::with_default_lints();
-    let mut report =
-        IrlintReport { text: String::new(), programs: 0, errors: 0, warnings: 0, notes: 0 };
+    let mut report = IrlintReport {
+        text: String::new(),
+        diagnostics: Vec::new(),
+        programs: 0,
+        errors: 0,
+        warnings: 0,
+        notes: 0,
+    };
     for w in &corpus {
         let diags = registry.run(&w.program);
         report.programs += 1;
@@ -778,6 +908,19 @@ pub fn irlint_report() -> IrlintReport {
                 Severity::Warning => report.warnings += 1,
                 Severity::Note => report.notes += 1,
             }
+            report.diagnostics.push(IrlintDiagnostic {
+                program: w.name.clone(),
+                lint: d.lint,
+                severity: match d.severity {
+                    Severity::Error => "error",
+                    Severity::Warning => "warning",
+                    Severity::Note => "note",
+                },
+                function: w.program.functions[d.loc.func.0 as usize].name.clone(),
+                block: d.loc.block.0,
+                idx: d.loc.idx,
+                message: d.message.clone(),
+            });
         }
         report.text.push_str(&format!("=== {} ===\n", w.name));
         report.text.push_str(&lint::render(&w.program, &diags));

@@ -71,6 +71,9 @@ pub struct ProgressEvent {
     pub branches_pruned_static: u64,
     /// Solver queries the static verdicts made unnecessary.
     pub solver_queries_saved: u64,
+    /// Preemption forks skipped because the yield/access belongs to no
+    /// static race-pair candidate.
+    pub preemptions_pruned_static: u64,
     /// The lowest final-goal priority key seen so far (`None` until a
     /// priority-driven frontier computes one) — how close the search has
     /// come to the reported failure.
@@ -244,6 +247,14 @@ impl EsdOptionsBuilder {
         self
     }
 
+    /// Consult the static race-pair candidates in race-preemption mode so
+    /// yields/accesses outside every candidate pair skip the preemption fork
+    /// (on by default).
+    pub fn race_candidate_pruning(mut self, on: bool) -> Self {
+        self.options.race_candidate_pruning = on;
+        self
+    }
+
     /// Worker threads for multi-state frontier batches (the beam frontier);
     /// `1` stays on the calling thread, `0` uses all available parallelism.
     /// The thread count never changes the synthesized execution.
@@ -362,6 +373,7 @@ impl SynthesisSession {
             schedule_bias: options.schedule_bias,
             race_preemptions: options.with_race_detection,
             static_pruning: options.static_pruning,
+            race_candidate_pruning: options.race_candidate_pruning,
             threads: options.threads,
             ..EngineConfig::default()
         };
@@ -532,6 +544,7 @@ impl SynthesisSession {
             other_bugs_found: stats.other_bugs_found,
             branches_pruned_static: stats.branches_pruned_static,
             solver_queries_saved: stats.solver_queries_saved,
+            preemptions_pruned_static: stats.preemptions_pruned_static,
             best_proximity: stats.best_proximity,
             elapsed: self.started_at.elapsed(),
         }
@@ -678,6 +691,8 @@ mod tests {
             .use_critical_edges(false)
             .schedule_bias(false)
             .with_race_detection(true)
+            .static_pruning(false)
+            .race_candidate_pruning(false)
             .deadline(Duration::from_secs(9))
             .threads(4)
             .build();
@@ -689,6 +704,8 @@ mod tests {
         assert!(!options.use_critical_edges);
         assert!(!options.schedule_bias);
         assert!(options.with_race_detection);
+        assert!(!options.static_pruning);
+        assert!(!options.race_candidate_pruning);
         assert_eq!(options.deadline, Some(Duration::from_secs(9)));
         assert_eq!(options.threads, 4);
     }

@@ -53,6 +53,12 @@ pub struct EsdOptions {
     /// `esd_symex::EngineConfig::static_pruning`). On by default;
     /// `ESD_STATIC_PRUNING=0` turns it off in the benches and CI.
     pub static_pruning: bool,
+    /// Consult the static phase's race-pair candidates in race-preemption
+    /// mode: yields and flagged accesses outside every candidate pair skip
+    /// the preemption fork (see
+    /// `esd_symex::EngineConfig::race_candidate_pruning`). On by default;
+    /// `ESD_RACE_CANDIDATES=0` turns it off in the benches and CI.
+    pub race_candidate_pruning: bool,
     /// Optional wall-clock deadline for the search, measured from session
     /// creation.
     pub deadline: Option<Duration>,
@@ -76,6 +82,7 @@ impl Default for EsdOptions {
             schedule_bias: true,
             with_race_detection: false,
             static_pruning: true,
+            race_candidate_pruning: true,
             deadline: None,
             threads: 1,
         }

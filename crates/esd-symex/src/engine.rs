@@ -128,6 +128,13 @@ pub struct EngineConfig {
     /// recorded, so the search trajectory is unchanged — only the query is
     /// skipped). Off in the KC baseline, which has no static phase.
     pub static_pruning: bool,
+    /// Consult the static phase's race-pair candidates in race-preemption
+    /// mode: yields and shared accesses that belong to no candidate pair
+    /// skip the preemption fork entirely (counted in
+    /// [`SearchStats::preemptions_pruned_static`]). Sound because the
+    /// candidate set over-approximates the real races (MHP + lockset, both
+    /// conservative). Off in the KC baseline, which has no static phase.
+    pub race_candidate_pruning: bool,
     /// Solver configuration.
     pub solver: SolverConfig,
 }
@@ -147,6 +154,7 @@ impl Default for EngineConfig {
             threads: 1,
             batch_burst: 32,
             static_pruning: true,
+            race_candidate_pruning: true,
             solver: SolverConfig::default(),
         }
     }
@@ -165,6 +173,7 @@ impl EngineConfig {
             schedule_bias: false,
             dedup_states: false,
             static_pruning: false,
+            race_candidate_pruning: false,
             ..Default::default()
         }
     }
@@ -190,6 +199,9 @@ pub struct SearchStats {
     /// Feasibility queries the static verdicts made unnecessary (two per
     /// pruned two-sided fork, one per pruned critical-edge check).
     pub solver_queries_saved: u64,
+    /// Preemption forks skipped because the yield/access belongs to no
+    /// static race-pair candidate ([`EngineConfig::race_candidate_pruning`]).
+    pub preemptions_pruned_static: u64,
     /// Bugs found that did not match the goal (the paper: "ESD has
     /// discovered a different bug").
     pub other_bugs_found: usize,
@@ -564,6 +576,7 @@ impl Engine {
             self.stats.solver_queries += result.solver_queries;
             self.stats.branches_pruned_static += result.branches_pruned_static;
             self.stats.solver_queries_saved += result.solver_queries_saved;
+            self.stats.preemptions_pruned_static += result.preemptions_pruned_static;
             self.stats.races_flagged += result.races_flagged;
             self.stats.other_bugs_found += result.other_bugs.len();
             self.other_bugs.append(&mut result.other_bugs);

@@ -121,6 +121,9 @@ pub(crate) struct TurnResult {
     pub branches_pruned_static: u64,
     /// Solver queries those verdicts made unnecessary this turn.
     pub solver_queries_saved: u64,
+    /// Preemption forks skipped this turn because the yield/access belongs
+    /// to no static race-pair candidate.
+    pub preemptions_pruned_static: u64,
 }
 
 /// A worker's stepper: immutable views of the search job plus a private
@@ -138,6 +141,7 @@ pub(crate) struct Stepper<'a> {
     steps: u64,
     branches_pruned_static: u64,
     solver_queries_saved: u64,
+    preemptions_pruned_static: u64,
 }
 
 impl<'a> Stepper<'a> {
@@ -161,6 +165,7 @@ impl<'a> Stepper<'a> {
             steps: 0,
             branches_pruned_static: 0,
             solver_queries_saved: 0,
+            preemptions_pruned_static: 0,
         }
     }
 
@@ -195,6 +200,7 @@ impl<'a> Stepper<'a> {
             solver_queries: self.solver.queries - queries_before,
             branches_pruned_static: std::mem::take(&mut self.branches_pruned_static),
             solver_queries_saved: std::mem::take(&mut self.solver_queries_saved),
+            preemptions_pruned_static: std::mem::take(&mut self.preemptions_pruned_static),
         }
     }
 
@@ -1010,7 +1016,18 @@ impl<'a> Stepper<'a> {
                 // yield as a no-op (the bounded searches and BPF workloads
                 // rely on that).
                 if self.config.race_preemptions {
-                    if let Some(next) = self.other_runnable(state) {
+                    // Static race-candidate gating: a yield with no candidate
+                    // access before *and* after it (in same-thread order)
+                    // cannot split a racing pair, so the preemption fork is
+                    // skipped. The candidate set over-approximates the real
+                    // races, so no schedule that can reach a race is lost.
+                    if self.config.race_candidate_pruning
+                        && !self.analysis.race_candidates.is_relevant_yield(loc)
+                    {
+                        if self.other_runnable(state).is_some() {
+                            self.preemptions_pruned_static += 1;
+                        }
+                    } else if let Some(next) = self.other_runnable(state) {
                         self.fork_preempted(state, next);
                     }
                 }
@@ -1155,7 +1172,17 @@ impl<'a> Stepper<'a> {
         let race = state.race_detector.access((p.obj.0, p.off), cur.0, loc, is_write, &held);
         if race.is_some() {
             self.races_flagged += 1;
-            if let Some(next) = self.other_runnable(state) {
+            // Static race-candidate gating: an access outside every candidate
+            // pair cannot be half of a real race (the candidate set
+            // over-approximates MHP ∩ lockset-disjoint pairs), so delaying it
+            // cannot expose one — skip the preemption fork.
+            if self.config.race_candidate_pruning
+                && !self.analysis.race_candidates.is_candidate_access(loc)
+            {
+                if self.other_runnable(state).is_some() {
+                    self.preemptions_pruned_static += 1;
+                }
+            } else if let Some(next) = self.other_runnable(state) {
                 self.fork_preempted(state, next);
             }
         }

@@ -49,6 +49,14 @@ fn env_static_pruning() -> bool {
     std::env::var("ESD_STATIC_PRUNING").ok().as_deref() != Some("0")
 }
 
+/// Whether race-preemption forks are bounded by the static race-pair
+/// candidate set for this run (the CI determinism matrix pins one leg to
+/// `ESD_RACE_CANDIDATES=0`; the gating must never change what is
+/// synthesized, so every leg reproduces the same fixtures).
+fn env_race_candidates() -> bool {
+    std::env::var("ESD_RACE_CANDIDATES").ok().as_deref() != Some("0")
+}
+
 fn synthesize_beam(threads: usize) -> String {
     let w = paste_invalid_free();
     let esd = EsdOptions::builder()
@@ -56,6 +64,7 @@ fn synthesize_beam(threads: usize) -> String {
         .frontier(FrontierKind::Beam { width: 16 })
         .threads(threads)
         .static_pruning(env_static_pruning())
+        .race_candidate_pruning(env_race_candidates())
         .synthesizer();
     let report = esd.synthesize_goal(&w.program, w.goal(), false).expect("synthesis succeeds");
     let mut json = report.execution.to_json();
@@ -153,6 +162,107 @@ fn golden_execution_file_is_invariant_to_static_pruning() {
              file byte for byte"
         );
     }
+}
+
+/// The static race-pair candidate set never changes *what* is synthesized
+/// on race workloads: with candidate-gated preemption pruning explicitly on
+/// and explicitly off, the racy-counter example (the PR-1 race running
+/// example) and a genbug data-race program both synthesize byte-identical
+/// execution files — the soundness contract of
+/// `EsdOptions::builder().race_candidate_pruning`.
+#[test]
+fn race_execution_files_are_invariant_to_candidate_pruning() {
+    use esd::ir::{CmpOp, Loc, ProgramBuilder};
+    use esd::workloads::genbug::{generate, GenConfig, InjectedBugKind};
+    use esd::GoalSpec;
+
+    // The racy-counter program of `examples/race_debugging.rs`.
+    let mut pb = ProgramBuilder::new("racy_counter");
+    let counter = pb.global("counter", 1);
+    let worker = pb.declare("worker", 1);
+    pb.define(worker, |f| {
+        let cp = f.addr_global(counter);
+        let v = f.load(cp);
+        f.yield_now();
+        let v1 = f.add(v, 1);
+        f.store(cp, v1);
+        f.ret_void();
+    });
+    let mut assert_loc = None;
+    let main_id = pb.declare("main", 0);
+    pb.define(main_id, |f| {
+        let t1 = f.spawn(worker, 1);
+        let t2 = f.spawn(worker, 2);
+        f.join(t1);
+        f.join(t2);
+        let cp = f.addr_global(counter);
+        let v = f.load(cp);
+        let ok = f.cmp(CmpOp::Eq, v, 2);
+        assert_loc = Some(Loc::new(main_id, f.current_block(), f.next_inst_idx()));
+        f.assert(ok, "both increments must be visible");
+        f.ret_void();
+    });
+    let racy = pb.finish("main");
+    let racy_goal = GoalSpec::Crash { loc: assert_loc.unwrap() };
+
+    let mut baseline: Option<String> = None;
+    for pruning in [true, false] {
+        let esd = EsdOptions::builder()
+            .max_steps(2_000_000)
+            .with_race_detection(true)
+            .race_candidate_pruning(pruning)
+            .synthesizer();
+        let report = esd
+            .synthesize_goal(&racy, racy_goal.clone(), true)
+            .unwrap_or_else(|e| panic!("racy_counter: race synthesis (pruning={pruning}): {e:?}"));
+        let json = report.execution.to_json();
+        match &baseline {
+            None => baseline = Some(json),
+            Some(expected) => assert_eq!(
+                *expected, json,
+                "racy_counter: race_candidate_pruning must not change the \
+                 synthesized execution"
+            ),
+        }
+    }
+
+    // On the larger genbug program the unpruned search explores extra
+    // preemption forks at thread-local yields, so a *different but equally
+    // valid* interleaving can win — the contract there is ground-truth
+    // equivalence plus a measurably smaller search, not byte equality.
+    let genbug = generate(&GenConfig::new(2, InjectedBugKind::DataRace));
+    let mut states = [0u64; 2];
+    for (i, pruning) in [true, false].into_iter().enumerate() {
+        let esd = EsdOptions::builder()
+            .max_steps(2_000_000)
+            .with_race_detection(true)
+            .race_candidate_pruning(pruning)
+            .synthesizer();
+        let report =
+            esd.synthesize_goal(&genbug.program, genbug.truth.goal.clone(), true).unwrap_or_else(
+                |e| panic!("{}: race synthesis (pruning={pruning}): {e:?}", genbug.name),
+            );
+        genbug.truth.matches(&report.execution).unwrap_or_else(|e| {
+            panic!("{}: pruning={pruning} missed the injected race: {e}", genbug.name)
+        });
+        states[i] = report.stats.states_created;
+        if pruning {
+            assert!(
+                report.stats.preemptions_pruned_static > 0,
+                "{}: candidate gating pruned no preemption forks",
+                genbug.name
+            );
+        } else {
+            assert_eq!(report.stats.preemptions_pruned_static, 0);
+        }
+    }
+    assert!(
+        states[0] < states[1],
+        "{}: candidate gating must fork fewer states ({} vs {})",
+        genbug.name,
+        states[0],
+        states[1]
+    );
 }
 
 /// Serialization is deterministic and stable: writing the parsed fixture back

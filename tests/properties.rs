@@ -8,7 +8,7 @@ use esd::ir::validate::validate;
 use esd::ir::{BinOp, BlockId, CmpOp, Loc, ProgramBuilder};
 use esd::ir::{Interpreter, ThreadId};
 use esd::symex::{ExecState, RaceDetector, Solver, SolverConfig, SymExpr, SymVar};
-use esd::workloads::genbug::{generate, GenConfig, GenSize, InjectedBugKind};
+use esd::workloads::genbug::{generate, GenConfig, GenSize, InjectedBugKind, ScheduleHint};
 use esd::{EsdOptions, SynthesisSession};
 use proptest::prelude::*;
 
@@ -196,6 +196,52 @@ proptest! {
                 w.name, goal
             );
         }
+    }
+
+    /// The static race-pair candidate set is *sound* on the generated
+    /// corpus: whatever the generator dimensions, both instructions of an
+    /// injected data race land in the candidate set — and one candidate
+    /// pair covers exactly the injected pair — so candidate-gated preemption
+    /// pruning (`EsdOptions::race_candidate_pruning`) can never make the
+    /// injected race unsynthesizable.
+    #[test]
+    fn injected_data_races_always_appear_in_the_candidate_set(
+        seed in 0u64..1_000_000_000,
+        dims in (0u32..12, 0u32..32, 0u32..12, 0u32..12, 0u32..12),
+    ) {
+        use esd::analysis::StaticAnalysis;
+
+        let (inputs, branches, loop_iters, threads, locks) = dims;
+        let config = GenConfig {
+            seed,
+            kind: InjectedBugKind::DataRace,
+            size: GenSize { inputs, branches, loop_iters, threads, locks },
+        };
+        let w = generate(&config);
+        let analysis = StaticAnalysis::compute_multi(&w.program, &w.truth.goal_locs);
+        let rc = &analysis.race_candidates;
+        let (load, store) = match w.truth.schedule_hint {
+            ScheduleHint::PreemptBetween { load, store } => (load, store),
+            ref other => panic!("{}: DataRace ground truth carries {other:?}", w.name),
+        };
+        prop_assert!(
+            rc.is_candidate_access(load),
+            "{}: the injected racy load {load:?} is not a candidate access (seed {seed})",
+            w.name
+        );
+        prop_assert!(
+            rc.is_candidate_access(store),
+            "{}: the injected racy store {store:?} is not a candidate access (seed {seed})",
+            w.name
+        );
+        prop_assert!(
+            rc.candidates.iter().any(|c| {
+                (c.access_a == load || c.access_a == store)
+                    && (c.access_b == load || c.access_b == store)
+            }),
+            "{}: no candidate pair covers the injected load/store pair (seed {seed})",
+            w.name
+        );
     }
 
     /// Generator determinism, as a property: the same `(seed, kind, size)`
