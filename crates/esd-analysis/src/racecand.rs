@@ -11,11 +11,14 @@
 //! 2. **May-happen-in-parallel (MHP)** — an approximation from the
 //!    spawn/join structure. Accesses in two *different* spawned thread roots
 //!    always MHP; two accesses in the *same* root MHP only when that root
-//!    may have multiple live instances (several static spawn sites, a spawn
-//!    in a loop or recursion, or a spawner that itself runs multiply); a
-//!    main-context access MHPs with a root only while some spawn of that
-//!    root is still *outstanding* — a forward dataflow over spawn sites with
-//!    joins killing the (unique, non-looped) site they synchronize with.
+//!    may have multiple live instances (several static spawn/call sites, a
+//!    site in a loop or recursion, or a spawner whose own body runs multiply
+//!    — a fixpoint over call *and* spawn edges); a main-context access MHPs
+//!    with a root only while some spawn of that root is still *outstanding*
+//!    — a forward dataflow over spawn sites with joins killing the (unique,
+//!    non-looped) site they synchronize with, and calls adding every spawn
+//!    site in the callee's call closure (a helper that spawns leaves the
+//!    thread outstanding in its caller after the call returns).
 //! 3. **Locksets** — a pair is excluded only when both accesses *must* hold
 //!    a common statically-identified mutex (intraprocedural, empty entry
 //!    fact, intersection join, cleared across calls). Must-hold is the sound
@@ -177,14 +180,19 @@ impl JoinSemiLattice for SpawnSet {
     }
 }
 
-struct OutstandingAnalysis {
+struct OutstandingAnalysis<'a> {
     entry: SpawnSet,
     /// `ThreadJoin` handles that synchronize with a unique, non-looped spawn
     /// site of this function — joining them retires that site.
-    kills: HashMap<Reg, Loc>,
+    kills: &'a HashMap<Reg, Loc>,
+    /// Call site → spawn sites anywhere in the callee's call closure. A call
+    /// may leave any of those threads running, so the transfer adds them all
+    /// — the return flow that caller→callee entry propagation cannot
+    /// express.
+    call_spawns: &'a HashMap<Loc, BTreeSet<Loc>>,
 }
 
-impl ForwardAnalysis for OutstandingAnalysis {
+impl ForwardAnalysis for OutstandingAnalysis<'_> {
     type Fact = SpawnSet;
 
     fn entry_fact(&self) -> SpawnSet {
@@ -199,6 +207,11 @@ impl ForwardAnalysis for OutstandingAnalysis {
             Inst::ThreadJoin { thread: esd_ir::Operand::Reg(r) } => {
                 if let Some(site) = self.kills.get(r) {
                     fact.0.remove(site);
+                }
+            }
+            Inst::Call { .. } => {
+                if let Some(sites) = self.call_spawns.get(&loc) {
+                    fact.0.extend(sites.iter().copied());
                 }
             }
             _ => {}
@@ -315,39 +328,81 @@ pub fn compute(
         }
     }
 
-    // Functions reachable from any *spawned* root (their code may run on a
-    // non-main thread, possibly in several instances at once).
-    let spawned_code: HashSet<FuncId> = spawned_roots
-        .iter()
-        .filter(|r| reach.contains_key(*r))
-        .flat_map(|r| reach[r].iter().copied())
-        .collect();
+    // multi_exec[f] = f's body may execute more than once in a single run:
+    // several static call/spawn sites target it, some site sits in a CFG
+    // cycle, f is (mutually) recursive or self-spawning, or — the fixpoint
+    // below — some site targeting it lives in a function that itself runs
+    // multiply. Covers a worker whose only spawn site sits in a helper that
+    // main invokes twice (or from a loop), not just properties of the
+    // spawn site's own function.
+    let mut multi_exec = vec![false; n];
+    for fid in program.func_ids() {
+        let f = fid.0 as usize;
+        let scc = &callgraph.sccs[callgraph.scc_index[f]];
+        let recursive =
+            scc.len() > 1 || callgraph.sites_of(fid).iter().any(|s| s.targets.contains(&fid));
+        let sites = callgraph.callers.get(&fid).map(|v| v.as_slice()).unwrap_or(&[]);
+        if recursive
+            || sites.len() >= 2
+            || sites.iter().any(|(g, l)| block_in_cycle(&cfgs[g.0 as usize], l.block))
+        {
+            multi_exec[f] = true;
+        }
+    }
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for fid in program.func_ids() {
+            if !multi_exec[fid.0 as usize] {
+                continue;
+            }
+            for site in callgraph.sites_of(fid) {
+                for t in &site.targets {
+                    if !multi_exec[t.0 as usize] {
+                        multi_exec[t.0 as usize] = true;
+                        changed = true;
+                    }
+                }
+            }
+        }
+    }
 
     // multi[r] = root r may have several live instances at once.
-    let multi: HashMap<FuncId, bool> = spawned_roots
-        .iter()
-        .map(|r| {
-            let sites = spawn_sites.get(r).map(|v| v.as_slice()).unwrap_or(&[]);
-            let several = sites.len() >= 2;
-            let looped = sites.iter().any(|s| {
-                block_in_cycle(&cfgs[s.func.0 as usize], s.block)
-                    || spawned_code.contains(&s.func)
-                    || {
-                        let scc = &callgraph.sccs[callgraph.scc_index[s.func.0 as usize]];
-                        scc.len() > 1
-                            || callgraph
-                                .sites_of(s.func)
-                                .iter()
-                                .any(|c| !c.is_spawn && c.targets.contains(&s.func))
-                    }
-            });
-            (*r, several || looped)
-        })
-        .collect();
+    let multi: HashMap<FuncId, bool> =
+        spawned_roots.iter().map(|r| (*r, multi_exec[r.0 as usize])).collect();
 
     // ---- outstanding spawn sites (interprocedural, call edges only) -------
     let kills: Vec<HashMap<Reg, Loc>> =
         program.func_ids().map(|f| join_kills(program, cfgs, callgraph, f)).collect();
+    // call_spawns[call site] = spawn sites transitively reachable through
+    // the callee: after the call returns those threads may still be running.
+    let closure_spawns: Vec<BTreeSet<Loc>> = program
+        .func_ids()
+        .map(|f| {
+            call_reachable(callgraph, f)
+                .into_iter()
+                .flat_map(|g| callgraph.sites_of(g))
+                .filter(|s| s.is_spawn)
+                .map(|s| s.loc)
+                .collect()
+        })
+        .collect();
+    let mut call_spawns: HashMap<Loc, BTreeSet<Loc>> = HashMap::new();
+    for fid in program.func_ids() {
+        for site in callgraph.sites_of(fid) {
+            if site.is_spawn {
+                continue;
+            }
+            let sites: BTreeSet<Loc> = site
+                .targets
+                .iter()
+                .flat_map(|t| closure_spawns[t.0 as usize].iter().copied())
+                .collect();
+            if !sites.is_empty() {
+                call_spawns.insert(site.loc, sites);
+            }
+        }
+    }
     let mut out_entry: Vec<SpawnSet> = vec![SpawnSet::default(); n];
     {
         let mut queued = vec![true; n];
@@ -357,7 +412,8 @@ pub fn compute(
             let function = program.func(fid);
             let analysis = OutstandingAnalysis {
                 entry: out_entry[fid.0 as usize].clone(),
-                kills: kills[fid.0 as usize].clone(),
+                kills: &kills[fid.0 as usize],
+                call_spawns: &call_spawns,
             };
             let facts = dataflow::solve_function(&analysis, function, &cfgs[fid.0 as usize], fid);
             for (bi, block) in function.blocks.iter().enumerate() {
@@ -387,7 +443,8 @@ pub fn compute(
         let cfg = &cfgs[fid.0 as usize];
         let out_an = OutstandingAnalysis {
             entry: out_entry[fid.0 as usize].clone(),
-            kills: kills[fid.0 as usize].clone(),
+            kills: &kills[fid.0 as usize],
+            call_spawns: &call_spawns,
         };
         let out_facts = dataflow::solve_function(&out_an, function, cfg, fid);
         let may_an = lockorder::LocksetAnalysis {
@@ -515,11 +572,14 @@ pub fn compute(
                 continue;
             }
             let involved = if a.loc == b.loc { 1 } else { 2 };
+            // Max over targets counts resolved traffic; the unresolved
+            // accesses (which may touch anything) are added exactly once,
+            // even when both sides are themselves unresolved.
             let distractors = targets
                 .iter()
                 .map(|t| touching.get(t).copied().unwrap_or(0))
                 .max()
-                .unwrap_or(unresolved)
+                .unwrap_or(0)
                 .saturating_add(unresolved)
                 .saturating_sub(involved);
             let (access_a, access_b) = if a.loc <= b.loc { (a.loc, b.loc) } else { (b.loc, a.loc) };
@@ -987,6 +1047,131 @@ mod tests {
             "the racy yield sits between two candidate accesses"
         );
         assert_eq!(rc.all_yields.len(), 2);
+    }
+
+    /// Review regression: a spawn executed inside a *callee* must stay
+    /// outstanding in the caller after the call returns — main's accesses
+    /// after invoking a helper that spawns a worker may race with that
+    /// worker, even though `main` itself contains no `ThreadSpawn`.
+    #[test]
+    fn spawns_inside_callees_stay_outstanding_in_the_caller() {
+        let mut pb = ProgramBuilder::new("callee_spawn");
+        let g = pb.global("g", 1);
+        let mut w_store = None;
+        let worker = pb.function("worker", 1, |f| {
+            let gp = f.addr_global(g);
+            w_store = Some(f.here());
+            f.store(gp, 1);
+            f.ret_void();
+        });
+        let helper = pb.function("helper", 0, |f| {
+            f.spawn(worker, 1);
+            f.ret_void();
+        });
+        let mut before = None;
+        let mut after = None;
+        pb.function("main", 0, |f| {
+            let gp = f.addr_global(g);
+            before = Some(f.here());
+            f.store(gp, 41);
+            f.call(helper, vec![]);
+            after = Some(f.here());
+            f.store(gp, 42);
+            f.ret_void();
+        });
+        let p = pb.finish("main");
+        let rc = run(&p);
+        let (w_store, before, after) = (w_store.unwrap(), before.unwrap(), after.unwrap());
+        assert!(
+            rc.is_candidate_access(after),
+            "the helper's spawn is still outstanding when the post-call store runs"
+        );
+        assert!(
+            rc.candidates.iter().any(|c| (c.access_a, c.access_b) == (w_store, after)),
+            "the worker store must pair with main's post-call store"
+        );
+        assert!(
+            !rc.is_candidate_access(before),
+            "a store before the spawning call still cannot race"
+        );
+        // One spawn site, once-invoked helper: the worker stays
+        // single-instance and must not self-race.
+        assert!(!rc.candidates.iter().any(|c| (c.access_a, c.access_b) == (w_store, w_store)));
+    }
+
+    /// Review regression: a worker whose single spawn site sits in a helper
+    /// that is *invoked twice* has two live instances — its accesses
+    /// self-race even though the spawn site's own block is loop-free and its
+    /// function is neither recursive nor spawned code.
+    #[test]
+    fn twice_invoked_spawner_makes_the_worker_multi_instance() {
+        let mut pb = ProgramBuilder::new("twice_spawner");
+        let g = pb.global("g", 1);
+        let mut store = None;
+        let worker = pb.function("worker", 1, |f| {
+            let gp = f.addr_global(g);
+            store = Some(f.here());
+            f.store(gp, 1);
+            f.ret_void();
+        });
+        let helper = pb.function("helper", 0, |f| {
+            f.spawn(worker, 1);
+            f.ret_void();
+        });
+        pb.function("main", 0, |f| {
+            f.call(helper, vec![]);
+            f.call(helper, vec![]);
+            f.ret_void();
+        });
+        let p = pb.finish("main");
+        let rc = run(&p);
+        let store = store.unwrap();
+        assert!(rc.is_candidate_access(store));
+        assert!(
+            rc.candidates.iter().any(|c| (c.access_a, c.access_b) == (store, store)),
+            "two helper invocations spawn two worker instances: the store may self-race"
+        );
+    }
+
+    /// Same hole through a loop: the spawn site is straight-line code in the
+    /// helper, but main calls the helper from a loop body.
+    #[test]
+    fn spawner_called_from_a_loop_makes_the_worker_multi_instance() {
+        let mut pb = ProgramBuilder::new("looped_spawner");
+        let g = pb.global("g", 1);
+        let mut store = None;
+        let worker = pb.function("worker", 1, |f| {
+            let gp = f.addr_global(g);
+            store = Some(f.here());
+            f.store(gp, 1);
+            f.ret_void();
+        });
+        let helper = pb.function("helper", 0, |f| {
+            f.spawn(worker, 1);
+            f.ret_void();
+        });
+        pb.function("main", 0, |f| {
+            let header = f.new_block("header");
+            let body = f.new_block("body");
+            let exit = f.new_block("exit");
+            f.br(header);
+            f.switch_to(header);
+            let x = f.getchar();
+            let c = f.cmp(CmpOp::Eq, x, 1);
+            f.cond_br(c, body, exit);
+            f.switch_to(body);
+            f.call(helper, vec![]);
+            f.br(header);
+            f.switch_to(exit);
+            f.ret_void();
+        });
+        let p = pb.finish("main");
+        let rc = run(&p);
+        let store = store.unwrap();
+        assert!(
+            rc.candidates.iter().any(|c| (c.access_a, c.access_b) == (store, store)),
+            "a loop-invoked spawner may spawn several instances: the store may self-race"
+        );
     }
 
     #[test]

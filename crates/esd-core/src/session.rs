@@ -71,8 +71,8 @@ pub struct ProgressEvent {
     pub branches_pruned_static: u64,
     /// Solver queries the static verdicts made unnecessary.
     pub solver_queries_saved: u64,
-    /// Preemption forks skipped because the yield/access belongs to no
-    /// static race-pair candidate.
+    /// Preemption forks skipped because the yield has no static race-pair
+    /// candidate material around it.
     pub preemptions_pruned_static: u64,
     /// The lowest final-goal priority key seen so far (`None` until a
     /// priority-driven frontier computes one) — how close the search has
@@ -248,7 +248,8 @@ impl EsdOptionsBuilder {
     }
 
     /// Consult the static race-pair candidates in race-preemption mode so
-    /// yields/accesses outside every candidate pair skip the preemption fork
+    /// yields with no candidate-pair material around them skip the
+    /// speculative preemption fork; concretely flagged accesses always fork
     /// (on by default).
     pub fn race_candidate_pruning(mut self, on: bool) -> Self {
         self.options.race_candidate_pruning = on;

@@ -54,8 +54,9 @@ pub struct EsdOptions {
     /// `ESD_STATIC_PRUNING=0` turns it off in the benches and CI.
     pub static_pruning: bool,
     /// Consult the static phase's race-pair candidates in race-preemption
-    /// mode: yields and flagged accesses outside every candidate pair skip
-    /// the preemption fork (see
+    /// mode: yields with no candidate-pair material around them skip the
+    /// speculative preemption fork; accesses the dynamic detector flags
+    /// always fork regardless (see
     /// `esd_symex::EngineConfig::race_candidate_pruning`). On by default;
     /// `ESD_RACE_CANDIDATES=0` turns it off in the benches and CI.
     pub race_candidate_pruning: bool,

@@ -129,11 +129,13 @@ pub struct EngineConfig {
     /// skipped). Off in the KC baseline, which has no static phase.
     pub static_pruning: bool,
     /// Consult the static phase's race-pair candidates in race-preemption
-    /// mode: yields and shared accesses that belong to no candidate pair
-    /// skip the preemption fork entirely (counted in
+    /// mode: yields with no candidate-pair material around them skip the
+    /// speculative preemption fork (counted in
     /// [`SearchStats::preemptions_pruned_static`]). Sound because the
     /// candidate set over-approximates the real races (MHP + lockset, both
-    /// conservative). Off in the KC baseline, which has no static phase.
+    /// conservative) — and accesses the dynamic detector concretely flags
+    /// always fork regardless, so static imprecision can delay but never
+    /// hide a race. Off in the KC baseline, which has no static phase.
     pub race_candidate_pruning: bool,
     /// Solver configuration.
     pub solver: SolverConfig,
@@ -199,8 +201,9 @@ pub struct SearchStats {
     /// Feasibility queries the static verdicts made unnecessary (two per
     /// pruned two-sided fork, one per pruned critical-edge check).
     pub solver_queries_saved: u64,
-    /// Preemption forks skipped because the yield/access belongs to no
-    /// static race-pair candidate ([`EngineConfig::race_candidate_pruning`]).
+    /// Preemption forks skipped because the yield has no static race-pair
+    /// candidate material around it
+    /// ([`EngineConfig::race_candidate_pruning`]).
     pub preemptions_pruned_static: u64,
     /// Bugs found that did not match the goal (the paper: "ESD has
     /// discovered a different bug").

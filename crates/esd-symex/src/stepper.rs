@@ -121,8 +121,9 @@ pub(crate) struct TurnResult {
     pub branches_pruned_static: u64,
     /// Solver queries those verdicts made unnecessary this turn.
     pub solver_queries_saved: u64,
-    /// Preemption forks skipped this turn because the yield/access belongs
-    /// to no static race-pair candidate.
+    /// Preemption forks skipped this turn because the yield has no static
+    /// race-pair candidate material around it (accesses the dynamic
+    /// detector actually flags always fork, candidate or not).
     pub preemptions_pruned_static: u64,
 }
 
@@ -1172,17 +1173,14 @@ impl<'a> Stepper<'a> {
         let race = state.race_detector.access((p.obj.0, p.off), cur.0, loc, is_write, &held);
         if race.is_some() {
             self.races_flagged += 1;
-            // Static race-candidate gating: an access outside every candidate
-            // pair cannot be half of a real race (the candidate set
-            // over-approximates MHP ∩ lockset-disjoint pairs), so delaying it
-            // cannot expose one — skip the preemption fork.
-            if self.config.race_candidate_pruning
-                && !self.analysis.race_candidates.is_candidate_access(loc)
-            {
-                if self.other_runnable(state).is_some() {
-                    self.preemptions_pruned_static += 1;
-                }
-            } else if let Some(next) = self.other_runnable(state) {
+            // Concrete runtime evidence beats the static candidate set: a
+            // flagged access forks its delayed alternative even when
+            // `race_candidate_pruning` is on and the access belongs to no
+            // candidate pair, so the dynamic detector is the backstop for
+            // any static MHP/lockset imprecision. The static gate prunes
+            // only the *speculative* yield forks (see `Inst::Yield`), where
+            // no runtime evidence contradicts it.
+            if let Some(next) = self.other_runnable(state) {
                 self.fork_preempted(state, next);
             }
         }

@@ -361,6 +361,73 @@ fn sibling_forks_flag_the_same_race_independently() {
     );
 }
 
+/// Review regression: the dynamic race detector is the *backstop* for
+/// static imprecision. Even with `race_candidate_pruning` on and an
+/// (artificially) empty candidate set — simulating a static MHP hole — a
+/// write the detector concretely flags must still fork its delayed
+/// alternative. The writer below stores `g = 1` then `g = 2` back to back;
+/// the reader observes `g == 1` (the asserted-against value) only if it is
+/// scheduled *between* those straight-line stores. The only preemption
+/// point there is the backstop fork at the flagged second store: lock forks
+/// can only park the reader before its own acquisition, from where the
+/// writer runs both stores uninterrupted (the reader's early load of `g`
+/// makes the word shared so the stores actually flag).
+#[test]
+fn flagged_races_fork_even_outside_the_static_candidate_set() {
+    let mut pb = ProgramBuilder::new("backstop");
+    let g = pb.global("g", 1);
+    let m = pb.global("m", 1);
+    let reader = pb.declare("reader", 1);
+    let mut assert_loc = None;
+    pb.define(reader, |f| {
+        let gp = f.addr_global(g);
+        let mp = f.addr_global(m);
+        let _x = f.load(gp);
+        f.lock(mp);
+        f.unlock(mp);
+        let y = f.load(gp);
+        let ok = f.cmp(CmpOp::Ne, y, 1);
+        assert_loc = Some(Loc::new(reader, f.current_block(), f.next_inst_idx()));
+        f.assert(ok, "the reader ran between the writer's two stores");
+        f.ret_void();
+    });
+    let writer = pb.declare("writer", 1);
+    pb.define(writer, |f| {
+        let gp = f.addr_global(g);
+        f.store(gp, 1);
+        f.store(gp, 2);
+        f.ret_void();
+    });
+    pb.function("main", 0, |f| {
+        let tr = f.spawn(reader, 1);
+        let tw = f.spawn(writer, 2);
+        f.join(tr);
+        f.join(tw);
+        f.ret_void();
+    });
+    let p = pb.finish("main");
+    let primary = assert_loc.unwrap();
+
+    let mut analysis = StaticAnalysis::compute(&p, primary);
+    // Simulate a static phase that missed every candidate (the worst
+    // possible MHP/points-to imprecision).
+    analysis.race_candidates = Default::default();
+    let config = EngineConfig {
+        search: SearchConfig::dfs(),
+        race_preemptions: true,
+        race_candidate_pruning: true,
+        ..EngineConfig::default()
+    };
+    let mut engine =
+        Engine::new(Arc::new(p), Arc::new(analysis), GoalSpec::Crash { loc: primary }, config);
+    let outcome = engine.run();
+    assert!(
+        matches!(outcome, SearchOutcome::Found(_)),
+        "the concretely flagged race must fork its preemption even though the \
+         static candidate set is empty: {outcome:?}"
+    );
+}
+
 /// Snapshot/restore mid-search must be unobservable: an engine restored from
 /// a (serialized and re-parsed) snapshot continues to the identical outcome —
 /// same schedule, same inputs, same statistics — as the uninterrupted engine,
