@@ -24,11 +24,9 @@
 use crate::costs::INF;
 use crate::StaticAnalysis;
 use esd_ir::{BlockId, Callee, FuncId, Inst, Loc, Program};
-use std::cell::RefCell;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
-use std::rc::Rc;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 fn sat(a: u64, b: u64) -> u64 {
     let s = a.saturating_add(b);
@@ -60,7 +58,7 @@ pub struct GoalDistances {
 pub struct DistanceOracle {
     program: Arc<Program>,
     analysis: Arc<StaticAnalysis>,
-    cache: RefCell<HashMap<Loc, Rc<GoalDistances>>>,
+    cache: Mutex<HashMap<Loc, Arc<GoalDistances>>>,
 }
 
 impl DistanceOracle {
@@ -68,17 +66,19 @@ impl DistanceOracle {
     /// analysis (the oracle reads the CFGs, the call graph and the cost
     /// model; the per-goal pieces of the analysis are ignored).
     pub fn new(program: Arc<Program>, analysis: Arc<StaticAnalysis>) -> Self {
-        DistanceOracle { program, analysis, cache: RefCell::new(HashMap::new()) }
+        DistanceOracle { program, analysis, cache: Mutex::new(HashMap::new()) }
     }
 
     /// Returns (computing and caching on first use) the distance maps for
     /// `goal`.
-    pub fn goal_distances(&self, goal: Loc) -> Rc<GoalDistances> {
-        if let Some(gd) = self.cache.borrow().get(&goal) {
+    pub fn goal_distances(&self, goal: Loc) -> Arc<GoalDistances> {
+        if let Some(gd) = self.cache.lock().expect("oracle cache poisoned").get(&goal) {
             return gd.clone();
         }
-        let gd = Rc::new(self.compute_goal_distances(goal));
-        self.cache.borrow_mut().insert(goal, gd.clone());
+        // Compute outside the lock: distance maps are deterministic, so two
+        // racing computations of the same goal insert identical maps.
+        let gd = Arc::new(self.compute_goal_distances(goal));
+        self.cache.lock().expect("oracle cache poisoned").insert(goal, gd.clone());
         gd
     }
 
@@ -452,6 +452,6 @@ mod tests {
         let goal = Loc::new(main, BlockId(3), 0);
         let a = oracle.goal_distances(goal);
         let b = oracle.goal_distances(goal);
-        assert!(Rc::ptr_eq(&a, &b));
+        assert!(Arc::ptr_eq(&a, &b));
     }
 }

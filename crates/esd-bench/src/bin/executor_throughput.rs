@@ -14,11 +14,16 @@
 //!   `ESD_STATIC_PRUNING=0` switches the static feasibility pass off and
 //!   `ESD_RACE_CANDIDATES=0` switches the static race-candidate preemption
 //!   gating off.
+//! * `pool:<n>` / `ESD_POOL` select the executor worker-pool size of the
+//!   cross-job parallel leg; the report records the pool size and the
+//!   cross-job speedup over the serial baseline.
 //! * Exits non-zero when any job of the batch fails to synthesize — the CI
 //!   gate on the throughput trajectory — (exit 4) when static pruning is
 //!   on but the batch reports zero pruned branches or zero saved solver
-//!   queries, and (exit 5) when race-candidate pruning is on but the batch's
-//!   race-mode job reports zero pruned preemption forks.
+//!   queries, (exit 5) when race-candidate pruning is on but the batch's
+//!   race-mode job reports zero pruned preemption forks, and (exit 6) when
+//!   the cross-job parallel leg's execution files diverge from the serial
+//!   baseline.
 
 use esd_bench::{executor_throughput, full_mode, print_executor_throughput, threads_from_args};
 
@@ -100,5 +105,18 @@ fn main() {
             report.race_states_created
         );
         std::process::exit(5);
+    }
+    // The cross-job parallel leg (batch_width × pool_size) must synthesize
+    // byte-identical execution files to the serial baseline — the executor's
+    // determinism contract, gated per batch job.
+    if !report.parallel_divergence.is_empty() {
+        eprintln!(
+            "FAIL: parallel execution (width={}, pool={}) diverged from the serial \
+             baseline on: {}",
+            report.batch_width,
+            report.executor_pool_size,
+            report.parallel_divergence.join(", ")
+        );
+        std::process::exit(6);
     }
 }

@@ -123,6 +123,26 @@ pub fn race_candidates_from_env() -> bool {
     }
 }
 
+/// The executor worker-pool size the multi-job benchmarks should use for
+/// their cross-job parallel leg: a `pool:<n>` positional CLI argument wins
+/// (`executor_throughput pool:8`), then the `ESD_POOL` environment variable,
+/// then 2. `0` (or `auto`) means "all available parallelism". Like engine
+/// threads, the pool size never changes what is synthesized — only how fast
+/// the batch drains (see `esd_core::JobExecutor::pool_size`); the
+/// `executor_throughput` binary exits non-zero if it ever does.
+pub fn pool_from_args() -> usize {
+    let parse = |s: &str| -> usize {
+        if s.eq_ignore_ascii_case("auto") {
+            return 0;
+        }
+        s.parse().unwrap_or_else(|_| {
+            panic!("pool size {s:?} must be a non-negative integer or \"auto\"")
+        })
+    };
+    let from_cli = std::env::args().skip(1).find_map(|a| a.strip_prefix("pool:").map(parse));
+    from_cli.or_else(|| std::env::var("ESD_POOL").ok().map(|s| parse(&s))).unwrap_or(2)
+}
+
 pub(crate) fn secs(d: Duration) -> f64 {
     d.as_secs_f64()
 }
@@ -549,6 +569,22 @@ pub struct ExecutorBenchReport {
     pub total_wall_secs: f64,
     /// Batch throughput: synthesized jobs per second of batch wall time.
     pub throughput_jobs_per_sec: f64,
+    /// Worker threads of the executor's slice pool in the cross-job
+    /// parallel re-run (`pool:<n>` / `ESD_POOL`; the serial baseline always
+    /// runs at pool 1, width 1).
+    pub executor_pool_size: usize,
+    /// Slice-batch width of the cross-job parallel re-run.
+    pub batch_width: usize,
+    /// Wall-clock time to drain the identical batch with cross-job parallel
+    /// slice execution (`batch_width` × `executor_pool_size`), in seconds.
+    pub parallel_total_wall_secs: f64,
+    /// Cross-job speedup: serial batch wall time over parallel batch wall
+    /// time (> 1 means the pool paid off).
+    pub cross_job_speedup: f64,
+    /// Labels of jobs whose parallel-run execution file (or verdict)
+    /// diverged from the serial baseline — must be empty; the
+    /// `executor_throughput` binary exits 6 otherwise.
+    pub parallel_divergence: Vec<String>,
     /// Checkpoint cadence (in slices) of the durable re-run.
     pub checkpoint_every: u64,
     /// Wall-clock time to drain the identical batch under a *durable*
@@ -634,6 +670,27 @@ pub fn executor_throughput(
     executor.run_until_idle();
     let total_wall = started.elapsed();
 
+    // The identical batch again with cross-job parallel slice execution:
+    // full-width batches dispatched to a worker pool. The determinism
+    // contract says this may only change the wall time, never the
+    // execution files — the divergence list (and the binary's exit 6)
+    // holds it to that.
+    let executor_pool_size = pool_from_args().max(1);
+    let batch_width = batch.len();
+    let mut parallel = JobExecutor::round_robin()
+        .slice_rounds(slice_rounds)
+        .batch_width(batch_width)
+        .pool_size(executor_pool_size);
+    let parallel_started = Instant::now();
+    let parallel_handles: Vec<_> = batch
+        .iter()
+        .map(|(w, race)| {
+            parallel.submit(JobSpec::new(&w.name, &w.program, w.goal()).options(job_options(*race)))
+        })
+        .collect();
+    parallel.run_until_idle();
+    let parallel_wall = parallel_started.elapsed();
+
     // The identical batch again under a durable executor — measures the
     // checkpoint/journal tax a service pays for crash recoverability.
     let checkpoint_every = 8;
@@ -654,8 +711,18 @@ pub fn executor_throughput(
     let _ = std::fs::remove_dir_all(&durable_dir);
 
     let mut jobs = Vec::with_capacity(batch.len());
-    for ((w, race), handle) in batch.iter().zip(handles) {
+    let mut parallel_divergence = Vec::new();
+    for (((w, race), handle), parallel_handle) in batch.iter().zip(handles).zip(parallel_handles) {
         let outcome = executor.take(handle).expect("an idle executor finished every job");
+        // The parallel leg's result must be indistinguishable: same verdict,
+        // byte-identical execution file.
+        let parallel_outcome =
+            parallel.take(parallel_handle).expect("an idle executor finished every job");
+        let serial_exec = outcome.report().map(|r| r.execution.to_json());
+        let parallel_exec = parallel_outcome.report().map(|r| r.execution.to_json());
+        if outcome.verdict != parallel_outcome.verdict || serial_exec != parallel_exec {
+            parallel_divergence.push(outcome.label.clone());
+        }
         let synthesized = outcome.verdict == JobVerdict::Found;
         let members = &outcome.result.members;
         let (replays, steps, pruned, saved, states, preempt_pruned) = match outcome.report() {
@@ -712,6 +779,15 @@ pub fn executor_throughput(
         } else {
             jobs_synthesized as f64 / secs(total_wall)
         },
+        executor_pool_size,
+        batch_width,
+        parallel_total_wall_secs: secs(parallel_wall),
+        cross_job_speedup: if parallel_wall.is_zero() {
+            0.0
+        } else {
+            secs(total_wall) / secs(parallel_wall)
+        },
+        parallel_divergence,
         checkpoint_every,
         durable_total_wall_secs: secs(durable_wall),
         checkpoint_overhead_pct: if total_wall.is_zero() {
@@ -775,6 +851,18 @@ pub fn print_executor_throughput(report: &ExecutorBenchReport) {
         if report.race_candidate_pruning { "on" } else { "off" },
         report.preemptions_pruned_static,
         report.race_states_created,
+    );
+    println!(
+        "cross-job parallel (width={}, pool={}): {:.3}s — {:.2}x vs serial, {}",
+        report.batch_width,
+        report.executor_pool_size,
+        report.parallel_total_wall_secs,
+        report.cross_job_speedup,
+        if report.parallel_divergence.is_empty() {
+            "byte-identical executions".to_string()
+        } else {
+            format!("DIVERGED: {}", report.parallel_divergence.join(", "))
+        },
     );
     println!(
         "durable re-run (checkpoint every {} slices): {:.3}s — {:+.1}% checkpoint overhead",

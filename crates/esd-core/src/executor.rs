@@ -72,6 +72,13 @@ impl JobHandle {
     pub fn id(&self) -> u64 {
         self.0
     }
+
+    /// Rebuilds a handle from its numeric id — for layers (like the
+    /// service front door) that carry ids across a process boundary. The
+    /// id is only meaningful against the executor that assigned it.
+    pub fn from_id(id: u64) -> Self {
+        JobHandle(id)
+    }
 }
 
 /// One job submitted to a [`JobExecutor`]: a program, a goal, and one or
@@ -150,15 +157,91 @@ impl JobSpec {
 }
 
 /// Where a job currently is in its lifecycle.
+///
+/// This is the executor's *internal* lifecycle value (still carried by
+/// [`JobStat`] and snapshots); the public query surface is the richer
+/// [`JobStatus`] returned by [`JobExecutor::status`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub enum JobPhase {
     /// Submitted, waiting for admission (no sessions exist yet).
     Queued,
     /// Admitted: the job holds live sessions and receives slices.
     Running,
-    /// Terminal: an outcome is available via [`JobExecutor::outcome`] /
-    /// [`JobExecutor::take`].
+    /// Terminal: an outcome is available via [`JobExecutor::take`].
     Finished,
+}
+
+/// Aggregate progress of one running job, summed over its members — the
+/// payload of [`JobStatus::Running`] and the event the service layer streams
+/// to [`subscribe`]rs as wire messages.
+///
+/// [`subscribe`]: JobStatus
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct JobProgress {
+    /// Executor slices dispatched to the job so far.
+    pub slices: u64,
+    /// Search rounds advanced so far, summed over the job's members.
+    pub rounds: u64,
+    /// Instructions executed, summed over the job's members.
+    pub steps: u64,
+    /// Live execution states, summed over the job's members.
+    pub live_states: u64,
+    /// The best (lowest) final-goal proximity any member has seen, if a
+    /// priority-driven frontier computed one.
+    pub best_proximity: Option<u64>,
+}
+
+/// The one job-status surface: where a job is and, once terminal, how it
+/// ended. Returned by [`JobExecutor::status`], by the `Service` front door,
+/// and sent verbatim over the wire protocol — the same enum at every layer.
+///
+/// This collapses the old `poll()`/`outcome()` split ([`JobPhase`] +
+/// [`JobVerdict`] + `Option<&JobOutcome>`) into a single type; the full
+/// [`JobOutcome`] (with the synthesized execution) is still *extracted* with
+/// [`JobExecutor::take`].
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum JobStatus {
+    /// Submitted, waiting for admission.
+    Queued,
+    /// Admitted and receiving slices; carries the job's aggregate progress.
+    Running {
+        /// Aggregate progress summed over the job's members.
+        progress: JobProgress,
+    },
+    /// Terminal: the job ran to a verdict ([`JobVerdict::Found`] or
+    /// [`JobVerdict::Unsatisfied`]); the outcome is (or was) available via
+    /// [`JobExecutor::take`].
+    Finished {
+        /// How the job ended.
+        verdict: JobVerdict,
+    },
+    /// Terminal: the job was cancelled before reaching a verdict.
+    Cancelled,
+}
+
+impl JobStatus {
+    /// True once the job can no longer advance (finished or cancelled).
+    pub fn is_terminal(&self) -> bool {
+        matches!(self, JobStatus::Finished { .. } | JobStatus::Cancelled)
+    }
+
+    /// The terminal verdict, if any ([`JobStatus::Cancelled`] reports
+    /// [`JobVerdict::Cancelled`]).
+    pub fn verdict(&self) -> Option<JobVerdict> {
+        match self {
+            JobStatus::Queued | JobStatus::Running { .. } => None,
+            JobStatus::Finished { verdict } => Some(*verdict),
+            JobStatus::Cancelled => Some(JobVerdict::Cancelled),
+        }
+    }
+
+    /// The running progress, if the job is currently running.
+    pub fn progress(&self) -> Option<&JobProgress> {
+        match self {
+            JobStatus::Running { progress } => Some(progress),
+            _ => None,
+        }
+    }
 }
 
 /// How a job ended.
@@ -223,8 +306,10 @@ pub struct JobView {
 /// `jobs` is non-empty and listed in submit order; the returned index must
 /// be within it. Policies are deterministic functions of the views and
 /// their own state — the executor never consults wall-clock time to
-/// schedule, so a test can rely on the dispatch order.
-pub trait FairnessPolicy {
+/// schedule, so a test can rely on the dispatch order. Policies are `Send`
+/// so a whole executor (and the daemon wrapping one) can move to a server
+/// thread.
+pub trait FairnessPolicy: Send {
     /// Returns `(index into jobs, slice length in rounds)` for the next
     /// dispatch; `base_rounds` is the executor's configured slice length.
     fn next_slice(&mut self, jobs: &[JobView], base_rounds: u64) -> (usize, u64);
@@ -415,10 +500,12 @@ struct JobSlot {
     slices: u64,
     phase: JobPhase,
     outcome: Option<JobOutcome>,
-    /// Terminal totals, frozen at finalize so [`JobExecutor::stats`] stays
-    /// exact after the outcome has been [`take`](JobExecutor::take)n.
+    /// Terminal totals, frozen at finalize so [`JobExecutor::stats`] and
+    /// [`JobExecutor::status`] stay exact after the outcome has been
+    /// [`take`](JobExecutor::take)n.
     finished_rounds: u64,
     finished_wall: Duration,
+    finished_verdict: Option<JobVerdict>,
 }
 
 impl JobSlot {
@@ -434,6 +521,27 @@ impl JobSlot {
             JobPhase::Finished => self.finished_wall,
             _ => self.admitted_at.map(|t| t.elapsed()).unwrap_or_default(),
         }
+    }
+
+    /// Aggregate progress over the job's members (running jobs only).
+    fn progress(&self) -> JobProgress {
+        let mut progress = JobProgress {
+            slices: self.slices,
+            rounds: self.rounds(),
+            steps: 0,
+            live_states: 0,
+            best_proximity: None,
+        };
+        for member in &self.members {
+            let event = member.session.progress_event();
+            progress.steps += event.steps;
+            progress.live_states += event.live_states as u64;
+            progress.best_proximity = match (progress.best_proximity, event.best_proximity) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            };
+        }
+        progress
     }
 }
 
@@ -477,6 +585,8 @@ pub struct JobSnapshot {
     pub finished_rounds: u64,
     /// Terminal wall-clock total frozen at finalize.
     pub finished_wall: Duration,
+    /// The terminal verdict frozen at finalize (survives `take`).
+    pub finished_verdict: Option<JobVerdict>,
 }
 
 /// The complete durable state of a [`JobExecutor`], written at every
@@ -497,6 +607,15 @@ pub struct ExecutorSnapshot {
     pub max_running: usize,
     /// The checkpoint cadence in dispatched slices.
     pub checkpoint_every: u64,
+    /// How many distinct jobs one planned batch may grant slices to
+    /// ([`JobExecutor::batch_width`]) — semantic scheduling state, so replay
+    /// plans the identical batches.
+    pub batch_width: usize,
+    /// The executor's worker-pool size ([`JobExecutor::pool_size`]).
+    /// Execution resource only — it never affects what is scheduled or
+    /// synthesized — but restored so a recovered executor keeps its
+    /// parallelism.
+    pub pool_size: usize,
     /// The journal epoch this snapshot pairs with: recovery replays
     /// `journal-<epoch>.log` and ignores journals of other epochs.
     pub epoch: u64,
@@ -534,12 +653,77 @@ pub struct JobExecutor {
     base_slice: u64,
     max_running: usize,
     checkpoint_every: u64,
+    /// How many distinct jobs one planned batch may grant slices to.
+    /// Semantic: widening the batch changes the scheduling stream (grants
+    /// are planned against views frozen at batch start), so it is part of
+    /// snapshots and replay.
+    batch_width: usize,
+    /// Worker threads executing a planned batch's slices. Pure execution
+    /// resource: any pool size runs the identical planned grants and merges
+    /// them in grant order, so results are byte-identical at any value.
+    pool_size: usize,
     slots: Vec<JobSlot>,
     slices_dispatched: u64,
     rounds_dispatched: u64,
     cancelled: u64,
     durable: Option<Durability>,
 }
+
+/// One planned batch entry being executed: the granted job's detached
+/// member set plus the slice to run. Detaching (`std::mem::take`) gives the
+/// worker pool exclusive ownership of each granted job's sessions without
+/// aliasing the executor.
+struct SliceTask {
+    idx: usize,
+    rounds: u64,
+    members: Vec<MemberSlot>,
+    next_member: usize,
+    run: Option<SliceRun>,
+}
+
+impl SliceTask {
+    /// Runs the granted slice on this task's detached members (on whichever
+    /// worker thread the pool put it).
+    fn execute(&mut self) {
+        self.run = run_member_slice(&mut self.members, self.next_member, self.rounds);
+    }
+}
+
+/// What one executed slice did: which member advanced, by how many rounds,
+/// and whether it won the job.
+struct SliceRun {
+    offset: usize,
+    advanced: u64,
+    won: bool,
+}
+
+/// Advances the job's next runnable member by `rounds`; `None` when every
+/// member is already terminal. Runs on worker threads — it touches nothing
+/// but the job's own members, which is why cross-job parallelism cannot
+/// perturb results.
+fn run_member_slice(
+    members: &mut [MemberSlot],
+    next_member: usize,
+    rounds: u64,
+) -> Option<SliceRun> {
+    let n = members.len();
+    let offset =
+        (0..n).map(|o| (next_member + o) % n).find(|&m| members[m].session.poll().is_running())?;
+    let member = &mut members[offset];
+    let before = member.session.rounds();
+    let won = member.session.run_for(rounds).found().is_some();
+    Some(SliceRun { offset, advanced: member.session.rounds() - before, won })
+}
+
+// The worker pool moves whole sessions across threads; keep the contract
+// explicit so a non-Send regression fails here, not in a distant scope.
+const _: () = {
+    fn assert_send<T: Send>() {}
+    #[allow(dead_code)]
+    fn check() {
+        assert_send::<MemberSlot>();
+    }
+};
 
 impl JobExecutor {
     /// An executor scheduling with the given policy.
@@ -549,6 +733,8 @@ impl JobExecutor {
             base_slice: DEFAULT_SLICE_ROUNDS,
             max_running: usize::MAX,
             checkpoint_every: DEFAULT_CHECKPOINT_EVERY,
+            batch_width: 1,
+            pool_size: 1,
             slots: Vec::new(),
             slices_dispatched: 0,
             rounds_dispatched: 0,
@@ -588,6 +774,36 @@ impl JobExecutor {
     /// earlier running jobs. Size the cap for the urgency mix you expect.
     pub fn max_running(mut self, n: usize) -> Self {
         self.max_running = n.max(1);
+        self
+    }
+
+    /// How many *distinct* jobs one planned batch grants slices to (default
+    /// 1 — the classic one-grant-per-slice loop; clamped to ≥ 1). The batch
+    /// is planned upfront against the runnable set frozen at batch start
+    /// (the policy is consulted once per grant, already-granted jobs
+    /// removed), so the scheduling stream is a function of the width alone —
+    /// never of the pool size executing it. Width is semantic scheduling
+    /// state: it is journaled and snapshotted so recovery replans the
+    /// identical batches.
+    pub fn batch_width(mut self, n: usize) -> Self {
+        self.batch_width = n.max(1);
+        self
+    }
+
+    /// Worker threads executing a planned batch across jobs (default 1 —
+    /// all slices run inline; `0` resolves to the machine's available
+    /// parallelism). Purely an execution resource: every pool size runs the
+    /// identical planned grants and merges results in grant order, so a
+    /// job's synthesized execution file — and every executor statistic — is
+    /// byte-identical at any pool size (pinned by `tests/executor.rs` and
+    /// the CI `ESD_POOL` matrix). Cross-job parallelism composes with the
+    /// engine's own per-job worker pool ([`EsdOptions::threads`]).
+    pub fn pool_size(mut self, n: usize) -> Self {
+        self.pool_size = if n == 0 {
+            std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+        } else {
+            n
+        };
         self
     }
 
@@ -686,6 +902,7 @@ impl JobExecutor {
             outcome: None,
             finished_rounds: 0,
             finished_wall: Duration::ZERO,
+            finished_verdict: None,
         });
         handle
     }
@@ -715,15 +932,45 @@ impl JobExecutor {
             .collect()
     }
 
+    /// The job's current [`JobStatus`] — the one status query, shared
+    /// verbatim by the executor, the `Service` front door and the wire
+    /// protocol. Running jobs carry their aggregate [`JobProgress`];
+    /// terminal jobs report their verdict even after the outcome has been
+    /// [`take`](JobExecutor::take)n.
+    ///
+    /// # Panics
+    /// On a handle from a different executor.
+    pub fn status(&self, handle: JobHandle) -> JobStatus {
+        let slot = &self.slots[handle.0 as usize];
+        match slot.phase {
+            JobPhase::Queued => JobStatus::Queued,
+            JobPhase::Running => JobStatus::Running { progress: slot.progress() },
+            JobPhase::Finished => {
+                match slot.finished_verdict.expect("finished jobs freeze their verdict") {
+                    JobVerdict::Cancelled => JobStatus::Cancelled,
+                    verdict => JobStatus::Finished { verdict },
+                }
+            }
+        }
+    }
+
     /// The job's current lifecycle phase.
     ///
     /// # Panics
     /// On a handle from a different executor.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use JobExecutor::status — one JobStatus across executor, Service and wire"
+    )]
     pub fn poll(&self, handle: JobHandle) -> JobPhase {
         self.slots[handle.0 as usize].phase
     }
 
     /// The job's terminal outcome, once finished.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use JobExecutor::status for the verdict, JobExecutor::take for the outcome"
+    )]
     pub fn outcome(&self, handle: JobHandle) -> Option<&JobOutcome> {
         self.slots[handle.0 as usize].outcome.as_ref()
     }
@@ -758,28 +1005,38 @@ impl JobExecutor {
         self.slots.iter().any(|s| s.phase != JobPhase::Finished)
     }
 
-    /// Dispatches one slice: admits queued jobs up to the admission cap,
-    /// asks the policy for the next `(job, slice)`, advances that job's
-    /// next runnable member by the slice, and finalizes the job if it
-    /// reached a terminal state. Returns `false` when no job is runnable
-    /// (the executor is idle).
+    /// Dispatches one slice *batch*: admits queued jobs up to the admission
+    /// cap, plans up to [`batch_width`](Self::batch_width) grants to
+    /// distinct runnable jobs, executes them (inline, or across the
+    /// [`pool_size`](Self::pool_size) worker pool), and merges the results
+    /// in grant order — finalizing any job that reached a terminal state.
+    /// Returns `false` when no job is runnable (the executor is idle).
+    ///
+    /// At the default width of 1 this is exactly the classic
+    /// one-grant-per-slice loop.
     pub fn run_slice(&mut self) -> bool {
         self.admit();
         let views = self.runnable_views();
         if views.is_empty() {
             return false;
         }
-        let (choice, rounds) = self.policy.next_slice(&views, self.base_slice);
-        let idx = views[choice.min(views.len() - 1)].handle.0 as usize;
-        let rounds = rounds.max(1);
+        let grants = self.plan_batch(&views);
         if self.durable.is_some() {
-            // Write-ahead: the grant is durable before the slice runs, so a
-            // crash mid-slice replays it instead of losing it.
-            self.journal_append(&JournalRecord::SliceGrant { handle: idx as u64, rounds });
+            // Write-ahead: the whole batch is durable before any slice
+            // runs, so a crash mid-batch replays it instead of losing it.
+            let record = match grants.as_slice() {
+                // Width-1 executors keep the classic per-grant record.
+                [(handle, rounds)] if self.batch_width == 1 => {
+                    JournalRecord::SliceGrant { handle: *handle, rounds: *rounds }
+                }
+                _ => JournalRecord::BatchGrant { grants: grants.clone() },
+            };
+            self.journal_append(&record);
         }
-        self.advance(idx, rounds);
+        let dispatched = grants.len() as u64;
+        self.execute_batch(&grants);
         if let Some(durable) = &mut self.durable {
-            durable.slices_since_checkpoint += 1;
+            durable.slices_since_checkpoint += dispatched;
         }
         let checkpoint_due = self
             .durable
@@ -789,6 +1046,113 @@ impl JobExecutor {
             self.checkpoint().expect("durable executor failed to write its checkpoint");
         }
         true
+    }
+
+    /// Plans one batch of grants against the runnable views frozen at batch
+    /// start: the policy is consulted once per grant with already-granted
+    /// jobs removed, so every grant goes to a distinct job and the plan is a
+    /// deterministic function of (views, policy state, width) — the pool
+    /// size executing it never feeds back into planning.
+    fn plan_batch(&mut self, views: &[JobView]) -> Vec<(u64, u64)> {
+        let mut remaining = views.to_vec();
+        let width = self.batch_width.min(remaining.len()).max(1);
+        let mut grants = Vec::with_capacity(width);
+        for _ in 0..width {
+            if remaining.is_empty() {
+                break;
+            }
+            let (choice, rounds) = self.policy.next_slice(&remaining, self.base_slice);
+            let view = remaining.remove(choice.min(remaining.len() - 1));
+            grants.push((view.handle.0, rounds.max(1)));
+        }
+        grants
+    }
+
+    /// Executes a planned batch: detaches each granted job's member set,
+    /// runs the slices (inline for a pool of 1, chunked over scoped worker
+    /// threads otherwise — the calling thread is a worker too), then merges
+    /// results strictly in grant order. Jobs share nothing, so execution
+    /// order cannot change any result; merge order makes the bookkeeping —
+    /// statistics, observer callbacks, finalization — deterministic as well.
+    fn execute_batch(&mut self, grants: &[(u64, u64)]) {
+        let mut work: Vec<SliceTask> = grants
+            .iter()
+            .map(|&(handle, rounds)| {
+                let slot = &mut self.slots[handle as usize];
+                SliceTask {
+                    idx: handle as usize,
+                    rounds,
+                    members: std::mem::take(&mut slot.members),
+                    next_member: slot.next_member,
+                    run: None,
+                }
+            })
+            .collect();
+        let workers = self.pool_size.min(work.len());
+        if workers <= 1 {
+            for task in &mut work {
+                task.execute();
+            }
+        } else {
+            let chunk_size = work.len().div_ceil(workers);
+            let mut chunks = work.chunks_mut(chunk_size);
+            let first = chunks.next().expect("planned batches are non-empty");
+            std::thread::scope(|scope| {
+                for chunk in chunks {
+                    scope.spawn(move || {
+                        for task in chunk {
+                            task.execute();
+                        }
+                    });
+                }
+                for task in first {
+                    task.execute();
+                }
+            });
+        }
+        for task in work {
+            let slot = &mut self.slots[task.idx];
+            slot.members = task.members;
+            self.merge_slice(task.idx, task.run);
+        }
+    }
+
+    /// Merges one executed slice back into the executor (grant order):
+    /// updates the dispatch counters, finalizes the job if the slice won or
+    /// exhausted every member, and fires the job observer otherwise.
+    fn merge_slice(&mut self, idx: usize, run: Option<SliceRun>) {
+        let Some(SliceRun { offset, advanced, won }) = run else {
+            // Every member already terminal (can only happen via external
+            // session manipulation); close the job out.
+            self.finalize(idx, JobVerdict::Unsatisfied);
+            return;
+        };
+        let slot = &mut self.slots[idx];
+        slot.slices += 1;
+        slot.next_member = (offset + 1) % slot.members.len();
+        self.slices_dispatched += 1;
+        self.rounds_dispatched += advanced;
+
+        if won {
+            // The satellite fix the regression tests pin: the moment a
+            // member reports Found, the job is finalized and every other
+            // member is cancelled — members later in the same scheduling
+            // round never receive another slice, so per-member `rounds`
+            // statistics stay exactly what each member actually ran.
+            self.finalize(idx, JobVerdict::Found);
+            return;
+        }
+        let slot = &mut self.slots[idx];
+        if slot.members.iter().all(|m| !m.session.poll().is_running()) {
+            self.finalize(idx, JobVerdict::Unsatisfied);
+            return;
+        }
+        // Per-job observer fan-out: a progress snapshot of the member that
+        // just advanced, once per dispatched slice.
+        let slot = &mut self.slots[idx];
+        if let Some(observer) = &mut slot.observer {
+            observer.on_progress(&slot.members[offset].session.progress_event());
+        }
     }
 
     /// The scheduling views of every running job, in submit order.
@@ -883,48 +1247,13 @@ impl JobExecutor {
         }
     }
 
-    /// Advances the job's next runnable member by `rounds`.
+    /// Advances the job's next runnable member by `rounds` (inline, no
+    /// pool): exactly one planned-and-merged slice. Used by the width-1
+    /// [`SliceGrant`](JournalRecord::SliceGrant) replay path.
     fn advance(&mut self, idx: usize, rounds: u64) {
         let slot = &mut self.slots[idx];
-        let n = slot.members.len();
-        let Some(offset) = (0..n)
-            .map(|o| (slot.next_member + o) % n)
-            .find(|&m| slot.members[m].session.poll().is_running())
-        else {
-            // Every member already terminal (can only happen via external
-            // session manipulation); close the job out.
-            self.finalize(idx, JobVerdict::Unsatisfied);
-            return;
-        };
-        let member = &mut slot.members[offset];
-        let before = member.session.rounds();
-        let won = member.session.run_for(rounds).found().is_some();
-        let advanced = member.session.rounds() - before;
-        slot.slices += 1;
-        slot.next_member = (offset + 1) % n;
-        self.slices_dispatched += 1;
-        self.rounds_dispatched += advanced;
-
-        if won {
-            // The satellite fix the regression tests pin: the moment a
-            // member reports Found, the job is finalized and every other
-            // member is cancelled — members later in the same scheduling
-            // round never receive another slice, so per-member `rounds`
-            // statistics stay exactly what each member actually ran.
-            self.finalize(idx, JobVerdict::Found);
-            return;
-        }
-        let slot = &mut self.slots[idx];
-        if slot.members.iter().all(|m| !m.session.poll().is_running()) {
-            self.finalize(idx, JobVerdict::Unsatisfied);
-            return;
-        }
-        // Per-job observer fan-out: a progress snapshot of the member that
-        // just advanced, once per dispatched slice.
-        let slot = &mut self.slots[idx];
-        if let Some(observer) = &mut slot.observer {
-            observer.on_progress(&slot.members[offset].session.progress_event());
-        }
+        let run = run_member_slice(&mut slot.members, slot.next_member, rounds);
+        self.merge_slice(idx, run);
     }
 
     /// Moves a job to [`JobPhase::Finished`]: cancels still-running member
@@ -989,6 +1318,7 @@ impl JobExecutor {
         };
         slot.finished_rounds = rounds_total;
         slot.finished_wall = wall;
+        slot.finished_verdict = Some(verdict);
         slot.phase = JobPhase::Finished;
         if let Some(observer) = &mut slot.observer {
             let status = finish_status
@@ -1072,6 +1402,7 @@ impl JobExecutor {
                 outcome: slot.outcome.clone(),
                 finished_rounds: slot.finished_rounds,
                 finished_wall: slot.finished_wall,
+                finished_verdict: slot.finished_verdict,
             })
             .collect();
         ExecutorSnapshot {
@@ -1080,6 +1411,8 @@ impl JobExecutor {
             base_slice: self.base_slice,
             max_running: self.max_running,
             checkpoint_every: self.checkpoint_every,
+            batch_width: self.batch_width,
+            pool_size: self.pool_size,
             epoch,
             slices_dispatched: self.slices_dispatched,
             rounds_dispatched: self.rounds_dispatched,
@@ -1141,6 +1474,7 @@ fn restore_snapshot(snapshot: &ExecutorSnapshot) -> Result<JobExecutor, Recovery
             outcome: job.outcome.clone(),
             finished_rounds: job.finished_rounds,
             finished_wall: job.finished_wall,
+            finished_verdict: job.finished_verdict,
         })
         .collect();
     Ok(JobExecutor {
@@ -1148,6 +1482,8 @@ fn restore_snapshot(snapshot: &ExecutorSnapshot) -> Result<JobExecutor, Recovery
         base_slice: snapshot.base_slice,
         max_running: snapshot.max_running,
         checkpoint_every: snapshot.checkpoint_every,
+        batch_width: snapshot.batch_width,
+        pool_size: snapshot.pool_size.max(1),
         slots,
         slices_dispatched: snapshot.slices_dispatched,
         rounds_dispatched: snapshot.rounds_dispatched,
@@ -1207,6 +1543,26 @@ pub(crate) fn replay_records(
                 }
                 exec.advance(chosen.0 as usize, granted);
             }
+            JournalRecord::BatchGrant { grants } => {
+                exec.admit();
+                let views = exec.runnable_views();
+                if views.is_empty() {
+                    return Err(RecoveryError::Divergence(format!(
+                        "journaled batch of {} grants but no job is runnable",
+                        grants.len()
+                    )));
+                }
+                // Re-plan with the restored policy + batch width and demand
+                // the exact journaled grant vector: planning is deterministic,
+                // so any mismatch means the snapshot/journal pair diverged.
+                let replanned = exec.plan_batch(&views);
+                if &replanned != grants {
+                    return Err(RecoveryError::Divergence(format!(
+                        "journaled batch grants {grants:?}, replayed policy plans {replanned:?}"
+                    )));
+                }
+                exec.execute_batch(&replanned);
+            }
             JournalRecord::Cancel { handle } => {
                 if exec.slots.get(*handle as usize).is_none() {
                     return Err(RecoveryError::Divergence(format!(
@@ -1242,8 +1598,7 @@ mod tests {
     use super::*;
     use crate::session::ProgressEvent;
     use esd_ir::{CmpOp, Loc, ProgramBuilder};
-    use std::cell::RefCell;
-    use std::rc::Rc;
+    use std::sync::{Arc, Mutex};
 
     fn crashy(name: &str, trigger: i64) -> (esd_ir::Program, Loc) {
         let mut pb = ProgramBuilder::new(name);
@@ -1317,10 +1672,10 @@ mod tests {
         let (p, loc) = crashy("exec_lifecycle", 9);
         let mut exec = JobExecutor::round_robin();
         let h = exec.submit(JobSpec::new("job", &p, GoalSpec::Crash { loc }));
-        assert_eq!(exec.poll(h), JobPhase::Queued);
+        assert_eq!(exec.status(h), JobStatus::Queued);
         assert!(exec.has_work());
         exec.run_until_idle();
-        assert_eq!(exec.poll(h), JobPhase::Finished);
+        assert_eq!(exec.status(h), JobStatus::Finished { verdict: JobVerdict::Found });
         assert!(!exec.has_work());
         let outcome = exec.take(h).expect("finished jobs expose an outcome");
         assert_eq!(outcome.verdict, JobVerdict::Found);
@@ -1338,14 +1693,19 @@ mod tests {
         let a = exec.submit(JobSpec::new("a", &p, GoalSpec::Crash { loc }));
         let b = exec.submit(JobSpec::new("b", &p, GoalSpec::Crash { loc }));
         assert!(exec.run_slice());
-        assert_eq!(exec.poll(a), JobPhase::Running);
-        assert_eq!(exec.poll(b), JobPhase::Queued, "the cap keeps b queued");
+        let running = exec.status(a);
+        assert!(matches!(running, JobStatus::Running { .. }));
+        assert_eq!(running.progress().unwrap().slices, 1, "one slice went to a");
+        assert_eq!(exec.status(b), JobStatus::Queued, "the cap keeps b queued");
         let stats = exec.stats();
         assert_eq!((stats.queued, stats.running), (1, 1));
         exec.run_until_idle();
-        assert_eq!(exec.poll(a), JobPhase::Finished);
-        assert_eq!(exec.poll(b), JobPhase::Finished, "b is admitted once a finishes");
-        assert_eq!(exec.outcome(b).unwrap().verdict, JobVerdict::Found);
+        assert_eq!(exec.status(a).verdict(), Some(JobVerdict::Found));
+        assert_eq!(
+            exec.status(b).verdict(),
+            Some(JobVerdict::Found),
+            "b is admitted once a finishes"
+        );
     }
 
     #[test]
@@ -1356,14 +1716,16 @@ mod tests {
         let b = exec.submit(JobSpec::new("b", &p, GoalSpec::Crash { loc }));
         // Cancel b while it is still queued: no sessions ever exist for it.
         assert!(exec.cancel(b));
-        let outcome = exec.outcome(b).unwrap();
+        assert_eq!(exec.status(b), JobStatus::Cancelled);
+        let outcome = exec.take(b).unwrap();
         assert_eq!(outcome.verdict, JobVerdict::Cancelled);
         assert!(outcome.result.members.is_empty());
         assert_eq!(outcome.wall, Duration::ZERO);
+        assert_eq!(exec.status(b), JobStatus::Cancelled, "status survives take()");
         // Cancel a mid-run: partial member stats survive.
         assert!(exec.run_slice());
         assert!(exec.cancel(a));
-        let outcome = exec.outcome(a).unwrap();
+        let outcome = exec.take(a).unwrap();
         assert_eq!(outcome.verdict, JobVerdict::Cancelled);
         assert_eq!(outcome.result.members.len(), 1);
         assert_eq!(outcome.result.members[0].outcome, MemberOutcome::Preempted);
@@ -1372,22 +1734,23 @@ mod tests {
         assert!(!exec.run_slice(), "nothing left to run");
     }
 
-    /// An observer shared with the test through `Rc<RefCell<_>>`.
+    /// An observer shared with the test through `Arc<Mutex<_>>` (observers
+    /// are `Send`, so plain `Rc` no longer satisfies the trait bound).
     #[derive(Default)]
     struct Recording {
         progress: Vec<ProgressEvent>,
         finished: Vec<&'static str>,
     }
 
-    struct RecordingObserver(Rc<RefCell<Recording>>);
+    struct RecordingObserver(Arc<Mutex<Recording>>);
 
     impl Observer for RecordingObserver {
         fn on_progress(&mut self, event: &ProgressEvent) {
-            self.0.borrow_mut().progress.push(event.clone());
+            self.0.lock().unwrap().progress.push(event.clone());
         }
 
         fn on_finish(&mut self, status: &SessionStatus) {
-            self.0.borrow_mut().finished.push(match status {
+            self.0.lock().unwrap().finished.push(match status {
                 SessionStatus::Found(_) => "found",
                 _ => "other",
             });
@@ -1397,15 +1760,15 @@ mod tests {
     #[test]
     fn job_observer_receives_slice_progress_and_one_finish() {
         let (p, loc) = crashy("exec_observer", 2);
-        let recording = Rc::new(RefCell::new(Recording::default()));
+        let recording = Arc::new(Mutex::new(Recording::default()));
         let mut exec = JobExecutor::round_robin().slice_rounds(2);
         let h = exec.submit(
             JobSpec::new("watched", &p, GoalSpec::Crash { loc })
                 .observer(Box::new(RecordingObserver(recording.clone()))),
         );
         exec.run_until_idle();
-        assert_eq!(exec.outcome(h).unwrap().verdict, JobVerdict::Found);
-        let recording = recording.borrow();
+        assert_eq!(exec.status(h).verdict(), Some(JobVerdict::Found));
+        let recording = recording.lock().unwrap();
         assert_eq!(recording.finished, vec!["found"], "exactly one terminal callback");
         assert!(
             !recording.progress.is_empty(),
@@ -1448,5 +1811,106 @@ mod tests {
         );
         let wall_after: Vec<Duration> = stats.jobs.iter().map(|j| j.wall).collect();
         assert_eq!(wall_before, wall_after, "finished wall times must not drift");
+    }
+
+    /// The deprecated `poll`/`outcome` shims keep answering exactly as the
+    /// unified [`JobStatus`] surface does, for one release.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_poll_and_outcome_shims_agree_with_status() {
+        let (p, loc) = crashy("exec_shims", 6);
+        let mut exec = JobExecutor::round_robin();
+        let h = exec.submit(JobSpec::new("job", &p, GoalSpec::Crash { loc }));
+        assert_eq!(exec.poll(h), JobPhase::Queued);
+        assert_eq!(exec.status(h), JobStatus::Queued);
+        exec.run_until_idle();
+        assert_eq!(exec.poll(h), JobPhase::Finished);
+        assert_eq!(exec.outcome(h).unwrap().verdict, JobVerdict::Found);
+        assert_eq!(exec.status(h), JobStatus::Finished { verdict: JobVerdict::Found });
+    }
+
+    /// Runs a three-job batch at the given (batch width, pool size) and
+    /// returns each job's synthesized-execution JSON plus total slices.
+    fn run_three_jobs(width: usize, pool: usize) -> (Vec<String>, u64) {
+        let jobs: Vec<_> = (0..3).map(|i| crashy(&format!("exec_pool_{i}"), 3 + i)).collect();
+        let mut exec =
+            JobExecutor::round_robin().slice_rounds(2).batch_width(width).pool_size(pool);
+        let handles: Vec<_> = jobs
+            .iter()
+            .enumerate()
+            .map(|(i, (p, loc))| {
+                exec.submit(JobSpec::new(format!("job{i}"), p, GoalSpec::Crash { loc: *loc }))
+            })
+            .collect();
+        exec.run_until_idle();
+        let executions = handles
+            .into_iter()
+            .map(|h| {
+                let outcome = exec.take(h).expect("job finished");
+                assert_eq!(outcome.verdict, JobVerdict::Found);
+                outcome.report().expect("Found carries a report").execution.to_json()
+            })
+            .collect();
+        (executions, exec.stats().slices_dispatched)
+    }
+
+    /// The cross-job determinism contract in unit form: widening the batch
+    /// and spreading it over a pool changes neither any job's synthesized
+    /// execution nor the total number of dispatched slices.
+    #[test]
+    fn batch_width_and_pool_size_never_change_results() {
+        let (serial, serial_slices) = run_three_jobs(1, 1);
+        for (width, pool) in [(3, 1), (3, 3), (2, 8)] {
+            let (batched, slices) = run_three_jobs(width, pool);
+            assert_eq!(batched, serial, "width={width} pool={pool}");
+            assert_eq!(slices, serial_slices, "width={width} pool={pool}");
+        }
+    }
+
+    /// Snapshots carry the new executor fields: `batch_width`, `pool_size`
+    /// and the per-job frozen verdict all survive a snapshot → restore
+    /// round-trip (replay with an empty journal).
+    #[test]
+    fn snapshot_round_trips_batch_fields_and_finished_verdict() {
+        let (p, loc) = crashy("exec_snapshot_batch", 2);
+        let mut exec = JobExecutor::round_robin().batch_width(2).pool_size(4);
+        let h = exec.submit(JobSpec::new("job", &p, GoalSpec::Crash { loc }));
+        exec.run_until_idle();
+        exec.take(h).expect("job finished");
+        let snapshot = exec.snapshot();
+        assert_eq!((snapshot.batch_width, snapshot.pool_size), (2, 4));
+        assert_eq!(snapshot.jobs[0].finished_verdict, Some(JobVerdict::Found));
+        let restored = replay_records(&snapshot, &[]).expect("snapshot restores");
+        assert_eq!((restored.batch_width, restored.pool_size), (2, 4));
+        assert_eq!(restored.status(h), JobStatus::Finished { verdict: JobVerdict::Found });
+    }
+
+    /// Durable batch grants recover: a width-2 executor journals
+    /// `BatchGrant` records, and a cold-crash recovery replays them to the
+    /// identical outcome.
+    #[test]
+    fn durable_batch_grants_replay_after_a_crash() {
+        let dir = std::env::temp_dir().join(format!("esd_batch_recovery_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let (p, loc) = crashy("exec_batch_recovery", 7);
+        let (q, qloc) = crashy("exec_batch_recovery_b", 4);
+        let mut exec = JobExecutor::round_robin()
+            .slice_rounds(2)
+            .batch_width(2)
+            .checkpoint_every(1000) // never checkpoint: force journal replay
+            .durable_dir(&dir)
+            .expect("durable dir");
+        let a = exec.submit(JobSpec::new("a", &p, GoalSpec::Crash { loc }));
+        let b = exec.submit(JobSpec::new("b", &q, GoalSpec::Crash { loc: qloc }));
+        // Run two batches, then crash cold (drop without checkpoint).
+        assert!(exec.run_slice());
+        assert!(exec.run_slice());
+        drop(exec);
+        let mut recovered = JobExecutor::recover(&dir).expect("recovery succeeds");
+        recovered.run_until_idle();
+        for h in [a, b] {
+            assert_eq!(recovered.status(h).verdict(), Some(JobVerdict::Found), "{h:?}");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

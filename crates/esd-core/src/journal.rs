@@ -76,6 +76,14 @@ pub enum JournalRecord {
         /// The granted slice length in search rounds.
         rounds: u64,
     },
+    /// The fairness policy granted a whole batch of slices to distinct jobs
+    /// (executors with `batch_width > 1`). Written *before* any slice runs;
+    /// replay re-plans the batch with the restored policy and verifies the
+    /// identical grant vector.
+    BatchGrant {
+        /// `(handle, rounds)` per grant, in planning order.
+        grants: Vec<(u64, u64)>,
+    },
     /// A job was cancelled.
     Cancel {
         /// The cancelled job's handle.
@@ -107,6 +115,21 @@ pub enum JournalDamage {
         offset: usize,
     },
 }
+
+impl fmt::Display for JournalDamage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JournalDamage::Torn { offset } => {
+                write!(f, "journal torn at byte {offset}: the final frame is incomplete")
+            }
+            JournalDamage::Corrupt { offset } => {
+                write!(f, "journal corrupt at byte {offset}: a complete frame failed its checksum")
+            }
+        }
+    }
+}
+
+impl std::error::Error for JournalDamage {}
 
 /// The result of [`scan`]ning journal bytes: the longest valid prefix of
 /// records, how many bytes it covers, and what (if anything) stopped the

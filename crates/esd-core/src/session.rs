@@ -48,7 +48,9 @@ pub const DEFAULT_PROGRESS_EVERY: u64 = 4096;
 const RUN_TO_COMPLETION_SLICE: u64 = 16 * 1024;
 
 /// A progress snapshot handed to an [`Observer`] while a session runs.
-#[derive(Debug, Clone)]
+///
+/// Serializable so the service layer can stream progress as wire messages.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct ProgressEvent {
     /// Search rounds (frontier selections) completed so far.
     pub rounds: u64,
@@ -86,7 +88,11 @@ pub struct ProgressEvent {
 ///
 /// Attach one with [`EsdOptionsBuilder::observer`]. Both methods have empty
 /// default bodies so implementors opt into exactly the callbacks they need.
-pub trait Observer {
+/// Observers are `Send` because the executor advances sessions on a worker
+/// thread pool; callbacks still fire from one thread at a time (and job
+/// observers always fire on the executor's own thread, in deterministic
+/// merge order).
+pub trait Observer: Send {
     /// Called every [`EsdOptionsBuilder::progress_every`] rounds while the
     /// session is running.
     fn on_progress(&mut self, _event: &ProgressEvent) {}
@@ -573,8 +579,7 @@ impl SynthesisSession {
 mod tests {
     use super::*;
     use esd_ir::{CmpOp, Loc, ProgramBuilder};
-    use std::cell::RefCell;
-    use std::rc::Rc;
+    use std::sync::{Arc, Mutex};
 
     fn crashy() -> (esd_ir::Program, Loc) {
         let mut pb = ProgramBuilder::new("session_crashy");
@@ -753,22 +758,23 @@ mod tests {
         assert!(matches!(session.run_for(10), SessionStatus::DeadlineExpired(_)));
     }
 
-    /// An observer shared with the test through `Rc<RefCell<_>>`.
+    /// An observer shared with the test through `Arc<Mutex<_>>` (observers
+    /// are `Send`, so plain `Rc` no longer satisfies the trait bound).
     #[derive(Default)]
     struct Recording {
         progress: Vec<ProgressEvent>,
         finished: Option<&'static str>,
     }
 
-    struct RecordingObserver(Rc<RefCell<Recording>>);
+    struct RecordingObserver(Arc<Mutex<Recording>>);
 
     impl Observer for RecordingObserver {
         fn on_progress(&mut self, event: &ProgressEvent) {
-            self.0.borrow_mut().progress.push(event.clone());
+            self.0.lock().unwrap().progress.push(event.clone());
         }
 
         fn on_finish(&mut self, status: &SessionStatus) {
-            self.0.borrow_mut().finished = Some(match status {
+            self.0.lock().unwrap().finished = Some(match status {
                 SessionStatus::Running => "running",
                 SessionStatus::Found(_) => "found",
                 SessionStatus::Exhausted(_) => "exhausted",
@@ -782,13 +788,13 @@ mod tests {
     #[test]
     fn observer_sees_progress_and_the_finish() {
         let (p, loc) = crashy();
-        let recording = Rc::new(RefCell::new(Recording::default()));
+        let recording = Arc::new(Mutex::new(Recording::default()));
         let mut session = EsdOptions::builder()
             .observer(Box::new(RecordingObserver(recording.clone())))
             .progress_every(2)
             .session(&p, GoalSpec::Crash { loc });
         session.run_to_completion();
-        let recording = recording.borrow();
+        let recording = recording.lock().unwrap();
         assert_eq!(recording.finished, Some("found"));
         assert!(!recording.progress.is_empty(), "progress cadence of 2 must fire");
         let last = recording.progress.last().unwrap();

@@ -115,6 +115,30 @@ pub enum SynthesisError {
     Cancelled,
 }
 
+impl std::fmt::Display for SynthesisError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SynthesisError::GoalExtraction(why) => {
+                write!(f, "the bug report could not be turned into a goal: {why}")
+            }
+            SynthesisError::Exhausted => {
+                write!(f, "the search space was exhausted without reaching the goal")
+            }
+            SynthesisError::BudgetExceeded => {
+                write!(f, "the step budget was exceeded before reaching the goal")
+            }
+            SynthesisError::DeadlineExpired => {
+                write!(f, "the wall-clock deadline passed before reaching the goal")
+            }
+            SynthesisError::Cancelled => {
+                write!(f, "the session was cancelled before reaching the goal")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SynthesisError {}
+
 /// The result of a successful synthesis run.
 #[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct SynthesisReport {

@@ -1,0 +1,195 @@
+//! The transport-agnostic service surface: [`JobRequest`] in,
+//! [`JobTicket`] out, one [`JobStatus`] everywhere.
+//!
+//! The [`Service`] trait is implemented by the in-process backend
+//! ([`crate::InProcessService`], a thin wrapper over
+//! [`esd_core::JobExecutor`]) and by the wire client
+//! ([`crate::RemoteClient`], which speaks the framed protocol of
+//! [`crate::wire`] to a [`crate::Daemon`]). Client code written against the
+//! trait cannot tell the two apart — the determinism tests pin that the
+//! synthesized execution files are byte-identical either way.
+
+use crate::error::ServiceError;
+use esd_core::{EsdOptions, JobOutcome, JobSpec, JobStatus, ProgressEvent};
+use esd_ir::Program;
+use esd_symex::GoalSpec;
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// A submission to the debugging service: the program under debug, the
+/// goal to synthesize an execution for, and the scheduling knobs of
+/// [`JobSpec`] — minus anything that cannot cross a process boundary (job
+/// observers are replaced by [`Service::subscribe`] streams).
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct JobRequest {
+    /// Human-readable label, echoed in statuses and outcomes.
+    pub label: String,
+    /// The program under debug.
+    pub program: Program,
+    /// The goal to synthesize an execution for.
+    pub goal: GoalSpec,
+    /// Portfolio members as `(label, options)`; empty means one default
+    /// member (exactly like [`JobSpec`]).
+    pub members: Vec<(String, EsdOptions)>,
+    /// Scheduling priority (see [`JobSpec::priority`]).
+    pub priority: u32,
+    /// Scheduling-deadline hint, measured from submission.
+    pub deadline: Option<Duration>,
+}
+
+impl JobRequest {
+    /// A single-member request with default options and priority 1.
+    pub fn new(label: impl Into<String>, program: &Program, goal: GoalSpec) -> Self {
+        JobRequest {
+            label: label.into(),
+            program: program.clone(),
+            goal,
+            members: Vec::new(),
+            priority: 1,
+            deadline: None,
+        }
+    }
+
+    /// Replaces the default member's options (single-member requests).
+    pub fn options(mut self, options: EsdOptions) -> Self {
+        self.members = vec![("default".to_string(), options)];
+        self
+    }
+
+    /// Adds a portfolio member.
+    pub fn member(mut self, label: impl Into<String>, options: EsdOptions) -> Self {
+        self.members.push((label.into(), options));
+        self
+    }
+
+    /// Sets the scheduling priority.
+    pub fn priority(mut self, priority: u32) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Sets the scheduling-deadline hint.
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Lowers the request into the executor's [`JobSpec`].
+    pub(crate) fn into_spec(self) -> JobSpec {
+        let mut spec = JobSpec::new(self.label, &self.program, self.goal).priority(self.priority);
+        if let Some(deadline) = self.deadline {
+            spec = spec.deadline(deadline);
+        }
+        for (label, options) in self.members {
+            spec = spec.member(label, options);
+        }
+        spec
+    }
+}
+
+/// The service's receipt for a submitted job; every other [`Service`] call
+/// takes one. Tickets are dense per-service indices (the in-process backend
+/// reuses them as [`esd_core::JobHandle`] values).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct JobTicket {
+    /// The service-assigned job id.
+    pub id: u64,
+}
+
+/// One element of a [`Subscription`] stream.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub enum ProgressUpdate {
+    /// The job advanced by a slice; the engine's progress snapshot.
+    Progress {
+        /// The progress snapshot of the member that just ran.
+        event: ProgressEvent,
+    },
+    /// The job reached a terminal state; always the stream's last element.
+    Done {
+        /// The terminal [`JobStatus`].
+        status: JobStatus,
+    },
+}
+
+/// The front door to the debugging service (the paper's usage model:
+/// developers ship a bug report, the synthesizer finds an execution).
+///
+/// All methods take `&mut self`: backends either mutate an executor or a
+/// connection. Errors are always typed [`ServiceError`]s — in particular,
+/// submitting past the backend's admission bound returns
+/// [`ServiceError::Overloaded`] instead of buffering without limit.
+pub trait Service {
+    /// Submits a job, subject to admission control.
+    fn submit(&mut self, request: JobRequest) -> Result<JobTicket, ServiceError>;
+
+    /// The job's current [`JobStatus`] — the same enum the executor and the
+    /// wire protocol use.
+    fn poll(&mut self, ticket: JobTicket) -> Result<JobStatus, ServiceError>;
+
+    /// Cancels a job; `true` if it was still queued or running.
+    fn cancel(&mut self, ticket: JobTicket) -> Result<bool, ServiceError>;
+
+    /// Extracts the terminal [`JobOutcome`] (with the synthesized
+    /// execution). `None` until the job is terminal, and again after the
+    /// outcome has been taken.
+    fn take(&mut self, ticket: JobTicket) -> Result<Option<JobOutcome>, ServiceError>;
+
+    /// Opens a progress stream for the job: [`ProgressUpdate::Progress`]
+    /// per dispatched slice, then exactly one [`ProgressUpdate::Done`].
+    fn subscribe(&mut self, ticket: JobTicket) -> Result<Subscription, ServiceError>;
+}
+
+/// A per-job event feed shared between the executor-side observer (writer)
+/// and subscriptions / the daemon streamer (readers). Bounded: the oldest
+/// [`ProgressUpdate::Progress`] entries are dropped once
+/// [`EVENT_BUFFER_CAP`] is reached, `Done` is never dropped.
+pub(crate) type EventFeed = Arc<Mutex<VecDeque<ProgressUpdate>>>;
+
+/// Progress entries buffered per job before the oldest are dropped.
+pub(crate) const EVENT_BUFFER_CAP: usize = 256;
+
+/// A progress stream opened by [`Service::subscribe`].
+///
+/// Subscriptions are pull-based and non-blocking: [`drain`](Self::drain)
+/// returns every update available right now. For the in-process backend new
+/// updates appear when the executor is pumped; for the wire client they
+/// appear as the daemon streams event frames on the subscription's
+/// dedicated connection.
+pub struct Subscription {
+    pub(crate) inner: SubscriptionInner,
+    pub(crate) finished: bool,
+}
+
+pub(crate) enum SubscriptionInner {
+    /// Shares the in-process backend's per-job feed.
+    Local(EventFeed),
+    /// Reads event frames from a dedicated daemon connection.
+    Remote(crate::client::EventStream),
+}
+
+impl Subscription {
+    /// Every update available right now, in order. After the stream's
+    /// [`ProgressUpdate::Done`] has been returned, always empty.
+    pub fn drain(&mut self) -> Result<Vec<ProgressUpdate>, ServiceError> {
+        if self.finished {
+            return Ok(Vec::new());
+        }
+        let updates = match &mut self.inner {
+            SubscriptionInner::Local(feed) => {
+                feed.lock().expect("event feed poisoned").drain(..).collect()
+            }
+            SubscriptionInner::Remote(stream) => stream.drain()?,
+        };
+        if updates.iter().any(|u| matches!(u, ProgressUpdate::Done { .. })) {
+            self.finished = true;
+        }
+        Ok(updates)
+    }
+
+    /// True once the stream's terminal [`ProgressUpdate::Done`] has been
+    /// drained.
+    pub fn finished(&self) -> bool {
+        self.finished
+    }
+}

@@ -1,0 +1,106 @@
+//! Transport plumbing shared by the daemon and the client: one `Stream`
+//! type over TCP and Unix-domain sockets.
+//!
+//! Sockets are used in non-blocking mode on the daemon side (one thread
+//! serves every connection) and blocking mode on the client side; writes
+//! ride [`write_frame`], which retries `WouldBlock` so short bursts of
+//! socket backpressure never drop half a frame.
+
+use crate::error::ServiceError;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+#[cfg(unix)]
+use std::os::unix::net::UnixStream;
+use std::time::Duration;
+
+/// A connected byte stream over either transport.
+pub(crate) enum Stream {
+    /// A TCP connection.
+    Tcp(TcpStream),
+    /// A Unix-domain connection.
+    #[cfg(unix)]
+    Uds(UnixStream),
+}
+
+impl Stream {
+    pub(crate) fn set_nonblocking(&self, on: bool) -> std::io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.set_nonblocking(on),
+            #[cfg(unix)]
+            Stream::Uds(s) => s.set_nonblocking(on),
+        }
+    }
+
+    /// Disables Nagle batching on TCP (frames are latency-sensitive
+    /// request/response units); no-op on UDS.
+    pub(crate) fn tune(&self) {
+        if let Stream::Tcp(s) = self {
+            let _ = s.set_nodelay(true);
+        }
+    }
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.read(buf),
+            #[cfg(unix)]
+            Stream::Uds(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.write(buf),
+            #[cfg(unix)]
+            Stream::Uds(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.flush(),
+            #[cfg(unix)]
+            Stream::Uds(s) => s.flush(),
+        }
+    }
+}
+
+/// Writes a whole frame, riding out `WouldBlock` on non-blocking sockets
+/// with a short backoff. Any other I/O error is a typed transport error.
+pub(crate) fn write_frame(stream: &mut Stream, frame: &[u8]) -> Result<(), ServiceError> {
+    let mut written = 0;
+    while written < frame.len() {
+        match stream.write(&frame[written..]) {
+            Ok(0) => return Err(ServiceError::Disconnected),
+            Ok(n) => written += n,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_micros(200));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(ServiceError::transport(e)),
+        }
+    }
+    stream.flush().map_err(ServiceError::transport)
+}
+
+/// Reads whatever the socket has right now into `sink`. Returns `true` if
+/// the peer closed the stream. `WouldBlock` means "nothing right now" on a
+/// non-blocking socket and is not an error.
+pub(crate) fn read_available(
+    stream: &mut Stream,
+    sink: &mut crate::wire::FrameDecoder,
+) -> Result<bool, ServiceError> {
+    let mut buf = [0u8; 16 * 1024];
+    loop {
+        match stream.read(&mut buf) {
+            Ok(0) => return Ok(true),
+            Ok(n) => sink.feed(&buf[..n]),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return Ok(false),
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(ServiceError::transport(e)),
+        }
+    }
+}

@@ -190,7 +190,11 @@ pub struct StatePriority {
 
 /// A worklist of execution-state ids; see the [module docs](self) for the
 /// push/pop contract.
-pub trait SearchFrontier {
+///
+/// Frontiers are `Send` so the layer above the engine — the multi-job
+/// executor — can advance whole sessions (engine included) on a worker
+/// thread pool.
+pub trait SearchFrontier: Send {
     /// Inserts state `id`, or — if it is already in the frontier — moves it
     /// to the position implied by the new priority.
     fn push(&mut self, id: u64, prio: &StatePriority);

@@ -14,6 +14,9 @@
 //! * [`concurrency`] — deadlock / data-race detection and schedules.
 //! * [`core`] — the `esdsynth` facade, bug reports, execution files,
 //!   sessions, the multi-job [`JobExecutor`], baselines and triage.
+//! * [`service`] — the debugging-as-a-service front door: the [`Service`]
+//!   trait, the in-process backend, and the framed wire protocol with its
+//!   daemon and client.
 //! * [`playback`] — the `esdplay` facade: deterministic replay, the debugger
 //!   façade and patch verification.
 //! * [`workloads`] — the evaluation workloads (real-bug analogs and BPF).
@@ -73,6 +76,7 @@ pub use esd_concurrency as concurrency;
 pub use esd_core as core;
 pub use esd_ir as ir;
 pub use esd_playback as playback;
+pub use esd_service as service;
 pub use esd_symex as symex;
 pub use esd_workloads as workloads;
 
@@ -94,9 +98,108 @@ pub use esd_core::executor;
 
 pub use esd_core::{
     BugKind, BugReport, Esd, EsdOptions, EsdOptionsBuilder, ExecutorSnapshot, ExecutorStats,
-    FairnessPolicy, JobExecutor, JobHandle, JobOutcome, JobPhase, JobSpec, JobVerdict, Observer,
-    Portfolio, PortfolioResult, ProgressEvent, Recovery, RecoveryError, SessionSnapshot,
-    SessionStatus, SnapshotError, SynthesisSession, SynthesizedExecution,
+    FairnessPolicy, JobExecutor, JobHandle, JobOutcome, JobPhase, JobProgress, JobSpec, JobStatus,
+    JobVerdict, JournalDamage, Observer, Portfolio, PortfolioResult, ProgressEvent, Recovery,
+    RecoveryError, SessionSnapshot, SessionStatus, SnapshotError, SynthesisError, SynthesisSession,
+    SynthesizedExecution,
 };
 pub use esd_playback::{play, Debugger};
+pub use esd_service::{
+    Daemon, InProcessService, JobRequest, JobTicket, ProgressUpdate, RemoteClient, Service,
+    ServiceError, Subscription,
+};
 pub use esd_symex::{FrontierKind, GoalSpec, SearchConfig, StepOutcome};
+
+use std::fmt;
+
+/// The one error surface of the front door: every layer's typed failure —
+/// synthesis, durable snapshots, journal damage, the service itself —
+/// wrapped in a single [`std::error::Error`] so clients match on one enum
+/// instead of four.
+///
+/// Each component error converts in via `From`, so `?` lifts any of them
+/// into `Result<_, EsdError>`:
+///
+/// ```
+/// use esd::{EsdError, InProcessService, JobExecutor, JobRequest, Service};
+/// use esd::workloads::listing1;
+///
+/// fn submit_one() -> Result<(), EsdError> {
+///     let w = listing1();
+///     let mut service = InProcessService::new(JobExecutor::round_robin());
+///     let ticket = service.submit(JobRequest::new("job", &w.program, w.goal()))?;
+///     let _status = service.poll(ticket)?;
+///     Ok(())
+/// }
+/// submit_one().unwrap();
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EsdError {
+    /// A synthesis attempt failed (see [`esd_core::SynthesisError`]).
+    Synthesis(SynthesisError),
+    /// A snapshot could not be written or read (see
+    /// [`esd_core::SnapshotError`]).
+    Snapshot(SnapshotError),
+    /// A durable journal was torn or corrupted (see
+    /// [`esd_core::JournalDamage`]).
+    Journal(JournalDamage),
+    /// Crash recovery could not replay the journal onto the snapshot (see
+    /// [`esd_core::RecoveryError`]).
+    Recovery(RecoveryError),
+    /// A service call failed (see [`esd_service::ServiceError`]).
+    Service(ServiceError),
+}
+
+impl fmt::Display for EsdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EsdError::Synthesis(e) => write!(f, "synthesis: {e}"),
+            EsdError::Snapshot(e) => write!(f, "snapshot: {e}"),
+            EsdError::Journal(e) => write!(f, "journal: {e}"),
+            EsdError::Recovery(e) => write!(f, "recovery: {e}"),
+            EsdError::Service(e) => write!(f, "service: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EsdError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EsdError::Synthesis(e) => Some(e),
+            EsdError::Snapshot(e) => Some(e),
+            EsdError::Journal(e) => Some(e),
+            EsdError::Recovery(e) => Some(e),
+            EsdError::Service(e) => Some(e),
+        }
+    }
+}
+
+impl From<SynthesisError> for EsdError {
+    fn from(e: SynthesisError) -> Self {
+        EsdError::Synthesis(e)
+    }
+}
+
+impl From<SnapshotError> for EsdError {
+    fn from(e: SnapshotError) -> Self {
+        EsdError::Snapshot(e)
+    }
+}
+
+impl From<JournalDamage> for EsdError {
+    fn from(e: JournalDamage) -> Self {
+        EsdError::Journal(e)
+    }
+}
+
+impl From<RecoveryError> for EsdError {
+    fn from(e: RecoveryError) -> Self {
+        EsdError::Recovery(e)
+    }
+}
+
+impl From<ServiceError> for EsdError {
+    fn from(e: ServiceError) -> Self {
+        EsdError::Service(e)
+    }
+}

@@ -9,12 +9,18 @@ use esd::core::MemberOutcome;
 use esd::playback::play;
 use esd::workloads::real_bugs::{ghttpd_log_overflow, paste_invalid_free, sqlite_recursive_lock};
 use esd::workloads::{all_real_bugs, generate_bpf, BpfConfig, Workload};
-use esd::{Esd, EsdOptions, FrontierKind, JobExecutor, JobPhase, JobSpec, JobVerdict};
+use esd::{Esd, EsdOptions, FrontierKind, JobExecutor, JobSpec, JobStatus, JobVerdict};
 
 /// The engine thread count under test: the CI determinism matrix sets
 /// `ESD_THREADS` to 1, 2 and 8; locally the default exercises 4 workers.
 fn env_threads() -> usize {
     std::env::var("ESD_THREADS").ok().and_then(|s| s.parse().ok()).unwrap_or(4)
+}
+
+/// The executor pool size under test: the CI determinism matrix sets
+/// `ESD_POOL` to 1, 2 and 8; locally the default exercises 2 workers.
+fn env_pool() -> usize {
+    std::env::var("ESD_POOL").ok().and_then(|s| s.parse().ok()).unwrap_or(2)
 }
 
 fn mkfifo() -> Workload {
@@ -37,7 +43,9 @@ fn batch_options(name: &str, threads: usize) -> EsdOptions {
 /// byte-identical whether the job ran solo or interleaved with three other
 /// jobs, because slicing happens only at `step_round` boundaries and jobs
 /// share nothing. Exercised at `threads = 1` and at the CI matrix thread
-/// count (`ESD_THREADS`) in the same run.
+/// count (`ESD_THREADS`) in the same run, and — since the executor went
+/// parallel across jobs — with slice batches spread over an OS thread pool
+/// of 1 and of the CI matrix size (`ESD_POOL`).
 #[test]
 fn interleaved_jobs_emit_byte_identical_execution_files() {
     let workloads =
@@ -56,8 +64,18 @@ fn interleaved_jobs_emit_byte_identical_execution_files() {
         })
         .collect();
 
-    for threads in [1, env_threads()] {
-        let mut executor = JobExecutor::round_robin().slice_rounds(256);
+    // (engine threads, executor batch width, executor pool size): the
+    // classic serial legs, then full-width batches executed on pools of 1
+    // and of the matrix size — all four must reproduce the solo baselines.
+    let legs = [
+        (1, 1, 1),
+        (env_threads(), 1, 1),
+        (1, workloads.len(), 1),
+        (1, workloads.len(), env_pool()),
+    ];
+    for (threads, width, pool) in legs {
+        let mut executor =
+            JobExecutor::round_robin().slice_rounds(256).batch_width(width).pool_size(pool);
         let handles: Vec<_> = workloads
             .iter()
             .map(|w| {
@@ -71,13 +89,18 @@ fn interleaved_jobs_emit_byte_identical_execution_files() {
 
         for ((w, handle), solo_json) in workloads.iter().zip(&handles).zip(&solo) {
             let outcome = executor.take(*handle).expect("idle executor finished every job");
-            assert_eq!(outcome.verdict, JobVerdict::Found, "{} (threads={threads})", w.name);
+            assert_eq!(
+                outcome.verdict,
+                JobVerdict::Found,
+                "{} (threads={threads} width={width} pool={pool})",
+                w.name
+            );
             let report = outcome.report().expect("Found jobs carry a report");
             assert_eq!(
                 report.execution.to_json(),
                 *solo_json,
-                "{}: interleaved with 3 other jobs at threads={threads} must emit \
-                 the byte-identical execution file of a solo run",
+                "{}: interleaved with 3 other jobs at threads={threads} width={width} \
+                 pool={pool} must emit the byte-identical execution file of a solo run",
                 w.name
             );
             assert!(
@@ -112,15 +135,14 @@ fn round_robin_never_starves_the_cheap_job() {
     );
 
     let mut slices = 0u64;
-    while executor.poll(small) != JobPhase::Finished {
+    while !executor.status(small).is_terminal() {
         assert!(executor.run_slice(), "work remains while the cheap job is unfinished");
         slices += 1;
         assert!(slices < 100_000, "round-robin must not starve the cheap job");
     }
-    assert_eq!(executor.outcome(small).unwrap().verdict, JobVerdict::Found);
-    assert_eq!(
-        executor.poll(big),
-        JobPhase::Running,
+    assert_eq!(executor.status(small).verdict(), Some(JobVerdict::Found));
+    assert!(
+        matches!(executor.status(big), JobStatus::Running { .. }),
         "the expensive job must still be searching when the cheap one finishes"
     );
     // Fair turns: the cheap job never got more slices than the expensive one
@@ -134,7 +156,7 @@ fn round_robin_never_starves_the_cheap_job() {
          expensive {big_slices})"
     );
     assert!(executor.cancel(big));
-    assert_eq!(executor.outcome(big).unwrap().verdict, JobVerdict::Cancelled);
+    assert_eq!(executor.status(big), JobStatus::Cancelled);
 }
 
 /// Deadline-first fairness: an urgent job submitted *after* a FIFO-earlier
@@ -152,15 +174,14 @@ fn deadline_first_finishes_the_urgent_job_before_the_fifo_earlier_one() {
     );
 
     let mut slices = 0u64;
-    while executor.poll(rush) != JobPhase::Finished {
+    while !executor.status(rush).is_terminal() {
         assert!(executor.run_slice(), "work remains while the urgent job is unfinished");
         slices += 1;
         assert!(slices < 100_000, "the urgent job must finish");
     }
-    assert_eq!(executor.outcome(rush).unwrap().verdict, JobVerdict::Found);
-    assert_ne!(
-        executor.poll(big),
-        JobPhase::Finished,
+    assert_eq!(executor.status(rush).verdict(), Some(JobVerdict::Found));
+    assert!(
+        !executor.status(big).is_terminal(),
         "the FIFO-earlier batch job must not have finished before the urgent one"
     );
     let stats = executor.stats();

@@ -7,6 +7,10 @@ use esd::ir::printer::print_program;
 use esd::ir::validate::validate;
 use esd::ir::{BinOp, BlockId, CmpOp, Loc, ProgramBuilder};
 use esd::ir::{Interpreter, ThreadId};
+use esd::service::wire::{
+    decode_request, decode_response, encode_frame as encode_wire_frame, encode_request,
+    encode_response, FrameDecoder, WireRequest, WireResponse,
+};
 use esd::symex::{ExecState, RaceDetector, Solver, SolverConfig, SymExpr, SymVar};
 use esd::workloads::genbug::{generate, GenConfig, GenSize, InjectedBugKind, ScheduleHint};
 use esd::{EsdOptions, SynthesisSession};
@@ -341,6 +345,121 @@ proptest! {
         prop_assert_eq!(again.records.len(), scanned.records.len());
     }
 
+    /// Wire round-trip: arbitrary request/response conversations encoded as
+    /// frames survive an incremental decoder fed in arbitrary chunk sizes —
+    /// every message decodes, in order, to something that re-encodes to the
+    /// original bytes.
+    #[test]
+    fn wire_messages_round_trip_through_arbitrary_chunking(
+        picks in proptest::collection::vec((0usize..10, 0u64..1000), 1..20),
+        chunk in 1usize..64,
+    ) {
+        let messages: Vec<(Vec<u8>, bool)> = picks
+            .iter()
+            .map(|&(which, n)| match which {
+                0 => (encode_request(&WireRequest::Poll { ticket: n }), true),
+                1 => (encode_request(&WireRequest::Cancel { ticket: n }), true),
+                2 => (encode_request(&WireRequest::Take { ticket: n }), true),
+                3 => (encode_request(&WireRequest::Subscribe { ticket: n }), true),
+                4 => (encode_request(&WireRequest::Shutdown), true),
+                5 => (encode_response(&WireResponse::Ticket { ticket: n }), false),
+                6 => (encode_response(&WireResponse::Status { status: wire_status(n) }), false),
+                7 => (encode_response(&WireResponse::Cancelled { cancelled: n.is_multiple_of(2) }), false),
+                8 => (encode_response(&WireResponse::Error { error: wire_error(n) }), false),
+                _ => (encode_response(&WireResponse::Bye), false),
+            })
+            .collect();
+        let bytes: Vec<u8> = messages.iter().flat_map(|(b, _)| b.clone()).collect();
+
+        let mut decoder = FrameDecoder::new();
+        let mut decoded: Vec<Vec<u8>> = Vec::new();
+        for piece in bytes.chunks(chunk) {
+            decoder.feed(piece);
+            while let Some(frame) = decoder.next_frame().expect("clean stream never errors") {
+                decoded.push(frame);
+            }
+        }
+        prop_assert_eq!(decoded.len(), messages.len());
+        for (payload, (original, is_request)) in decoded.iter().zip(&messages) {
+            let reencoded = if *is_request {
+                encode_request(&decode_request(payload).expect("request decodes"))
+            } else {
+                encode_response(&decode_response(payload).expect("response decodes"))
+            };
+            prop_assert_eq!(&reencoded, original, "decode∘encode must be the identity");
+        }
+    }
+
+    /// Wire decoding is total: flipping any single bit of a framed stream,
+    /// or truncating it anywhere, yields typed errors or a wait for more
+    /// bytes — never a panic — and every frame delivered before the damage
+    /// point is unaltered.
+    #[test]
+    fn wire_decoder_survives_arbitrary_corruption(
+        picks in proptest::collection::vec(0u64..1000, 1..10),
+        cut in 0usize..100_000,
+        flip_at in 0usize..100_000,
+        flip_bit in 0u32..8,
+    ) {
+        let frames: Vec<Vec<u8>> = picks
+            .iter()
+            .map(|&n| encode_response(&WireResponse::Status { status: wire_status(n) }))
+            .collect();
+        let bytes: Vec<u8> = frames.concat();
+
+        // Truncation: the fully-framed prefix decodes, the tail waits.
+        let cut = cut % (bytes.len() + 1);
+        let mut decoder = FrameDecoder::new();
+        decoder.feed(&bytes[..cut]);
+        let mut seen = 0usize;
+        while let Some(payload) = decoder.next_frame().expect("truncation is never corruption") {
+            prop_assert_eq!(
+                encode_wire_frame(&payload).as_slice(),
+                frames[seen].as_slice(),
+                "prefix frames must be unaltered"
+            );
+            seen += 1;
+        }
+
+        // A single flipped bit: frames before the damage are unaltered,
+        // and the stream ends in a typed error or a clean/waiting state —
+        // no panic, no silently altered message.
+        let mut mangled = bytes.clone();
+        let at = flip_at % mangled.len();
+        mangled[at] ^= 1 << flip_bit;
+        let mut decoder = FrameDecoder::new();
+        decoder.feed(&mangled);
+        let mut offset = 0usize;
+        loop {
+            match decoder.next_frame() {
+                Ok(Some(payload)) => {
+                    let reframed = encode_wire_frame(&payload);
+                    if at >= offset && at < offset + reframed.len() {
+                        // The flip landed inside this frame yet the checksum
+                        // passed: FNV-1a caught nothing only if the payload
+                        // decodes to a message re-encoding to these bytes —
+                        // a semantic no-op is impossible for a 1-bit flip,
+                        // so this frame must fail to parse as a message.
+                        prop_assert!(
+                            decode_response(&payload).is_err(),
+                            "a bit flip inside a frame must not yield a valid message"
+                        );
+                    } else {
+                        prop_assert_eq!(
+                            reframed.as_slice(),
+                            &mangled[offset..offset + reframed.len()],
+                            "frames outside the damage must be unaltered"
+                        );
+                    }
+                    offset += reframed.len();
+                }
+                Ok(None) => break,   // waiting for bytes that will never come
+                Err(esd::ServiceError::Protocol { .. }) => break,
+                Err(other) => prop_assert!(false, "unexpected error kind: {other:?}"),
+            }
+        }
+    }
+
     /// The concrete interpreter is deterministic: same program, same inputs,
     /// same scheduler seed ⇒ identical output and step count.
     #[test]
@@ -369,5 +488,40 @@ proptest! {
             (r.output.clone(), r.steps)
         };
         prop_assert_eq!(run(), run());
+    }
+}
+
+/// One of each `JobStatus` shape, chosen by `n`, with `n`-derived payloads.
+fn wire_status(n: u64) -> esd::JobStatus {
+    match n % 4 {
+        0 => esd::JobStatus::Queued,
+        1 => esd::JobStatus::Running {
+            progress: esd::JobProgress {
+                slices: n,
+                rounds: n * 3,
+                steps: n * 7,
+                live_states: n % 17,
+                best_proximity: if n.is_multiple_of(2) { Some(n % 31) } else { None },
+            },
+        },
+        2 => esd::JobStatus::Finished {
+            verdict: if n.is_multiple_of(2) {
+                esd::JobVerdict::Found
+            } else {
+                esd::JobVerdict::Unsatisfied
+            },
+        },
+        _ => esd::JobStatus::Cancelled,
+    }
+}
+
+/// One of each `ServiceError` shape, chosen by `n`.
+fn wire_error(n: u64) -> esd::ServiceError {
+    match n % 5 {
+        0 => esd::ServiceError::Overloaded { retry_after_slices: n },
+        1 => esd::ServiceError::UnknownTicket { ticket: n },
+        2 => esd::ServiceError::Transport { detail: format!("transport #{n}") },
+        3 => esd::ServiceError::Protocol { detail: format!("protocol #{n}") },
+        _ => esd::ServiceError::Disconnected,
     }
 }

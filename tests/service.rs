@@ -1,0 +1,260 @@
+//! End-to-end tests for the service front door: the wire must be
+//! *invisible* — a job submitted over a socket synthesizes the
+//! byte-identical execution file of the same spec run in-process, at any
+//! executor pool size — and the backpressure contract must hold: a full
+//! submit queue is a typed `Overloaded` error, never an OOM or a block.
+
+use esd::service::{Daemon, InProcessService, JobRequest, ProgressUpdate, Service, ServiceError};
+use esd::workloads::real_bugs::paste_invalid_free;
+use esd::workloads::{all_real_bugs, generate_bpf, BpfConfig, Workload};
+use esd::{EsdOptions, FrontierKind, JobExecutor, JobStatus, JobVerdict, RemoteClient};
+use std::time::Duration;
+
+/// The executor pool size under test (the CI matrix sets `ESD_POOL` to
+/// 1, 2 and 8; the local default exercises 2 workers).
+fn env_pool() -> usize {
+    std::env::var("ESD_POOL").ok().and_then(|s| s.parse().ok()).unwrap_or(2)
+}
+
+fn mkfifo() -> Workload {
+    all_real_bugs().into_iter().find(|w| w.name == "mkfifo").expect("mkfifo workload exists")
+}
+
+/// The two e2e workloads: `mkfifo` on the default proximity frontier and
+/// `paste` on the multi-threaded beam engine (so the wire test also drives
+/// engine workers under the daemon).
+fn requests() -> Vec<JobRequest> {
+    let mkfifo = mkfifo();
+    let paste = paste_invalid_free();
+    vec![
+        JobRequest::new("mkfifo", &mkfifo.program, mkfifo.goal())
+            .options(EsdOptions::builder().max_steps(8_000_000).build()),
+        JobRequest::new("paste", &paste.program, paste.goal())
+            .options(
+                EsdOptions::builder()
+                    .max_steps(8_000_000)
+                    .frontier(FrontierKind::Beam { width: 16 })
+                    .threads(2)
+                    .build(),
+            )
+            .priority(2),
+    ]
+}
+
+/// A service-backed executor with the parallel knobs turned on: full-width
+/// batches over the `ESD_POOL` worker pool.
+fn parallel_service() -> InProcessService {
+    InProcessService::new(
+        JobExecutor::round_robin().slice_rounds(4).batch_width(4).pool_size(env_pool()),
+    )
+}
+
+/// Baseline: the same requests through the in-process backend on a serial
+/// executor (width 1, pool 1), collected as execution-file JSON.
+fn in_process_baseline() -> Vec<String> {
+    let mut service = InProcessService::new(JobExecutor::round_robin().slice_rounds(4));
+    let tickets: Vec<_> =
+        requests().into_iter().map(|r| service.submit(r).expect("baseline submit")).collect();
+    service.run_until_idle();
+    tickets
+        .into_iter()
+        .map(|t| {
+            let outcome = service.take(t).expect("poll").expect("terminal");
+            assert_eq!(outcome.verdict, JobVerdict::Found, "{}", outcome.label);
+            outcome.report().expect("Found carries a report").execution.to_json()
+        })
+        .collect()
+}
+
+/// Drives a remote client through the full lifecycle against an already
+/// running daemon and returns the execution JSONs in request order.
+fn run_over_wire(client: &mut RemoteClient) -> Vec<String> {
+    let tickets: Vec<_> =
+        requests().into_iter().map(|r| client.submit(r).expect("wire submit")).collect();
+    // Stream progress for the first job on a dedicated connection while
+    // polling both to completion.
+    let mut subscription = client.subscribe(tickets[0]).expect("subscribe");
+    let mut progress_events = 0usize;
+    let mut saw_done = false;
+    loop {
+        for update in subscription.drain().expect("event stream stays clean") {
+            match update {
+                ProgressUpdate::Progress { .. } => progress_events += 1,
+                ProgressUpdate::Done { status } => {
+                    assert_eq!(status, JobStatus::Finished { verdict: JobVerdict::Found });
+                    saw_done = true;
+                }
+            }
+        }
+        let all_done = tickets.iter().all(|t| client.poll(*t).expect("wire poll").is_terminal());
+        if all_done && subscription.finished() {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    assert!(saw_done, "the subscription must end with Done");
+    assert!(progress_events > 0, "4-round slices must stream intermediate progress");
+    tickets
+        .into_iter()
+        .map(|t| {
+            let outcome = client.take(t).expect("wire take").expect("terminal job");
+            assert_eq!(outcome.verdict, JobVerdict::Found, "{}", outcome.label);
+            outcome.report().expect("report").execution.to_json()
+        })
+        .collect()
+}
+
+/// The tentpole e2e contract over UDS: submit → subscribe → poll → take
+/// through the daemon produces byte-identical execution files to the same
+/// specs run in-process on a serial executor — the wire, the batch width
+/// and the pool size are all unobservable in the result.
+#[test]
+#[cfg(unix)]
+fn uds_submission_is_byte_identical_to_in_process() {
+    let baseline = in_process_baseline();
+    let sock = std::env::temp_dir().join(format!("esd_svc_{}.sock", std::process::id()));
+    let mut daemon = Daemon::bind_uds(&sock, parallel_service()).expect("bind uds");
+    let server = std::thread::spawn(move || daemon.run().expect("daemon run"));
+    let mut client = RemoteClient::connect_uds(&sock).expect("connect uds");
+    let over_wire = run_over_wire(&mut client);
+    assert_eq!(over_wire, baseline, "UDS submission must be byte-identical to in-process");
+    client.shutdown_server().expect("shutdown");
+    server.join().expect("daemon thread");
+}
+
+/// The same contract over TCP (loopback, OS-assigned port).
+#[test]
+fn tcp_submission_is_byte_identical_to_in_process() {
+    let baseline = in_process_baseline();
+    let mut daemon = Daemon::bind_tcp("127.0.0.1:0", parallel_service()).expect("bind tcp");
+    let addr = daemon.local_addr().expect("tcp daemons have an address");
+    let server = std::thread::spawn(move || daemon.run().expect("daemon run"));
+    let mut client = RemoteClient::connect_tcp(addr.to_string()).expect("connect tcp");
+    let over_wire = run_over_wire(&mut client);
+    assert_eq!(over_wire, baseline, "TCP submission must be byte-identical to in-process");
+    client.shutdown_server().expect("shutdown");
+    server.join().expect("daemon thread");
+}
+
+/// Backpressure, in-process: the bounded submit queue rejects the
+/// (max_pending + 1)-th queued job with a typed `Overloaded` carrying the
+/// backlog size, and admits again once the queue drains.
+#[test]
+fn submit_past_the_bounded_queue_is_a_typed_overloaded() {
+    let w = mkfifo();
+    let mut service =
+        InProcessService::new(JobExecutor::round_robin().slice_rounds(512)).max_pending(2);
+    let request = || {
+        JobRequest::new("queued", &w.program, w.goal())
+            .options(EsdOptions::builder().max_steps(8_000_000).build())
+    };
+    service.submit(request()).expect("first fits the queue");
+    service.submit(request()).expect("second fits the queue");
+    let err = service.submit(request()).expect_err("third must be rejected");
+    assert_eq!(err, ServiceError::Overloaded { retry_after_slices: 2 });
+    // Drain and retry: admission control is about the queue, not a cap on
+    // total jobs served.
+    service.run_until_idle();
+    service.submit(request()).expect("an idle service admits again");
+}
+
+/// Backpressure over the wire: the typed `Overloaded` crosses the protocol
+/// unchanged — remote clients see exactly the in-process error.
+#[test]
+fn overloaded_crosses_the_wire_as_a_typed_error() {
+    // A job the daemon cannot drain during the test: breadth-first over a
+    // 256-branch BPF program needs orders of magnitude more rounds than
+    // the few slices the daemon pumps between our submits, so the single
+    // running slot stays occupied and the queue stays full.
+    let w = generate_bpf(&BpfConfig { branches: 256, ..Default::default() });
+    let service = InProcessService::new(
+        // max_running(1) keeps queued jobs queued even while the daemon
+        // pumps, so the rejection is deterministic.
+        JobExecutor::round_robin().slice_rounds(4).max_running(1),
+    )
+    .max_pending(1);
+    let mut daemon = Daemon::bind_tcp("127.0.0.1:0", service).expect("bind tcp");
+    let addr = daemon.local_addr().expect("tcp address");
+    let server = std::thread::spawn(move || daemon.run().expect("daemon run"));
+    let mut client = RemoteClient::connect_tcp(addr.to_string()).expect("connect");
+    let expensive = || {
+        JobRequest::new("slow", &w.program, w.goal()).options(
+            EsdOptions::builder().max_steps(u64::MAX / 2).frontier(FrontierKind::Bfs).build(),
+        )
+    };
+    let first = client.submit(expensive()).expect("first admitted");
+    // Burst submissions until the typed rejection appears (the daemon may
+    // admit the first into the running slot between calls).
+    let mut rejected = None;
+    for _ in 0..4 {
+        match client.submit(expensive()) {
+            Ok(_) => continue,
+            Err(e) => {
+                rejected = Some(e);
+                break;
+            }
+        }
+    }
+    match rejected {
+        Some(ServiceError::Overloaded { retry_after_slices }) => {
+            assert!(retry_after_slices >= 1, "the hint names the backlog")
+        }
+        other => panic!("expected Overloaded over the wire, got {other:?}"),
+    }
+    client.cancel(first).expect("cancel");
+    client.shutdown_server().expect("shutdown");
+    server.join().expect("daemon thread");
+}
+
+/// Unknown tickets are typed errors on both backends.
+#[test]
+fn unknown_tickets_are_typed_on_both_backends() {
+    let mut local = InProcessService::new(JobExecutor::round_robin());
+    let bogus = esd::JobTicket { id: 42 };
+    assert_eq!(local.poll(bogus), Err(ServiceError::UnknownTicket { ticket: 42 }));
+
+    let mut daemon =
+        Daemon::bind_tcp("127.0.0.1:0", InProcessService::new(JobExecutor::round_robin()))
+            .expect("bind tcp");
+    let addr = daemon.local_addr().expect("tcp address");
+    let server = std::thread::spawn(move || daemon.run().expect("daemon run"));
+    let mut client = RemoteClient::connect_tcp(addr.to_string()).expect("connect");
+    assert_eq!(client.poll(bogus), Err(ServiceError::UnknownTicket { ticket: 42 }));
+    client.shutdown_server().expect("shutdown");
+    server.join().expect("daemon thread");
+}
+
+/// The in-process subscription stream: progress events while pumping, then
+/// exactly one `Done` carrying the terminal status, then silence.
+#[test]
+fn local_subscriptions_stream_progress_then_done() {
+    let w = mkfifo();
+    let mut service = InProcessService::new(JobExecutor::round_robin().slice_rounds(4));
+    let ticket = service
+        .submit(
+            JobRequest::new("watched", &w.program, w.goal())
+                .options(EsdOptions::builder().max_steps(8_000_000).build()),
+        )
+        .expect("submit");
+    let mut subscription = service.subscribe(ticket).expect("subscribe");
+    let mut progress = 0usize;
+    let mut done = 0usize;
+    while !subscription.finished() {
+        service.pump(8);
+        for update in subscription.drain().expect("local streams cannot fail") {
+            match update {
+                ProgressUpdate::Progress { event } => {
+                    assert!(event.rounds > 0);
+                    progress += 1;
+                }
+                ProgressUpdate::Done { status } => {
+                    assert_eq!(status, JobStatus::Finished { verdict: JobVerdict::Found });
+                    done += 1;
+                }
+            }
+        }
+    }
+    assert!(progress > 0, "4-round slices must produce progress events");
+    assert_eq!(done, 1, "exactly one terminal event");
+    assert!(subscription.drain().expect("drain after Done").is_empty());
+}
